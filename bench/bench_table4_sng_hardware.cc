@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table 4 reproduction: hardware utilization of the stochastic number
+ * generator bank (AQFP true-RNG matrix + comparators vs CMOS LFSR SNGs).
+ *
+ * The AQFP column is computed from legalized comparator netlists plus the
+ * 4-way shared RNG-matrix JJ accounting; the CMOS column from the 40 nm
+ * analytical model.  Energies are per clock cycle (one random bit per
+ * output per cycle), as in the paper's Table 4; delays are the conversion
+ * pipeline latencies.
+ */
+
+#include <cstdio>
+
+#include "aqfp/energy_model.h"
+#include "baseline/cmos_model.h"
+#include "bench_util.h"
+#include "blocks/sng_block.h"
+
+namespace {
+
+struct PaperRow
+{
+    int outputs;
+    double aqfp_pj;
+    double cmos_pj;
+    double aqfp_ns;
+    double cmos_ns;
+};
+
+constexpr PaperRow kPaper[] = {
+    {100, 9.700e-5, 14.42, 0.2, 0.6},
+    {500, 4.850e-4, 72.11, 0.2, 0.6},
+    {800, 7.760e-4, 115.4, 0.2, 0.6},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace aqfpsc;
+    bench::banner("Table 4: hardware utilization of the stochastic number "
+                  "generator (10-bit codes)");
+
+    const aqfp::AqfpTechnology aqfp_tech;
+    const baseline::CmosTechnology cmos_tech;
+    const int rng_bits = 10;
+
+    bench::header({"outputs", "AQFP E(pJ)", "CMOS E(pJ)", "AQFP d(ns)",
+                   "CMOS d(ns)", "E ratio"});
+    for (const auto &p : kPaper) {
+        const blocks::SngBankCost bank =
+            blocks::analyzeSngBank(p.outputs, rng_bits, true);
+        const double aqfp_e =
+            static_cast<double>(bank.totalJj()) *
+            aqfp_tech.energyPerJjPerCycle * 1e12; // pJ per cycle
+        const double aqfp_d =
+            bank.depthPhases * aqfp_tech.cycleSeconds() * 1e9;
+
+        const baseline::CmosBlockCost cmos =
+            baseline::cmosSngCost(rng_bits, cmos_tech);
+        const double cmos_e =
+            cmos.energyPerCycleJ * p.outputs * 1e12;
+        const double cmos_d = cmos.latencySeconds * 1e9;
+
+        bench::row({std::to_string(p.outputs), bench::sci(aqfp_e),
+                    bench::cell(cmos_e, 2), bench::cell(aqfp_d, 2),
+                    bench::cell(cmos_d, 2), bench::sci(cmos_e / aqfp_e, 2)});
+        bench::row({"(paper)", bench::sci(p.aqfp_pj),
+                    bench::cell(p.cmos_pj, 2), bench::cell(p.aqfp_ns, 2),
+                    bench::cell(p.cmos_ns, 2),
+                    bench::sci(p.cmos_pj / p.aqfp_pj, 2)});
+    }
+
+    std::printf("\nExpected shape: AQFP energy ~1e5x below CMOS, scaling "
+                "linearly with the\nnumber of outputs (comparators dominate;"
+                " the shared RNG matrix amortizes the\ntrue-RNG cost 4x). "
+                "The paper reports single-stage delay for the AQFP SNG;\n"
+                "we report the full comparator-tree pipeline latency.\n");
+    return 0;
+}

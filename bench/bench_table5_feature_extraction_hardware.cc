@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 5 reproduction: hardware utilization of the sorter-based
+ * feature-extraction block.
+ *
+ * The AQFP column builds the actual XNOR + bitonic sorter + merger
+ * netlist for every input size, runs the full legalization pipeline
+ * (majority synthesis where profitable, splitter trees, path-balancing
+ * buffers) and reports JJ counts, per-stream energy (N = 1024 cycles)
+ * and pipeline latency.  The CMOS column is the SC-DCNN baseline (XNOR +
+ * APC + Btanh counter) under the 40 nm model.
+ */
+
+#include <cstdio>
+
+#include "aqfp/energy_model.h"
+#include "aqfp/passes.h"
+#include "baseline/cmos_model.h"
+#include "bench_util.h"
+#include "blocks/feature_extraction.h"
+
+namespace {
+
+struct PaperRow
+{
+    int m;
+    double aqfp_pj;
+    double cmos_pj;
+    double aqfp_ns;
+    double cmos_ns;
+};
+
+constexpr PaperRow kPaper[] = {
+    {9, 2.972e-4, 320.819, 2.2, 1024.0},
+    {25, 1.350e-3, 520.704, 3.4, 1228.8},
+    {49, 3.978e-3, 843.469, 4.8, 1535.0},
+    {81, 9.168e-3, 1099.776, 6.6, 1741.8},
+    {121, 1.333e-2, 2948.496, 6.8, 1946.6},
+    {500, 9.147e-2, 6807.552, 10.8, 2455.6},
+    {800, 0.186, 9804.800, 12.4, 2868.2},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace aqfpsc;
+    bench::banner("Table 5: hardware utilization of the feature-extraction "
+                  "block (per 1024-cycle stream)");
+
+    const aqfp::AqfpTechnology tech;
+    const baseline::CmosTechnology cmos_tech;
+    const std::size_t stream = 1024;
+
+    bench::header({"input size", "AQFP JJ", "AQFP E(pJ)", "CMOS E(pJ)",
+                   "AQFP d(ns)", "CMOS d(ns)", "E ratio"});
+    for (const auto &p : kPaper) {
+        const aqfp::Netlist net = aqfp::legalize(
+            blocks::FeatureExtractionBlock::buildNetlist(p.m),
+            /*with_synthesis=*/p.m <= 128);
+        const aqfp::HardwareCost cost = aqfp::analyzeNetlist(net, tech);
+        const double aqfp_e = cost.energyPerStreamJ(stream) * 1e12;
+        const double aqfp_d = cost.latencySeconds * 1e9;
+
+        const baseline::CmosBlockCost cmos =
+            baseline::cmosFeatureExtractionCost(p.m, cmos_tech);
+        const double cmos_e = cmos.energyPerStreamJ(stream) * 1e12;
+        const double cmos_d =
+            stream * cmos_tech.cycleSeconds() * 1e9 +
+            cmos.latencySeconds * 1e9;
+
+        bench::row({std::to_string(p.m), std::to_string(cost.jj),
+                    bench::sci(aqfp_e), bench::cell(cmos_e, 1),
+                    bench::cell(aqfp_d, 1), bench::cell(cmos_d, 1),
+                    bench::sci(cmos_e / aqfp_e, 2)});
+        bench::row({"(paper)", "-", bench::sci(p.aqfp_pj),
+                    bench::cell(p.cmos_pj, 1), bench::cell(p.aqfp_ns, 1),
+                    bench::cell(p.cmos_ns, 1),
+                    bench::sci(p.cmos_pj / p.aqfp_pj, 2)});
+    }
+
+    std::printf("\nExpected shape: AQFP latency grows ~log^2(M) (a few ns "
+                "at M=800, ~100-500x\nbelow the stream-serial CMOS "
+                "pipeline); energy ratio sits in the 1e4..1e6 band\nand "
+                "grows with M as the APC+counter datapath outpaces the "
+                "sorter.\n");
+    return 0;
+}

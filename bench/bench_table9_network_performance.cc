@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Table 8 + Table 9 reproduction: end-to-end network performance
+ * (accuracy / energy / throughput) for the shallow (SNN) and deep (DNN)
+ * networks on three platforms:
+ *
+ *  - Software: float inference of the trained network;
+ *  - AQFP: stochastic-computing inference through the sorter /
+ *    majority-chain blocks (ScBackend::AqfpSorter) with hardware figures
+ *    from legalized netlists;
+ *  - CMOS: SC-DCNN-style inference (APC + Btanh + MUX pooling,
+ *    ScBackend::CmosApc) with figures from the 40 nm model.  The CMOS
+ *    platform scores classes with linear APC accumulation, so it gets a
+ *    linear output head trained on the same frozen features (the
+ *    majority-chain weights are specific to the AQFP output structure).
+ *
+ * Substitution note: networks are trained on the synthetic digit dataset
+ * (DESIGN.md Sec. 3); trained weights are cached under aqfpsc_assets/ so
+ * reruns skip training.  SC accuracies are evaluated on test subsets
+ * sized for a single-core machine (exact counts printed).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "core/hardware_report.h"
+#include "core/model_zoo.h"
+#include "core/sc_engine.h"
+#include "data/digits.h"
+
+namespace {
+
+using namespace aqfpsc;
+
+constexpr const char *kAssetDir = "aqfpsc_assets";
+
+/** Trains (or loads cached weights for) one network. */
+void
+obtainWeights(nn::Network &net, const std::string &tag, int train_samples,
+              int epochs, std::vector<nn::Sample> &train_set)
+{
+    std::filesystem::create_directories(kAssetDir);
+    const std::string path = std::string(kAssetDir) + "/" + tag + ".bin";
+    if (net.loadWeights(path)) {
+        std::printf("[%s] loaded cached weights from %s\n", tag.c_str(),
+                    path.c_str());
+        return;
+    }
+    std::printf("[%s] training on %d synthetic digits, %d epochs...\n",
+                tag.c_str(), train_samples, epochs);
+    std::fflush(stdout);
+    nn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.learningRate = 0.08f;
+    cfg.verbose = true;
+    std::vector<nn::Sample> subset(
+        train_set.begin(),
+        train_set.begin() + std::min<std::size_t>(train_set.size(),
+                                                  static_cast<std::size_t>(
+                                                      train_samples)));
+    net.train(subset, cfg);
+    net.quantizeParams(10);
+    if (!net.saveWeights(path))
+        std::printf("[%s] warning: could not cache weights\n", tag.c_str());
+}
+
+/**
+ * Builds the CMOS evaluation network: same body weights as @p aqfp_net
+ * (layers 0 .. n-2) with a linear Dense head trained on the frozen
+ * features -- the APC baseline scores classes linearly.
+ */
+nn::Network
+buildCmosVariant(const nn::Network &aqfp_net, nn::Network &&same_arch_linear,
+                 const std::vector<nn::Sample> &train_set, int head_samples)
+{
+    nn::Network cmos = std::move(same_arch_linear);
+    // Copy all body parameters (every layer except the output head).
+    for (std::size_t li = 0; li + 1 < aqfp_net.layerCount(); ++li) {
+        auto src = const_cast<nn::Network &>(aqfp_net).layer(li).params();
+        auto dst = cmos.layer(li).params();
+        for (std::size_t p = 0; p < src.size(); ++p)
+            *dst[p] = *src[p];
+    }
+    // Extract features through the body and train only the linear head.
+    const std::size_t body_layers = cmos.layerCount() - 1;
+    std::vector<nn::Sample> features;
+    const int n = std::min<int>(head_samples,
+                                static_cast<int>(train_set.size()));
+    features.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        nn::Tensor f = train_set[static_cast<std::size_t>(i)].image;
+        for (std::size_t li = 0; li < body_layers; ++li)
+            f = cmos.layer(li).forward(f);
+        nn::Sample s;
+        s.image = nn::Tensor({static_cast<int>(f.size())});
+        for (std::size_t j = 0; j < f.size(); ++j)
+            s.image[j] = f[j];
+        s.label = train_set[static_cast<std::size_t>(i)].label;
+        features.push_back(std::move(s));
+    }
+    auto *head = dynamic_cast<nn::Dense *>(
+        &cmos.layer(cmos.layerCount() - 1));
+    nn::Network head_net;
+    head_net.add(std::make_unique<nn::Dense>(head->inFeatures(),
+                                             head->outFeatures(), 77));
+    nn::TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.learningRate = 0.05f;
+    head_net.train(features, cfg);
+    head_net.quantizeParams(10);
+    *head->params()[0] = *head_net.layer(0).params()[0];
+    *head->params()[1] = *head_net.layer(0).params()[1];
+    return cmos;
+}
+
+void
+printTable8()
+{
+    bench::banner("Table 8: DNN layer configuration");
+    bench::header({"layer", "kernel", "stride"});
+    bench::row({"Conv3_x", "[3x3, 32]", "1"});
+    bench::row({"Conv5_x", "[5x5, 32]", "1"});
+    bench::row({"Conv7_x", "[7x7, 64]", "1"});
+    bench::row({"AvgPool", "[2x2]", "2"});
+    bench::row({"FC500", "500", "-"});
+    bench::row({"FC800", "800", "-"});
+}
+
+struct NetResult
+{
+    double software = 0.0;
+    double aqfp_acc = 0.0;
+    double cmos_acc = 0.0;
+    core::NetworkHardware hw;
+};
+
+NetResult
+runNetwork(const std::string &tag, nn::Network &net,
+           nn::Network &&linear_arch, std::vector<nn::Sample> &train_set,
+           const std::vector<nn::Sample> &test_set, int train_samples,
+           int epochs, int sc_images, int float_images, bool fast_hw)
+{
+    NetResult r;
+    obtainWeights(net, tag, train_samples, epochs, train_set);
+
+    std::printf("[%s] software evaluation (%d images)...\n", tag.c_str(),
+                float_images);
+    std::fflush(stdout);
+    std::vector<nn::Sample> test_subset(
+        test_set.begin(),
+        test_set.begin() + std::min<std::size_t>(
+                               test_set.size(),
+                               static_cast<std::size_t>(float_images)));
+    r.software = net.evaluate(test_subset);
+
+    std::printf("[%s] AQFP SC inference (%d images, N=1024)\n", tag.c_str(),
+                sc_images);
+    std::fflush(stdout);
+    core::ScEngineConfig aqfp_cfg;
+    aqfp_cfg.streamLen = 1024;
+    aqfp_cfg.backend = core::ScBackend::AqfpSorter;
+    core::ScNetworkEngine aqfp_engine(net, aqfp_cfg);
+    r.aqfp_acc = aqfp_engine.evaluate(test_set, sc_images, true);
+
+    std::printf("[%s] CMOS SC baseline inference (%d images, N=1024)\n",
+                tag.c_str(), sc_images);
+    std::fflush(stdout);
+    nn::Network cmos_net =
+        buildCmosVariant(net, std::move(linear_arch), train_set, 1200);
+    core::ScEngineConfig cmos_cfg;
+    cmos_cfg.streamLen = 1024;
+    cmos_cfg.backend = core::ScBackend::CmosApc;
+    core::ScNetworkEngine cmos_engine(cmos_net, cmos_cfg);
+    r.cmos_acc = cmos_engine.evaluate(test_set, sc_images, true);
+
+    std::printf("[%s] hardware analysis...\n", tag.c_str());
+    std::fflush(stdout);
+    r.hw = core::analyzeNetworkHardware(net, 1024, {}, {}, fast_hw);
+    return r;
+}
+
+void
+printResult(const std::string &name, const NetResult &r, double p_sw,
+            double p_cmos_acc, double p_aqfp_acc, double p_cmos_uj,
+            double p_aqfp_uj, double p_cmos_tp, double p_aqfp_tp)
+{
+    bench::header({"platform", "accuracy", "energy(uJ)", "imgs/ms"});
+    bench::row({"Software", bench::cell(r.software * 100, 2) + "%", "-",
+                "-"});
+    bench::row({"CMOS", bench::cell(r.cmos_acc * 100, 2) + "%",
+                bench::cell(r.hw.cmosEnergyPerImageJ * 1e6, 3),
+                bench::cell(r.hw.cmosThroughputImagesPerSec / 1e3, 0)});
+    bench::row({"AQFP", bench::cell(r.aqfp_acc * 100, 2) + "%",
+                bench::sci(r.hw.aqfpEnergyPerImageJ * 1e6),
+                bench::cell(r.hw.aqfpThroughputImagesPerSec / 1e3, 0)});
+    std::printf("  energy improvement (CMOS/AQFP): %s (paper: %s)\n",
+                bench::sci(r.hw.cmosEnergyPerImageJ /
+                           r.hw.aqfpEnergyPerImageJ, 2)
+                    .c_str(),
+                bench::sci(p_cmos_uj / p_aqfp_uj, 2).c_str());
+    std::printf("  throughput improvement (AQFP/CMOS): %.1fx (paper: "
+                "%.1fx)\n",
+                r.hw.aqfpThroughputImagesPerSec /
+                    r.hw.cmosThroughputImagesPerSec,
+                p_aqfp_tp / p_cmos_tp);
+    std::printf("  paper (%s on MNIST): software %.2f%%, CMOS %.2f%% / "
+                "%.2f uJ / %.0f img/ms, AQFP %.2f%% / %.3e uJ / %.0f "
+                "img/ms\n",
+                name.c_str(), p_sw, p_cmos_acc, p_cmos_uj, p_cmos_tp,
+                p_aqfp_acc, p_aqfp_uj, p_aqfp_tp);
+    std::printf("  AQFP JJ count: %lld (incl. %lld SNG JJ); latency/image "
+                "%.1f ns\n",
+                r.hw.aqfpTotalJj, r.hw.aqfpSngJj,
+                r.hw.aqfpLatencySeconds * 1e9);
+}
+
+} // namespace
+
+int
+main()
+{
+    printTable8();
+
+    bench::banner("Table 9: network performance comparison "
+                  "(synthetic-digit substitution for MNIST)");
+
+    auto train_set = data::generateDigits(2500, 20260612);
+    const auto test_set = data::generateDigits(500, 424242);
+
+    // ------------------------------------------------------------ SNN
+    {
+        nn::Network snn = core::buildSnn(5);
+        nn::Network snn_linear;
+        {
+            // Same architecture with a linear output head for CMOS.
+            nn::Network &n = snn_linear;
+            n.add(std::make_unique<nn::Conv2D>(1, 32, 3, 5 + 11));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::AvgPool2>());
+            n.add(std::make_unique<nn::Conv2D>(32, 32, 3, 5 + 22));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::AvgPool2>());
+            n.add(std::make_unique<nn::Dense>(7 * 7 * 32, 500, 5 + 33));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::Dense>(500, 800, 5 + 44));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::Dense>(800, 10, 5 + 55));
+        }
+        std::printf("\n--- SNN: %s ---\n", snn.describe().c_str());
+        const NetResult r =
+            runNetwork("snn", snn, std::move(snn_linear), train_set,
+                       test_set, 2500, 5, 60, 500, /*fast_hw=*/false);
+        printResult("SNN", r, 99.04, 97.35, 97.91, 39.46, 5.606e-4, 231,
+                    8305);
+    }
+
+    // ------------------------------------------------------------ DNN
+    {
+        nn::Network dnn = core::buildDnn(7);
+        nn::Network dnn_linear;
+        {
+            nn::Network &n = dnn_linear;
+            n.add(std::make_unique<nn::Conv2D>(1, 32, 3, 7 + 11));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::Conv2D>(32, 32, 3, 7 + 22));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::AvgPool2>());
+            n.add(std::make_unique<nn::Conv2D>(32, 32, 5, 7 + 33));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::Conv2D>(32, 32, 5, 7 + 44));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::AvgPool2>());
+            n.add(std::make_unique<nn::Conv2D>(32, 64, 7, 7 + 55));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::Dense>(7 * 7 * 64, 500, 7 + 66));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::Dense>(500, 800, 7 + 77));
+            n.add(std::make_unique<nn::SorterTanh>());
+            n.add(std::make_unique<nn::Dense>(800, 10, 7 + 88));
+        }
+        std::printf("\n--- DNN: %s ---\n", dnn.describe().c_str());
+        const NetResult r =
+            runNetwork("dnn", dnn, std::move(dnn_linear), train_set,
+                       test_set, 1600, 4, 16, 200, /*fast_hw=*/true);
+        printResult("DNN", r, 99.17, 96.62, 96.95, 219.37, 2.482e-3, 229,
+                    6667);
+    }
+
+    std::printf("\nExpected shape: AQFP accuracy within ~1%% of software "
+                "and at or above the\nCMOS SC baseline; energy improvement "
+                "in the 1e3..1e5 band (paper: ~7e4);\nthroughput improvement"
+                " ~10-40x from the stall-free deep pipeline.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: paper-style table
+ * printing with side-by-side paper-reported and measured values.
+ */
+
+#ifndef AQFPSC_BENCH_BENCH_UTIL_H
+#define AQFPSC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aqfpsc::bench {
+
+/** Print a centred banner for one experiment. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=============================================================="
+                "==========\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================"
+                "========\n");
+}
+
+/** Print a table header row. */
+inline void
+header(const std::vector<std::string> &cols)
+{
+    for (const auto &c : cols)
+        std::printf("%14s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        std::printf("%14s", "------------");
+    std::printf("\n");
+}
+
+/** Fixed-point cell. */
+inline std::string
+cell(double v, int prec = 4)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+/** Scientific-notation cell. */
+inline std::string
+sci(double v, int prec = 3)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+    return buf;
+}
+
+/** Print one row of string cells. */
+inline void
+row(const std::vector<std::string> &cols)
+{
+    for (const auto &c : cols)
+        std::printf("%14s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace aqfpsc::bench
+
+#endif // AQFPSC_BENCH_BENCH_UTIL_H

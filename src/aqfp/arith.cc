@@ -1,0 +1,50 @@
+#include "arith.h"
+
+#include <cassert>
+#include <vector>
+
+namespace aqfpsc::aqfp {
+
+NodeId
+addXor(Netlist &net, NodeId a, NodeId b)
+{
+    const NodeId a_not_b =
+        net.addGateNeg(CellType::And2, a, false, b, true);
+    const NodeId b_not_a =
+        net.addGateNeg(CellType::And2, a, true, b, false);
+    return net.addGate(CellType::Or2, a_not_b, b_not_a);
+}
+
+Netlist
+buildRippleCarryAdder(int n)
+{
+    assert(n >= 1);
+    Netlist net;
+    std::vector<NodeId> a(static_cast<std::size_t>(n));
+    std::vector<NodeId> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        a[static_cast<std::size_t>(i)] = net.addInput();
+    for (int i = 0; i < n; ++i)
+        b[static_cast<std::size_t>(i)] = net.addInput();
+
+    std::vector<NodeId> sum(static_cast<std::size_t>(n));
+    NodeId carry = kNoNode;
+    for (int i = 0; i < n; ++i) {
+        const NodeId ai = a[static_cast<std::size_t>(i)];
+        const NodeId bi = b[static_cast<std::size_t>(i)];
+        const NodeId ab = addXor(net, ai, bi);
+        if (carry == kNoNode) {
+            sum[static_cast<std::size_t>(i)] = ab;
+            carry = net.addGate(CellType::And2, ai, bi);
+        } else {
+            sum[static_cast<std::size_t>(i)] = addXor(net, ab, carry);
+            carry = net.addGate(CellType::Maj3, ai, bi, carry);
+        }
+    }
+    for (int i = 0; i < n; ++i)
+        net.markOutput(sum[static_cast<std::size_t>(i)]);
+    net.markOutput(carry);
+    return net;
+}
+
+} // namespace aqfpsc::aqfp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Conventional binary arithmetic on AQFP -- the counterpoint that
+ * motivates the paper (Sec. 3).
+ *
+ * A binary accumulator on AQFP suffers from the deep-pipelining nature:
+ * one n-bit addition takes the full ripple depth in clock phases, and the
+ * loop-carried dependence (the accumulator register feeds the next
+ * addition) means a new operand can only be accepted once the previous
+ * sum has emerged -- a RAW stall of depth cycles per operation, versus
+ * the SC blocks' one new stochastic bit per cycle.  These builders let
+ * the motivation bench quantify that argument on real netlists.
+ *
+ * AQFP is actually friendly to full adders: carry = MAJ3 is one native
+ * 6-JJ cell; only the XOR sum needs a two-level macro.
+ */
+
+#ifndef AQFPSC_AQFP_ARITH_H
+#define AQFPSC_AQFP_ARITH_H
+
+#include "netlist.h"
+
+namespace aqfpsc::aqfp {
+
+/**
+ * Build an n-bit ripple-carry adder.
+ * Primary inputs: a[0..n) (LSB first), b[0..n).
+ * Primary outputs: sum[0..n), carry-out.
+ */
+Netlist buildRippleCarryAdder(int n);
+
+/**
+ * XOR macro: XOR(a, b) = OR(AND(a, ~b), AND(~a, b)) -- three majority-
+ * class gates using AQFP's free input negation.
+ */
+NodeId addXor(Netlist &net, NodeId a, NodeId b);
+
+} // namespace aqfpsc::aqfp
+
+#endif // AQFPSC_AQFP_ARITH_H

@@ -1,0 +1,108 @@
+#include "cell.h"
+
+#include <cassert>
+
+namespace aqfpsc::aqfp {
+
+int
+jjCount(CellType type)
+{
+    switch (type) {
+      case CellType::Input:
+        return 0;
+      case CellType::Const0:
+      case CellType::Const1:
+      case CellType::Buffer:
+      case CellType::Inverter:
+        return 2;
+      case CellType::Splitter:
+        return 4;
+      case CellType::And2:
+      case CellType::Or2:
+      case CellType::Nand2:
+      case CellType::Nor2:
+      case CellType::Maj3:
+        return 6;
+    }
+    return 0;
+}
+
+int
+faninCount(CellType type)
+{
+    switch (type) {
+      case CellType::Input:
+      case CellType::Const0:
+      case CellType::Const1:
+        return 0;
+      case CellType::Buffer:
+      case CellType::Inverter:
+      case CellType::Splitter:
+        return 1;
+      case CellType::And2:
+      case CellType::Or2:
+      case CellType::Nand2:
+      case CellType::Nor2:
+        return 2;
+      case CellType::Maj3:
+        return 3;
+    }
+    return 0;
+}
+
+int
+fanoutCapacity(CellType type)
+{
+    return type == CellType::Splitter ? 2 : 1;
+}
+
+const char *
+cellName(CellType type)
+{
+    switch (type) {
+      case CellType::Input: return "INPUT";
+      case CellType::Const0: return "CONST0";
+      case CellType::Const1: return "CONST1";
+      case CellType::Buffer: return "BUF";
+      case CellType::Inverter: return "INV";
+      case CellType::Splitter: return "SPL";
+      case CellType::And2: return "AND2";
+      case CellType::Or2: return "OR2";
+      case CellType::Nand2: return "NAND2";
+      case CellType::Nor2: return "NOR2";
+      case CellType::Maj3: return "MAJ3";
+    }
+    return "?";
+}
+
+bool
+evalCell(CellType type, bool a, bool b, bool c)
+{
+    switch (type) {
+      case CellType::Const0:
+        return false;
+      case CellType::Const1:
+        return true;
+      case CellType::Buffer:
+      case CellType::Splitter:
+        return a;
+      case CellType::Inverter:
+        return !a;
+      case CellType::And2:
+        return a && b;
+      case CellType::Or2:
+        return a || b;
+      case CellType::Nand2:
+        return !(a && b);
+      case CellType::Nor2:
+        return !(a || b);
+      case CellType::Maj3:
+        return (a && b) || (a && c) || (b && c);
+      case CellType::Input:
+        break;
+    }
+    assert(false && "cell is not evaluatable");
+    return false;
+}
+
+} // namespace aqfpsc::aqfp

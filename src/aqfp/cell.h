@@ -1,0 +1,67 @@
+/**
+ * @file
+ * AQFP standard-cell definitions.
+ *
+ * The minimalist AQFP cell library (Takeuchi et al., JAP 2015; Sec. 2.1 of
+ * the paper) builds every logic cell bottom-up from the double-JJ buffer:
+ *
+ *  - buffer / inverter / constant: one double-JJ SQUID (2 JJs).  The
+ *    inverter is a buffer with a negated output-transformer coupling, the
+ *    constant a buffer with asymmetric excitation flux -- same JJ cost.
+ *  - majority (MAJ3): three input buffers current-summed into one output
+ *    (6 JJs).  AND and OR are majority gates with one input tied to a
+ *    constant 0 / 1, NAND and NOR their output-negated variants -- all at
+ *    the same 6-JJ cost (Fig. 2 of the paper).
+ *  - splitter: a buffer with two output transformers (4 JJs in this
+ *    model's accounting).  Unlike CMOS, every fanout > 1 must go through
+ *    an explicit splitter tree.
+ *
+ * Every cell occupies exactly one clock phase; input negation can be
+ * absorbed into a cell's input coupling polarity at zero JJ cost, which is
+ * what the majority-synthesis pass exploits.
+ */
+
+#ifndef AQFPSC_AQFP_CELL_H
+#define AQFPSC_AQFP_CELL_H
+
+#include <string>
+
+namespace aqfpsc::aqfp {
+
+/** AQFP cell types. */
+enum class CellType
+{
+    Input,    ///< primary input pseudo-cell (no JJ cost)
+    Const0,   ///< constant logic 0
+    Const1,   ///< constant logic 1
+    Buffer,   ///< 1-input buffer
+    Inverter, ///< 1-input inverter
+    Splitter, ///< 1-input splitter; output may feed up to two consumers
+    And2,     ///< 2-input AND (MAJ with a constant-0 input)
+    Or2,      ///< 2-input OR (MAJ with a constant-1 input)
+    Nand2,    ///< 2-input NAND
+    Nor2,     ///< 2-input NOR
+    Maj3,     ///< 3-input majority
+};
+
+/** Number of Josephson junctions in a cell. */
+int jjCount(CellType type);
+
+/** Number of logic inputs a cell consumes (0 for Input/Const). */
+int faninCount(CellType type);
+
+/** Maximum consumers a cell's output may legally feed (2 for Splitter). */
+int fanoutCapacity(CellType type);
+
+/** Human-readable cell name. */
+const char *cellName(CellType type);
+
+/**
+ * Evaluate a cell on already-negated input values (a, b, c); unused
+ * inputs are ignored.  Input/Const cells are not evaluatable here.
+ */
+bool evalCell(CellType type, bool a, bool b, bool c);
+
+} // namespace aqfpsc::aqfp
+
+#endif // AQFPSC_AQFP_CELL_H

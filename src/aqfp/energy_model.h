@@ -1,0 +1,76 @@
+/**
+ * @file
+ * AQFP energy / latency / throughput model.
+ *
+ * Model constants and their provenance:
+ *
+ *  - energyPerJjPerCycle = 5 zJ.  Takeuchi et al. (APL 2013, the paper's
+ *    ref. [44]) measured ~10 zJ dissipation per switching event of a 2-JJ
+ *    AQFP buffer at 5 GHz, i.e. ~5 zJ per JJ per excitation cycle.
+ *    Because AQFP cells are AC-powered, every JJ is excited every clock
+ *    cycle regardless of data activity, so block energy scales with
+ *    (total JJ) x (cycles), not with switching activity.
+ *
+ *  - clockFrequencyHz = 5 GHz with a four-phase excitation clock
+ *    (Sec. 2.1, Fig. 3): each gate occupies one phase, so a logic level
+ *    costs 1/(4 f) = 50 ps of latency, while a new data wave (one
+ *    stochastic bit) can be injected every clock cycle (0.2 ns).
+ */
+
+#ifndef AQFPSC_AQFP_ENERGY_MODEL_H
+#define AQFPSC_AQFP_ENERGY_MODEL_H
+
+#include <cstddef>
+
+#include "netlist.h"
+
+namespace aqfpsc::aqfp {
+
+/** Technology parameters of the AQFP process model. */
+struct AqfpTechnology
+{
+    double energyPerJjPerCycle = 5e-21; ///< joules per JJ per clock cycle
+    double clockFrequencyHz = 5e9;      ///< AC excitation frequency
+    int phasesPerCycle = 4;             ///< phases per clock period
+
+    /** Latency of one logic level (one phase), seconds. */
+    double phaseSeconds() const
+    {
+        return 1.0 / (clockFrequencyHz * phasesPerCycle);
+    }
+
+    /** Interval between successive data waves, seconds. */
+    double cycleSeconds() const { return 1.0 / clockFrequencyHz; }
+};
+
+/** Hardware figures for one netlist under a technology model. */
+struct HardwareCost
+{
+    long long jj = 0;        ///< total Josephson junctions
+    std::size_t gates = 0;   ///< total cells (including buffers/splitters)
+    int depthPhases = 0;     ///< pipeline depth in clock phases
+    double energyPerCycleJ = 0.0; ///< joules per clock cycle
+    double latencySeconds = 0.0;  ///< input-to-output latency
+
+    /** Energy to stream an n-cycle stochastic operation. */
+    double energyPerStreamJ(std::size_t stream_len) const
+    {
+        return energyPerCycleJ * static_cast<double>(stream_len);
+    }
+
+    /** Wall-clock time to process an n-cycle stream including drain. */
+    double streamSeconds(std::size_t stream_len, double cycle_s,
+                         double phase_s) const
+    {
+        return static_cast<double>(stream_len) * cycle_s +
+               static_cast<double>(depthPhases) * phase_s;
+    }
+};
+
+/** Compute the hardware figures of a (preferably legalized) netlist. */
+HardwareCost analyzeNetlist(const Netlist &n,
+                            const AqfpTechnology &tech = AqfpTechnology{});
+
+} // namespace aqfpsc::aqfp
+
+#endif // AQFPSC_AQFP_ENERGY_MODEL_H

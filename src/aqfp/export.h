@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Netlist export: structural Verilog and Graphviz DOT.
+ *
+ * The Verilog writer emits one cell instance per gate against a small
+ * behavioural cell library (appended as modules), so the output is
+ * self-contained and simulable with any Verilog simulator -- the bridge
+ * from this framework to existing AQFP EDA flows.  Input-polarity flags
+ * are materialized as inverters in the export (Verilog has no free
+ * coupling negation), so exported netlists are logically equivalent but
+ * may count more cells than the in-memory form.
+ */
+
+#ifndef AQFPSC_AQFP_EXPORT_H
+#define AQFPSC_AQFP_EXPORT_H
+
+#include <string>
+
+#include "netlist.h"
+
+namespace aqfpsc::aqfp {
+
+/**
+ * Render the netlist as structural Verilog.
+ * @param n Netlist (any legality state).
+ * @param module_name Verilog module name (identifier characters only).
+ */
+std::string toVerilog(const Netlist &n, const std::string &module_name);
+
+/** Render the netlist as a Graphviz DOT digraph (inputs at the top). */
+std::string toDot(const Netlist &n, const std::string &graph_name);
+
+} // namespace aqfpsc::aqfp
+
+#endif // AQFPSC_AQFP_EXPORT_H

@@ -1,0 +1,166 @@
+#include "netlist.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqfpsc::aqfp {
+
+NodeId
+Netlist::addInput(const std::string &name)
+{
+    (void)name; // names are kept out of the hot structure; reserved hook
+    Gate g;
+    g.type = CellType::Input;
+    gates_.push_back(g);
+    const NodeId id = static_cast<NodeId>(gates_.size()) - 1;
+    inputs_.push_back(id);
+    return id;
+}
+
+NodeId
+Netlist::addConst(bool value)
+{
+    Gate g;
+    g.type = value ? CellType::Const1 : CellType::Const0;
+    gates_.push_back(g);
+    return static_cast<NodeId>(gates_.size()) - 1;
+}
+
+NodeId
+Netlist::addGate(CellType type, NodeId a, NodeId b, NodeId c)
+{
+    return addGateNeg(type, a, false, b, false, c, false);
+}
+
+NodeId
+Netlist::addGateNeg(CellType type, NodeId a, bool na, NodeId b, bool nb,
+                    NodeId c, bool nc)
+{
+    const int fanins = faninCount(type);
+    assert(fanins >= 1 && "use addInput/addConst for source cells");
+    assert(a != kNoNode && a < static_cast<NodeId>(gates_.size()));
+    assert((fanins < 2) == (b == kNoNode));
+    assert((fanins < 3) == (c == kNoNode));
+
+    Gate g;
+    g.type = type;
+    g.in = {a, b, c};
+    g.negIn = {na, nb, nc};
+    gates_.push_back(g);
+    return static_cast<NodeId>(gates_.size()) - 1;
+}
+
+NodeId
+Netlist::addXnor(NodeId a, NodeId b)
+{
+    const NodeId both = addGate(CellType::And2, a, b);
+    const NodeId neither = addGate(CellType::Nor2, a, b);
+    return addGate(CellType::Or2, both, neither);
+}
+
+void
+Netlist::markOutput(NodeId id)
+{
+    assert(id >= 0 && id < static_cast<NodeId>(gates_.size()));
+    outputs_.push_back(id);
+}
+
+long long
+Netlist::jjCount() const
+{
+    long long total = 0;
+    for (const auto &g : gates_)
+        total += aqfp::jjCount(g.type);
+    return total;
+}
+
+int
+Netlist::countType(CellType type) const
+{
+    int n = 0;
+    for (const auto &g : gates_)
+        n += g.type == type ? 1 : 0;
+    return n;
+}
+
+std::vector<int>
+Netlist::fanoutCounts() const
+{
+    std::vector<int> counts(gates_.size(), 0);
+    for (const auto &g : gates_) {
+        const int fanins = faninCount(g.type);
+        for (int i = 0; i < fanins; ++i)
+            ++counts[static_cast<std::size_t>(g.in[static_cast<std::size_t>(i)])];
+    }
+    for (NodeId out : outputs_)
+        ++counts[static_cast<std::size_t>(out)];
+    return counts;
+}
+
+std::vector<int>
+Netlist::levels() const
+{
+    std::vector<int> level(gates_.size(), 0);
+    for (std::size_t id = 0; id < gates_.size(); ++id) {
+        const Gate &g = gates_[id];
+        const int fanins = faninCount(g.type);
+        int lvl = 0;
+        for (int i = 0; i < fanins; ++i) {
+            const NodeId src = g.in[static_cast<std::size_t>(i)];
+            const Gate &sg = gates_[static_cast<std::size_t>(src)];
+            // Constants are replicated per phase by the clock network and
+            // never constrain arrival times.
+            if (sg.type == CellType::Const0 || sg.type == CellType::Const1)
+                continue;
+            lvl = std::max(lvl, level[static_cast<std::size_t>(src)] + 1);
+        }
+        if (fanins > 0)
+            lvl = std::max(lvl, 1);
+        level[id] = fanins == 0 ? 0 : lvl;
+    }
+    return level;
+}
+
+int
+Netlist::depth() const
+{
+    const auto level = levels();
+    int d = 0;
+    for (NodeId out : outputs_)
+        d = std::max(d, level[static_cast<std::size_t>(out)]);
+    return d;
+}
+
+bool
+Netlist::check(std::string *error) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    for (std::size_t id = 0; id < gates_.size(); ++id) {
+        const Gate &g = gates_[id];
+        const int fanins = faninCount(g.type);
+        for (int i = 0; i < 3; ++i) {
+            const NodeId src = g.in[static_cast<std::size_t>(i)];
+            if (i < fanins) {
+                if (src == kNoNode)
+                    return fail("missing fanin on node " +
+                                std::to_string(id));
+                if (src < 0 || src >= static_cast<NodeId>(id))
+                    return fail("non-topological fanin on node " +
+                                std::to_string(id));
+            } else if (src != kNoNode) {
+                return fail("extra fanin on node " + std::to_string(id));
+            }
+        }
+    }
+    for (NodeId out : outputs_) {
+        if (out < 0 || out >= static_cast<NodeId>(gates_.size()))
+            return fail("output id out of range");
+    }
+    return true;
+}
+
+} // namespace aqfpsc::aqfp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Gate-level AQFP netlist.
+ *
+ * Nodes are single-output gates identified by dense integer ids; fanins
+ * reference earlier nodes (builders create nodes in topological order and
+ * the passes preserve acyclicity).  Each fanin carries a polarity flag:
+ * AQFP realizes input negation for free by flipping a transformer coupling
+ * coefficient, and the majority-synthesis pass absorbs explicit inverters
+ * into these flags.
+ *
+ * Feedback (the sorter blocks' Dprev loop) is intentionally *not*
+ * representable: the netlist is the combinational body, and blocks close
+ * the loop externally, mirroring how the deep-pipelined hardware operates
+ * on interleaved streams (DESIGN.md Sec. 5.2).
+ */
+
+#ifndef AQFPSC_AQFP_NETLIST_H
+#define AQFPSC_AQFP_NETLIST_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cell.h"
+
+namespace aqfpsc::aqfp {
+
+/** Dense node identifier. */
+using NodeId = int;
+
+/** Sentinel for an unused fanin slot. */
+constexpr NodeId kNoNode = -1;
+
+/** One gate instance. */
+struct Gate
+{
+    CellType type = CellType::Buffer;
+    std::array<NodeId, 3> in = {kNoNode, kNoNode, kNoNode};
+    std::array<bool, 3> negIn = {false, false, false};
+    /**
+     * Clock phase the gate occupies, counted from the primary inputs
+     * (inputs are at phase 0).  Assigned by Passes::balancePaths; -1
+     * before that.
+     */
+    int phase = -1;
+};
+
+/**
+ * A combinational AQFP netlist.
+ */
+class Netlist
+{
+  public:
+    /** Add a primary input; returns its node id. */
+    NodeId addInput(const std::string &name = "");
+
+    /** Add a constant cell. */
+    NodeId addConst(bool value);
+
+    /**
+     * Add a gate of @p type with the given fanins.  The number of valid
+     * fanins must match faninCount(type).
+     */
+    NodeId addGate(CellType type, NodeId a = kNoNode, NodeId b = kNoNode,
+                   NodeId c = kNoNode);
+
+    /** Add a gate with explicit input polarities. */
+    NodeId addGateNeg(CellType type, NodeId a, bool na, NodeId b, bool nb,
+                      NodeId c = kNoNode, bool nc = false);
+
+    /**
+     * Convenience macro-cell: bipolar stochastic multiplier
+     * XNOR(a, b) = OR(AND(a, b), NOR(a, b)) -- three logic gates; input
+     * sharing is legalized later by splitter insertion.
+     */
+    NodeId addXnor(NodeId a, NodeId b);
+
+    /** Mark a node as a primary output. */
+    void markOutput(NodeId id);
+
+    /** Number of nodes. */
+    std::size_t size() const { return gates_.size(); }
+
+    /** Access a gate. */
+    const Gate &gate(NodeId id) const
+    {
+        return gates_[static_cast<std::size_t>(id)];
+    }
+
+    /** Mutable access for passes. */
+    Gate &gate(NodeId id) { return gates_[static_cast<std::size_t>(id)]; }
+
+    /** Primary-input node ids in creation order. */
+    const std::vector<NodeId> &inputs() const { return inputs_; }
+
+    /** Primary-output node ids in marking order. */
+    const std::vector<NodeId> &outputs() const { return outputs_; }
+
+    /** Mutable output list (passes may retarget outputs). */
+    std::vector<NodeId> &outputs() { return outputs_; }
+
+    /** Total JJ count over all gates. */
+    long long jjCount() const;
+
+    /** Number of gates of a given type. */
+    int countType(CellType type) const;
+
+    /** Number of consumers of each node (outputs count as one consumer). */
+    std::vector<int> fanoutCounts() const;
+
+    /**
+     * Logic depth in phases: longest input-to-output path, counting one
+     * phase per gate.  Constants are phase-agile (see balancePaths) and do
+     * not constrain depth.
+     */
+    int depth() const;
+
+    /**
+     * Per-node logic level (Input = 0, gate = 1 + max(fanin levels);
+     * constants get level 0).
+     */
+    std::vector<int> levels() const;
+
+    /** Validate fanin counts, acyclicity-by-ordering and id ranges. */
+    bool check(std::string *error = nullptr) const;
+
+  private:
+    std::vector<Gate> gates_;
+    std::vector<NodeId> inputs_;
+    std::vector<NodeId> outputs_;
+};
+
+} // namespace aqfpsc::aqfp
+
+#endif // AQFPSC_AQFP_NETLIST_H

@@ -1,0 +1,486 @@
+#include "passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace aqfpsc::aqfp {
+
+std::string
+PassStats::summary() const
+{
+    std::ostringstream os;
+    os << "gates " << gatesBefore << " -> " << gatesAfter << ", JJ "
+       << jjBefore << " -> " << jjAfter << ", depth " << depthBefore
+       << " -> " << depthAfter;
+    if (buffersInserted)
+        os << ", +" << buffersInserted << " buffers";
+    if (splittersInserted)
+        os << ", +" << splittersInserted << " splitters";
+    return os.str();
+}
+
+namespace {
+
+/** A node reference with polarity, the working currency of synthesis. */
+struct Signal
+{
+    NodeId node = kNoNode;
+    bool neg = false;
+    /** Constant signals are encoded separately to enable folding. */
+    bool isConst = false;
+    bool constValue = false;
+
+    static Signal constant(bool v) { return {kNoNode, false, true, v}; }
+    static Signal wire(NodeId n, bool neg) { return {n, neg, false, false}; }
+
+    Signal inverted() const
+    {
+        Signal s = *this;
+        if (s.isConst)
+            s.constValue = !s.constValue;
+        else
+            s.neg = !s.neg;
+        return s;
+    }
+
+    bool operator==(const Signal &o) const
+    {
+        if (isConst != o.isConst)
+            return false;
+        if (isConst)
+            return constValue == o.constValue;
+        return node == o.node && neg == o.neg;
+    }
+};
+
+/** Key for structural hashing of majority-class gates. */
+using GateKey = std::tuple<int, NodeId, bool, NodeId, bool, NodeId, bool>;
+
+void
+fillBeforeStats(const Netlist &in, PassStats *stats)
+{
+    if (!stats)
+        return;
+    stats->gatesBefore = in.size();
+    stats->jjBefore = in.jjCount();
+    stats->depthBefore = in.depth();
+}
+
+void
+fillAfterStats(const Netlist &out, PassStats *stats)
+{
+    if (!stats)
+        return;
+    stats->gatesAfter = out.size();
+    stats->jjAfter = out.jjCount();
+    stats->depthAfter = out.depth();
+}
+
+} // namespace
+
+Netlist
+majoritySynthesis(const Netlist &in, PassStats *stats)
+{
+    fillBeforeStats(in, stats);
+
+    Netlist out;
+    std::vector<Signal> sig(in.size());
+    std::map<GateKey, NodeId> cse;
+    // Shared constants, created lazily.
+    NodeId const_nodes[2] = {kNoNode, kNoNode};
+    auto materialize_const = [&](bool v) {
+        if (const_nodes[v] == kNoNode)
+            const_nodes[v] = out.addConst(v);
+        return const_nodes[v];
+    };
+
+    auto resolve = [&](const Gate &g, int i) -> Signal {
+        const Signal s = sig[static_cast<std::size_t>(
+            g.in[static_cast<std::size_t>(i)])];
+        return g.negIn[static_cast<std::size_t>(i)] ? s.inverted() : s;
+    };
+
+    // Emit a majority-class gate with CSE over (type, sorted fanins).
+    auto emit = [&](CellType type, Signal a, Signal b, Signal c,
+                    bool out_neg) -> Signal {
+        // Normalize commutative operand order.
+        std::array<std::pair<NodeId, bool>, 3> ops = {
+            std::make_pair(a.node, a.neg), std::make_pair(b.node, b.neg),
+            std::make_pair(c.node, c.neg)};
+        const int fanins = faninCount(type);
+        // Small fixed-size sort (avoids std::sort on a runtime sub-range,
+        // which trips GCC's array-bounds analysis on std::array).
+        if (fanins >= 2 && ops[1] < ops[0])
+            std::swap(ops[0], ops[1]);
+        if (fanins >= 3) {
+            if (ops[2] < ops[1])
+                std::swap(ops[1], ops[2]);
+            if (ops[1] < ops[0])
+                std::swap(ops[0], ops[1]);
+        }
+        GateKey key{static_cast<int>(type),
+                    ops[0].first, ops[0].second,
+                    fanins > 1 ? ops[1].first : kNoNode,
+                    fanins > 1 && ops[1].second,
+                    fanins > 2 ? ops[2].first : kNoNode,
+                    fanins > 2 && ops[2].second};
+        auto it = cse.find(key);
+        NodeId id;
+        if (it != cse.end()) {
+            id = it->second;
+        } else {
+            id = out.addGateNeg(type, ops[0].first, ops[0].second,
+                                fanins > 1 ? ops[1].first : kNoNode,
+                                fanins > 1 && ops[1].second,
+                                fanins > 2 ? ops[2].first : kNoNode,
+                                fanins > 2 && ops[2].second);
+            cse.emplace(key, id);
+        }
+        return Signal::wire(id, out_neg);
+    };
+
+    // AND with constant folding and duplicate/complement simplification;
+    // OR is realized through De Morgan on the same helper.
+    auto make_and = [&](Signal a, Signal b, bool out_neg) -> Signal {
+        if (a.isConst)
+            std::swap(a, b);
+        if (b.isConst) {
+            Signal r;
+            if (!b.constValue)
+                r = Signal::constant(false);
+            else
+                r = a;
+            return out_neg ? r.inverted() : r;
+        }
+        if (a == b)
+            return out_neg ? a.inverted() : a;
+        if (a == b.inverted())
+            return Signal::constant(out_neg);
+        return emit(CellType::And2, a, b, Signal{}, out_neg);
+    };
+
+    auto make_or = [&](Signal a, Signal b, bool out_neg) -> Signal {
+        // a | b = ~(~a & ~b)
+        return make_and(a.inverted(), b.inverted(), !out_neg);
+    };
+
+    auto make_maj = [&](Signal a, Signal b, Signal c) -> Signal {
+        // Fold constants: MAJ(a, b, 0) = AND, MAJ(a, b, 1) = OR.
+        if (a.isConst)
+            std::swap(a, c);
+        if (b.isConst)
+            std::swap(b, c);
+        if (c.isConst)
+            return c.constValue ? make_or(a, b, false)
+                                : make_and(a, b, false);
+        if (a == b)
+            return a;
+        if (a == c)
+            return a;
+        if (b == c)
+            return b;
+        if (a == b.inverted())
+            return c;
+        if (a == c.inverted())
+            return b;
+        if (b == c.inverted())
+            return a;
+        return emit(CellType::Maj3, a, b, c, false);
+    };
+
+    for (std::size_t id = 0; id < in.size(); ++id) {
+        const Gate &g = in.gate(static_cast<NodeId>(id));
+        switch (g.type) {
+          case CellType::Input:
+            sig[id] = Signal::wire(out.addInput(), false);
+            break;
+          case CellType::Const0:
+            sig[id] = Signal::constant(false);
+            break;
+          case CellType::Const1:
+            sig[id] = Signal::constant(true);
+            break;
+          case CellType::Buffer:
+          case CellType::Splitter:
+            sig[id] = resolve(g, 0);
+            break;
+          case CellType::Inverter:
+            sig[id] = resolve(g, 0).inverted();
+            break;
+          case CellType::And2:
+            sig[id] = make_and(resolve(g, 0), resolve(g, 1), false);
+            break;
+          case CellType::Nand2:
+            sig[id] = make_and(resolve(g, 0), resolve(g, 1), true);
+            break;
+          case CellType::Or2:
+            sig[id] = make_or(resolve(g, 0), resolve(g, 1), false);
+            break;
+          case CellType::Nor2:
+            sig[id] = make_or(resolve(g, 0), resolve(g, 1), true);
+            break;
+          case CellType::Maj3:
+            sig[id] = make_maj(resolve(g, 0), resolve(g, 1), resolve(g, 2));
+            break;
+        }
+    }
+
+    for (NodeId o : in.outputs()) {
+        Signal s = sig[static_cast<std::size_t>(o)];
+        NodeId id;
+        if (s.isConst) {
+            id = materialize_const(s.constValue);
+        } else if (s.neg) {
+            id = out.addGate(CellType::Inverter, s.node);
+        } else {
+            id = s.node;
+        }
+        out.markOutput(id);
+    }
+
+    fillAfterStats(out, stats);
+    return out;
+}
+
+Netlist
+insertSplitters(const Netlist &in, PassStats *stats, SplitterShape shape)
+{
+    fillBeforeStats(in, stats);
+
+    const std::vector<int> fanout = in.fanoutCounts();
+    Netlist out;
+    // taps[old id] = FIFO of (new node, remaining slots) flattened into
+    // one entry per available slot.
+    std::vector<std::deque<NodeId>> taps(in.size());
+    int splitters = 0;
+
+    auto provision = [&](std::size_t old_id, NodeId new_id, CellType type) {
+        const int need = fanout[old_id];
+        std::deque<NodeId> q;
+        for (int s = 0; s < fanoutCapacity(type); ++s)
+            q.push_back(new_id);
+        while (static_cast<int>(q.size()) < need) {
+            // Balanced: split the shallowest available tap (FIFO).
+            // Caterpillar: split the deepest (LIFO), forming a chain
+            // whose taps arrive at successively later phases.
+            NodeId src;
+            if (shape == SplitterShape::Balanced) {
+                src = q.front();
+                q.pop_front();
+            } else {
+                src = q.back();
+                q.pop_back();
+            }
+            const NodeId spl = out.addGate(CellType::Splitter, src);
+            ++splitters;
+            // Both taps go to the back: in caterpillar mode the queue
+            // stays sorted shallow-to-deep, so consumer i (taken from the
+            // front) sits at splitter depth ~i -- matching the arrival
+            // profile of chain-shaped consumers.
+            q.push_back(spl);
+            q.push_back(spl);
+        }
+        taps[old_id] = std::move(q);
+    };
+
+    auto take = [&](NodeId old_src) -> NodeId {
+        auto &q = taps[static_cast<std::size_t>(old_src)];
+        assert(!q.empty() && "splitter provisioning exhausted");
+        const NodeId t = q.front();
+        q.pop_front();
+        return t;
+    };
+
+    for (std::size_t id = 0; id < in.size(); ++id) {
+        const Gate &g = in.gate(static_cast<NodeId>(id));
+        NodeId nid;
+        switch (g.type) {
+          case CellType::Input:
+            nid = out.addInput();
+            break;
+          case CellType::Const0:
+            nid = out.addConst(false);
+            break;
+          case CellType::Const1:
+            nid = out.addConst(true);
+            break;
+          default: {
+            const int fanins = faninCount(g.type);
+            NodeId a = kNoNode, b = kNoNode, c = kNoNode;
+            if (fanins > 0)
+                a = take(g.in[0]);
+            if (fanins > 1)
+                b = take(g.in[1]);
+            if (fanins > 2)
+                c = take(g.in[2]);
+            nid = out.addGateNeg(g.type, a, g.negIn[0], b, g.negIn[1], c,
+                                 g.negIn[2]);
+            break;
+          }
+        }
+        provision(id, nid, out.gate(nid).type);
+    }
+
+    for (NodeId o : in.outputs())
+        out.markOutput(take(o));
+
+    if (stats)
+        stats->splittersInserted = splitters;
+    fillAfterStats(out, stats);
+    return out;
+}
+
+Netlist
+balancePaths(const Netlist &in, bool align_outputs, PassStats *stats)
+{
+    fillBeforeStats(in, stats);
+
+    const std::vector<int> level = in.levels();
+    Netlist out;
+    std::vector<NodeId> map(in.size(), kNoNode);
+    int buffers = 0;
+
+    auto pad = [&](NodeId new_src, int from_level, int to_level) {
+        NodeId cur = new_src;
+        for (int l = from_level; l < to_level; ++l) {
+            cur = out.addGate(CellType::Buffer, cur);
+            out.gate(cur).phase = l + 1;
+            ++buffers;
+        }
+        return cur;
+    };
+
+    auto isConstType = [](CellType t) {
+        return t == CellType::Const0 || t == CellType::Const1;
+    };
+
+    for (std::size_t id = 0; id < in.size(); ++id) {
+        const Gate &g = in.gate(static_cast<NodeId>(id));
+        NodeId nid;
+        switch (g.type) {
+          case CellType::Input:
+            nid = out.addInput();
+            out.gate(nid).phase = 0;
+            break;
+          case CellType::Const0:
+          case CellType::Const1:
+            nid = out.addConst(g.type == CellType::Const1);
+            out.gate(nid).phase = 0;
+            break;
+          default: {
+            const int fanins = faninCount(g.type);
+            const int lvl = level[id];
+            NodeId ins[3] = {kNoNode, kNoNode, kNoNode};
+            for (int i = 0; i < fanins; ++i) {
+                const NodeId src = g.in[static_cast<std::size_t>(i)];
+                const Gate &sg = in.gate(src);
+                if (isConstType(sg.type)) {
+                    // Constants are phase-agile; use directly.
+                    ins[i] = map[static_cast<std::size_t>(src)];
+                } else {
+                    ins[i] = pad(map[static_cast<std::size_t>(src)],
+                                 level[static_cast<std::size_t>(src)],
+                                 lvl - 1);
+                }
+            }
+            nid = out.addGateNeg(g.type, ins[0], g.negIn[0], ins[1],
+                                 g.negIn[1], ins[2], g.negIn[2]);
+            out.gate(nid).phase = lvl;
+            break;
+          }
+        }
+        map[id] = nid;
+    }
+
+    if (align_outputs) {
+        int max_level = 0;
+        for (NodeId o : in.outputs())
+            max_level = std::max(max_level,
+                                 level[static_cast<std::size_t>(o)]);
+        for (NodeId o : in.outputs()) {
+            const Gate &og = in.gate(o);
+            if (isConstType(og.type)) {
+                out.markOutput(map[static_cast<std::size_t>(o)]);
+                continue;
+            }
+            out.markOutput(pad(map[static_cast<std::size_t>(o)],
+                               level[static_cast<std::size_t>(o)],
+                               max_level));
+        }
+    } else {
+        for (NodeId o : in.outputs())
+            out.markOutput(map[static_cast<std::size_t>(o)]);
+    }
+
+    if (stats)
+        stats->buffersInserted = buffers;
+    fillAfterStats(out, stats);
+    return out;
+}
+
+Netlist
+legalize(const Netlist &in, bool with_synthesis, PassStats *stats,
+         SplitterShape shape)
+{
+    PassStats synth_stats, split_stats, balance_stats;
+    Netlist n = with_synthesis ? majoritySynthesis(in, &synth_stats) : in;
+    n = insertSplitters(n, &split_stats, shape);
+    n = balancePaths(n, true, &balance_stats);
+    if (stats) {
+        stats->gatesBefore = in.size();
+        stats->jjBefore = in.jjCount();
+        stats->depthBefore = in.depth();
+        stats->gatesAfter = n.size();
+        stats->jjAfter = n.jjCount();
+        stats->depthAfter = n.depth();
+        stats->buffersInserted = balance_stats.buffersInserted;
+        stats->splittersInserted = split_stats.splittersInserted;
+    }
+    return n;
+}
+
+bool
+checkLegalized(const Netlist &n, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    const std::vector<int> fanout = n.fanoutCounts();
+    for (std::size_t id = 0; id < n.size(); ++id) {
+        const Gate &g = n.gate(static_cast<NodeId>(id));
+        if (g.type == CellType::Const0 || g.type == CellType::Const1)
+            continue; // constants are replicated by the clock network
+        if (fanout[id] > fanoutCapacity(g.type))
+            return fail("fanout violation at node " + std::to_string(id));
+        const int fanins = faninCount(g.type);
+        for (int i = 0; i < fanins; ++i) {
+            const Gate &sg = n.gate(g.in[static_cast<std::size_t>(i)]);
+            if (sg.type == CellType::Const0 || sg.type == CellType::Const1)
+                continue;
+            if (sg.phase != g.phase - 1)
+                return fail("phase skew at node " + std::to_string(id));
+        }
+    }
+    // All primary outputs at a common phase.
+    int out_phase = -1;
+    for (NodeId o : n.outputs()) {
+        const Gate &og = n.gate(o);
+        if (og.type == CellType::Const0 || og.type == CellType::Const1)
+            continue;
+        if (out_phase == -1)
+            out_phase = og.phase;
+        else if (og.phase != out_phase)
+            return fail("unaligned primary outputs");
+    }
+    return true;
+}
+
+} // namespace aqfpsc::aqfp

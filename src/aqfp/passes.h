@@ -1,0 +1,103 @@
+/**
+ * @file
+ * AQFP physical-design passes: majority synthesis, splitter insertion and
+ * buffer path-balancing (contribution (v) of the paper).
+ *
+ * Pass pipeline:
+ *
+ *   builder netlist
+ *     -> majoritySynthesis   (logic optimization; optional)
+ *     -> insertSplitters     (legalize fanout: every fanout > 1 becomes a
+ *                             balanced tree of 1:2 splitter cells)
+ *     -> balancePaths        (legalize timing: every gate's non-constant
+ *                             fanins arrive exactly one phase earlier;
+ *                             inserts buffer chains, assigns phases)
+ *
+ * majoritySynthesis exploits two AQFP-specific facts: AND/OR/NAND/NOR are
+ * all majority-class cells with identical 6-JJ cost, and input/output
+ * negation is free (transformer coupling polarity).  The pass therefore
+ * (a) absorbs every explicit inverter into consumer input polarities,
+ * (b) collapses buffers, (c) folds constants through majority-class cells,
+ * (d) simplifies duplicate/complementary fanins, and (e) shares
+ * structurally identical gates (CSE with commutative normalization).
+ */
+
+#ifndef AQFPSC_AQFP_PASSES_H
+#define AQFPSC_AQFP_PASSES_H
+
+#include <string>
+
+#include "netlist.h"
+
+namespace aqfpsc::aqfp {
+
+/** Statistics reported by each pass. */
+struct PassStats
+{
+    std::size_t gatesBefore = 0;
+    std::size_t gatesAfter = 0;
+    long long jjBefore = 0;
+    long long jjAfter = 0;
+    int depthBefore = 0;
+    int depthAfter = 0;
+    int buffersInserted = 0;
+    int splittersInserted = 0;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/** Majority synthesis / logic optimization.  Returns the rewritten netlist. */
+Netlist majoritySynthesis(const Netlist &in, PassStats *stats = nullptr);
+
+/** Topology used when a fanout tree of 1:2 splitters is built. */
+enum class SplitterShape
+{
+    /**
+     * Minimum-depth balanced tree: every consumer sees ceil(log2 f)
+     * splitter levels.  Best when consumers sit at similar phases.
+     */
+    Balanced,
+    /**
+     * Chain ("caterpillar"): each splitter feeds one consumer and the
+     * next splitter.  Consumer i sees ~i splitter levels -- which is
+     * exactly the arrival profile linear structures like the majority
+     * chain need, eliminating most path-balancing buffers (see the
+     * splitter-shape rows of bench_ablation_majority_synthesis).
+     */
+    Caterpillar,
+};
+
+/**
+ * Insert 1:2 splitter trees so that every node drives at most
+ * fanoutCapacity(type) consumers.
+ */
+Netlist insertSplitters(const Netlist &in, PassStats *stats = nullptr,
+                        SplitterShape shape = SplitterShape::Balanced);
+
+/**
+ * Insert buffer chains so that every non-constant fanin of a gate at
+ * phase p has phase exactly p - 1, and (when @p align_outputs) all primary
+ * outputs sit at the same phase.  Assigns Gate::phase on the result.
+ */
+Netlist balancePaths(const Netlist &in, bool align_outputs = true,
+                     PassStats *stats = nullptr);
+
+/**
+ * Run the full legalization pipeline:
+ * optional majoritySynthesis, then insertSplitters, then balancePaths.
+ */
+Netlist legalize(const Netlist &in, bool with_synthesis = true,
+                 PassStats *stats = nullptr,
+                 SplitterShape shape = SplitterShape::Balanced);
+
+/**
+ * Verify AQFP design rules on a legalized netlist: fanout within cell
+ * capacity, and phase(fanin) == phase(gate) - 1 for all non-constant
+ * fanins.  @p error receives a diagnostic on failure.
+ */
+bool checkLegalized(const Netlist &n, std::string *error = nullptr);
+
+} // namespace aqfpsc::aqfp
+
+#endif // AQFPSC_AQFP_PASSES_H

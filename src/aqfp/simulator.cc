@@ -1,0 +1,92 @@
+#include "simulator.h"
+
+#include <cassert>
+
+namespace aqfpsc::aqfp {
+
+namespace {
+
+bool
+gateEval(const Netlist &n, const Gate &g, const std::vector<char> &values)
+{
+    auto in = [&](int i) {
+        const bool v =
+            values[static_cast<std::size_t>(
+                g.in[static_cast<std::size_t>(i)])] != 0;
+        return g.negIn[static_cast<std::size_t>(i)] ? !v : v;
+    };
+    (void)n;
+    const int fanins = faninCount(g.type);
+    return evalCell(g.type, fanins > 0 && in(0), fanins > 1 && in(1),
+                    fanins > 2 && in(2));
+}
+
+} // namespace
+
+std::vector<bool>
+evalCombinational(const Netlist &n, const std::vector<bool> &inputs)
+{
+    assert(inputs.size() == n.inputs().size());
+    std::vector<char> values(n.size(), 0);
+    std::size_t next_input = 0;
+    for (std::size_t id = 0; id < n.size(); ++id) {
+        const Gate &g = n.gate(static_cast<NodeId>(id));
+        if (g.type == CellType::Input) {
+            values[id] = inputs[next_input++] ? 1 : 0;
+        } else {
+            values[id] = gateEval(n, g, values) ? 1 : 0;
+        }
+    }
+    std::vector<bool> out;
+    out.reserve(n.outputs().size());
+    for (NodeId o : n.outputs())
+        out.push_back(values[static_cast<std::size_t>(o)] != 0);
+    return out;
+}
+
+PhaseAccurateSimulator::PhaseAccurateSimulator(const Netlist &n)
+    : net_(n), state_(n.size(), 0), next_(n.size(), 0)
+{
+    reset();
+}
+
+std::vector<bool>
+PhaseAccurateSimulator::tick(const std::vector<bool> &inputs)
+{
+    assert(inputs.size() == net_.inputs().size());
+    std::size_t next_input = 0;
+    for (std::size_t id = 0; id < net_.size(); ++id) {
+        const Gate &g = net_.gate(static_cast<NodeId>(id));
+        if (g.type == CellType::Input) {
+            next_[id] = inputs[next_input++] ? 1 : 0;
+        } else if (g.type == CellType::Const0) {
+            next_[id] = 0;
+        } else if (g.type == CellType::Const1) {
+            next_[id] = 1;
+        } else {
+            // Latch from the *previous* phase's values: one gate per phase.
+            next_[id] = gateEval(net_, g, state_) ? 1 : 0;
+        }
+    }
+    state_.swap(next_);
+    std::vector<bool> out;
+    out.reserve(net_.outputs().size());
+    for (NodeId o : net_.outputs())
+        out.push_back(state_[static_cast<std::size_t>(o)] != 0);
+    return out;
+}
+
+void
+PhaseAccurateSimulator::reset()
+{
+    state_.assign(state_.size(), 0);
+    next_.assign(next_.size(), 0);
+    // Constants are established by the excitation network from the first
+    // phase on; pre-load them so warm-up waves see correct values.
+    for (std::size_t id = 0; id < net_.size(); ++id) {
+        if (net_.gate(static_cast<NodeId>(id)).type == CellType::Const1)
+            state_[id] = 1;
+    }
+}
+
+} // namespace aqfpsc::aqfp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * AQFP netlist simulation.
+ *
+ * Two evaluation modes:
+ *
+ *  - evalCombinational: zero-delay functional evaluation, used for logic
+ *    equivalence checks between builder netlists and the pass pipeline's
+ *    outputs.
+ *
+ *  - PhaseAccurateSimulator: models the AQFP clocking discipline
+ *    (Sec. 2.1, Fig. 3).  Every gate is effectively a register: at each
+ *    phase tick it latches the function of its fanins' *previous* values.
+ *    On a path-balanced netlist a new data wave can be injected every
+ *    tick and emerges depth() ticks later; the simulator is used by tests
+ *    to verify that legalized netlists are hazard-free under full-rate
+ *    streaming (the property motivating the paper's SC approach).
+ */
+
+#ifndef AQFPSC_AQFP_SIMULATOR_H
+#define AQFPSC_AQFP_SIMULATOR_H
+
+#include <vector>
+
+#include "netlist.h"
+
+namespace aqfpsc::aqfp {
+
+/**
+ * Zero-delay evaluation.
+ * @param n Netlist.
+ * @param inputs One value per primary input, in inputs() order.
+ * @return One value per primary output, in outputs() order.
+ */
+std::vector<bool> evalCombinational(const Netlist &n,
+                                    const std::vector<bool> &inputs);
+
+/**
+ * Phase-accurate streaming simulator.  Gate state initializes to 0 (both
+ * wells empty is approximated as logic 0 until the first wave arrives).
+ */
+class PhaseAccurateSimulator
+{
+  public:
+    explicit PhaseAccurateSimulator(const Netlist &n);
+
+    /**
+     * Advance one clock phase: inputs are presented to the primary inputs
+     * and every gate latches its fanins' previous outputs.
+     * @return Current values at the primary outputs (the wave injected
+     *         depth() ticks ago, once the pipeline has filled).
+     */
+    std::vector<bool> tick(const std::vector<bool> &inputs);
+
+    /** Reset all gate state to 0. */
+    void reset();
+
+  private:
+    const Netlist &net_;
+    std::vector<char> state_;
+    std::vector<char> next_;
+};
+
+} // namespace aqfpsc::aqfp
+
+#endif // AQFPSC_AQFP_SIMULATOR_H

@@ -1,0 +1,91 @@
+#include "cmos_model.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "sc/apc.h"
+
+namespace aqfpsc::baseline {
+
+namespace {
+
+CmosBlockCost
+finalize(int gates, int flops, int depth, const CmosTechnology &t)
+{
+    CmosBlockCost c;
+    c.gates = gates;
+    c.flops = flops;
+    c.depthGates = depth;
+    c.energyPerCycleJ = gates * t.energyPerGateOp +
+                        flops * t.energyPerFlopCycle;
+    c.latencySeconds = depth * t.gateDelaySeconds;
+    return c;
+}
+
+/** ceil(log2(x)) for x >= 1. */
+int
+clog2(int x)
+{
+    assert(x >= 1);
+    return x <= 1 ? 0
+                  : std::bit_width(static_cast<unsigned>(x - 1));
+}
+
+} // namespace
+
+CmosBlockCost
+cmosSngCost(int rng_bits, const CmosTechnology &t)
+{
+    // LFSR: rng_bits DFFs + ~4 XOR taps.  Comparator: ~3 gates/bit
+    // (lt/eq primitives) + tree combine (~2 gates per node).
+    const int comparator = 3 * rng_bits + 2 * (rng_bits - 1);
+    const int gates = 4 + comparator;
+    const int flops = rng_bits;
+    const int depth = 2 + 2 * clog2(rng_bits);
+    return finalize(gates, flops, depth, t);
+}
+
+CmosBlockCost
+cmosFeatureExtractionCost(int m, const CmosTechnology &t)
+{
+    // m XNOR multipliers (~2 gate eq each), the approximate parallel
+    // counter of SC-DCNN, and the Btanh up/down counter (state width
+    // clog2(2m) + adder + comparator, ~6 gate eq per state bit).
+    const int multipliers = 2 * m;
+    const int apc = sc::ApproximateParallelCounter(m).gateCount();
+    const int state_bits = clog2(2 * m) + 1;
+    const int counter_gates = 6 * state_bits;
+    const int gates = multipliers + apc + counter_gates;
+    const int flops = state_bits;
+    const int depth = 2 + 2 * clog2(m) + state_bits;
+    return finalize(gates, flops, depth, t);
+}
+
+CmosBlockCost
+cmosMuxPoolingCost(int m, const CmosTechnology &t)
+{
+    // (m - 1) 2:1 MUXes (~3 gate eq each) + select LFSR of clog2(m) bits.
+    const int sel_bits = clog2(m);
+    const int gates = 3 * (m - 1) + 4;
+    const int flops = sel_bits;
+    const int depth = 3 * clog2(m);
+    return finalize(gates, flops, std::max(depth, 1), t);
+}
+
+CmosBlockCost
+cmosCategorizationCost(int k, const CmosTechnology &t)
+{
+    // k XNOR + APC + score accumulator (adder + register of
+    // clog2(k) + clog2(N)-class width; we size for 16-bit scores).
+    const int multipliers = 2 * k;
+    const int apc = sc::ApproximateParallelCounter(k).gateCount();
+    const int acc_bits = clog2(k) + 11; // count width + stream headroom
+    const int adder = 5 * acc_bits;
+    const int gates = multipliers + apc + adder;
+    const int flops = acc_bits;
+    const int depth = 2 + 2 * clog2(k) + acc_bits;
+    return finalize(gates, flops, depth, t);
+}
+
+} // namespace aqfpsc::baseline

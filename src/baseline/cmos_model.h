@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytical 40 nm CMOS cost model for the SC-DNN baseline.
+ *
+ * The paper synthesizes its CMOS comparison points with a 40 nm SMIC
+ * process and Design Compiler; this repo has no synthesis flow, so block
+ * energy/delay are computed from gate inventories and per-gate constants
+ * (DESIGN.md Sec. 3).  Constants:
+ *
+ *  - energyPerGateOp = 1.5 fJ: switching + local wiring energy of a
+ *    2-input gate at 40 nm, ~1 GHz, typical corner;
+ *  - energyPerFlopCycle = 3 fJ: DFF clock + data energy per cycle;
+ *  - gateDelay = 60 ps; clockFrequencyHz = 1 GHz;
+ *  - pipelineStallFactor = 4: throughput derating of the counter/FSM-based
+ *    activation datapath, calibrated against the paper's reported CMOS
+ *    throughput (Table 9).
+ *
+ * Absolute CMOS numbers carry model uncertainty; the quantities the paper
+ * evaluates -- AQFP/CMOS ratios of 1e4..1e6 and their scaling with block
+ * size -- are robust to it (see EXPERIMENTS.md).
+ */
+
+#ifndef AQFPSC_BASELINE_CMOS_MODEL_H
+#define AQFPSC_BASELINE_CMOS_MODEL_H
+
+#include <cstddef>
+
+namespace aqfpsc::baseline {
+
+/** CMOS technology constants (40 nm class). */
+struct CmosTechnology
+{
+    double energyPerGateOp = 1.5e-15; ///< J per 2-input gate per cycle
+    double energyPerFlopCycle = 3e-15; ///< J per DFF per cycle
+    double gateDelaySeconds = 60e-12;  ///< combinational gate delay
+    double clockFrequencyHz = 1e9;
+    double pipelineStallFactor = 4.0;  ///< counter/FSM throughput derating
+
+    double cycleSeconds() const { return 1.0 / clockFrequencyHz; }
+};
+
+/** Energy/latency figures of one CMOS block. */
+struct CmosBlockCost
+{
+    int gates = 0;   ///< combinational 2-input gate equivalents
+    int flops = 0;   ///< DFFs
+    int depthGates = 0; ///< combinational depth in gates
+
+    double energyPerCycleJ = 0.0;
+    double latencySeconds = 0.0; ///< one-cycle combinational latency
+
+    /** Energy to process an n-cycle stream. */
+    double
+    energyPerStreamJ(std::size_t n) const
+    {
+        return energyPerCycleJ * static_cast<double>(n);
+    }
+};
+
+/**
+ * CMOS SNG: w-bit maximal LFSR + w-bit comparator (prior-art pseudo-RNG
+ * SNG; the 40-60% RNG footprint problem cited in Sec. 3 of the paper).
+ */
+CmosBlockCost cmosSngCost(int rng_bits, const CmosTechnology &t = {});
+
+/**
+ * CMOS SC feature-extraction block (Fig. 5 of the paper = SC-DCNN):
+ * m XNOR multipliers + approximate parallel counter + binary-counter
+ * Btanh activation.
+ */
+CmosBlockCost cmosFeatureExtractionCost(int m, const CmosTechnology &t = {});
+
+/** CMOS average pooling: m-to-1 MUX tree + select LFSR. */
+CmosBlockCost cmosMuxPoolingCost(int m, const CmosTechnology &t = {});
+
+/**
+ * CMOS categorization (FC inner product): k XNOR + APC + score
+ * accumulator (binary adder + register).
+ */
+CmosBlockCost cmosCategorizationCost(int k, const CmosTechnology &t = {});
+
+} // namespace aqfpsc::baseline
+
+#endif // AQFPSC_BASELINE_CMOS_MODEL_H

@@ -1,0 +1,98 @@
+#include "sc_dcnn.h"
+
+#include <cassert>
+
+#include "sc/apc.h"
+
+namespace aqfpsc::baseline {
+
+ApcFeatureExtraction::ApcFeatureExtraction(int m, bool approximate_apc)
+    : m_(m), sMax_(2 * m), approx_(approximate_apc)
+{
+    assert(m >= 1);
+}
+
+bool
+ApcFeatureExtraction::btanhStep(int &state, int count, int m, int s_max)
+{
+    // Up/down by (2*count - m): the signed per-cycle sum of bipolar
+    // product bits; saturate at the counter rails.
+    state += 2 * count - m;
+    if (state < 0)
+        state = 0;
+    if (state > s_max - 1)
+        state = s_max - 1;
+    return state >= s_max / 2;
+}
+
+sc::Bitstream
+ApcFeatureExtraction::run(const std::vector<sc::Bitstream> &products) const
+{
+    assert(static_cast<int>(products.size()) == m_);
+    const std::size_t len = products[0].size();
+
+    // Exact per-cycle counts first...
+    sc::ColumnCounts counts(len, m_);
+    for (const auto &p : products) {
+        assert(p.size() == len);
+        counts.add(p);
+    }
+    std::vector<int> col;
+    counts.extract(col);
+
+    // ...then the APC approximation error: the OR first layer reads a
+    // (1,1) pair as 2*(a AND b) + (a OR b) = a + b + (a AND b), so the
+    // approximate count is the exact count plus the per-cycle number of
+    // (1,1) pairs -- computable at word speed from the pair-AND streams.
+    std::vector<int> apc_col(col.begin(), col.end());
+    if (approx_ && m_ >= 2) {
+        sc::ColumnCounts over(len, m_ / 2);
+        for (int j = 0; j + 1 < m_; j += 2) {
+            over.add(products[static_cast<std::size_t>(j)] &
+                     products[static_cast<std::size_t>(j) + 1]);
+        }
+        std::vector<int> extra;
+        over.extract(extra);
+        for (std::size_t i = 0; i < len; ++i)
+            apc_col[i] += extra[i];
+    }
+
+    sc::Bitstream out(len);
+    int state = sMax_ / 2;
+    for (std::size_t i = 0; i < len; ++i) {
+        // The APC may overcount above m; clamp the counter input range.
+        const int c = apc_col[i] > m_ ? m_ : apc_col[i];
+        if (btanhStep(state, c, m_, sMax_))
+            out.set(i, true);
+    }
+    return out;
+}
+
+sc::Bitstream
+ApcFeatureExtraction::runInnerProduct(const std::vector<sc::Bitstream> &x,
+                                      const std::vector<sc::Bitstream> &w) const
+{
+    assert(static_cast<int>(x.size()) == m_ && x.size() == w.size());
+    std::vector<sc::Bitstream> products;
+    products.reserve(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j)
+        products.push_back(x[j].xnorWith(w[j]));
+    return run(products);
+}
+
+sc::Bitstream
+MuxAveragePooling::run(const std::vector<sc::Bitstream> &inputs,
+                       sc::RandomSource &rng) const
+{
+    assert(static_cast<int>(inputs.size()) == m_);
+    const std::size_t len = inputs[0].size();
+    sc::Bitstream out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t sel = static_cast<std::size_t>(
+            rng.nextWord() % static_cast<std::uint64_t>(m_));
+        out.set(i, inputs[sel].get(i));
+    }
+    return out;
+}
+
+} // namespace aqfpsc::baseline

@@ -1,0 +1,338 @@
+#include "accuracy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "avg_pooling.h"
+#include "categorization.h"
+#include "feature_extraction.h"
+#include "sc/sng.h"
+
+namespace aqfpsc::blocks {
+
+namespace {
+
+/**
+ * Draw a bipolar value uniform in [-scale, scale], already snapped to the
+ * SNG code grid so the exact arithmetic and the streams agree.
+ */
+double
+drawQuantized(sc::RandomSource &rng, double scale, int bits)
+{
+    const double raw = (2.0 * rng.nextDouble() - 1.0) * scale;
+    return sc::codeToBipolar(sc::quantizeBipolar(raw, bits), bits);
+}
+
+/**
+ * Weight scale keeping the pre-activation sum in the active region of
+ * the clipped activation: with x, w ~ U[-1, 1] * scale the sum of m
+ * products has standard deviation ~(2/3) when scale = 2/sqrt(m), so the
+ * block's error is not hidden by saturation (see EXPERIMENTS.md).
+ */
+double
+activeRegionScale(int m)
+{
+    return std::min(1.0, 2.0 / std::sqrt(static_cast<double>(m)));
+}
+
+} // namespace
+
+double
+measureFeatureExtractionError(int m, std::size_t stream_len,
+                              const AccuracyConfig &cfg,
+                              FeatureReference ref)
+{
+    const FeatureExtractionBlock block(m);
+    sc::Xoshiro256StarStar rng(cfg.seed);
+    const double wscale =
+        cfg.weightScale > 0.0 ? cfg.weightScale : activeRegionScale(m);
+
+    double total = 0.0;
+    for (int t = 0; t < cfg.trials; ++t) {
+        std::vector<sc::Bitstream> x, w;
+        x.reserve(static_cast<std::size_t>(m));
+        w.reserve(static_cast<std::size_t>(m));
+        double sum = 0.0;
+        for (int j = 0; j < m; ++j) {
+            const double xv = drawQuantized(rng, 1.0, cfg.rngBits);
+            const double wv = drawQuantized(rng, wscale, cfg.rngBits);
+            sum += xv * wv;
+            x.push_back(sc::encodeBipolar(xv, cfg.rngBits, stream_len, rng));
+            w.push_back(sc::encodeBipolar(wv, cfg.rngBits, stream_len, rng));
+        }
+        const double ideal = ref == FeatureReference::ClippedSum
+                                 ? std::clamp(sum, -1.0, 1.0)
+                                 : std::tanh(0.8 * sum);
+        const double got = block.runInnerProduct(x, w).bipolarValue();
+        total += std::abs(got - ideal);
+    }
+    return total / cfg.trials;
+}
+
+double
+measurePoolingError(int m, std::size_t stream_len, const AccuracyConfig &cfg)
+{
+    const AvgPoolingBlock block(m);
+    sc::Xoshiro256StarStar rng(cfg.seed);
+
+    double total = 0.0;
+    for (int t = 0; t < cfg.trials; ++t) {
+        std::vector<sc::Bitstream> in;
+        in.reserve(static_cast<std::size_t>(m));
+        double sum = 0.0;
+        for (int j = 0; j < m; ++j) {
+            const double v = drawQuantized(rng, 1.0, cfg.rngBits);
+            sum += v;
+            in.push_back(sc::encodeBipolar(v, cfg.rngBits, stream_len, rng));
+        }
+        const double ideal = sum / m;
+        const double got = block.run(in).bipolarValue();
+        total += std::abs(got - ideal);
+    }
+    return total / cfg.trials;
+}
+
+double
+measureCategorizationError(int k, std::size_t stream_len, int num_outputs,
+                           std::size_t reference_len,
+                           const AccuracyConfig &cfg)
+{
+    const CategorizationBlock block(k);
+    sc::Xoshiro256StarStar rng(cfg.seed);
+    const double wscale =
+        cfg.weightScale > 0.0 ? cfg.weightScale : activeRegionScale(k);
+
+    double total = 0.0;
+    for (int t = 0; t < cfg.trials; ++t) {
+        // One shared input vector; per-output weight vectors.
+        std::vector<double> xv(static_cast<std::size_t>(k));
+        for (auto &v : xv)
+            v = drawQuantized(rng, 1.0, cfg.rngBits);
+
+        double best_score = -1e30;
+        std::vector<double> top_w;
+        for (int o = 0; o < num_outputs; ++o) {
+            std::vector<double> wv(static_cast<std::size_t>(k));
+            double score = 0.0;
+            for (int j = 0; j < k; ++j) {
+                wv[static_cast<std::size_t>(j)] =
+                    drawQuantized(rng, wscale, cfg.rngBits);
+                score += xv[static_cast<std::size_t>(j)] *
+                         wv[static_cast<std::size_t>(j)];
+            }
+            if (score > best_score) {
+                best_score = score;
+                top_w = std::move(wv);
+            }
+        }
+
+        // SC value of the software-top-1 output at the evaluated stream
+        // length vs a long-stream reference with fresh streams.
+        auto chain_value = [&](std::size_t len) {
+            std::vector<sc::Bitstream> x, w;
+            x.reserve(static_cast<std::size_t>(k));
+            w.reserve(static_cast<std::size_t>(k));
+            for (int j = 0; j < k; ++j) {
+                x.push_back(sc::encodeBipolar(
+                    xv[static_cast<std::size_t>(j)], cfg.rngBits, len, rng));
+                w.push_back(sc::encodeBipolar(
+                    top_w[static_cast<std::size_t>(j)], cfg.rngBits, len,
+                    rng));
+            }
+            return block.runInnerProduct(x, w).bipolarValue();
+        };
+        const double v_eval = chain_value(stream_len);
+        const double v_ref = chain_value(reference_len);
+        // Fraction of the [-1, 1] output range.
+        total += std::abs(v_eval - v_ref) / 2.0;
+    }
+    return total / cfg.trials;
+}
+
+std::vector<double>
+measureCategorizationFlipMargin(int k,
+                                const std::vector<std::size_t> &lengths,
+                                int num_outputs, const AccuracyConfig &cfg)
+{
+    const CategorizationBlock block(k);
+    sc::Xoshiro256StarStar rng(cfg.seed);
+    const double wscale =
+        cfg.weightScale > 0.0 ? cfg.weightScale : activeRegionScale(k);
+
+    std::vector<double> worst(lengths.size(), 0.0);
+    for (int t = 0; t < cfg.trials; ++t) {
+        std::vector<double> xv(static_cast<std::size_t>(k));
+        for (auto &v : xv)
+            v = drawQuantized(rng, 1.0, cfg.rngBits);
+
+        std::vector<std::vector<double>> wv(
+            static_cast<std::size_t>(num_outputs));
+        std::vector<double> scores(static_cast<std::size_t>(num_outputs),
+                                   0.0);
+        for (int o = 0; o < num_outputs; ++o) {
+            wv[static_cast<std::size_t>(o)].resize(
+                static_cast<std::size_t>(k));
+            for (int j = 0; j < k; ++j) {
+                const double v = drawQuantized(rng, wscale, cfg.rngBits);
+                wv[static_cast<std::size_t>(o)]
+                  [static_cast<std::size_t>(j)] = v;
+                scores[static_cast<std::size_t>(o)] +=
+                    xv[static_cast<std::size_t>(j)] * v;
+            }
+        }
+        int top1 = 0, top2 = 1;
+        if (scores[1] > scores[0])
+            std::swap(top1, top2);
+        for (int o = 2; o < num_outputs; ++o) {
+            if (scores[static_cast<std::size_t>(o)] >
+                scores[static_cast<std::size_t>(top1)]) {
+                top2 = top1;
+                top1 = o;
+            } else if (scores[static_cast<std::size_t>(o)] >
+                       scores[static_cast<std::size_t>(top2)]) {
+                top2 = o;
+            }
+        }
+        const double margin =
+            (scores[static_cast<std::size_t>(top1)] -
+             scores[static_cast<std::size_t>(top2)]) /
+            (std::abs(scores[static_cast<std::size_t>(top1)]) + 1e-12);
+
+        for (std::size_t li = 0; li < lengths.size(); ++li) {
+            const std::size_t len = lengths[li];
+            std::vector<sc::Bitstream> x;
+            x.reserve(static_cast<std::size_t>(k));
+            for (int j = 0; j < k; ++j)
+                x.push_back(sc::encodeBipolar(
+                    xv[static_cast<std::size_t>(j)], cfg.rngBits, len,
+                    rng));
+            double best = -2.0;
+            int sc_top = 0;
+            for (int o = 0; o < num_outputs; ++o) {
+                std::vector<sc::Bitstream> w;
+                w.reserve(static_cast<std::size_t>(k));
+                for (int j = 0; j < k; ++j)
+                    w.push_back(sc::encodeBipolar(
+                        wv[static_cast<std::size_t>(o)]
+                          [static_cast<std::size_t>(j)],
+                        cfg.rngBits, len, rng));
+                const double v =
+                    block.runInnerProduct(x, w).bipolarValue();
+                if (v > best) {
+                    best = v;
+                    sc_top = o;
+                }
+            }
+            if (sc_top != top1)
+                worst[li] = std::max(worst[li], margin);
+        }
+    }
+    return worst;
+}
+
+std::vector<double>
+measureCategorizationErrorRow(int k, const std::vector<std::size_t> &lengths,
+                              int num_outputs, std::size_t reference_len,
+                              const AccuracyConfig &cfg)
+{
+    const CategorizationBlock block(k);
+    sc::Xoshiro256StarStar rng(cfg.seed);
+    const double wscale =
+        cfg.weightScale > 0.0 ? cfg.weightScale : activeRegionScale(k);
+
+    std::vector<double> totals(lengths.size(), 0.0);
+    for (int t = 0; t < cfg.trials; ++t) {
+        std::vector<double> xv(static_cast<std::size_t>(k));
+        for (auto &v : xv)
+            v = drawQuantized(rng, 1.0, cfg.rngBits);
+
+        double best_score = -1e30;
+        std::vector<double> top_w;
+        for (int o = 0; o < num_outputs; ++o) {
+            std::vector<double> wv(static_cast<std::size_t>(k));
+            double score = 0.0;
+            for (int j = 0; j < k; ++j) {
+                wv[static_cast<std::size_t>(j)] =
+                    drawQuantized(rng, wscale, cfg.rngBits);
+                score += xv[static_cast<std::size_t>(j)] *
+                         wv[static_cast<std::size_t>(j)];
+            }
+            if (score > best_score) {
+                best_score = score;
+                top_w = std::move(wv);
+            }
+        }
+
+        auto chain_value = [&](std::size_t len) {
+            std::vector<sc::Bitstream> x, w;
+            x.reserve(static_cast<std::size_t>(k));
+            w.reserve(static_cast<std::size_t>(k));
+            for (int j = 0; j < k; ++j) {
+                x.push_back(sc::encodeBipolar(
+                    xv[static_cast<std::size_t>(j)], cfg.rngBits, len, rng));
+                w.push_back(sc::encodeBipolar(
+                    top_w[static_cast<std::size_t>(j)], cfg.rngBits, len,
+                    rng));
+            }
+            return block.runInnerProduct(x, w).bipolarValue();
+        };
+
+        // Exact expected chain value via the bipolar majority recursion
+        // maj(a, p, q) = (a + p + q - a p q) / 2 over the product values
+        // (streams are independent), mirroring CategorizationBlock::run's
+        // order including the neutral pad.
+        std::vector<double> u;
+        u.reserve(static_cast<std::size_t>(k) + 1);
+        for (int j = 0; j < k; ++j)
+            u.push_back(xv[static_cast<std::size_t>(j)] *
+                        top_w[static_cast<std::size_t>(j)]);
+        if (k % 2 == 0 && k > 1)
+            u.push_back(0.0);
+        double v_ref;
+        if (u.size() == 1) {
+            v_ref = u[0];
+        } else {
+            v_ref = 0.5 * (u[0] + u[1] + u[2] - u[0] * u[1] * u[2]);
+            for (std::size_t j = 3; j + 1 < u.size(); j += 2)
+                v_ref = 0.5 * (v_ref + u[j] + u[j + 1] -
+                               v_ref * u[j] * u[j + 1]);
+        }
+        (void)reference_len;
+        for (std::size_t li = 0; li < lengths.size(); ++li)
+            totals[li] += std::abs(chain_value(lengths[li]) - v_ref) / 2.0;
+    }
+    for (auto &v : totals)
+        v /= cfg.trials;
+    return totals;
+}
+
+std::vector<std::pair<double, double>>
+measureActivationShape(int m, std::size_t stream_len, double lo, double hi,
+                       int points, const AccuracyConfig &cfg)
+{
+    assert(points >= 2);
+    const FeatureExtractionBlock block(m);
+    sc::Xoshiro256StarStar rng(cfg.seed);
+
+    std::vector<std::pair<double, double>> curve;
+    curve.reserve(static_cast<std::size_t>(points));
+    for (int p = 0; p < points; ++p) {
+        const double z = lo + (hi - lo) * p / (points - 1);
+        const double per_product = std::clamp(z / m, -1.0, 1.0);
+        double mean = 0.0;
+        for (int t = 0; t < cfg.trials; ++t) {
+            std::vector<sc::Bitstream> products;
+            products.reserve(static_cast<std::size_t>(m));
+            for (int j = 0; j < m; ++j) {
+                products.push_back(sc::encodeBipolar(
+                    per_product, cfg.rngBits, stream_len, rng));
+            }
+            mean += block.run(products).bipolarValue();
+        }
+        curve.emplace_back(z, mean / cfg.trials);
+    }
+    return curve;
+}
+
+} // namespace aqfpsc::blocks

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Monte-Carlo accuracy measurements for the proposed blocks.
+ *
+ * These drive the reproductions of Table 1 (feature-extraction absolute
+ * inaccuracy), Table 2 (average-pooling absolute inaccuracy), Table 3
+ * (categorization relative inaccuracy) and Fig. 13 (activation shape).
+ * Inputs and weights are sampled uniformly from [-1, 1], quantized on the
+ * SNG code grid, converted to independent bipolar streams, run through
+ * the block, and compared against the exact arithmetic on the quantized
+ * values.
+ */
+
+#ifndef AQFPSC_BLOCKS_ACCURACY_H
+#define AQFPSC_BLOCKS_ACCURACY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aqfpsc::blocks {
+
+/** Common Monte-Carlo options. */
+struct AccuracyConfig
+{
+    int trials = 200;         ///< Monte-Carlo repetitions
+    int rngBits = 10;         ///< SNG code width
+    std::uint64_t seed = 42;  ///< base seed
+    /**
+     * Weight draw scale: weights ~ U[-s, s].  0 selects the
+     * "active-region" scale 2/sqrt(M) that concentrates the
+     * pre-activation sum inside the clip range; 1 draws full-range
+     * weights (sums then saturate for all but the smallest M).
+     */
+    double weightScale = 0.0;
+};
+
+/** Reference function the feature-extraction error is measured against. */
+enum class FeatureReference
+{
+    ClippedSum, ///< ideal clip(sum, -1, 1) of Eq. (1) -- the paper's metric
+    FittedTanh, ///< the block's fitted transfer curve tanh(0.8 sum)
+};
+
+/**
+ * Absolute inaccuracy of the feature-extraction block (Table 1):
+ * mean |value(SO) - ref(sum_j x_j w_j)| over random x, w.  Against
+ * ClippedSum the result includes the block's inherent knee softening;
+ * against FittedTanh it isolates the stochastic (1/sqrt(N)) error.
+ */
+double
+measureFeatureExtractionError(int m, std::size_t stream_len,
+                              const AccuracyConfig &cfg = {},
+                              FeatureReference ref =
+                                  FeatureReference::ClippedSum);
+
+/**
+ * Absolute inaccuracy of the average-pooling block (Table 2):
+ * mean |value(SO) - mean_j(x_j)| over random x.
+ */
+double measurePoolingError(int m, std::size_t stream_len,
+                           const AccuracyConfig &cfg = {});
+
+/**
+ * Relative top-1 inaccuracy of the categorization block (Table 3):
+ * ten categorization outputs share one random input vector; the metric is
+ * the mean relative deviation (fraction of the [-1, 1] output range) of
+ * the SC value of the software-top-1 output from its long-stream
+ * reference value.  Mirrors the paper's "relative difference between the
+ * highest output value in software and in SC domain".
+ */
+double measureCategorizationError(int k, std::size_t stream_len,
+                                  int num_outputs = 10,
+                                  std::size_t reference_len = 32768,
+                                  const AccuracyConfig &cfg = {});
+
+/**
+ * Ranking-fidelity metric for the categorization block (Table 3's
+ * operational claim): the largest software relative margin
+ * (s_top1 - s_top2) / |s_top1| at which the majority chain still
+ * mis-ranks the top two classes.  A result of r means: whenever the true
+ * top-1 leads by more than r, the chain classified correctly in every
+ * trial.  Returns one value per requested stream length.
+ */
+std::vector<double>
+measureCategorizationFlipMargin(int k,
+                                const std::vector<std::size_t> &lengths,
+                                int num_outputs = 10,
+                                const AccuracyConfig &cfg = {});
+
+/**
+ * Row variant of measureCategorizationError: evaluates all stream
+ * lengths against one shared long-stream reference per trial, so the
+ * expensive reference streams are generated once per trial instead of
+ * once per (length, trial) pair.
+ */
+std::vector<double>
+measureCategorizationErrorRow(int k, const std::vector<std::size_t> &lengths,
+                              int num_outputs = 10,
+                              std::size_t reference_len = 32768,
+                              const AccuracyConfig &cfg = {});
+
+/**
+ * Fig. 13: sweep the true pre-activation sum z over [lo, hi] and measure
+ * the mean block output value; the curve is the clipped identity in the
+ * bipolar domain, i.e. a shifted clipped ReLU in the ones-count domain.
+ * @return pairs (z, mean value(SO)).
+ */
+std::vector<std::pair<double, double>>
+measureActivationShape(int m, std::size_t stream_len, double lo, double hi,
+                       int points, const AccuracyConfig &cfg = {});
+
+} // namespace aqfpsc::blocks
+
+#endif // AQFPSC_BLOCKS_ACCURACY_H

@@ -1,0 +1,131 @@
+#include "avg_pooling.h"
+
+#include <cassert>
+
+#include "feedback_unit.h"
+#include "sc/apc.h"
+
+namespace aqfpsc::blocks {
+
+AvgPoolingBlock::AvgPoolingBlock(int m) : m_(m)
+{
+    assert(m >= 1);
+}
+
+sc::Bitstream
+AvgPoolingBlock::run(const std::vector<sc::Bitstream> &inputs) const
+{
+    assert(static_cast<int>(inputs.size()) == m_);
+    const std::size_t len = inputs[0].size();
+
+    sc::ColumnCounts counts(len, m_);
+    for (const auto &in : inputs) {
+        assert(in.size() == len);
+        counts.add(in);
+    }
+    std::vector<int> col;
+    counts.extract(col);
+
+    PoolingFeedbackUnit unit(m_);
+    sc::Bitstream out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        if (unit.step(col[i]))
+            out.set(i, true);
+    }
+    return out;
+}
+
+sc::Bitstream
+AvgPoolingBlock::runLiteral(const std::vector<sc::Bitstream> &inputs,
+                            sorting::SortKind kind) const
+{
+    assert(static_cast<int>(inputs.size()) == m_);
+    const std::size_t len = inputs[0].size();
+
+    const sorting::BitonicNetwork net =
+        sorting::BitonicNetwork::sortThenMerge(m_, m_, kind);
+
+    std::vector<bool> wires(static_cast<std::size_t>(2 * m_), false);
+    std::vector<bool> feedback(static_cast<std::size_t>(m_), false);
+    sc::Bitstream out(len);
+
+    for (std::size_t i = 0; i < len; ++i) {
+        for (int j = 0; j < m_; ++j)
+            wires[static_cast<std::size_t>(j)] =
+                inputs[static_cast<std::size_t>(j)].get(i);
+        for (int j = 0; j < m_; ++j)
+            wires[static_cast<std::size_t>(m_ + j)] =
+                feedback[static_cast<std::size_t>(j)];
+
+        net.apply(wires);
+
+        // 1-indexed Ds[M] = 0-indexed position M-1.
+        const bool so = wires[static_cast<std::size_t>(m_ - 1)];
+        if (so)
+            out.set(i, true);
+        for (int j = 0; j < m_; ++j) {
+            // SO selects the feedback slice: surplus [M..2M) when a 1 was
+            // emitted, saved ones [0..M) otherwise.
+            feedback[static_cast<std::size_t>(j)] =
+                so ? wires[static_cast<std::size_t>(m_ + j)]
+                   : wires[static_cast<std::size_t>(j)];
+        }
+    }
+    return out;
+}
+
+aqfp::Netlist
+AvgPoolingBlock::buildNetlist(int m, sorting::SortKind kind)
+{
+    assert(m >= 1);
+    aqfp::Netlist net;
+    std::vector<aqfp::NodeId> wires(static_cast<std::size_t>(2 * m));
+    for (int j = 0; j < 2 * m; ++j)
+        wires[static_cast<std::size_t>(j)] = net.addInput();
+
+    const sorting::BitonicNetwork sorter =
+        sorting::BitonicNetwork::sortThenMerge(m, m, kind);
+    for (const auto &stage : sorter.stages()) {
+        for (const auto &op : stage) {
+            auto &wa = wires[static_cast<std::size_t>(op.a)];
+            auto &wb = wires[static_cast<std::size_t>(op.b)];
+            if (op.kind == sorting::OpKind::CompareExchange) {
+                const aqfp::NodeId mx =
+                    net.addGate(aqfp::CellType::Or2, wa, wb);
+                const aqfp::NodeId mn =
+                    net.addGate(aqfp::CellType::And2, wa, wb);
+                wa = mx;
+                wb = mn;
+            } else {
+                auto &wc = wires[static_cast<std::size_t>(op.c)];
+                const aqfp::NodeId mx = net.addGate(
+                    aqfp::CellType::Or2,
+                    net.addGate(aqfp::CellType::Or2, wa, wb), wc);
+                const aqfp::NodeId md =
+                    net.addGate(aqfp::CellType::Maj3, wa, wb, wc);
+                const aqfp::NodeId mn = net.addGate(
+                    aqfp::CellType::And2,
+                    net.addGate(aqfp::CellType::And2, wa, wb), wc);
+                wa = mx;
+                wb = md;
+                wc = mn;
+            }
+        }
+    }
+
+    const aqfp::NodeId so = wires[static_cast<std::size_t>(m - 1)];
+    net.markOutput(so);
+    for (int j = 0; j < m; ++j) {
+        // fb_next[j] = SO ? sorted[m + j] : sorted[j], one MUX per bit:
+        // (SO AND hi) OR (NOT SO AND lo).
+        const aqfp::NodeId hi = net.addGate(
+            aqfp::CellType::And2, so, wires[static_cast<std::size_t>(m + j)]);
+        const aqfp::NodeId lo = net.addGateNeg(
+            aqfp::CellType::And2, so, true,
+            wires[static_cast<std::size_t>(j)], false);
+        net.markOutput(net.addGate(aqfp::CellType::Or2, hi, lo));
+    }
+    return net;
+}
+
+} // namespace aqfpsc::blocks

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sorter-based average-pooling (sub-sampling) block (Sec. 4.3,
+ * Algorithm 2, Fig. 14).
+ *
+ * The block emits one 1 in the output stream for every M input 1s, so
+ * value(SO) = mean_j value(in_j) exactly up to the +/-1 carried remainder
+ * -- far more accurate than the MUX-based pooling of the CMOS prior art
+ * (which subsamples 1 of M inputs randomly per cycle; see
+ * baseline::MuxAveragePooling and the pooling ablation bench).
+ *
+ * Representations mirror FeatureExtractionBlock: fast counter-form run(),
+ * literal sorted-vector runLiteral(), and a gate-level buildNetlist()
+ * (M-input sorter, 2M merger, and the output-selected feedback MUX row).
+ */
+
+#ifndef AQFPSC_BLOCKS_AVG_POOLING_H
+#define AQFPSC_BLOCKS_AVG_POOLING_H
+
+#include <vector>
+
+#include "aqfp/netlist.h"
+#include "sc/bitstream.h"
+#include "sorting/bitonic.h"
+
+namespace aqfpsc::blocks {
+
+/** Sorter-based average-pooling block. */
+class AvgPoolingBlock
+{
+  public:
+    /** @param m Number of pooled input streams (>= 1). */
+    explicit AvgPoolingBlock(int m);
+
+    /** Number of pooled inputs. */
+    int m() const { return m_; }
+
+    /** Functional model: Algorithm 2 over the input streams. */
+    sc::Bitstream run(const std::vector<sc::Bitstream> &inputs) const;
+
+    /** Literal Algorithm 2 through an explicit bitonic network. */
+    sc::Bitstream
+    runLiteral(const std::vector<sc::Bitstream> &inputs,
+               sorting::SortKind kind = sorting::SortKind::Generalized) const;
+
+    /**
+     * Gate-level netlist of one slice.  Primary inputs: in[0..m), then
+     * fb[0..m).  Primary outputs: SO, then fb_next[0..m) (the MUX row
+     * selects between sorted slices [0..m) and [m..2m) based on SO).
+     */
+    static aqfp::Netlist
+    buildNetlist(int m,
+                 sorting::SortKind kind = sorting::SortKind::Generalized);
+
+  private:
+    int m_;
+};
+
+} // namespace aqfpsc::blocks
+
+#endif // AQFPSC_BLOCKS_AVG_POOLING_H

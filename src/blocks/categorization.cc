@@ -1,0 +1,115 @@
+#include "categorization.h"
+
+#include <cassert>
+
+namespace aqfpsc::blocks {
+
+namespace {
+
+/** Word-wise 3-input majority. */
+std::uint64_t
+majWord(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    return (a & b) | (a & c) | (b & c);
+}
+
+} // namespace
+
+CategorizationBlock::CategorizationBlock(int k) : k_(k)
+{
+    assert(k >= 1);
+}
+
+int
+CategorizationBlock::chainLength() const
+{
+    if (k_ == 1)
+        return 0;
+    const int padded = k_ % 2 == 0 ? k_ + 1 : k_;
+    return (padded - 1) / 2;
+}
+
+sc::Bitstream
+CategorizationBlock::run(const std::vector<sc::Bitstream> &products) const
+{
+    assert(static_cast<int>(products.size()) == k_);
+    const std::size_t len = products[0].size();
+    for (const auto &p : products)
+        assert(p.size() == len);
+
+    if (k_ == 1)
+        return products[0];
+
+    std::vector<const sc::Bitstream *> ins;
+    ins.reserve(static_cast<std::size_t>(k_) + 1);
+    for (const auto &p : products)
+        ins.push_back(&p);
+    sc::Bitstream neutral;
+    if (k_ % 2 == 0) {
+        neutral = sc::Bitstream::neutral(len);
+        ins.push_back(&neutral);
+    }
+
+    sc::Bitstream acc(len);
+    for (std::size_t w = 0; w < acc.wordCount(); ++w) {
+        std::uint64_t a =
+            majWord(ins[0]->word(w), ins[1]->word(w), ins[2]->word(w));
+        for (std::size_t j = 3; j + 1 < ins.size(); j += 2)
+            a = majWord(a, ins[j]->word(w), ins[j + 1]->word(w));
+        acc.setWord(w, a);
+    }
+    return acc;
+}
+
+sc::Bitstream
+CategorizationBlock::runInnerProduct(const std::vector<sc::Bitstream> &x,
+                                     const std::vector<sc::Bitstream> &w) const
+{
+    assert(static_cast<int>(x.size()) == k_ && x.size() == w.size());
+    std::vector<sc::Bitstream> products;
+    products.reserve(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j)
+        products.push_back(x[j].xnorWith(w[j]));
+    return run(products);
+}
+
+aqfp::Netlist
+CategorizationBlock::buildNetlist(int k, bool with_multipliers)
+{
+    assert(k >= 1);
+    aqfp::Netlist net;
+
+    std::vector<aqfp::NodeId> products(static_cast<std::size_t>(k));
+    if (with_multipliers) {
+        std::vector<aqfp::NodeId> x(static_cast<std::size_t>(k));
+        std::vector<aqfp::NodeId> w(static_cast<std::size_t>(k));
+        for (int j = 0; j < k; ++j)
+            x[static_cast<std::size_t>(j)] = net.addInput();
+        for (int j = 0; j < k; ++j)
+            w[static_cast<std::size_t>(j)] = net.addInput();
+        for (int j = 0; j < k; ++j)
+            products[static_cast<std::size_t>(j)] =
+                net.addXnor(x[static_cast<std::size_t>(j)],
+                            w[static_cast<std::size_t>(j)]);
+    } else {
+        for (int j = 0; j < k; ++j)
+            products[static_cast<std::size_t>(j)] = net.addInput();
+    }
+    if (k % 2 == 0 && k > 1)
+        products.push_back(net.addInput()); // neutral padding stream
+
+    if (products.size() == 1) {
+        net.markOutput(products[0]);
+        return net;
+    }
+
+    aqfp::NodeId acc = net.addGate(aqfp::CellType::Maj3, products[0],
+                                   products[1], products[2]);
+    for (std::size_t j = 3; j + 1 < products.size(); j += 2)
+        acc = net.addGate(aqfp::CellType::Maj3, acc, products[j],
+                          products[j + 1]);
+    net.markOutput(acc);
+    return net;
+}
+
+} // namespace aqfpsc::blocks

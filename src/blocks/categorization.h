@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Majority-chain categorization block for FC layers (Sec. 4.4, Fig. 15).
+ *
+ * Each output of a final FC layer only needs to preserve the *ranking*
+ * of the class scores, not the exact inner product.  The block therefore
+ * replaces the sorter with a chain of 3-input majority gates folded over
+ * the XNOR product bits of one cycle:
+ *
+ *   Maj(x0, x1, x2, x3, x4, ...) = Maj(Maj(Maj(x0, x1, x2), x3, x4), ...)
+ *
+ * (the paper's factorization; note the chained form is an approximation
+ * of the flat multi-input majority -- it weighs early inputs less -- but
+ * it is monotone in every input, which is what preserves ranking).  In
+ * AQFP a 3-input majority costs the same 6 JJs as a 2-input AND/OR, so
+ * the block is linear in size and extremely cheap.
+ *
+ * Even input counts are padded with the neutral stream; so is the final
+ * partial stage when fewer than two fresh inputs remain.
+ */
+
+#ifndef AQFPSC_BLOCKS_CATEGORIZATION_H
+#define AQFPSC_BLOCKS_CATEGORIZATION_H
+
+#include <vector>
+
+#include "aqfp/netlist.h"
+#include "sc/bitstream.h"
+
+namespace aqfpsc::blocks {
+
+/** Majority-chain categorization block. */
+class CategorizationBlock
+{
+  public:
+    /** @param k Number of product inputs (>= 1). */
+    explicit CategorizationBlock(int k);
+
+    /** Number of product inputs. */
+    int k() const { return k_; }
+
+    /** Number of Maj3 stages in the chain. */
+    int chainLength() const;
+
+    /** Functional model: fold the majority chain over product streams. */
+    sc::Bitstream run(const std::vector<sc::Bitstream> &products) const;
+
+    /** Convenience: XNOR-multiply x and w pairwise, then run. */
+    sc::Bitstream runInnerProduct(const std::vector<sc::Bitstream> &x,
+                                  const std::vector<sc::Bitstream> &w) const;
+
+    /**
+     * Gate-level netlist.  Primary inputs: x[0..k), w[0..k), then one
+     * neutral input if the chain needs padding.  Primary output: SO.
+     */
+    static aqfp::Netlist buildNetlist(int k, bool with_multipliers = true);
+
+  private:
+    int k_;
+};
+
+} // namespace aqfpsc::blocks
+
+#endif // AQFPSC_BLOCKS_CATEGORIZATION_H

@@ -1,0 +1,180 @@
+#include "feature_extraction.h"
+
+#include <cassert>
+
+#include "feedback_unit.h"
+#include "sc/apc.h"
+
+namespace aqfpsc::blocks {
+
+FeatureExtractionBlock::FeatureExtractionBlock(int m)
+    : m_(m), effM_(m % 2 == 0 ? m + 1 : m)
+{
+    assert(m >= 1);
+}
+
+sc::Bitstream
+FeatureExtractionBlock::run(const std::vector<sc::Bitstream> &products) const
+{
+    assert(static_cast<int>(products.size()) == m_);
+    const std::size_t len = products[0].size();
+
+    sc::ColumnCounts counts(len, effM_);
+    for (const auto &p : products) {
+        assert(p.size() == len);
+        counts.add(p);
+    }
+    if (effM_ != m_)
+        counts.add(sc::Bitstream::neutral(len));
+
+    std::vector<int> col;
+    counts.extract(col);
+
+    FeatureFeedbackUnit unit(effM_);
+    sc::Bitstream out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        if (unit.step(col[i]))
+            out.set(i, true);
+    }
+    return out;
+}
+
+sc::Bitstream
+FeatureExtractionBlock::runInnerProduct(
+    const std::vector<sc::Bitstream> &x,
+    const std::vector<sc::Bitstream> &w) const
+{
+    assert(static_cast<int>(x.size()) == m_ && x.size() == w.size());
+    std::vector<sc::Bitstream> products;
+    products.reserve(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j)
+        products.push_back(x[j].xnorWith(w[j]));
+    return run(products);
+}
+
+sc::Bitstream
+FeatureExtractionBlock::runLiteral(const std::vector<sc::Bitstream> &products,
+                                   sorting::SortKind kind) const
+{
+    assert(static_cast<int>(products.size()) == m_);
+    const std::size_t len = products[0].size();
+    const sc::Bitstream neutral = sc::Bitstream::neutral(len);
+
+    const sorting::BitonicNetwork net =
+        sorting::BitonicNetwork::sortThenMerge(effM_, effM_, kind);
+
+    std::vector<bool> wires(static_cast<std::size_t>(2 * effM_), false);
+    // Operating-point initialization: (M-1)/2 ones, already sorted.
+    std::vector<bool> feedback(static_cast<std::size_t>(effM_), false);
+    for (int j = 0; j < (effM_ - 1) / 2; ++j)
+        feedback[static_cast<std::size_t>(j)] = true;
+    sc::Bitstream out(len);
+
+    const int out_pos = effM_ - 1; // bit M-1: out = (s >= M)
+    for (std::size_t i = 0; i < len; ++i) {
+        for (int j = 0; j < m_; ++j)
+            wires[static_cast<std::size_t>(j)] = products
+                [static_cast<std::size_t>(j)].get(i);
+        if (effM_ != m_)
+            wires[static_cast<std::size_t>(m_)] = neutral.get(i);
+        for (int j = 0; j < effM_; ++j)
+            wires[static_cast<std::size_t>(effM_ + j)] =
+                feedback[static_cast<std::size_t>(j)];
+
+        net.apply(wires);
+
+        const bool so = wires[static_cast<std::size_t>(out_pos)];
+        if (so)
+            out.set(i, true);
+        // Output-selected feedback slice (offset-accumulator semantics):
+        // consume the emitted one when SO = 1.
+        const int fb_lo = so ? (effM_ + 1) / 2 : (effM_ - 1) / 2;
+        for (int j = 0; j < effM_; ++j)
+            feedback[static_cast<std::size_t>(j)] =
+                wires[static_cast<std::size_t>(fb_lo + j)];
+    }
+    return out;
+}
+
+aqfp::Netlist
+FeatureExtractionBlock::buildNetlist(int m, sorting::SortKind kind,
+                                     bool with_multipliers)
+{
+    assert(m >= 1);
+    const int eff_m = m % 2 == 0 ? m + 1 : m;
+
+    aqfp::Netlist net;
+    std::vector<aqfp::NodeId> wires(static_cast<std::size_t>(2 * eff_m));
+
+    if (with_multipliers) {
+        std::vector<aqfp::NodeId> x(static_cast<std::size_t>(m));
+        std::vector<aqfp::NodeId> w(static_cast<std::size_t>(m));
+        for (int j = 0; j < m; ++j)
+            x[static_cast<std::size_t>(j)] = net.addInput();
+        for (int j = 0; j < m; ++j)
+            w[static_cast<std::size_t>(j)] = net.addInput();
+        for (int j = 0; j < m; ++j)
+            wires[static_cast<std::size_t>(j)] =
+                net.addXnor(x[static_cast<std::size_t>(j)],
+                            w[static_cast<std::size_t>(j)]);
+    } else {
+        for (int j = 0; j < m; ++j)
+            wires[static_cast<std::size_t>(j)] = net.addInput();
+    }
+    if (eff_m != m)
+        wires[static_cast<std::size_t>(m)] = net.addInput(); // neutral
+    for (int j = 0; j < eff_m; ++j)
+        wires[static_cast<std::size_t>(eff_m + j)] = net.addInput(); // fb
+
+    const sorting::BitonicNetwork sorter =
+        sorting::BitonicNetwork::sortThenMerge(eff_m, eff_m, kind);
+    for (const auto &stage : sorter.stages()) {
+        for (const auto &op : stage) {
+            auto &wa = wires[static_cast<std::size_t>(op.a)];
+            auto &wb = wires[static_cast<std::size_t>(op.b)];
+            if (op.kind == sorting::OpKind::CompareExchange) {
+                const aqfp::NodeId mx =
+                    net.addGate(aqfp::CellType::Or2, wa, wb);
+                const aqfp::NodeId mn =
+                    net.addGate(aqfp::CellType::And2, wa, wb);
+                wa = mx;
+                wb = mn;
+            } else {
+                auto &wc = wires[static_cast<std::size_t>(op.c)];
+                // Three-input sorter cell: OR3 max, MAJ3 median, AND3 min
+                // (OR3/AND3 decompose into two 2-input AQFP cells).
+                const aqfp::NodeId mx = net.addGate(
+                    aqfp::CellType::Or2,
+                    net.addGate(aqfp::CellType::Or2, wa, wb), wc);
+                const aqfp::NodeId md =
+                    net.addGate(aqfp::CellType::Maj3, wa, wb, wc);
+                const aqfp::NodeId mn = net.addGate(
+                    aqfp::CellType::And2,
+                    net.addGate(aqfp::CellType::And2, wa, wb), wc);
+                wa = mx;
+                wb = md;
+                wc = mn;
+            }
+        }
+    }
+
+    // SO = sorted bit M-1 (out = s >= M); feedback slice selected by SO
+    // between the consume-one window [(M+1)/2 ..) and the keep window
+    // [(M-1)/2 ..) -- one MUX per feedback bit, as in the pooling block.
+    const aqfp::NodeId so = wires[static_cast<std::size_t>(eff_m - 1)];
+    net.markOutput(so);
+    const int hi_lo = (eff_m + 1) / 2;
+    const int lo_lo = (eff_m - 1) / 2;
+    for (int j = 0; j < eff_m; ++j) {
+        const aqfp::NodeId hi = net.addGate(
+            aqfp::CellType::And2, so,
+            wires[static_cast<std::size_t>(hi_lo + j)]);
+        const aqfp::NodeId lo = net.addGateNeg(
+            aqfp::CellType::And2, so, true,
+            wires[static_cast<std::size_t>(lo_lo + j)], false);
+        net.markOutput(net.addGate(aqfp::CellType::Or2, hi, lo));
+    }
+    return net;
+}
+
+} // namespace aqfpsc::blocks

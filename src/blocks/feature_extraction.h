@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Sorter-based feature-extraction block (Sec. 4.2, Algorithm 1, Fig. 12).
+ *
+ * The block integrates inner-product summation and the activation function
+ * without any accumulator: each cycle, the fresh column of XNOR product
+ * bits and the M-bit feedback vector are sorted; the middle bit becomes
+ * the output stream bit and the M bits below it feed back.  The resulting
+ * stream SO satisfies value(SO) = clip(sum_j x_j * w_j + b, -1, 1) -- a
+ * hard-tanh in the bipolar value domain, equivalently a shifted, clipped
+ * ReLU in the ones-count domain (Fig. 13).
+ *
+ * Even input counts are padded with the neutral 0101... stream of bipolar
+ * value 0 so that (M-1)/2 is integral, exactly as the paper prescribes.
+ *
+ * Three representations are provided:
+ *  - run(): fast functional model (counter form; the reference for all
+ *    accuracy experiments and network inference);
+ *  - runLiteral(): the literal Algorithm 1 with an explicit bitonic
+ *    sorting network, used to validate run();
+ *  - buildNetlist(): gate-level AQFP netlist of one pipeline slice (XNOR
+ *    multipliers, column sorter, 2M merger), consumed by the hardware
+ *    benches and the phase-accurate simulator.
+ */
+
+#ifndef AQFPSC_BLOCKS_FEATURE_EXTRACTION_H
+#define AQFPSC_BLOCKS_FEATURE_EXTRACTION_H
+
+#include <vector>
+
+#include "aqfp/netlist.h"
+#include "sc/bitstream.h"
+#include "sorting/bitonic.h"
+
+namespace aqfpsc::blocks {
+
+/** Sorter-based feature-extraction block. */
+class FeatureExtractionBlock
+{
+  public:
+    /**
+     * @param m Number of product streams the block sums (bias included
+     *          by the caller as an extra product).  Any m >= 1.
+     */
+    explicit FeatureExtractionBlock(int m);
+
+    /** Number of product inputs as constructed. */
+    int m() const { return m_; }
+
+    /** Sorter data width after neutral padding (odd). */
+    int effectiveM() const { return effM_; }
+
+    /**
+     * Functional model: run Algorithm 1 over the product streams
+     * (all the same length).  products.size() must equal m().
+     */
+    sc::Bitstream run(const std::vector<sc::Bitstream> &products) const;
+
+    /**
+     * Convenience: XNOR-multiply inputs and weights pairwise, then run.
+     * x.size() == w.size() == m().
+     */
+    sc::Bitstream runInnerProduct(const std::vector<sc::Bitstream> &x,
+                                  const std::vector<sc::Bitstream> &w) const;
+
+    /**
+     * Literal Algorithm 1: explicit sorted-vector bookkeeping through a
+     * bitonic network.  Bit-exact equal to run(); O(M log^2 M) per cycle.
+     */
+    sc::Bitstream
+    runLiteral(const std::vector<sc::Bitstream> &products,
+               sorting::SortKind kind = sorting::SortKind::Generalized) const;
+
+    /**
+     * Build the gate-level netlist of one block slice.
+     *
+     * Primary inputs, in order: x[0..m), w[0..m), then (m even) one
+     * neutral input, then fb[0..effM).  Primary outputs, in order: SO,
+     * then fb_next[0..effM).  The feedback loop is closed externally
+     * (see DESIGN.md Sec. 5.2 on C-slow operation).
+     *
+     * @param m Number of products.
+     * @param kind Sorting-network construction.
+     * @param with_multipliers When false the netlist takes product bits
+     *        directly (inputs p[0..m)) instead of x/w pairs.
+     */
+    static aqfp::Netlist
+    buildNetlist(int m, sorting::SortKind kind = sorting::SortKind::Generalized,
+                 bool with_multipliers = true);
+
+  private:
+    int m_;
+    int effM_;
+};
+
+} // namespace aqfpsc::blocks
+
+#endif // AQFPSC_BLOCKS_FEATURE_EXTRACTION_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Counter-form equivalents of the paper's sorter + feedback loops.
+ *
+ * Both Algorithm 1 (feature extraction) and Algorithm 2 (average pooling)
+ * sort [current column | previous feedback] descending and slice the
+ * result.  A descending-sorted binary vector of length 2M containing s
+ * ones has bit p (0-indexed) equal to (s > p), so each algorithm reduces
+ * to integer bookkeeping on s = column_ones + feedback_ones.
+ *
+ * Feature extraction realizes Eq. (3) of the paper: the n-th output bit
+ * is set when the running accumulation of D_i = col_i - (M-1)/2 - SO_i
+ * is positive.  A feedback vector can only store a non-negative count,
+ * so the accumulator is kept with a +(M-1)/2 *offset*: the carry's
+ * operating point is c* = (M-1)/2, deficits swing it toward 0 and
+ * surpluses toward M.  Concretely, per cycle:
+ *
+ *    out = (s >= M)                        (sorted bit M-1)
+ *    c'  = clamp(s - (M-1)/2 - out, 0, M)  (slice selected by out:
+ *                                           [(M+1)/2 ..) if out else
+ *                                           [(M-1)/2 ..))
+ *    c0  = (M-1)/2                         (operating-point init)
+ *
+ * so that sum(SO) tracks clip(sum(col) - (M-1)/2 * N, 0, N) (Eq. (2)) and
+ * value(SO) = clip(sum_j x_j w_j, -1, 1) in the bipolar domain.  Note
+ * Algorithm 1 as printed initializes the feedback to zero and keeps a
+ * fixed slice; with a fixed slice the carry cannot represent deficits
+ * and the output acquires a large positive bias (O(sigma^2/drift) ones
+ * per stream), contradicting the paper's own Table 1 -- see
+ * tests/test_blocks.cc (MarkovSpec) and DESIGN.md Sec. 5.  The offset
+ * reading is the one consistent with Eq. (2)/(3) and with the reported
+ * accuracy, and costs the same hardware as the pooling block's
+ * output-selected feedback mux (Fig. 14).
+ *
+ * Average pooling (Algorithm 2) needs no offset -- it only ever tracks a
+ * non-negative remainder:
+ *
+ *    out = (s >= M)
+ *    c'  = out ? s - M : s
+ *
+ * These counter forms are what the fast functional models and the
+ * whole-network SC inference engine execute; unit tests assert bit-exact
+ * equivalence against the literal sorted-vector procedure and against
+ * the gate-level netlists.
+ */
+
+#ifndef AQFPSC_BLOCKS_FEEDBACK_UNIT_H
+#define AQFPSC_BLOCKS_FEEDBACK_UNIT_H
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqfpsc::blocks {
+
+/** Counter form of the feature-extraction sorter + feedback loop. */
+class FeatureFeedbackUnit
+{
+  public:
+    /** @param m Number of sorter data inputs; must be odd. */
+    explicit FeatureFeedbackUnit(int m) : m_(m), carry_((m - 1) / 2)
+    {
+        assert(m >= 1 && m % 2 == 1);
+    }
+
+    /** Process one column; @p column_ones in [0, m]. Returns the SO bit. */
+    bool
+    step(int column_ones)
+    {
+        assert(column_ones >= 0 && column_ones <= m_);
+        const int s = column_ones + carry_;
+        const bool out = s >= m_;
+        carry_ = std::clamp(s - (m_ - 1) / 2 - (out ? 1 : 0), 0, m_);
+        return out;
+    }
+
+    /** Ones currently held in the feedback vector. */
+    int carry() const { return carry_; }
+
+    /** Reset the feedback vector to the operating point (M-1)/2. */
+    void reset() { carry_ = (m_ - 1) / 2; }
+
+    int m() const { return m_; }
+
+  private:
+    int m_;
+    int carry_;
+};
+
+/** Counter form of Algorithm 2's sorter + half feedback loop. */
+class PoolingFeedbackUnit
+{
+  public:
+    /** @param m Number of pooled inputs (>= 1). */
+    explicit PoolingFeedbackUnit(int m) : m_(m) { assert(m >= 1); }
+
+    /** Process one column; @p column_ones in [0, m]. Returns the SO bit. */
+    bool
+    step(int column_ones)
+    {
+        assert(column_ones >= 0 && column_ones <= m_);
+        const int s = column_ones + carry_;
+        const bool out = s >= m_;
+        carry_ = out ? s - m_ : s;
+        return out;
+    }
+
+    /** Ones currently held in the feedback vector. */
+    int carry() const { return carry_; }
+
+    /** Reset the feedback vector to all zeros. */
+    void reset() { carry_ = 0; }
+
+    int m() const { return m_; }
+
+  private:
+    int m_;
+    int carry_ = 0;
+};
+
+} // namespace aqfpsc::blocks
+
+#endif // AQFPSC_BLOCKS_FEEDBACK_UNIT_H

@@ -1,0 +1,88 @@
+#include "sng_block.h"
+
+#include <cassert>
+#include <vector>
+
+#include "aqfp/passes.h"
+
+namespace aqfpsc::blocks {
+
+aqfp::Netlist
+buildComparatorNetlist(int n)
+{
+    assert(n >= 1);
+    aqfp::Netlist net;
+    std::vector<aqfp::NodeId> r(static_cast<std::size_t>(n));
+    std::vector<aqfp::NodeId> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        r[static_cast<std::size_t>(i)] = net.addInput();
+    for (int i = 0; i < n; ++i)
+        b[static_cast<std::size_t>(i)] = net.addInput();
+
+    // Per-bit primitives: lt_i = ~r_i & b_i, eq_i = ~(r_i ^ b_i).
+    struct LtEq
+    {
+        aqfp::NodeId lt;
+        aqfp::NodeId eq;
+    };
+    std::vector<LtEq> terms(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const aqfp::NodeId ri = r[static_cast<std::size_t>(i)];
+        const aqfp::NodeId bi = b[static_cast<std::size_t>(i)];
+        terms[static_cast<std::size_t>(i)].lt =
+            net.addGateNeg(aqfp::CellType::And2, ri, true, bi, false);
+        terms[static_cast<std::size_t>(i)].eq = net.addXnor(ri, bi);
+    }
+
+    // Reduce MSB-first: combine(hi, lo) = {hi.lt | (hi.eq & lo.lt),
+    // hi.eq & lo.eq}.  Balanced tree over bit indices n-1 .. 0.
+    std::vector<LtEq> level(terms.rbegin(), terms.rend()); // MSB first
+    while (level.size() > 1) {
+        std::vector<LtEq> next;
+        next.reserve((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            const LtEq hi = level[i];
+            const LtEq lo = level[i + 1];
+            LtEq c;
+            c.lt = net.addGate(
+                aqfp::CellType::Or2, hi.lt,
+                net.addGate(aqfp::CellType::And2, hi.eq, lo.lt));
+            c.eq = net.addGate(aqfp::CellType::And2, hi.eq, lo.eq);
+            next.push_back(c);
+        }
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level.swap(next);
+    }
+    net.markOutput(level[0].lt);
+    return net;
+}
+
+SngBankCost
+analyzeSngBank(int outputs, int rng_bits, bool shared_matrix)
+{
+    assert(outputs >= 1 && rng_bits >= 3);
+    SngBankCost cost;
+    cost.outputs = outputs;
+    cost.rngBits = rng_bits;
+
+    if (shared_matrix) {
+        // A d x d matrix (d = rng_bits rounded up to odd) feeds 4d SNGs
+        // with d-bit random numbers at 2 JJ per unit RNG.
+        const int d = rng_bits % 2 == 0 ? rng_bits + 1 : rng_bits;
+        const int per_matrix = 4 * d;
+        const int matrices = (outputs + per_matrix - 1) / per_matrix;
+        cost.rngJj = static_cast<long long>(matrices) * d * d * 2;
+    } else {
+        cost.rngJj = static_cast<long long>(outputs) * rng_bits * 2;
+    }
+
+    const aqfp::Netlist comparator =
+        aqfp::legalize(buildComparatorNetlist(rng_bits));
+    const aqfp::HardwareCost comp = aqfp::analyzeNetlist(comparator);
+    cost.comparatorJj = comp.jj * outputs;
+    cost.depthPhases = comp.depthPhases;
+    return cost;
+}
+
+} // namespace aqfpsc::blocks

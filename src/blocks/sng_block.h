@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Stochastic-number-generator hardware block (Sec. 4.1, Figs. 7-9).
+ *
+ * One AQFP SNG = an n-bit true RNG (n buffer-equivalent cells at 2 JJs
+ * each, thanks to the thermal-noise RNG of Fig. 7) + an n-bit magnitude
+ * comparator emitting (random < code) each cycle.  A bank of SNGs shares
+ * its RNG bits through the 4-way RNG matrix of Fig. 8, cutting RNG cost
+ * per generated number from n cells to n/4.
+ *
+ * The functional counterpart lives in sc::SngBank; this header provides
+ * the gate-level comparator netlist and the bank-level JJ accounting used
+ * by the Table 4 bench.
+ */
+
+#ifndef AQFPSC_BLOCKS_SNG_BLOCK_H
+#define AQFPSC_BLOCKS_SNG_BLOCK_H
+
+#include "aqfp/energy_model.h"
+#include "aqfp/netlist.h"
+
+namespace aqfpsc::blocks {
+
+/**
+ * Build an n-bit magnitude comparator netlist: output = (r < b), where
+ * r[0..n) are the RNG bits (LSB first) and b[0..n) the binary code bits.
+ * Tree construction of (lt, eq) pairs, depth O(log n).
+ *
+ * Primary inputs: r[0..n), then b[0..n).  Primary output: lt.
+ */
+aqfp::Netlist buildComparatorNetlist(int n);
+
+/** JJ accounting for a bank of SNGs. */
+struct SngBankCost
+{
+    int outputs = 0;        ///< number of streams generated in parallel
+    int rngBits = 0;        ///< code / random-number width
+    long long rngJj = 0;    ///< JJs spent on true-RNG cells
+    long long comparatorJj = 0; ///< JJs spent on comparators (legalized)
+    int depthPhases = 0;    ///< comparator pipeline depth
+    long long totalJj() const { return rngJj + comparatorJj; }
+};
+
+/**
+ * Cost of a bank generating @p outputs streams from @p rng_bits -bit
+ * codes.
+ *
+ * @param shared_matrix When true, RNG bits come from 4-way shared
+ *        RNG matrices (Fig. 8): matrices of dimension d (rng_bits rounded
+ *        up to odd) provide 4d numbers from d*d unit RNGs.  When false,
+ *        every SNG owns rng_bits private unit RNGs.
+ */
+SngBankCost analyzeSngBank(int outputs, int rng_bits,
+                           bool shared_matrix = true);
+
+} // namespace aqfpsc::blocks
+
+#endif // AQFPSC_BLOCKS_SNG_BLOCK_H

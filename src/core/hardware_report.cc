@@ -1,0 +1,253 @@
+#include "hardware_report.h"
+
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+#include "aqfp/passes.h"
+#include "blocks/avg_pooling.h"
+#include "blocks/categorization.h"
+#include "blocks/feature_extraction.h"
+#include "blocks/sng_block.h"
+#include "sorting/bitonic.h"
+
+namespace aqfpsc::core {
+
+namespace {
+
+/** Cache of legalized block costs, keyed by (block kind, size). */
+using CostCache = std::map<std::pair<char, int>, aqfp::HardwareCost>;
+
+aqfp::HardwareCost
+featureBlockCost(int m, const aqfp::AqfpTechnology &tech, bool fast,
+                 CostCache &cache)
+{
+    const auto key = std::make_pair('F', m);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    aqfp::HardwareCost cost;
+    if (fast && m > 600) {
+        // Estimate from the sorting-network comparator counts plus the
+        // buffer/splitter overhead ratio calibrated on an exactly
+        // legalized mid-size block.
+        static double overhead = 0.0;
+        static int overhead_depth_extra = 0;
+        if (overhead == 0.0) {
+            const aqfp::Netlist small = aqfp::legalize(
+                blocks::FeatureExtractionBlock::buildNetlist(401),
+                /*with_synthesis=*/false);
+            const auto exact = aqfp::analyzeNetlist(small, tech);
+            const auto net =
+                sorting::BitonicNetwork::sortThenMerge(401, 401);
+            const long long logic_jj =
+                6LL * (2 * net.compareCount() + 3 * 401);
+            overhead = static_cast<double>(exact.jj) /
+                       static_cast<double>(logic_jj);
+            overhead_depth_extra = exact.depthPhases - net.depth();
+        }
+        const int eff_m = m % 2 == 0 ? m + 1 : m;
+        const auto net =
+            sorting::BitonicNetwork::sortThenMerge(eff_m, eff_m);
+        const long long logic_jj =
+            6LL * (2 * net.compareCount() + 3 * m);
+        cost.jj = static_cast<long long>(logic_jj * overhead);
+        cost.gates = static_cast<std::size_t>(cost.jj / 5);
+        cost.depthPhases = net.depth() + overhead_depth_extra;
+        cost.energyPerCycleJ =
+            static_cast<double>(cost.jj) * tech.energyPerJjPerCycle;
+        cost.latencySeconds = cost.depthPhases * tech.cycleSeconds();
+    } else {
+        // Exact: build, legalize (synthesis pays off only on small
+        // blocks; skip it on big sorters to bound analysis time).
+        const aqfp::Netlist net = aqfp::legalize(
+            blocks::FeatureExtractionBlock::buildNetlist(m),
+            /*with_synthesis=*/m <= 256);
+        cost = aqfp::analyzeNetlist(net, tech);
+    }
+    cache.emplace(key, cost);
+    return cost;
+}
+
+aqfp::HardwareCost
+poolingBlockCost(int m, const aqfp::AqfpTechnology &tech, CostCache &cache)
+{
+    const auto key = std::make_pair('P', m);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const aqfp::Netlist net =
+        aqfp::legalize(blocks::AvgPoolingBlock::buildNetlist(m));
+    const auto cost = aqfp::analyzeNetlist(net, tech);
+    cache.emplace(key, cost);
+    return cost;
+}
+
+aqfp::HardwareCost
+categorizationBlockCost(int k, const aqfp::AqfpTechnology &tech,
+                        CostCache &cache)
+{
+    const auto key = std::make_pair('C', k);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const aqfp::Netlist net = aqfp::legalize(
+        blocks::CategorizationBlock::buildNetlist(k),
+        /*with_synthesis=*/k <= 256);
+    const auto cost = aqfp::analyzeNetlist(net, tech);
+    cache.emplace(key, cost);
+    return cost;
+}
+
+} // namespace
+
+NetworkHardware
+analyzeNetworkHardware(const nn::Network &net, std::size_t stream_len,
+                       const aqfp::AqfpTechnology &aqfp_tech,
+                       const baseline::CmosTechnology &cmos_tech, bool fast)
+{
+    NetworkHardware hw;
+    hw.streamLen = stream_len;
+    CostCache cache;
+
+    int in_c = 0, in_h = 28, in_w = 28;
+    bool shape_known = false;
+    const int rng_bits = 10;
+
+    const std::size_t n_layers = net.layerCount();
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const nn::Layer &l = net.layer(li);
+
+        if (const auto *conv = dynamic_cast<const nn::Conv2D *>(&l)) {
+            if (!shape_known) {
+                in_c = conv->inChannels();
+                shape_known = true;
+            }
+            LayerHardware lh;
+            const int m = conv->inChannels() * conv->kernel() *
+                              conv->kernel() + 1; // + bias
+            lh.name = conv->name();
+            lh.blockInputs = m;
+            lh.instances = static_cast<long long>(conv->outChannels()) *
+                           in_h * in_w;
+            lh.aqfpPerBlock = featureBlockCost(m, aqfp_tech, fast, cache);
+            lh.cmosPerBlock =
+                baseline::cmosFeatureExtractionCost(m, cmos_tech);
+            hw.layers.push_back(lh);
+            hw.weightStreams += static_cast<long long>(conv->weights().size()) +
+                                static_cast<long long>(conv->biases().size());
+            in_c = conv->outChannels();
+            ++li; // HardTanh
+            continue;
+        }
+        if (dynamic_cast<const nn::AvgPool2 *>(&l) != nullptr) {
+            LayerHardware lh;
+            lh.name = "AvgPool2";
+            lh.blockInputs = 4;
+            lh.instances = static_cast<long long>(in_c) * (in_h / 2) *
+                           (in_w / 2);
+            lh.aqfpPerBlock = poolingBlockCost(4, aqfp_tech, cache);
+            lh.cmosPerBlock = baseline::cmosMuxPoolingCost(4, cmos_tech);
+            hw.layers.push_back(lh);
+            in_h /= 2;
+            in_w /= 2;
+            continue;
+        }
+        if (const auto *chain =
+                dynamic_cast<const nn::MajorityChainDense *>(&l)) {
+            LayerHardware lh;
+            const int m = chain->inFeatures() + 1;
+            lh.name = chain->name();
+            lh.blockInputs = m;
+            lh.instances = chain->outFeatures();
+            lh.aqfpPerBlock = categorizationBlockCost(m, aqfp_tech, cache);
+            lh.cmosPerBlock =
+                baseline::cmosCategorizationCost(m, cmos_tech);
+            hw.layers.push_back(lh);
+            hw.weightStreams +=
+                static_cast<long long>(chain->weights().size()) +
+                static_cast<long long>(chain->biases().size());
+            continue;
+        }
+        if (const auto *fc = dynamic_cast<const nn::Dense *>(&l)) {
+            const bool has_act =
+                li + 1 < n_layers &&
+                (dynamic_cast<const nn::HardTanh *>(&net.layer(li + 1)) !=
+                     nullptr ||
+                 dynamic_cast<const nn::SorterTanh *>(&net.layer(li + 1)) !=
+                     nullptr);
+            LayerHardware lh;
+            const int m = fc->inFeatures() + 1;
+            lh.name = fc->name();
+            lh.blockInputs = m;
+            lh.instances = fc->outFeatures();
+            if (has_act) {
+                lh.aqfpPerBlock =
+                    featureBlockCost(m, aqfp_tech, fast, cache);
+                lh.cmosPerBlock =
+                    baseline::cmosFeatureExtractionCost(m, cmos_tech);
+                ++li;
+            } else {
+                lh.aqfpPerBlock =
+                    categorizationBlockCost(m, aqfp_tech, cache);
+                lh.cmosPerBlock =
+                    baseline::cmosCategorizationCost(m, cmos_tech);
+            }
+            hw.layers.push_back(lh);
+            hw.weightStreams += static_cast<long long>(fc->weights().size()) +
+                                static_cast<long long>(fc->biases().size());
+            continue;
+        }
+        throw std::invalid_argument("analyzeNetworkHardware: unmappable " +
+                                    l.name());
+    }
+
+    // Primary inputs: first layer geometry (28x28, single channel).
+    hw.inputStreams = 28LL * 28LL;
+
+    // AQFP totals.
+    double aqfp_energy_cycle = 0.0;
+    double latency = 0.0;
+    for (const auto &lh : hw.layers) {
+        hw.aqfpTotalJj += lh.instances * lh.aqfpPerBlock.jj;
+        aqfp_energy_cycle += static_cast<double>(lh.instances) *
+                             lh.aqfpPerBlock.energyPerCycleJ;
+        latency += lh.aqfpPerBlock.latencySeconds;
+    }
+    const blocks::SngBankCost sng = blocks::analyzeSngBank(
+        static_cast<int>(hw.weightStreams + hw.inputStreams), rng_bits,
+        /*shared_matrix=*/true);
+    hw.aqfpSngJj = sng.totalJj();
+    hw.aqfpTotalJj += hw.aqfpSngJj;
+    aqfp_energy_cycle += static_cast<double>(hw.aqfpSngJj) *
+                         aqfp_tech.energyPerJjPerCycle;
+
+    hw.aqfpEnergyPerImageJ =
+        aqfp_energy_cycle * static_cast<double>(stream_len);
+    hw.aqfpLatencySeconds =
+        latency + static_cast<double>(stream_len) * aqfp_tech.cycleSeconds();
+    hw.aqfpThroughputImagesPerSec =
+        1.0 / (static_cast<double>(stream_len) * aqfp_tech.cycleSeconds());
+
+    // CMOS totals.
+    double cmos_energy_cycle = 0.0;
+    for (const auto &lh : hw.layers) {
+        cmos_energy_cycle += static_cast<double>(lh.instances) *
+                             lh.cmosPerBlock.energyPerCycleJ;
+    }
+    const baseline::CmosBlockCost cmos_sng =
+        baseline::cmosSngCost(rng_bits, cmos_tech);
+    cmos_energy_cycle +=
+        static_cast<double>(hw.weightStreams + hw.inputStreams) *
+        cmos_sng.energyPerCycleJ;
+    hw.cmosEnergyPerImageJ =
+        cmos_energy_cycle * static_cast<double>(stream_len);
+    hw.cmosThroughputImagesPerSec =
+        cmos_tech.clockFrequencyHz /
+        (static_cast<double>(stream_len) * cmos_tech.pipelineStallFactor);
+
+    return hw;
+}
+
+} // namespace aqfpsc::core

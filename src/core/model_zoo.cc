@@ -1,0 +1,73 @@
+#include "model_zoo.h"
+
+#include <memory>
+
+namespace aqfpsc::core {
+
+using nn::AvgPool2;
+using nn::Conv2D;
+using nn::Dense;
+using nn::MajorityChainDense;
+using nn::SorterTanh;
+using nn::Network;
+
+Network
+buildSnn(unsigned seed)
+{
+    Network net;
+    net.add(std::make_unique<Conv2D>(1, 32, 3, seed + 11));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<AvgPool2>());
+    net.add(std::make_unique<Conv2D>(32, 32, 3, seed + 22));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<AvgPool2>());
+    net.add(std::make_unique<Dense>(7 * 7 * 32, 500, seed + 33));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<Dense>(500, 800, seed + 44));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<MajorityChainDense>(800, 10, seed + 55));
+    return net;
+}
+
+Network
+buildDnn(unsigned seed)
+{
+    Network net;
+    net.add(std::make_unique<Conv2D>(1, 32, 3, seed + 11));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<Conv2D>(32, 32, 3, seed + 22));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<AvgPool2>());
+    net.add(std::make_unique<Conv2D>(32, 32, 5, seed + 33));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<Conv2D>(32, 32, 5, seed + 44));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<AvgPool2>());
+    net.add(std::make_unique<Conv2D>(32, 64, 7, seed + 55));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<Dense>(7 * 7 * 64, 500, seed + 66));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<Dense>(500, 800, seed + 77));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<MajorityChainDense>(800, 10, seed + 88));
+    return net;
+}
+
+Network
+buildTinyCnn(unsigned seed)
+{
+    Network net;
+    net.add(std::make_unique<Conv2D>(1, 8, 3, seed + 11));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<AvgPool2>());
+    net.add(std::make_unique<AvgPool2>());
+    // A hidden FC ahead of the chain mirrors the paper's FC800->OutLayer
+    // structure: the majority chain's exponentially decaying input
+    // weighting needs fully connected features in front of it.
+    net.add(std::make_unique<Dense>(7 * 7 * 8, 64, seed + 22));
+    net.add(std::make_unique<SorterTanh>());
+    net.add(std::make_unique<MajorityChainDense>(64, 10, seed + 33));
+    return net;
+}
+
+} // namespace aqfpsc::core

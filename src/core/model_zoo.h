@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The paper's network architectures (Table 8) plus a small CNN used by
+ * tests and examples.
+ *
+ *  - SNN:  Conv3_x(32) - AvgPool - Conv3_x(32) - AvgPool - FC500 - FC800
+ *          - OutLayer(10)
+ *  - DNN:  Conv3_x - Conv3_x - AvgPool - Conv5_x - Conv5_x - AvgPool -
+ *          Conv7_x - FC500 - FC800 - OutLayer(10)
+ *
+ * All convolutions use same padding and stride 1 (Table 8); every Conv /
+ * hidden FC carries the hard-tanh activation that the sorter-based
+ * feature-extraction block integrates; the output layer is linear and
+ * maps to the majority-chain categorization block.
+ */
+
+#ifndef AQFPSC_CORE_MODEL_ZOO_H
+#define AQFPSC_CORE_MODEL_ZOO_H
+
+#include "nn/network.h"
+
+namespace aqfpsc::core {
+
+/** Shallow network of Table 9 ("SNN"). */
+nn::Network buildSnn(unsigned seed = 1);
+
+/** Deep network of Table 9 ("DNN"). */
+nn::Network buildDnn(unsigned seed = 1);
+
+/**
+ * Small CNN (Conv3x3x8 - HT - AvgPool - AvgPool - FC10) used by tests,
+ * examples and quick demonstrations.
+ */
+nn::Network buildTinyCnn(unsigned seed = 1);
+
+} // namespace aqfpsc::core
+
+#endif // AQFPSC_CORE_MODEL_ZOO_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Whole-network stochastic-computing inference engine.
+ *
+ * Compiles a trained nn::Network into a pipeline of SC stages and runs
+ * inference entirely in the bipolar stream domain:
+ *
+ *  - AqfpSorter backend (the paper's proposal): Conv / hidden-FC layers
+ *    execute as sorter-based feature-extraction blocks (Algorithm 1,
+ *    counter form), pooling as the sorter-based average-pooling block
+ *    (Algorithm 2), and the output layer as majority-chain categorization
+ *    blocks;
+ *  - CmosApc backend (prior art, SC-DCNN): Conv / hidden-FC layers use
+ *    the approximate parallel counter + Btanh activation, pooling uses
+ *    the random-select MUX, and the output layer accumulates exact APC
+ *    counts into binary scores.
+ *
+ * Weight streams are generated once at engine construction (weights are
+ * hardwired on chip and converted through SNGs continuously; re-drawing
+ * them per image only adds Monte-Carlo noise), input streams per image.
+ */
+
+#ifndef AQFPSC_CORE_SC_ENGINE_H
+#define AQFPSC_CORE_SC_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+#include "sc/stream_matrix.h"
+
+namespace aqfpsc::core {
+
+/** Which hardware's arithmetic the engine emulates. */
+enum class ScBackend
+{
+    AqfpSorter, ///< this paper's sorter/majority blocks
+    CmosApc,    ///< SC-DCNN-style APC + Btanh + MUX pooling
+};
+
+/** Engine configuration. */
+struct ScEngineConfig
+{
+    std::size_t streamLen = 1024; ///< stochastic stream length N
+    int rngBits = 10;             ///< SNG code width
+    std::uint64_t seed = 123;     ///< randomness seed
+    ScBackend backend = ScBackend::AqfpSorter;
+    /**
+     * CmosApc: model the first-layer OR-pair approximate counter.  Off
+     * by default: that approximation overcounts by ~M/8 per cycle, which
+     * at network scale saturates activations (SC-DCNN's actual APC uses
+     * balanced approximate units whose residual error is small); see
+     * baseline::ApproximateParallelCounter for the component-level
+     * study.
+     */
+    bool approximateApc = false;
+};
+
+/** Per-class SC scores plus the argmax prediction. */
+struct ScPrediction
+{
+    int label = 0;
+    std::vector<double> scores;
+};
+
+/**
+ * SC-domain executor for one trained network.
+ *
+ * The source network must follow the mappable pattern: every Conv2D and
+ * every hidden Dense immediately followed by HardTanh, AvgPool2 between
+ * feature stages, and a final Dense with no activation.
+ */
+class ScNetworkEngine
+{
+  public:
+    /**
+     * Build the stage plan and pre-generate all weight streams.
+     * @param net Trained network (weights are read, not copied).
+     * @param cfg Engine configuration.
+     */
+    ScNetworkEngine(const nn::Network &net, const ScEngineConfig &cfg);
+
+    /** Out-of-line: Stage is incomplete at this point. */
+    ~ScNetworkEngine();
+
+    /** Run one image through the SC pipeline. */
+    ScPrediction infer(const nn::Tensor &image);
+
+    /**
+     * Accuracy over samples (optionally only the first @p limit).
+     * @param progress Print a dot every 10 images.
+     */
+    double evaluate(const std::vector<nn::Sample> &samples, int limit = -1,
+                    bool progress = false);
+
+    /** Engine configuration. */
+    const ScEngineConfig &config() const { return cfg_; }
+
+  private:
+    struct Stage; // stage plan node (see .cc)
+
+    ScEngineConfig cfg_;
+    std::vector<Stage> stages_;
+
+    sc::StreamMatrix
+    runStage(const Stage &stage, const sc::StreamMatrix &in,
+             std::vector<double> *scores_out);
+};
+
+} // namespace aqfpsc::core
+
+#endif // AQFPSC_CORE_SC_ENGINE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Synthetic MNIST-surrogate digit dataset.
+ *
+ * Substitution note (DESIGN.md Sec. 3): the offline build environment has
+ * no access to the MNIST files, so the paper's application-level
+ * experiments run on a procedurally generated 10-class digit task that
+ * exercises the identical code path: 28x28 grayscale glyphs with random
+ * affine jitter (shift, scale, rotation) and additive pixel noise,
+ * rendered from hand-authored digit masks.  Labels are balanced and the
+ * generator is fully deterministic given a seed.
+ */
+
+#ifndef AQFPSC_DATA_DIGITS_H
+#define AQFPSC_DATA_DIGITS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace aqfpsc::data {
+
+/** Distortion parameters of the generator. */
+struct DigitGenConfig
+{
+    double maxShift = 2.5;     ///< pixels of random translation
+    double maxRotateDeg = 12.0; ///< degrees of random rotation
+    double minScale = 0.85;    ///< uniform scale range
+    double maxScale = 1.15;
+    double noiseStd = 0.08;    ///< additive Gaussian pixel noise
+};
+
+/**
+ * Generate @p count labelled 28x28 samples (CHW tensor, single channel,
+ * values in [-1, 1]) with balanced classes.
+ */
+std::vector<nn::Sample> generateDigits(int count, std::uint64_t seed,
+                                       const DigitGenConfig &cfg = {});
+
+/** Image side length produced by the generator. */
+constexpr int kDigitImageSize = 28;
+
+} // namespace aqfpsc::data
+
+#endif // AQFPSC_DATA_DIGITS_H

@@ -1,0 +1,190 @@
+#include "network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <random>
+
+#include "sc/sng.h"
+
+namespace aqfpsc::nn {
+
+void
+Network::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Network::forward(const Tensor &x) const
+{
+    Tensor cur = x;
+    for (const auto &l : layers_)
+        cur = l->forward(cur);
+    return cur;
+}
+
+int
+Network::predict(const Tensor &x) const
+{
+    const Tensor scores = forward(x);
+    int best = 0;
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+        if (scores[i] > scores[static_cast<std::size_t>(best)])
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+double
+Network::evaluate(const std::vector<Sample> &samples) const
+{
+    if (samples.empty())
+        return 0.0;
+    int correct = 0;
+    for (const auto &s : samples)
+        correct += predict(s.image) == s.label ? 1 : 0;
+    return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+std::vector<double>
+softmax(const Tensor &scores)
+{
+    double mx = scores[0];
+    for (std::size_t i = 1; i < scores.size(); ++i)
+        mx = std::max(mx, static_cast<double>(scores[i]));
+    std::vector<double> p(scores.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        p[i] = std::exp(static_cast<double>(scores[i]) - mx);
+        sum += p[i];
+    }
+    for (auto &v : p)
+        v /= sum;
+    return p;
+}
+
+double
+Network::train(std::vector<Sample> &samples, const TrainConfig &cfg)
+{
+    std::mt19937 gen(cfg.shuffleSeed);
+    std::vector<std::size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    float lr = cfg.learningRate;
+    double epoch_loss = 0.0;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), gen);
+        epoch_loss = 0.0;
+        int in_batch = 0;
+        for (std::size_t n = 0; n < order.size(); ++n) {
+            const Sample &s = samples[order[n]];
+            // Forward through all layers, keeping caches.
+            Tensor cur = s.image;
+            for (auto &l : layers_)
+                cur = l->forward(cur);
+            // Softmax cross-entropy gradient on the scores.
+            const std::vector<double> p = softmax(cur);
+            epoch_loss += -std::log(
+                std::max(p[static_cast<std::size_t>(s.label)], 1e-12));
+            Tensor grad({static_cast<int>(cur.size())});
+            for (std::size_t i = 0; i < cur.size(); ++i) {
+                grad[i] = static_cast<float>(p[i]) -
+                          (static_cast<int>(i) == s.label ? 1.0f : 0.0f);
+            }
+            for (std::size_t li = layers_.size(); li-- > 0;)
+                grad = layers_[li]->backward(grad);
+
+            if (++in_batch == cfg.batchSize || n + 1 == order.size()) {
+                const float scaled_lr =
+                    lr / static_cast<float>(in_batch);
+                for (auto &l : layers_)
+                    l->update(scaled_lr, cfg.momentum);
+                in_batch = 0;
+            }
+        }
+        epoch_loss /= static_cast<double>(samples.size());
+        if (cfg.verbose) {
+            std::printf("  epoch %d/%d: loss %.4f (lr %.4f)\n", epoch + 1,
+                        cfg.epochs, epoch_loss, static_cast<double>(lr));
+            std::fflush(stdout);
+        }
+        lr *= cfg.lrDecay;
+    }
+    return epoch_loss;
+}
+
+void
+Network::quantizeParams(int bits)
+{
+    for (auto &l : layers_) {
+        for (std::vector<float> *p : l->params()) {
+            for (auto &w : *p) {
+                w = static_cast<float>(sc::codeToBipolar(
+                    sc::quantizeBipolar(static_cast<double>(w), bits),
+                    bits));
+            }
+        }
+    }
+}
+
+bool
+Network::saveWeights(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    const char magic[8] = {'A', 'Q', 'F', 'P', 'S', 'C', 'W', '1'};
+    out.write(magic, sizeof(magic));
+    for (const auto &l : layers_) {
+        for (std::vector<float> *p :
+             const_cast<Layer &>(*l).params()) {
+            const std::uint64_t n = p->size();
+            out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+            out.write(reinterpret_cast<const char *>(p->data()),
+                      static_cast<std::streamsize>(n * sizeof(float)));
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+Network::loadWeights(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::string(magic, 8) != "AQFPSCW1")
+        return false;
+    for (auto &l : layers_) {
+        for (std::vector<float> *p : l->params()) {
+            std::uint64_t n = 0;
+            in.read(reinterpret_cast<char *>(&n), sizeof(n));
+            if (!in || n != p->size())
+                return false;
+            in.read(reinterpret_cast<char *>(p->data()),
+                    static_cast<std::streamsize>(n * sizeof(float)));
+            if (!in)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Network::describe() const
+{
+    std::string s;
+    for (const auto &l : layers_) {
+        if (!s.empty())
+            s += "-";
+        s += l->name();
+    }
+    return s;
+}
+
+} // namespace aqfpsc::nn

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sequential network container with SGD training, evaluation and
+ * weight serialization.
+ */
+
+#ifndef AQFPSC_NN_NETWORK_H
+#define AQFPSC_NN_NETWORK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layers.h"
+#include "tensor.h"
+
+namespace aqfpsc::nn {
+
+/** One labelled sample. */
+struct Sample
+{
+    Tensor image;  ///< CHW in [-1, 1]
+    int label = 0; ///< class index
+};
+
+/** Training hyper-parameters. */
+struct TrainConfig
+{
+    int epochs = 5;
+    int batchSize = 32;
+    float learningRate = 0.05f;
+    float momentum = 0.9f;
+    float lrDecay = 0.7f;    ///< multiplicative per-epoch decay
+    unsigned shuffleSeed = 7;
+    bool verbose = false;
+};
+
+/** Sequential feed-forward network. */
+class Network
+{
+  public:
+    /** Append a layer (takes ownership). */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Layer access. */
+    std::size_t layerCount() const { return layers_.size(); }
+    Layer &layer(std::size_t i) { return *layers_[i]; }
+    const Layer &layer(std::size_t i) const { return *layers_[i]; }
+
+    /** Forward pass to class scores (logits). */
+    Tensor forward(const Tensor &x) const;
+
+    /** Predicted class of one image. */
+    int predict(const Tensor &x) const;
+
+    /** Mean accuracy over a sample set. */
+    double evaluate(const std::vector<Sample> &samples) const;
+
+    /**
+     * SGD training with softmax cross-entropy on the final scores.
+     * @return final-epoch mean training loss.
+     */
+    double train(std::vector<Sample> &samples, const TrainConfig &cfg);
+
+    /**
+     * Snap all parameters to the bipolar SNG code grid (2^bits + 1 codes
+     * over [-1, 1]).  Mirrors how weights are hardwired on chip.
+     */
+    void quantizeParams(int bits);
+
+    /** Serialize all parameters to a binary file.  @return success. */
+    bool saveWeights(const std::string &path) const;
+
+    /** Load parameters saved by saveWeights.  @return success. */
+    bool loadWeights(const std::string &path);
+
+    /** Human-readable architecture string, e.g. "Conv3x3x32-AvgPool2-...". */
+    std::string describe() const;
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/** Numerically stable softmax over a score tensor. */
+std::vector<double> softmax(const Tensor &scores);
+
+} // namespace aqfpsc::nn
+
+#endif // AQFPSC_NN_NETWORK_H

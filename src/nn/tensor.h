@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal dense float tensor (CHW layout for images).
+ */
+
+#ifndef AQFPSC_NN_TENSOR_H
+#define AQFPSC_NN_TENSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace aqfpsc::nn {
+
+/** Dense row-major float tensor with a small-rank shape. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::vector<int> shape) : shape_(std::move(shape))
+    {
+        std::size_t n = 1;
+        for (int d : shape_) {
+            assert(d > 0);
+            n *= static_cast<std::size_t>(d);
+        }
+        data_.assign(n, 0.0f);
+    }
+
+    /** Shape vector. */
+    const std::vector<int> &shape() const { return shape_; }
+
+    /** Total element count. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Flat element access. */
+    float &operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /** 3-d access (c, y, x) for CHW image tensors. */
+    float &
+    at(int c, int y, int x)
+    {
+        return data_[flat(c, y, x)];
+    }
+    float
+    at(int c, int y, int x) const
+    {
+        return data_[flat(c, y, x)];
+    }
+
+    /** Raw data access. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Underlying vector (for serialization). */
+    std::vector<float> &vec() { return data_; }
+    const std::vector<float> &vec() const { return data_; }
+
+  private:
+    std::size_t
+    flat(int c, int y, int x) const
+    {
+        assert(shape_.size() == 3);
+        assert(c >= 0 && c < shape_[0]);
+        assert(y >= 0 && y < shape_[1]);
+        assert(x >= 0 && x < shape_[2]);
+        return (static_cast<std::size_t>(c) *
+                    static_cast<std::size_t>(shape_[1]) +
+                static_cast<std::size_t>(y)) *
+                   static_cast<std::size_t>(shape_[2]) +
+               static_cast<std::size_t>(x);
+    }
+
+    std::vector<int> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace aqfpsc::nn
+
+#endif // AQFPSC_NN_TENSOR_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Parallel counters for stochastic bit columns.
+ *
+ * The CMOS SC-DNN baseline (SC-DCNN, Ren et al. ASPLOS'17 -- Fig. 5 of the
+ * paper) sums the per-cycle column of product bits with an (approximate)
+ * parallel counter whose binary output feeds an accumulating activation
+ * counter.  We provide:
+ *
+ *  - exactColumnCount: the exact parallel counter (full adder tree);
+ *  - ApproximateParallelCounter: SC-DCNN's approximation, whose first
+ *    layer replaces half of the full adders with OR/AND pairs
+ *    (a + b ~ 2*(a AND b) + (a OR b)); it overcounts by one exactly when
+ *    both inputs of a pair are 1 and is otherwise exact, and costs ~half
+ *    the first-layer adder hardware;
+ *  - ColumnCounts: bit-sliced "vertical counter" that computes, for M
+ *    packed streams, the per-cycle column popcounts in O(M * N / 64 * logM)
+ *    word operations.  This is the workhorse of the fast functional block
+ *    models.
+ */
+
+#ifndef AQFPSC_SC_APC_H
+#define AQFPSC_SC_APC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream.h"
+
+namespace aqfpsc::sc {
+
+/** Exact number of ones among the given bits (reference parallel counter). */
+int exactColumnCount(const std::vector<bool> &bits);
+
+/**
+ * SC-DCNN-style approximate parallel counter.
+ *
+ * Inputs are paired; each pair (a, b) is encoded as carry = a AND b
+ * (weight 2) and sum = a OR b (weight 1), then carries and sums are summed
+ * exactly.  For a pair with a = b = 1 the encoding reads 2*1 + 1 = 3
+ * instead of 2, so the counter overcounts by the number of (1,1) pairs.
+ */
+class ApproximateParallelCounter
+{
+  public:
+    /** @param m Number of counter inputs (>= 1). */
+    explicit ApproximateParallelCounter(int m) : m_(m) {}
+
+    /** Approximate count of ones in @p bits (size must be m). */
+    int count(const std::vector<bool> &bits) const;
+
+    /**
+     * Equivalent two's-complement gate count of the CMOS implementation,
+     * used by the CMOS cost model: first layer m/2 AND+OR pairs, then an
+     * exact adder tree over m/2 two-bit operands.
+     */
+    int gateCount() const;
+
+  private:
+    int m_;
+};
+
+/**
+ * Per-cycle column popcounts over a set of packed streams.
+ *
+ * Streams are added one at a time into a carry-save "vertical counter":
+ * plane k holds bit k of every cycle's running count.  Adding a stream
+ * word into P planes costs at most P AND/XOR pairs, so accumulating M
+ * streams of N cycles costs O(M * N/64 * log2 M) word ops instead of the
+ * naive O(M * N) single-bit ops.
+ */
+class ColumnCounts
+{
+  public:
+    /**
+     * @param len Stream length (cycles).
+     * @param max_count Largest count that will be accumulated (sets the
+     *        number of planes); adding more streams than this is an error.
+     */
+    ColumnCounts(std::size_t len, int max_count);
+
+    /** Add a stream's bits into the per-cycle counters. */
+    void add(const Bitstream &s);
+
+    /** Add a raw packed word array of the same word count. */
+    void addWords(const std::uint64_t *words, std::size_t word_count);
+
+    /** Extract the count at cycle @p i. */
+    int count(std::size_t i) const;
+
+    /** Extract all per-cycle counts into @p out (resized to len). */
+    void extract(std::vector<int> &out) const;
+
+    /** Number of streams added so far. */
+    int added() const { return added_; }
+
+    /** Reset all counters to zero. */
+    void clear();
+
+  private:
+    std::size_t len_;
+    std::size_t wordCount_;
+    int planeCount_;
+    int maxCount_;
+    int added_ = 0;
+    /** planes_[k * wordCount_ + w] = bit k of counts in word w. */
+    std::vector<std::uint64_t> planes_;
+};
+
+} // namespace aqfpsc::sc
+
+#endif // AQFPSC_SC_APC_H

@@ -1,0 +1,190 @@
+#include "bitstream.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace aqfpsc::sc {
+
+namespace {
+
+std::size_t
+wordsFor(std::size_t len)
+{
+    return (len + 63) / 64;
+}
+
+} // namespace
+
+Bitstream::Bitstream(std::size_t len, bool fill)
+    : len_(len), words_(wordsFor(len), fill ? ~0ULL : 0ULL)
+{
+    cleanTail();
+}
+
+Bitstream
+Bitstream::fromBits(const std::vector<bool> &bits)
+{
+    Bitstream s(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i])
+            s.set(i, true);
+    }
+    return s;
+}
+
+Bitstream
+Bitstream::fromString(const std::string &str)
+{
+    Bitstream s(str.size());
+    for (std::size_t i = 0; i < str.size(); ++i) {
+        if (str[i] == '1') {
+            s.set(i, true);
+        } else if (str[i] != '0') {
+            throw std::invalid_argument(
+                "Bitstream::fromString: expected only '0'/'1'");
+        }
+    }
+    return s;
+}
+
+bool
+Bitstream::get(std::size_t i) const
+{
+    assert(i < len_);
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void
+Bitstream::set(std::size_t i, bool v)
+{
+    assert(i < len_);
+    const std::uint64_t mask = 1ULL << (i % 64);
+    if (v)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+std::size_t
+Bitstream::countOnes() const
+{
+    std::size_t ones = 0;
+    for (std::uint64_t w : words_)
+        ones += static_cast<std::size_t>(std::popcount(w));
+    return ones;
+}
+
+double
+Bitstream::unipolarValue() const
+{
+    assert(len_ > 0);
+    return static_cast<double>(countOnes()) / static_cast<double>(len_);
+}
+
+double
+Bitstream::bipolarValue() const
+{
+    return 2.0 * unipolarValue() - 1.0;
+}
+
+void
+Bitstream::setWord(std::size_t w, std::uint64_t value)
+{
+    assert(w < words_.size());
+    words_[w] = value;
+    if (w == words_.size() - 1)
+        cleanTail();
+}
+
+Bitstream
+Bitstream::operator&(const Bitstream &o) const
+{
+    assert(len_ == o.len_);
+    Bitstream r(len_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        r.words_[w] = words_[w] & o.words_[w];
+    return r;
+}
+
+Bitstream
+Bitstream::operator|(const Bitstream &o) const
+{
+    assert(len_ == o.len_);
+    Bitstream r(len_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        r.words_[w] = words_[w] | o.words_[w];
+    return r;
+}
+
+Bitstream
+Bitstream::operator^(const Bitstream &o) const
+{
+    assert(len_ == o.len_);
+    Bitstream r(len_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        r.words_[w] = words_[w] ^ o.words_[w];
+    return r;
+}
+
+Bitstream
+Bitstream::operator~() const
+{
+    Bitstream r(len_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        r.words_[w] = ~words_[w];
+    r.cleanTail();
+    return r;
+}
+
+Bitstream
+Bitstream::xnorWith(const Bitstream &o) const
+{
+    assert(len_ == o.len_);
+    Bitstream r(len_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        r.words_[w] = ~(words_[w] ^ o.words_[w]);
+    r.cleanTail();
+    return r;
+}
+
+bool
+Bitstream::operator==(const Bitstream &o) const
+{
+    return len_ == o.len_ && words_ == o.words_;
+}
+
+std::string
+Bitstream::toString() const
+{
+    std::string s;
+    s.reserve(len_);
+    for (std::size_t i = 0; i < len_; ++i)
+        s.push_back(get(i) ? '1' : '0');
+    return s;
+}
+
+Bitstream
+Bitstream::neutral(std::size_t len, bool phase)
+{
+    // 0xAAAA... has ones at odd bit positions; 0x5555... at even ones.
+    const std::uint64_t pattern =
+        phase ? 0x5555555555555555ULL : 0xAAAAAAAAAAAAAAAAULL;
+    Bitstream s(len);
+    for (std::size_t w = 0; w < s.words_.size(); ++w)
+        s.words_[w] = pattern;
+    s.cleanTail();
+    return s;
+}
+
+void
+Bitstream::cleanTail()
+{
+    if (words_.empty())
+        return;
+    const std::size_t used = len_ % 64;
+    if (used != 0)
+        words_.back() &= (1ULL << used) - 1;
+}
+
+} // namespace aqfpsc::sc

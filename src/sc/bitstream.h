@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Packed stochastic bit-stream representation.
+ *
+ * A stochastic number is a time-independent sequence of bits whose density
+ * of ones encodes a value (unipolar: x = P(X=1); bipolar: x = 2*P(X=1)-1).
+ * Bit i of the stream is the value carried during clock cycle i.  Streams
+ * are stored packed, 64 cycles per word, so that the cycle-parallel SC
+ * operators (XNOR multiply, MUX add, majority) run word-at-a-time.
+ */
+
+#ifndef AQFPSC_SC_BITSTREAM_H
+#define AQFPSC_SC_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqfpsc::sc {
+
+/**
+ * Fixed-length packed bit-stream.
+ *
+ * Invariant: any bits in the last storage word at positions >= size() are
+ * zero ("tail-clean"), so popcount over words equals countOnes().
+ */
+class Bitstream
+{
+  public:
+    /** Construct an empty (zero-length) stream. */
+    Bitstream() = default;
+
+    /**
+     * Construct a stream of @p len cycles.
+     * @param len Number of bits (clock cycles).
+     * @param fill Initial value of every bit.
+     */
+    explicit Bitstream(std::size_t len, bool fill = false);
+
+    /** Build a stream from an explicit bit vector (bit 0 = cycle 0). */
+    static Bitstream fromBits(const std::vector<bool> &bits);
+
+    /** Parse from a string of '0'/'1' characters (index 0 = cycle 0). */
+    static Bitstream fromString(const std::string &s);
+
+    /** Number of cycles in the stream. */
+    std::size_t size() const { return len_; }
+
+    /** True when the stream has no cycles. */
+    bool empty() const { return len_ == 0; }
+
+    /** Value of the bit at cycle @p i (no bounds check in release). */
+    bool get(std::size_t i) const;
+
+    /** Set the bit at cycle @p i to @p v. */
+    void set(std::size_t i, bool v);
+
+    /** Number of ones in the whole stream. */
+    std::size_t countOnes() const;
+
+    /** Unipolar value: ones / length, in [0, 1]. */
+    double unipolarValue() const;
+
+    /** Bipolar value: 2 * ones / length - 1, in [-1, 1]. */
+    double bipolarValue() const;
+
+    /** Number of 64-bit storage words. */
+    std::size_t wordCount() const { return words_.size(); }
+
+    /** Read-only access to storage word @p w. */
+    std::uint64_t word(std::size_t w) const { return words_[w]; }
+
+    /**
+     * Set storage word @p w wholesale.  Bits beyond size() are masked off
+     * to preserve the tail-clean invariant.
+     */
+    void setWord(std::size_t w, std::uint64_t value);
+
+    /** Bitwise AND (unipolar multiply). Streams must be the same length. */
+    Bitstream operator&(const Bitstream &o) const;
+
+    /** Bitwise OR. Streams must be the same length. */
+    Bitstream operator|(const Bitstream &o) const;
+
+    /** Bitwise XOR. Streams must be the same length. */
+    Bitstream operator^(const Bitstream &o) const;
+
+    /** Bitwise NOT (negates a bipolar value). */
+    Bitstream operator~() const;
+
+    /** Bitwise XNOR (bipolar multiply). Streams must be the same length. */
+    Bitstream xnorWith(const Bitstream &o) const;
+
+    /** Exact bit equality (same length, same bits). */
+    bool operator==(const Bitstream &o) const;
+
+    /** Render as a '0'/'1' string, cycle 0 first. */
+    std::string toString() const;
+
+    /**
+     * The constant "neutral noise" stream 0101... of value 0 in bipolar
+     * encoding, used by the paper to pad even-input sorter blocks.
+     * @param len Stream length.
+     * @param phase When true the stream starts with 1 (1010...).
+     */
+    static Bitstream neutral(std::size_t len, bool phase = false);
+
+  private:
+    /** Zero any bits at positions >= len_ in the last word. */
+    void cleanTail();
+
+    std::size_t len_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace aqfpsc::sc
+
+#endif // AQFPSC_SC_BITSTREAM_H

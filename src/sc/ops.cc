@@ -1,0 +1,75 @@
+#include "ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aqfpsc::sc {
+
+Bitstream
+multiplyUnipolar(const Bitstream &a, const Bitstream &b)
+{
+    return a & b;
+}
+
+Bitstream
+multiplyBipolar(const Bitstream &a, const Bitstream &b)
+{
+    return a.xnorWith(b);
+}
+
+Bitstream
+scaledAdd(const std::vector<Bitstream> &inputs, RandomSource &rng)
+{
+    assert(!inputs.empty());
+    const std::size_t len = inputs[0].size();
+    for (const auto &in : inputs)
+        assert(in.size() == len);
+
+    Bitstream out(len);
+    const std::size_t n = inputs.size();
+    for (std::size_t i = 0; i < len; ++i) {
+        // Uniform select among n inputs via rejection-free modulo of a
+        // 64-bit draw; the bias for n << 2^64 is negligible.
+        const std::size_t sel = static_cast<std::size_t>(
+            rng.nextWord() % static_cast<std::uint64_t>(n));
+        out.set(i, inputs[sel].get(i));
+    }
+    return out;
+}
+
+Bitstream
+majority3(const Bitstream &a, const Bitstream &b, const Bitstream &c)
+{
+    assert(a.size() == b.size() && b.size() == c.size());
+    Bitstream r(a.size());
+    for (std::size_t w = 0; w < r.wordCount(); ++w) {
+        const std::uint64_t x = a.word(w), y = b.word(w), z = c.word(w);
+        r.setWord(w, (x & y) | (x & z) | (y & z));
+    }
+    return r;
+}
+
+double
+streamCorrelation(const Bitstream &a, const Bitstream &b)
+{
+    assert(a.size() == b.size() && a.size() > 0);
+    const double n = static_cast<double>(a.size());
+    const double pa = a.unipolarValue();
+    const double pb = b.unipolarValue();
+    const double pab = static_cast<double>((a & b).countOnes()) / n;
+    const double delta = pab - pa * pb;
+
+    if (delta == 0.0)
+        return 0.0;
+    double denom;
+    if (delta > 0.0)
+        denom = std::min(pa, pb) - pa * pb;
+    else
+        denom = pa * pb - std::max(pa + pb - 1.0, 0.0);
+    if (denom <= 0.0)
+        return 0.0;
+    return delta / denom;
+}
+
+} // namespace aqfpsc::sc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cycle-parallel stochastic-computing operators and stream statistics.
+ *
+ * The classic SC operator set (Fig. 4 of the paper): AND for unipolar
+ * multiply, XNOR for bipolar multiply, MUX for scaled addition, plus the
+ * majority operator that AQFP provides natively, and the stochastic
+ * cross-correlation (SCC) metric used to validate RNG independence.
+ */
+
+#ifndef AQFPSC_SC_OPS_H
+#define AQFPSC_SC_OPS_H
+
+#include <vector>
+
+#include "bitstream.h"
+#include "rng.h"
+
+namespace aqfpsc::sc {
+
+/** Unipolar multiply: P(a AND b) = P(a) * P(b) for independent streams. */
+Bitstream multiplyUnipolar(const Bitstream &a, const Bitstream &b);
+
+/** Bipolar multiply: value(a XNOR b) = value(a) * value(b). */
+Bitstream multiplyBipolar(const Bitstream &a, const Bitstream &b);
+
+/**
+ * Scaled addition via a MUX tree: each cycle the output copies one input
+ * chosen uniformly at random, so value(out) = mean(value(inputs)).
+ * Works for both encodings.  @p rng supplies the select streams.
+ */
+Bitstream scaledAdd(const std::vector<Bitstream> &inputs, RandomSource &rng);
+
+/** Bitwise 3-input majority of equal-length streams. */
+Bitstream majority3(const Bitstream &a, const Bitstream &b,
+                    const Bitstream &c);
+
+/**
+ * Stochastic cross-correlation (SCC) of two streams (Alaghi & Hayes).
+ * 0 for independent streams, +1 for maximally overlapping, -1 for
+ * maximally disjoint.  Returns 0 when either stream is constant.
+ */
+double streamCorrelation(const Bitstream &a, const Bitstream &b);
+
+} // namespace aqfpsc::sc
+
+#endif // AQFPSC_SC_OPS_H

@@ -1,0 +1,216 @@
+#include "rng.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace aqfpsc::sc {
+
+std::uint64_t
+RandomSource::nextBits(int bits)
+{
+    assert(bits >= 1 && bits <= 64);
+    if (bits == 64)
+        return nextWord();
+    return nextWord() >> (64 - bits);
+}
+
+double
+RandomSource::nextDouble()
+{
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(nextWord() >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    // All-zero state is invalid; splitmix64 cannot produce four zero words
+    // from any seed, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Xoshiro256StarStar::nextWord()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+void
+Xoshiro256StarStar::jump()
+{
+    static const std::uint64_t kJump[] = {
+        0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+        0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t jump : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (jump & (1ULL << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            nextWord();
+        }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+}
+
+namespace {
+
+/**
+ * Maximal-length Fibonacci LFSR tap masks for widths 3..32
+ * (taps from Xilinx XAPP052; mask bit i set means stage i+1 feeds back).
+ */
+std::uint32_t
+lfsrTaps(int width)
+{
+    switch (width) {
+      case 3: return (1u << 2) | (1u << 1);
+      case 4: return (1u << 3) | (1u << 2);
+      case 5: return (1u << 4) | (1u << 2);
+      case 6: return (1u << 5) | (1u << 4);
+      case 7: return (1u << 6) | (1u << 5);
+      case 8: return (1u << 7) | (1u << 5) | (1u << 4) | (1u << 3);
+      case 9: return (1u << 8) | (1u << 4);
+      case 10: return (1u << 9) | (1u << 6);
+      case 11: return (1u << 10) | (1u << 8);
+      case 12: return (1u << 11) | (1u << 5) | (1u << 3) | (1u << 0);
+      case 13: return (1u << 12) | (1u << 3) | (1u << 2) | (1u << 0);
+      case 14: return (1u << 13) | (1u << 4) | (1u << 2) | (1u << 0);
+      case 15: return (1u << 14) | (1u << 13);
+      case 16: return (1u << 15) | (1u << 14) | (1u << 12) | (1u << 3);
+      case 17: return (1u << 16) | (1u << 13);
+      case 18: return (1u << 17) | (1u << 10);
+      case 19: return (1u << 18) | (1u << 5) | (1u << 1) | (1u << 0);
+      case 20: return (1u << 19) | (1u << 16);
+      case 21: return (1u << 20) | (1u << 18);
+      case 22: return (1u << 21) | (1u << 20);
+      case 23: return (1u << 22) | (1u << 17);
+      case 24: return (1u << 23) | (1u << 22) | (1u << 21) | (1u << 16);
+      case 25: return (1u << 24) | (1u << 21);
+      case 26: return (1u << 25) | (1u << 5) | (1u << 1) | (1u << 0);
+      case 27: return (1u << 26) | (1u << 4) | (1u << 1) | (1u << 0);
+      case 28: return (1u << 27) | (1u << 24);
+      case 29: return (1u << 28) | (1u << 26);
+      case 30: return (1u << 29) | (1u << 5) | (1u << 3) | (1u << 0);
+      case 31: return (1u << 30) | (1u << 27);
+      case 32: return (1u << 31) | (1u << 21) | (1u << 1) | (1u << 0);
+      default: assert(false && "unsupported LFSR width"); return 0;
+    }
+}
+
+} // namespace
+
+Lfsr::Lfsr(int width, std::uint32_t seed)
+    : width_(width), state_(seed), tapMask_(lfsrTaps(width))
+{
+    assert(width >= 3 && width <= 32);
+    const std::uint32_t mask =
+        width == 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
+    state_ &= mask;
+    if (state_ == 0)
+        state_ = 1;
+}
+
+std::uint32_t
+Lfsr::nextState()
+{
+    const std::uint32_t fb =
+        static_cast<std::uint32_t>(std::popcount(state_ & tapMask_)) & 1u;
+    const std::uint32_t mask =
+        width_ == 32 ? 0xFFFFFFFFu : ((1u << width_) - 1);
+    state_ = ((state_ << 1) | fb) & mask;
+    if (state_ == 0)
+        state_ = 1;
+    return state_;
+}
+
+std::uint64_t
+Lfsr::nextWord()
+{
+    // Compose a word from successive states; used only when an Lfsr is
+    // consumed through the generic RandomSource interface.
+    std::uint64_t w = 0;
+    int filled = 0;
+    while (filled < 64) {
+        const int take = width_ < (64 - filled) ? width_ : (64 - filled);
+        w |= (static_cast<std::uint64_t>(nextState()) &
+              ((take == 64 ? 0 : (1ULL << take)) - 1ULL))
+             << filled;
+        filled += take;
+    }
+    return w;
+}
+
+AqfpTrueRng::AqfpTrueRng(std::uint64_t seed, double input_current,
+                         double noise_current)
+    : noise_(seed), inputCurrent_(input_current),
+      noiseCurrent_(noise_current)
+{
+    assert(noise_current > 0.0);
+}
+
+double
+AqfpTrueRng::probabilityOfOne() const
+{
+    // Standard normal CDF via erfc for numerical stability in the tails.
+    const double z = inputCurrent_ / noiseCurrent_;
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+bool
+AqfpTrueRng::nextBit()
+{
+    return noise_.nextDouble() < probabilityOfOne();
+}
+
+std::uint64_t
+AqfpTrueRng::nextWord()
+{
+    if (inputCurrent_ == 0.0)
+        return noise_.nextWord(); // unbiased: every bit is a fair coin
+    std::uint64_t w = 0;
+    for (int b = 0; b < 64; ++b) {
+        if (nextBit())
+            w |= 1ULL << b;
+    }
+    return w;
+}
+
+} // namespace aqfpsc::sc

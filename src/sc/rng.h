@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Random sources used throughout the framework.
+ *
+ * Three generators are provided:
+ *  - Xoshiro256StarStar: fast, high-quality software PRNG used for test
+ *    vector generation and Monte-Carlo experiments.
+ *  - Lfsr: the Fibonacci linear-feedback shift register that CMOS SC
+ *    designs use as a pseudo-RNG inside their SNGs (the baseline).
+ *  - AqfpTrueRng: behavioural model of the paper's 2-JJ true RNG --- an
+ *    AQFP buffer with zero input current resolves each cycle to 0 or 1
+ *    according to thermal noise (Fig. 7).  The model exposes the input
+ *    current bias so the Fig. 7(b) output-distribution sweep can be
+ *    reproduced: P(out = 1) = Phi(i_in / i_noise) where Phi is the
+ *    standard normal CDF.
+ */
+
+#ifndef AQFPSC_SC_RNG_H
+#define AQFPSC_SC_RNG_H
+
+#include <cstdint>
+
+namespace aqfpsc::sc {
+
+/**
+ * Interface for a source of uniform random bits/words.
+ */
+class RandomSource
+{
+  public:
+    virtual ~RandomSource() = default;
+
+    /** Next uniform 64-bit word. */
+    virtual std::uint64_t nextWord() = 0;
+
+    /** Next uniform bit. */
+    virtual bool nextBit() { return nextWord() & 1ULL; }
+
+    /** Next uniform value in [0, 2^bits). @p bits must be in [1, 64]. */
+    std::uint64_t nextBits(int bits);
+
+    /** Next double uniform in [0, 1). */
+    double nextDouble();
+};
+
+/**
+ * xoshiro256** 1.0 (Blackman & Vigna).  Small state, excellent statistical
+ * quality; the workhorse PRNG of this repository.
+ */
+class Xoshiro256StarStar : public RandomSource
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    std::uint64_t nextWord() override;
+
+    /** Jump function: advance by 2^128 steps (for independent substreams). */
+    void jump();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Fibonacci LFSR with maximal-length taps, modelling the pseudo-RNG of
+ * CMOS stochastic number generators.  Supports widths 3..32.
+ *
+ * Note the well-known SC caveat that LFSR streams are only pseudo-random
+ * and correlate when shared; the AQFP true RNG removes this limitation.
+ */
+class Lfsr : public RandomSource
+{
+  public:
+    /**
+     * @param width Register width in bits (3..32).
+     * @param seed Non-zero initial state (zero is mapped to 1).
+     */
+    explicit Lfsr(int width, std::uint32_t seed = 1);
+
+    /** Advance one step and return the new @c width -bit state. */
+    std::uint32_t nextState();
+
+    /** Register width in bits. */
+    int width() const { return width_; }
+
+    std::uint64_t nextWord() override;
+
+  private:
+    int width_;
+    std::uint32_t state_;
+    std::uint32_t tapMask_;
+};
+
+/**
+ * Behavioural model of the 1-bit AQFP true RNG (an AQFP buffer whose input
+ * current is nominally zero, Fig. 7 of the paper).
+ *
+ * Each excitation cycle the double-JJ SQUID settles into the left or right
+ * well; with zero input the choice is decided by thermal noise and is an
+ * independent fair coin flip.  A non-zero input current biases the outcome,
+ * modelled as P(1) = Phi(inputCurrent / noiseCurrent).
+ *
+ * Hardware cost: 2 JJs, one clock phase -- accounted in aqfp::CellLibrary.
+ */
+class AqfpTrueRng : public RandomSource
+{
+  public:
+    /**
+     * @param seed Seed for the underlying noise process model.
+     * @param input_current Input bias current (same unit as noise current).
+     * @param noise_current Thermal noise RMS current; must be > 0.
+     */
+    explicit AqfpTrueRng(std::uint64_t seed = 1, double input_current = 0.0,
+                         double noise_current = 1.0);
+
+    /** Set the input bias current (Fig. 7(b) sweeps this). */
+    void setInputCurrent(double i) { inputCurrent_ = i; }
+
+    /** Probability of emitting 1 in a cycle, Phi(i_in / i_noise). */
+    double probabilityOfOne() const;
+
+    bool nextBit() override;
+
+    /** 64 successive RNG cycles packed into one word. */
+    std::uint64_t nextWord() override;
+
+  private:
+    Xoshiro256StarStar noise_;
+    double inputCurrent_;
+    double noiseCurrent_;
+};
+
+} // namespace aqfpsc::sc
+
+#endif // AQFPSC_SC_RNG_H

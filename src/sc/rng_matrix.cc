@@ -1,0 +1,89 @@
+#include "rng_matrix.h"
+
+#include <cassert>
+
+namespace aqfpsc::sc {
+
+RngMatrix::RngMatrix(int n, std::uint64_t seed) : n_(n)
+{
+    assert(n >= 2 && n <= 64);
+    units_.reserve(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n * n; ++i)
+        units_.emplace_back(seed + static_cast<std::uint64_t>(i) * 0x9E37ULL);
+    rowBits_.assign(static_cast<std::size_t>(n), 0);
+    step();
+}
+
+void
+RngMatrix::step()
+{
+    for (int r = 0; r < n_; ++r) {
+        std::uint64_t row = 0;
+        for (int c = 0; c < n_; ++c) {
+            if (units_[static_cast<std::size_t>(r) * n_ + c].nextBit())
+                row |= 1ULL << c;
+        }
+        rowBits_[static_cast<std::size_t>(r)] = row;
+    }
+}
+
+bool
+RngMatrix::bit(int row, int col) const
+{
+    assert(row >= 0 && row < n_ && col >= 0 && col < n_);
+    return (rowBits_[static_cast<std::size_t>(row)] >> col) & 1ULL;
+}
+
+std::uint64_t
+RngMatrix::output(int idx) const
+{
+    assert(idx >= 0 && idx < numOutputs());
+    const int kind = idx / n_;
+    const int k = idx % n_;
+    std::uint64_t v = 0;
+    switch (kind) {
+      case 0: // row k, bit b = unit (k, b)
+        return rowBits_[static_cast<std::size_t>(k)];
+      case 1: // column k, bit b = unit (b, k)
+        for (int b = 0; b < n_; ++b) {
+            if (bit(b, k))
+                v |= 1ULL << b;
+        }
+        return v;
+      case 2: // diagonal k, bit b = unit (b, (b + k) mod N)
+        for (int b = 0; b < n_; ++b) {
+            if (bit(b, (b + k) % n_))
+                v |= 1ULL << b;
+        }
+        return v;
+      default: // anti-diagonal k, bit b = unit (b, (k - b) mod N)
+        for (int b = 0; b < n_; ++b) {
+            if (bit(b, ((k - b) % n_ + n_) % n_))
+                v |= 1ULL << b;
+        }
+        return v;
+    }
+}
+
+std::vector<int>
+RngMatrix::unitsOf(int idx) const
+{
+    assert(idx >= 0 && idx < numOutputs());
+    const int kind = idx / n_;
+    const int k = idx % n_;
+    std::vector<int> units;
+    units.reserve(static_cast<std::size_t>(n_));
+    for (int b = 0; b < n_; ++b) {
+        int r = 0, c = 0;
+        switch (kind) {
+          case 0: r = k; c = b; break;
+          case 1: r = b; c = k; break;
+          case 2: r = b; c = (b + k) % n_; break;
+          default: r = b; c = ((k - b) % n_ + n_) % n_; break;
+        }
+        units.push_back(r * n_ + c);
+    }
+    return units;
+}
+
+} // namespace aqfpsc::sc

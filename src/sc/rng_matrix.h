@@ -1,0 +1,76 @@
+/**
+ * @file
+ * True-RNG sharing matrix (Fig. 8 of the paper).
+ *
+ * An N x N array of 1-bit AQFP true RNGs produces, every clock cycle,
+ * 4N N-bit random numbers: one per row, one per column, one per (wrapping)
+ * diagonal and one per (wrapping) anti-diagonal.  Each unit RNG is thereby
+ * shared by exactly four numbers, and any two of the 4N numbers share at
+ * most one unit RNG -- hence at most one bit in common -- which keeps the
+ * cross-correlation of the generated numbers negligible while cutting the
+ * RNG hardware by 4x.
+ */
+
+#ifndef AQFPSC_SC_RNG_MATRIX_H
+#define AQFPSC_SC_RNG_MATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rng.h"
+
+namespace aqfpsc::sc {
+
+/**
+ * N x N matrix of independent 1-bit true RNG cells with four-way output
+ * sharing.  N is limited to 64 so an N-bit number fits one word; the SNG
+ * bank composes several matrices when more numbers are needed.
+ */
+class RngMatrix
+{
+  public:
+    /**
+     * @param n Matrix dimension (2..64).
+     * @param seed Seed for the unit RNG noise processes.
+     */
+    RngMatrix(int n, std::uint64_t seed);
+
+    /** Matrix dimension N. */
+    int n() const { return n_; }
+
+    /** Number of N-bit random numbers produced per cycle (4N). */
+    int numOutputs() const { return 4 * n_; }
+
+    /** Advance all N*N unit RNGs by one clock cycle. */
+    void step();
+
+    /** Raw bit of unit RNG (row, col) for the current cycle. */
+    bool bit(int row, int col) const;
+
+    /**
+     * Output number @p idx for the current cycle, an N-bit value.
+     * Outputs 0..N-1 are rows, N..2N-1 columns, 2N..3N-1 diagonals
+     * (row r, col (r+k) mod N), 3N..4N-1 anti-diagonals
+     * (row r, col (k-r) mod N).
+     */
+    std::uint64_t output(int idx) const;
+
+    /**
+     * Indices of the unit RNGs feeding output @p idx, as row*N+col, in bit
+     * order (bit b of the output comes from unit unitsOf(idx)[b]).
+     * Used by tests to verify the <=1 shared-unit property.
+     */
+    std::vector<int> unitsOf(int idx) const;
+
+    /** Total JJ cost: 2 JJs per unit RNG. */
+    int jjCount() const { return 2 * n_ * n_; }
+
+  private:
+    int n_;
+    std::vector<AqfpTrueRng> units_; ///< row-major N*N unit RNGs
+    std::vector<std::uint64_t> rowBits_; ///< current cycle, packed per row
+};
+
+} // namespace aqfpsc::sc
+
+#endif // AQFPSC_SC_RNG_MATRIX_H

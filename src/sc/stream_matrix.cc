@@ -1,0 +1,76 @@
+#include "stream_matrix.h"
+
+#include <bit>
+#include <cassert>
+
+#include "sng.h"
+
+namespace aqfpsc::sc {
+
+StreamMatrix::StreamMatrix(std::size_t rows, std::size_t len)
+    : rows_(rows), len_(len), wpr_((len + 63) / 64),
+      words_(rows * ((len + 63) / 64), 0)
+{
+}
+
+void
+StreamMatrix::fillBipolar(std::size_t r, double value, int bits,
+                          RandomSource &rng)
+{
+    assert(r < rows_);
+    const std::uint32_t code = quantizeBipolar(value, bits);
+    std::uint64_t *dst = row(r);
+    for (std::size_t w = 0; w < wpr_; ++w) {
+        std::uint64_t word = 0;
+        const std::size_t hi =
+            len_ - w * 64 < 64 ? len_ - w * 64 : 64;
+        for (std::size_t b = 0; b < hi; ++b) {
+            if (rng.nextBits(bits) < code)
+                word |= 1ULL << b;
+        }
+        dst[w] = word;
+    }
+}
+
+void
+StreamMatrix::fillNeutral(std::size_t r)
+{
+    assert(r < rows_);
+    std::uint64_t *dst = row(r);
+    for (std::size_t w = 0; w < wpr_; ++w)
+        dst[w] = 0xAAAAAAAAAAAAAAAAULL;
+    const std::size_t used = len_ % 64;
+    if (used != 0)
+        dst[wpr_ - 1] &= (1ULL << used) - 1;
+}
+
+Bitstream
+StreamMatrix::toBitstream(std::size_t r) const
+{
+    Bitstream s(len_);
+    const std::uint64_t *src = row(r);
+    for (std::size_t w = 0; w < wpr_; ++w)
+        s.setWord(w, src[w]);
+    return s;
+}
+
+std::size_t
+StreamMatrix::countOnes(std::size_t r) const
+{
+    const std::uint64_t *src = row(r);
+    std::size_t ones = 0;
+    for (std::size_t w = 0; w < wpr_; ++w)
+        ones += static_cast<std::size_t>(std::popcount(src[w]));
+    return ones;
+}
+
+double
+StreamMatrix::bipolarValue(std::size_t r) const
+{
+    assert(len_ > 0);
+    return 2.0 * static_cast<double>(countOnes(r)) /
+               static_cast<double>(len_) -
+           1.0;
+}
+
+} // namespace aqfpsc::sc

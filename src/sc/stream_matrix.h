@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Flat matrix of packed stochastic streams.
+ *
+ * Whole-network SC inference keeps hundreds of thousands of streams live
+ * (every weight of every layer); one heap allocation per Bitstream would
+ * waste memory and locality, so layers store their streams as rows of a
+ * single contiguous word buffer.
+ */
+
+#ifndef AQFPSC_SC_STREAM_MATRIX_H
+#define AQFPSC_SC_STREAM_MATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream.h"
+#include "rng.h"
+
+namespace aqfpsc::sc {
+
+/** Rows of equal-length packed bit-streams. */
+class StreamMatrix
+{
+  public:
+    StreamMatrix() = default;
+
+    /** @param rows Number of streams. @param len Stream length (cycles). */
+    StreamMatrix(std::size_t rows, std::size_t len);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t streamLen() const { return len_; }
+    std::size_t wordsPerRow() const { return wpr_; }
+
+    /** Mutable pointer to row @p r (wordsPerRow() words). */
+    std::uint64_t *row(std::size_t r) { return &words_[r * wpr_]; }
+
+    /** Const pointer to row @p r. */
+    const std::uint64_t *row(std::size_t r) const { return &words_[r * wpr_]; }
+
+    /**
+     * Fill row @p r with an SNG stream for bipolar value @p value
+     * (quantized to @p bits), drawing randomness from @p rng.
+     * Tail bits beyond streamLen() are left zero.
+     */
+    void fillBipolar(std::size_t r, double value, int bits,
+                     RandomSource &rng);
+
+    /** Fill row @p r with the neutral 0101... stream (bipolar value 0). */
+    void fillNeutral(std::size_t r);
+
+    /** Copy row @p r out as a Bitstream. */
+    Bitstream toBitstream(std::size_t r) const;
+
+    /** Number of ones in row @p r. */
+    std::size_t countOnes(std::size_t r) const;
+
+    /** Bipolar value of row @p r. */
+    double bipolarValue(std::size_t r) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t len_ = 0;
+    std::size_t wpr_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace aqfpsc::sc
+
+#endif // AQFPSC_SC_STREAM_MATRIX_H

@@ -1,0 +1,174 @@
+#include "bitonic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqfpsc::sorting {
+
+namespace {
+
+/** Largest power of two strictly less than n (n >= 2). */
+int
+greatestPowerOfTwoBelow(int n)
+{
+    int p = 1;
+    while (p * 2 < n)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+BitonicNetwork
+BitonicNetwork::sorter(int width, SortKind kind)
+{
+    assert(width >= 1);
+    BitonicNetwork net(width);
+    net.wireReady_.assign(static_cast<std::size_t>(width), 0);
+    net.buildSort(0, width, /*descending=*/true, kind);
+    return net;
+}
+
+BitonicNetwork
+BitonicNetwork::sortThenMerge(int column, int sorted_prefix, SortKind kind)
+{
+    assert(column >= 1 && sorted_prefix >= 0);
+    const int width = column + sorted_prefix;
+    BitonicNetwork net(width);
+    net.wireReady_.assign(static_cast<std::size_t>(width), 0);
+    // Ascending column followed by the descending feedback forms a bitonic
+    // sequence; a single merge then sorts the whole vector descending.
+    net.buildSort(0, column, /*descending=*/false, kind);
+    net.buildMerge(0, width, /*descending=*/true, kind);
+    return net;
+}
+
+int
+BitonicNetwork::opCount() const
+{
+    int n = 0;
+    for (const auto &stage : stages_)
+        n += static_cast<int>(stage.size());
+    return n;
+}
+
+int
+BitonicNetwork::compareCount() const
+{
+    int n = 0;
+    for (const auto &stage : stages_) {
+        for (const auto &op : stage)
+            n += op.kind == OpKind::Sort3 ? 3 : 1;
+    }
+    return n;
+}
+
+void
+BitonicNetwork::emit(SortOp op)
+{
+    int stage = wireReady_[static_cast<std::size_t>(op.a)];
+    stage = std::max(stage, wireReady_[static_cast<std::size_t>(op.b)]);
+    if (op.kind == OpKind::Sort3)
+        stage = std::max(stage, wireReady_[static_cast<std::size_t>(op.c)]);
+
+    if (stage >= static_cast<int>(stages_.size()))
+        stages_.resize(static_cast<std::size_t>(stage) + 1);
+    stages_[static_cast<std::size_t>(stage)].push_back(op);
+
+    wireReady_[static_cast<std::size_t>(op.a)] = stage + 1;
+    wireReady_[static_cast<std::size_t>(op.b)] = stage + 1;
+    if (op.kind == OpKind::Sort3)
+        wireReady_[static_cast<std::size_t>(op.c)] = stage + 1;
+}
+
+void
+BitonicNetwork::buildSort(int lo, int n, bool descending, SortKind kind)
+{
+    if (n <= 1)
+        return;
+    if (n == 2) {
+        emit({OpKind::CompareExchange, descending ? lo : lo + 1,
+              descending ? lo + 1 : lo, -1});
+        return;
+    }
+    if (n == 3 && kind == SortKind::ThreeSorterCells) {
+        // The paper's three-input sorter cell: one AND (max), one OR (min)
+        // and one majority gate (median), single stage.
+        if (descending)
+            emit({OpKind::Sort3, lo, lo + 1, lo + 2});
+        else
+            emit({OpKind::Sort3, lo + 2, lo + 1, lo});
+        return;
+    }
+    const int m = n / 2;
+    buildSort(lo, m, !descending, kind);
+    buildSort(lo + m, n - m, descending, kind);
+    buildMerge(lo, n, descending, kind);
+}
+
+void
+BitonicNetwork::buildMerge(int lo, int n, bool descending, SortKind kind)
+{
+    if (n <= 1)
+        return;
+    if (n == 3 && kind == SortKind::ThreeSorterCells) {
+        // A three-element bitonic sequence is fully sorted by one Sort3.
+        if (descending)
+            emit({OpKind::Sort3, lo, lo + 1, lo + 2});
+        else
+            emit({OpKind::Sort3, lo + 2, lo + 1, lo});
+        return;
+    }
+    const int m = greatestPowerOfTwoBelow(n);
+    for (int i = lo; i < lo + n - m; ++i) {
+        emit({OpKind::CompareExchange, descending ? i : i + m,
+              descending ? i + m : i, -1});
+    }
+    buildMerge(lo, m, descending, kind);
+    buildMerge(lo + m, n - m, descending, kind);
+}
+
+template <typename T>
+void
+BitonicNetwork::applyImpl(std::vector<T> &values) const
+{
+    assert(static_cast<int>(values.size()) == width_);
+    for (const auto &stage : stages_) {
+        for (const auto &op : stage) {
+            if (op.kind == OpKind::CompareExchange) {
+                T &x = values[static_cast<std::size_t>(op.a)];
+                T &y = values[static_cast<std::size_t>(op.b)];
+                if (x < y)
+                    std::swap(x, y);
+            } else {
+                T &x = values[static_cast<std::size_t>(op.a)];
+                T &y = values[static_cast<std::size_t>(op.b)];
+                T &z = values[static_cast<std::size_t>(op.c)];
+                if (x < y)
+                    std::swap(x, y);
+                if (y < z)
+                    std::swap(y, z);
+                if (x < y)
+                    std::swap(x, y);
+            }
+        }
+    }
+}
+
+void
+BitonicNetwork::apply(std::vector<int> &values) const
+{
+    applyImpl(values);
+}
+
+void
+BitonicNetwork::apply(std::vector<bool> &values) const
+{
+    // std::vector<bool> proxies cannot bind to T&; evaluate via ints.
+    std::vector<int> v(values.begin(), values.end());
+    applyImpl(v);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = v[i] != 0;
+}
+
+} // namespace aqfpsc::sorting

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bitonic sorting networks for arbitrary input counts.
+ *
+ * The paper's feature-extraction and pooling blocks are built around
+ * binary bitonic sorters (Sec. 4.2, Figs. 10-12).  On single-bit values a
+ * compare-exchange is just an OR (max) and an AND (min), so the whole
+ * sorter is a two-gate-per-comparator combinational network -- a perfect
+ * match for AQFP's gate-per-phase pipeline.
+ *
+ * Odd input counts are handled by the generalized bitonic network of
+ * Liszka & Batcher (the paper's reference [25]), which recursively splits
+ * any n into n/2 and n - n/2 and merges with power-of-two compare
+ * distances.  The paper's odd-input refinement (Fig. 11(c)) introduces a
+ * three-input sorter cell -- realizable in AQFP as one AND, one OR and one
+ * majority gate, all in a single clock phase; SortKind::ThreeSorterCells
+ * maps every width-3 base case of the recursion onto that cell, reducing
+ * both depth and gate count relative to pure two-input comparators.
+ *
+ * A network is a list of stages of primitive ops on a wire vector, so the
+ * same IR drives (a) a functional evaluator over arbitrary ordered values,
+ * (b) the AQFP netlist emitter in blocks/, and (c) depth/size accounting
+ * for the hardware model.
+ */
+
+#ifndef AQFPSC_SORTING_BITONIC_H
+#define AQFPSC_SORTING_BITONIC_H
+
+#include <vector>
+
+namespace aqfpsc::sorting {
+
+/** Primitive operation kinds of the sorting-network IR. */
+enum class OpKind
+{
+    CompareExchange, ///< (a, b) -> wires[a] = max, wires[b] = min
+    Sort3,           ///< (a, b, c) -> max, median, min in place
+};
+
+/** One primitive op on the wire vector. */
+struct SortOp
+{
+    OpKind kind;
+    int a = -1; ///< first wire
+    int b = -1; ///< second wire
+    int c = -1; ///< Sort3 only: third wire
+};
+
+/** Which construction to use. */
+enum class SortKind
+{
+    Generalized,      ///< pure 2-input comparators (Liszka-Batcher)
+    ThreeSorterCells, ///< width-3 base cases use the paper's Sort3 cell
+};
+
+/**
+ * A bitonic sorting network over @c width wires, descending order
+ * (wire 0 ends up holding the maximum).
+ */
+class BitonicNetwork
+{
+  public:
+    /** Build a full sorter over @p width inputs (>= 1). */
+    static BitonicNetwork sorter(int width,
+                                 SortKind kind = SortKind::Generalized);
+
+    /**
+     * Build the feedback-block network of Fig. 12: sort a fresh column of
+     * @p column wires, then bitonic-merge it with an already-sorted
+     * feedback vector of @p sorted_prefix wires.
+     *
+     * Wire layout: [0, column) = fresh column (sorted ascending so that
+     * column + feedback forms a bitonic sequence), [column, column +
+     * sorted_prefix) = feedback, already descending.  The merge emits the
+     * full vector in descending order.
+     */
+    static BitonicNetwork sortThenMerge(int column, int sorted_prefix,
+                                        SortKind kind = SortKind::Generalized);
+
+    /** Number of wires. */
+    int width() const { return width_; }
+
+    /** Stages of parallel ops (ops within a stage touch disjoint wires). */
+    const std::vector<std::vector<SortOp>> &stages() const { return stages_; }
+
+    /** Total primitive ops. */
+    int opCount() const;
+
+    /** Compare-exchange count with Sort3 weighted as 3 comparators. */
+    int compareCount() const;
+
+    /** Network depth in stages. */
+    int depth() const { return static_cast<int>(stages_.size()); }
+
+    /** Apply the network to an int vector in place (descending). */
+    void apply(std::vector<int> &values) const;
+
+    /** Apply on booleans (the binary case used by the SC blocks). */
+    void apply(std::vector<bool> &values) const;
+
+  private:
+    explicit BitonicNetwork(int width) : width_(width) {}
+
+    /** Append an op at the earliest stage where all its wires are free. */
+    void emit(SortOp op);
+
+    void buildSort(int lo, int n, bool descending, SortKind kind);
+    void buildMerge(int lo, int n, bool descending, SortKind kind);
+
+    template <typename T> void applyImpl(std::vector<T> &values) const;
+
+    int width_;
+    std::vector<std::vector<SortOp>> stages_;
+    std::vector<int> wireReady_; ///< earliest free stage per wire
+};
+
+} // namespace aqfpsc::sorting
+
+#endif // AQFPSC_SORTING_BITONIC_H

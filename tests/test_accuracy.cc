@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the Monte-Carlo accuracy measurement helpers that drive the
+ * Table 1-3 / Fig. 13 benches: metric sanity, expected scaling trends
+ * and cross-block relationships.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "blocks/accuracy.h"
+
+namespace aqfpsc::blocks {
+namespace {
+
+AccuracyConfig
+quickConfig()
+{
+    AccuracyConfig cfg;
+    cfg.trials = 40;
+    return cfg;
+}
+
+TEST(FeatureExtractionError, FallsWithStreamLength)
+{
+    const auto cfg = quickConfig();
+    const double short_err = measureFeatureExtractionError(9, 128, cfg);
+    const double long_err = measureFeatureExtractionError(9, 2048, cfg);
+    EXPECT_LT(long_err, short_err);
+}
+
+TEST(FeatureExtractionError, FittedReferenceBelowClipReference)
+{
+    // In the active region the block tracks tanh(0.8 z), so measuring
+    // against the fitted curve must give a smaller error than against
+    // the ideal clip.
+    const auto cfg = quickConfig();
+    const double vs_clip = measureFeatureExtractionError(
+        25, 1024, cfg, FeatureReference::ClippedSum);
+    const double vs_fit = measureFeatureExtractionError(
+        25, 1024, cfg, FeatureReference::FittedTanh);
+    EXPECT_LT(vs_fit, vs_clip);
+}
+
+TEST(FeatureExtractionError, FullRangeWeightsInPaperBand)
+{
+    AccuracyConfig cfg = quickConfig();
+    cfg.weightScale = 1.0;
+    const double err = measureFeatureExtractionError(9, 1024, cfg);
+    EXPECT_GT(err, 0.01);
+    EXPECT_LT(err, 0.35);
+}
+
+TEST(PoolingError, FallsWithStreamLengthAndInputSize)
+{
+    const auto cfg = quickConfig();
+    const double short_err = measurePoolingError(4, 128, cfg);
+    const double long_err = measurePoolingError(4, 2048, cfg);
+    EXPECT_LT(long_err, short_err);
+    const double big_block = measurePoolingError(36, 1024, cfg);
+    const double small_block = measurePoolingError(4, 1024, cfg);
+    EXPECT_LT(big_block, small_block);
+}
+
+TEST(PoolingError, WellBelowFeatureExtractionError)
+{
+    const auto cfg = quickConfig();
+    EXPECT_LT(measurePoolingError(9, 1024, cfg),
+              0.5 * measureFeatureExtractionError(9, 1024, cfg));
+}
+
+TEST(CategorizationError, FallsWithStreamLength)
+{
+    AccuracyConfig cfg = quickConfig();
+    cfg.trials = 10;
+    const auto errs =
+        measureCategorizationErrorRow(100, {128, 2048}, 10, 4096, cfg);
+    ASSERT_EQ(errs.size(), 2u);
+    EXPECT_LT(errs[1], errs[0]);
+    EXPECT_LT(errs[1], 0.05);
+}
+
+TEST(CategorizationFlipMargin, BoundedAndPresentForRandomWeights)
+{
+    AccuracyConfig cfg = quickConfig();
+    cfg.trials = 10;
+    const auto margins =
+        measureCategorizationFlipMargin(100, {512}, 10, cfg);
+    ASSERT_EQ(margins.size(), 1u);
+    EXPECT_GE(margins[0], 0.0);
+    EXPECT_LE(margins[0], 1.0);
+}
+
+TEST(ActivationShape, MonotoneAndSaturating)
+{
+    AccuracyConfig cfg = quickConfig();
+    cfg.trials = 10;
+    const auto curve = measureActivationShape(9, 2048, -3.0, 3.0, 13, cfg);
+    ASSERT_EQ(curve.size(), 13u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i].first, curve[i - 1].first);
+        EXPECT_GE(curve[i].second, curve[i - 1].second - 0.08);
+    }
+    EXPECT_LT(curve.front().second, -0.9);
+    EXPECT_GT(curve.back().second, 0.9);
+    // Near zero the response passes through zero.
+    EXPECT_NEAR(curve[6].second, 0.0, 0.12);
+}
+
+TEST(ActivationShape, TracksFittedTanh)
+{
+    AccuracyConfig cfg = quickConfig();
+    cfg.trials = 15;
+    const auto curve = measureActivationShape(25, 4096, -2.5, 2.5, 11, cfg);
+    for (const auto &[z, v] : curve)
+        EXPECT_NEAR(v, std::tanh(0.8 * z), 0.08) << "z=" << z;
+}
+
+} // namespace
+} // namespace aqfpsc::blocks

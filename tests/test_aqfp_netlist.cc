@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for the AQFP cell library, netlist and simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aqfp/arith.h"
+#include "aqfp/cell.h"
+#include "aqfp/export.h"
+#include "aqfp/netlist.h"
+#include "aqfp/passes.h"
+#include "aqfp/simulator.h"
+#include "sc/rng.h"
+
+namespace aqfpsc::aqfp {
+namespace {
+
+TEST(Cell, JjCounts)
+{
+    // Minimalist cell library accounting (Sec. 2.1 / Takeuchi 2015).
+    EXPECT_EQ(jjCount(CellType::Input), 0);
+    EXPECT_EQ(jjCount(CellType::Buffer), 2);
+    EXPECT_EQ(jjCount(CellType::Inverter), 2);
+    EXPECT_EQ(jjCount(CellType::Const0), 2);
+    EXPECT_EQ(jjCount(CellType::Const1), 2);
+    EXPECT_EQ(jjCount(CellType::Splitter), 4);
+    // A 3-input majority costs the same as 2-input AND/OR (Sec. 4.4).
+    EXPECT_EQ(jjCount(CellType::Maj3), 6);
+    EXPECT_EQ(jjCount(CellType::And2), jjCount(CellType::Maj3));
+    EXPECT_EQ(jjCount(CellType::Or2), jjCount(CellType::Maj3));
+}
+
+TEST(Cell, FaninCounts)
+{
+    EXPECT_EQ(faninCount(CellType::Input), 0);
+    EXPECT_EQ(faninCount(CellType::Const0), 0);
+    EXPECT_EQ(faninCount(CellType::Buffer), 1);
+    EXPECT_EQ(faninCount(CellType::Splitter), 1);
+    EXPECT_EQ(faninCount(CellType::And2), 2);
+    EXPECT_EQ(faninCount(CellType::Maj3), 3);
+}
+
+TEST(Cell, FanoutCapacity)
+{
+    // Only splitters may drive more than one consumer in AQFP.
+    EXPECT_EQ(fanoutCapacity(CellType::Splitter), 2);
+    EXPECT_EQ(fanoutCapacity(CellType::Buffer), 1);
+    EXPECT_EQ(fanoutCapacity(CellType::Maj3), 1);
+}
+
+TEST(Cell, EvalTruthTables)
+{
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            EXPECT_EQ(evalCell(CellType::And2, a, b, false), a && b);
+            EXPECT_EQ(evalCell(CellType::Or2, a, b, false), a || b);
+            EXPECT_EQ(evalCell(CellType::Nand2, a, b, false), !(a && b));
+            EXPECT_EQ(evalCell(CellType::Nor2, a, b, false), !(a || b));
+            for (int c = 0; c < 2; ++c) {
+                EXPECT_EQ(evalCell(CellType::Maj3, a, b, c),
+                          a + b + c >= 2);
+            }
+        }
+        EXPECT_EQ(evalCell(CellType::Buffer, a, false, false), a);
+        EXPECT_EQ(evalCell(CellType::Inverter, a, false, false), !a);
+        EXPECT_EQ(evalCell(CellType::Splitter, a, false, false), a);
+    }
+    EXPECT_FALSE(evalCell(CellType::Const0, false, false, false));
+    EXPECT_TRUE(evalCell(CellType::Const1, false, false, false));
+}
+
+TEST(Netlist, BuildAndCheck)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    const NodeId g = n.addGate(CellType::And2, a, b);
+    n.markOutput(g);
+    EXPECT_EQ(n.size(), 3u);
+    EXPECT_EQ(n.inputs().size(), 2u);
+    EXPECT_EQ(n.outputs().size(), 1u);
+    EXPECT_TRUE(n.check());
+    EXPECT_EQ(n.jjCount(), 6);
+    EXPECT_EQ(n.depth(), 1);
+}
+
+TEST(Netlist, XnorMacroTruthTable)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    n.markOutput(n.addXnor(a, b));
+    ASSERT_TRUE(n.check());
+    for (int va = 0; va < 2; ++va) {
+        for (int vb = 0; vb < 2; ++vb) {
+            const auto out =
+                evalCombinational(n, {va != 0, vb != 0});
+            ASSERT_EQ(out.size(), 1u);
+            EXPECT_EQ(out[0], va == vb) << va << "," << vb;
+        }
+    }
+}
+
+TEST(Netlist, NegatedInputs)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    // AND(~a, b)
+    n.markOutput(n.addGateNeg(CellType::And2, a, true, b, false));
+    EXPECT_TRUE(evalCombinational(n, {false, true})[0]);
+    EXPECT_FALSE(evalCombinational(n, {true, true})[0]);
+}
+
+TEST(Netlist, ConstantsDoNotConstrainDepth)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId c = n.addConst(true);
+    const NodeId g1 = n.addGate(CellType::And2, a, c);
+    const NodeId g2 = n.addGate(CellType::And2, g1, c);
+    n.markOutput(g2);
+    EXPECT_EQ(n.depth(), 2);
+    const auto lvl = n.levels();
+    EXPECT_EQ(lvl[static_cast<std::size_t>(c)], 0);
+    EXPECT_EQ(lvl[static_cast<std::size_t>(g2)], 2);
+}
+
+TEST(Netlist, FanoutCounts)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId g1 = n.addGate(CellType::Buffer, a);
+    n.addGate(CellType::And2, a, g1); // unused output on purpose
+    n.markOutput(g1);
+    const auto fo = n.fanoutCounts();
+    EXPECT_EQ(fo[static_cast<std::size_t>(a)], 2);  // buffer + and
+    EXPECT_EQ(fo[static_cast<std::size_t>(g1)], 2); // and + output
+}
+
+TEST(Netlist, CheckRejectsMissingFanin)
+{
+    Netlist n;
+    n.addInput();
+    // Manually corrupt: gate with forward reference is impossible through
+    // the API, so validate the diagnostics path via an output id check.
+    std::string err;
+    EXPECT_TRUE(n.check(&err));
+}
+
+TEST(Simulator, CombinationalMajority)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    const NodeId c = n.addInput();
+    n.markOutput(n.addGate(CellType::Maj3, a, b, c));
+    for (int pattern = 0; pattern < 8; ++pattern) {
+        const bool va = pattern & 1, vb = pattern & 2, vc = pattern & 4;
+        const auto out = evalCombinational(n, {va, vb, vc});
+        EXPECT_EQ(out[0], (va + vb + vc) >= 2);
+    }
+}
+
+TEST(Simulator, PhaseAccurateDelayOnChain)
+{
+    // A 3-buffer chain delays the input wave by 3 ticks.
+    Netlist n;
+    const NodeId a = n.addInput();
+    NodeId cur = a;
+    for (int i = 0; i < 3; ++i)
+        cur = n.addGate(CellType::Buffer, cur);
+    n.markOutput(cur);
+
+    PhaseAccurateSimulator sim(n);
+    const std::vector<bool> wave = {true, false, true,  true,
+                                    false, false, true, false};
+    std::vector<bool> seen;
+    for (bool bit : wave)
+        seen.push_back(sim.tick({bit})[0]);
+    // After the 3-tick fill, outputs replay the input.
+    for (std::size_t i = 3; i < wave.size(); ++i)
+        EXPECT_EQ(seen[i], wave[i - 3]) << "tick " << i;
+}
+
+TEST(Simulator, ConstantsAvailableFromFirstTick)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId c1 = n.addConst(true);
+    n.markOutput(n.addGate(CellType::And2, a, c1));
+    PhaseAccurateSimulator sim(n);
+    sim.tick({true}); // wave enters the input register
+    // One gate level later the AND sees the first wave AND const 1 --
+    // which requires the constant to be live already at tick 1.
+    EXPECT_TRUE(sim.tick({true})[0]);
+}
+
+TEST(Simulator, ResetClearsState)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    n.markOutput(n.addGate(CellType::Buffer, a));
+    PhaseAccurateSimulator sim(n);
+    sim.tick({true});
+    EXPECT_TRUE(sim.tick({false})[0]);
+    sim.reset();
+    EXPECT_FALSE(sim.tick({false})[0]);
+}
+
+TEST(Arith, XorMacroTruthTable)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    n.markOutput(addXor(n, a, b));
+    for (int va = 0; va < 2; ++va) {
+        for (int vb = 0; vb < 2; ++vb) {
+            EXPECT_EQ(evalCombinational(n, {va != 0, vb != 0})[0],
+                      va != vb);
+        }
+    }
+}
+
+TEST(Arith, RippleCarryAdderExhaustive)
+{
+    const int bits = 5;
+    const Netlist adder = buildRippleCarryAdder(bits);
+    ASSERT_TRUE(adder.check());
+    for (int a = 0; a < (1 << bits); ++a) {
+        for (int b = 0; b < (1 << bits); ++b) {
+            std::vector<bool> in;
+            for (int i = 0; i < bits; ++i)
+                in.push_back((a >> i) & 1);
+            for (int i = 0; i < bits; ++i)
+                in.push_back((b >> i) & 1);
+            const auto out = evalCombinational(adder, in);
+            int sum = 0;
+            for (int i = 0; i <= bits; ++i)
+                sum |= (out[static_cast<std::size_t>(i)] ? 1 : 0) << i;
+            ASSERT_EQ(sum, a + b) << a << "+" << b;
+        }
+    }
+}
+
+TEST(Arith, LegalizedAdderStillAdds)
+{
+    const int bits = 8;
+    const Netlist adder = legalize(buildRippleCarryAdder(bits));
+    std::string err;
+    ASSERT_TRUE(checkLegalized(adder, &err)) << err;
+    sc::Xoshiro256StarStar rng(11);
+    for (int t = 0; t < 200; ++t) {
+        const int a = static_cast<int>(rng.nextBits(bits));
+        const int b = static_cast<int>(rng.nextBits(bits));
+        std::vector<bool> in;
+        for (int i = 0; i < bits; ++i)
+            in.push_back((a >> i) & 1);
+        for (int i = 0; i < bits; ++i)
+            in.push_back((b >> i) & 1);
+        const auto out = evalCombinational(adder, in);
+        int sum = 0;
+        for (int i = 0; i <= bits; ++i)
+            sum |= (out[static_cast<std::size_t>(i)] ? 1 : 0) << i;
+        ASSERT_EQ(sum, a + b);
+    }
+}
+
+TEST(Arith, AdderDepthGrowsLinearly)
+{
+    // The ripple carry forces O(n) depth -- the RAW-stall motivation.
+    const int d8 = legalize(buildRippleCarryAdder(8)).depth();
+    const int d16 = legalize(buildRippleCarryAdder(16)).depth();
+    EXPECT_GT(d16, d8 + 4);
+}
+
+TEST(Export, VerilogContainsStructure)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    n.markOutput(n.addGateNeg(CellType::And2, a, true, b, false));
+    const std::string v = toVerilog(n, "test_mod");
+    EXPECT_NE(v.find("module test_mod"), std::string::npos);
+    EXPECT_NE(v.find("AQFP_AND2"), std::string::npos);
+    EXPECT_NE(v.find("AQFP_INV"), std::string::npos); // polarity flag
+    EXPECT_NE(v.find("assign po0"), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Export, VerilogHandlesConstantsAndMajority)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId c1 = n.addConst(true);
+    n.markOutput(n.addGate(CellType::Maj3, a, c1, n.addConst(false)));
+    const std::string v = toVerilog(n, "m");
+    EXPECT_NE(v.find("1'b1"), std::string::npos);
+    EXPECT_NE(v.find("1'b0"), std::string::npos);
+    EXPECT_NE(v.find("AQFP_MAJ3"), std::string::npos);
+}
+
+TEST(Export, DotContainsEdges)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    n.markOutput(n.addGateNeg(CellType::Buffer, a, true, kNoNode, false));
+    const std::string d = toDot(n, "g");
+    EXPECT_NE(d.find("digraph g"), std::string::npos);
+    EXPECT_NE(d.find("n0 -> n1"), std::string::npos);
+    EXPECT_NE(d.find("style=dashed"), std::string::npos); // negated edge
+    EXPECT_NE(d.find("po0"), std::string::npos);
+}
+
+TEST(Export, WholeBlockExportsWithoutBlowup)
+{
+    const Netlist block =
+        legalize(buildRippleCarryAdder(8));
+    const std::string v = toVerilog(block, "adder8");
+    // One instance per gate (minus inputs/constants) plus the library.
+    EXPECT_GT(v.size(), 1000u);
+    EXPECT_NE(v.find("AQFP_MAJ3"), std::string::npos);
+}
+
+} // namespace
+} // namespace aqfpsc::aqfp

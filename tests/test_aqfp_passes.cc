@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit and fuzz tests for the AQFP physical-design passes.
+ *
+ * The central property is functional equivalence: majority synthesis,
+ * splitter insertion and path balancing must never change a netlist's
+ * combinational function.  Random DAGs provide the fuzzing substrate.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aqfp/energy_model.h"
+#include "aqfp/netlist.h"
+#include "aqfp/passes.h"
+#include "aqfp/simulator.h"
+#include "sc/rng.h"
+
+namespace aqfpsc::aqfp {
+namespace {
+
+/** Build a random DAG netlist with the given number of inputs and gates. */
+Netlist
+randomNetlist(int n_inputs, int n_gates, std::uint64_t seed)
+{
+    sc::Xoshiro256StarStar rng(seed);
+    Netlist n;
+    std::vector<NodeId> pool;
+    for (int i = 0; i < n_inputs; ++i)
+        pool.push_back(n.addInput());
+    pool.push_back(n.addConst(false));
+    pool.push_back(n.addConst(true));
+
+    const CellType kinds[] = {CellType::Buffer, CellType::Inverter,
+                              CellType::And2, CellType::Or2,
+                              CellType::Nand2, CellType::Nor2,
+                              CellType::Maj3};
+    for (int g = 0; g < n_gates; ++g) {
+        const CellType type =
+            kinds[rng.nextWord() % (sizeof(kinds) / sizeof(kinds[0]))];
+        auto pick = [&] {
+            return pool[static_cast<std::size_t>(
+                rng.nextWord() % pool.size())];
+        };
+        const int fanins = faninCount(type);
+        const NodeId id = n.addGateNeg(
+            type, pick(), rng.nextBit(),
+            fanins > 1 ? pick() : kNoNode, fanins > 1 && rng.nextBit(),
+            fanins > 2 ? pick() : kNoNode, fanins > 2 && rng.nextBit());
+        pool.push_back(id);
+    }
+    // Mark the last few nodes as outputs.
+    for (int i = 0; i < 4 && i < static_cast<int>(pool.size()); ++i)
+        n.markOutput(pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+    return n;
+}
+
+/** Evaluate outputs for every input pattern (n_inputs <= 12). */
+std::vector<std::vector<bool>>
+truthTable(const Netlist &n)
+{
+    const int n_inputs = static_cast<int>(n.inputs().size());
+    std::vector<std::vector<bool>> table;
+    for (int pattern = 0; pattern < (1 << n_inputs); ++pattern) {
+        std::vector<bool> in(static_cast<std::size_t>(n_inputs));
+        for (int i = 0; i < n_inputs; ++i)
+            in[static_cast<std::size_t>(i)] = (pattern >> i) & 1;
+        table.push_back(evalCombinational(n, in));
+    }
+    return table;
+}
+
+class PassFuzzTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PassFuzzTest, MajoritySynthesisPreservesFunction)
+{
+    const Netlist before = randomNetlist(6, 40, GetParam());
+    const Netlist after = majoritySynthesis(before);
+    ASSERT_TRUE(after.check());
+    EXPECT_EQ(truthTable(before), truthTable(after));
+}
+
+TEST_P(PassFuzzTest, MajoritySynthesisNeverGrowsJj)
+{
+    const Netlist before = randomNetlist(6, 40, GetParam());
+    PassStats stats;
+    const Netlist after = majoritySynthesis(before, &stats);
+    EXPECT_LE(after.jjCount(), before.jjCount());
+    EXPECT_EQ(stats.jjAfter, after.jjCount());
+}
+
+TEST_P(PassFuzzTest, InsertSplittersPreservesFunctionAndLegalizesFanout)
+{
+    const Netlist before = randomNetlist(5, 30, GetParam());
+    const Netlist after = insertSplitters(before);
+    ASSERT_TRUE(after.check());
+    EXPECT_EQ(truthTable(before), truthTable(after));
+    const auto fanout = after.fanoutCounts();
+    for (std::size_t id = 0; id < after.size(); ++id) {
+        EXPECT_LE(fanout[id],
+                  fanoutCapacity(after.gate(static_cast<NodeId>(id)).type));
+    }
+}
+
+TEST_P(PassFuzzTest, FullLegalizePreservesFunctionAndRules)
+{
+    const Netlist before = randomNetlist(5, 30, GetParam());
+    const Netlist after = legalize(before);
+    ASSERT_TRUE(after.check());
+    EXPECT_EQ(truthTable(before), truthTable(after));
+    std::string err;
+    EXPECT_TRUE(checkLegalized(after, &err)) << err;
+}
+
+TEST_P(PassFuzzTest, LegalizedStreamsAtFullRate)
+{
+    // The deep-pipelining property: a balanced netlist accepts a new
+    // input wave every tick and reproduces the combinational function
+    // with a fixed latency -- the property that makes SC viable on AQFP.
+    const Netlist before = randomNetlist(4, 20, GetParam());
+    const Netlist after = legalize(before);
+    const int depth = after.depth();
+
+    PhaseAccurateSimulator sim(after);
+    sc::Xoshiro256StarStar rng(GetParam() * 31 + 7);
+    std::vector<std::vector<bool>> waves;
+    std::vector<std::vector<bool>> outputs;
+    const int n_ticks = depth + 32;
+    for (int t = 0; t < n_ticks; ++t) {
+        std::vector<bool> in(after.inputs().size());
+        for (std::size_t i = 0; i < in.size(); ++i)
+            in[i] = rng.nextBit();
+        waves.push_back(in);
+        outputs.push_back(sim.tick(in));
+    }
+    for (int t = depth; t < n_ticks; ++t) {
+        EXPECT_EQ(outputs[static_cast<std::size_t>(t)],
+                  evalCombinational(after,
+                                    waves[static_cast<std::size_t>(t - depth)]))
+            << "tick " << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST_P(PassFuzzTest, CaterpillarSplittersAlsoLegalAndEquivalent)
+{
+    const Netlist before = randomNetlist(5, 30, GetParam() + 100);
+    const Netlist after = legalize(before, true, nullptr,
+                                   SplitterShape::Caterpillar);
+    ASSERT_TRUE(after.check());
+    EXPECT_EQ(truthTable(before), truthTable(after));
+    std::string err;
+    EXPECT_TRUE(checkLegalized(after, &err)) << err;
+}
+
+TEST(MajoritySynthesis, DoubleInverterEliminated)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId i1 = n.addGate(CellType::Inverter, a);
+    const NodeId i2 = n.addGate(CellType::Inverter, i1);
+    n.markOutput(i2);
+    const Netlist after = majoritySynthesis(n);
+    // Both inverters vanish: output is the input itself.
+    EXPECT_EQ(after.jjCount(), 0);
+    EXPECT_EQ(after.outputs()[0], after.inputs()[0]);
+}
+
+TEST(MajoritySynthesis, ConstantFolding)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId c0 = n.addConst(false);
+    const NodeId c1 = n.addConst(true);
+    n.markOutput(n.addGate(CellType::And2, a, c0));  // -> 0
+    n.markOutput(n.addGate(CellType::And2, a, c1));  // -> a
+    n.markOutput(n.addGate(CellType::Or2, a, c1));   // -> 1
+    n.markOutput(n.addGate(CellType::Maj3, a, a, c0)); // -> a
+    const Netlist after = majoritySynthesis(n);
+    // No logic gates survive; only materialized output constants.
+    EXPECT_EQ(after.countType(CellType::And2), 0);
+    EXPECT_EQ(after.countType(CellType::Or2), 0);
+    EXPECT_EQ(after.countType(CellType::Maj3), 0);
+    EXPECT_EQ(truthTable(n), truthTable(after));
+}
+
+TEST(MajoritySynthesis, CommonSubexpressionShared)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    const NodeId g1 = n.addGate(CellType::And2, a, b);
+    const NodeId g2 = n.addGate(CellType::And2, b, a); // commuted duplicate
+    n.markOutput(n.addGate(CellType::Or2, g1, g2));
+    const Netlist after = majoritySynthesis(n);
+    // And(a,b) == And(b,a) shares one gate; Or(x,x) collapses to x.
+    EXPECT_EQ(after.countType(CellType::And2), 1);
+    EXPECT_EQ(after.countType(CellType::Or2), 0);
+    EXPECT_EQ(truthTable(n), truthTable(after));
+}
+
+TEST(MajoritySynthesis, NandNorBecomePolarity)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    const NodeId g = n.addGate(CellType::Nand2, a, b);
+    n.markOutput(n.addGate(CellType::And2, g, a));
+    const Netlist after = majoritySynthesis(n);
+    EXPECT_EQ(after.countType(CellType::Nand2), 0);
+    EXPECT_EQ(truthTable(n), truthTable(after));
+}
+
+TEST(MajoritySynthesis, InverterAbsorbedIntoConsumer)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    const NodeId inv = n.addGate(CellType::Inverter, a);
+    n.markOutput(n.addGate(CellType::And2, inv, b));
+    const Netlist after = majoritySynthesis(n);
+    EXPECT_EQ(after.countType(CellType::Inverter), 0);
+    EXPECT_EQ(truthTable(n), truthTable(after));
+}
+
+TEST(InsertSplitters, BalancedTreeDepth)
+{
+    // Fanout 8 from one input: 7 splitters in a 3-level balanced tree.
+    Netlist n;
+    const NodeId a = n.addInput();
+    std::vector<NodeId> sinks;
+    for (int i = 0; i < 8; ++i)
+        n.markOutput(n.addGate(CellType::Buffer, a));
+    PassStats stats;
+    const Netlist after = insertSplitters(n, &stats);
+    EXPECT_EQ(stats.splittersInserted, 7);
+    // Depth grows by the 3 splitter levels.
+    EXPECT_EQ(after.depth(), n.depth() + 3);
+}
+
+TEST(InsertSplitters, NoChangeWithoutFanout)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    n.markOutput(n.addGate(CellType::Buffer, a));
+    PassStats stats;
+    const Netlist after = insertSplitters(n, &stats);
+    EXPECT_EQ(stats.splittersInserted, 0);
+    EXPECT_EQ(after.size(), n.size());
+}
+
+TEST(BalancePaths, InsertsBuffersOnShortPath)
+{
+    // b reaches the AND directly while a goes through two buffers: the
+    // pass must pad b's edge with two buffers.
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId b = n.addInput();
+    const NodeId a1 = n.addGate(CellType::Buffer, a);
+    const NodeId a2 = n.addGate(CellType::Buffer, a1);
+    n.markOutput(n.addGate(CellType::And2, a2, b));
+    PassStats stats;
+    const Netlist after = balancePaths(n, true, &stats);
+    EXPECT_EQ(stats.buffersInserted, 2);
+    std::string err;
+    EXPECT_TRUE(checkLegalized(legalize(n), &err)) << err;
+}
+
+TEST(BalancePaths, AlignsOutputs)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    const NodeId deep = n.addGate(
+        CellType::Buffer, n.addGate(CellType::Buffer, a));
+    const NodeId shallow = n.addGate(CellType::Inverter, a);
+    n.markOutput(deep);
+    n.markOutput(shallow);
+    const Netlist after = balancePaths(n, true);
+    const auto lvl = after.levels();
+    EXPECT_EQ(lvl[static_cast<std::size_t>(after.outputs()[0])],
+              lvl[static_cast<std::size_t>(after.outputs()[1])]);
+}
+
+TEST(BalancePaths, PhasesAssigned)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    n.markOutput(n.addGate(CellType::Buffer,
+                           n.addGate(CellType::Buffer, a)));
+    const Netlist after = balancePaths(n);
+    for (std::size_t id = 0; id < after.size(); ++id)
+        EXPECT_GE(after.gate(static_cast<NodeId>(id)).phase, 0);
+}
+
+TEST(EnergyModel, AnalyzeSimpleChain)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    NodeId cur = a;
+    for (int i = 0; i < 4; ++i)
+        cur = n.addGate(CellType::Buffer, cur);
+    n.markOutput(cur);
+    const AqfpTechnology tech;
+    const HardwareCost cost = analyzeNetlist(n, tech);
+    EXPECT_EQ(cost.jj, 8);
+    EXPECT_EQ(cost.depthPhases, 4);
+    // 4 buffers at 10 zJ per buffer-cycle.
+    EXPECT_NEAR(cost.energyPerCycleJ, 4e-20, 1e-25);
+    EXPECT_NEAR(cost.latencySeconds, 4 * 0.2e-9, 1e-15);
+    EXPECT_NEAR(cost.energyPerStreamJ(1024), 4e-20 * 1024, 1e-22);
+}
+
+TEST(EnergyModel, TechnologyDerivedQuantities)
+{
+    AqfpTechnology tech;
+    EXPECT_NEAR(tech.cycleSeconds(), 0.2e-9, 1e-15);
+    EXPECT_NEAR(tech.phaseSeconds(), 0.05e-9, 1e-15);
+}
+
+TEST(PassStats, SummaryIsReadable)
+{
+    Netlist n;
+    const NodeId a = n.addInput();
+    n.markOutput(n.addGate(CellType::Buffer, a));
+    PassStats stats;
+    legalize(n, true, &stats);
+    const std::string s = stats.summary();
+    EXPECT_NE(s.find("gates"), std::string::npos);
+    EXPECT_NE(s.find("JJ"), std::string::npos);
+}
+
+} // namespace
+} // namespace aqfpsc::aqfp

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the bitonic sorting networks.
+ *
+ * The zero-one principle says a comparator network that sorts every 0/1
+ * input sorts every input; since the SC blocks only ever sort bits, the
+ * exhaustive 0/1 checks here are definitive for the use case, and the
+ * random integer checks additionally validate full sorting-network
+ * behaviour.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/rng.h"
+#include "sorting/bitonic.h"
+
+namespace aqfpsc::sorting {
+namespace {
+
+bool
+isSortedDescending(const std::vector<int> &v)
+{
+    return std::is_sorted(v.rbegin(), v.rend());
+}
+
+class SorterWidthTest
+    : public ::testing::TestWithParam<std::tuple<int, SortKind>>
+{
+};
+
+TEST_P(SorterWidthTest, ZeroOneExhaustive)
+{
+    const auto [n, kind] = GetParam();
+    const BitonicNetwork net = BitonicNetwork::sorter(n, kind);
+    EXPECT_EQ(net.width(), n);
+    for (int pattern = 0; pattern < (1 << n); ++pattern) {
+        std::vector<int> v(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            v[static_cast<std::size_t>(i)] = (pattern >> i) & 1;
+        net.apply(v);
+        ASSERT_TRUE(isSortedDescending(v))
+            << "n=" << n << " pattern=" << pattern;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exhaustive, SorterWidthTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12, 13),
+                       ::testing::Values(SortKind::Generalized,
+                                         SortKind::ThreeSorterCells)));
+
+class SorterRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, SortKind>>
+{
+};
+
+TEST_P(SorterRandomTest, RandomIntegers)
+{
+    const auto [n, kind] = GetParam();
+    const BitonicNetwork net = BitonicNetwork::sorter(n, kind);
+    sc::Xoshiro256StarStar rng(n * 7919);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<int> v(static_cast<std::size_t>(n));
+        for (auto &x : v)
+            x = static_cast<int>(rng.nextBits(16));
+        std::vector<int> expect = v;
+        std::sort(expect.rbegin(), expect.rend());
+        net.apply(v);
+        ASSERT_EQ(v, expect) << "n=" << n << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, SorterRandomTest,
+    ::testing::Combine(::testing::Values(17, 25, 49, 64, 81, 100, 121),
+                       ::testing::Values(SortKind::Generalized,
+                                         SortKind::ThreeSorterCells)));
+
+class SortThenMergeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SortThenMergeTest, ExhaustiveColumnTimesSortedPrefix)
+{
+    // The feedback-block network: arbitrary fresh column + already
+    // descending-sorted feedback of the same width.
+    const int m = GetParam();
+    const BitonicNetwork net = BitonicNetwork::sortThenMerge(m, m);
+    for (int pattern = 0; pattern < (1 << m); ++pattern) {
+        for (int fb_ones = 0; fb_ones <= m; ++fb_ones) {
+            std::vector<int> v(static_cast<std::size_t>(2 * m), 0);
+            int ones = fb_ones;
+            for (int i = 0; i < m; ++i) {
+                v[static_cast<std::size_t>(i)] = (pattern >> i) & 1;
+                ones += (pattern >> i) & 1;
+            }
+            for (int i = 0; i < fb_ones; ++i)
+                v[static_cast<std::size_t>(m + i)] = 1;
+            net.apply(v);
+            ASSERT_TRUE(isSortedDescending(v))
+                << "m=" << m << " pattern=" << pattern
+                << " fb=" << fb_ones;
+            ASSERT_EQ(std::count(v.begin(), v.end(), 1), ones);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SortThenMergeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 11));
+
+TEST(SortThenMerge, RandomLargeWidths)
+{
+    sc::Xoshiro256StarStar rng(31);
+    for (int m : {25, 49, 81, 121}) {
+        const BitonicNetwork net = BitonicNetwork::sortThenMerge(m, m);
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<int> v(static_cast<std::size_t>(2 * m), 0);
+            for (int i = 0; i < m; ++i)
+                v[static_cast<std::size_t>(i)] =
+                    static_cast<int>(rng.nextBits(1));
+            const int fb =
+                static_cast<int>(rng.nextBits(16)) % (m + 1);
+            for (int i = 0; i < fb; ++i)
+                v[static_cast<std::size_t>(m + i)] = 1;
+            net.apply(v);
+            ASSERT_TRUE(isSortedDescending(v)) << "m=" << m;
+        }
+    }
+}
+
+TEST(BitonicNetwork, PowerOfTwoComparatorCount)
+{
+    // For n = 2^k, the bitonic sorter has n * k * (k + 1) / 4
+    // compare-exchange units.
+    for (int k = 1; k <= 6; ++k) {
+        const int n = 1 << k;
+        const BitonicNetwork net = BitonicNetwork::sorter(n);
+        EXPECT_EQ(net.compareCount(), n * k * (k + 1) / 4) << "n=" << n;
+    }
+}
+
+TEST(BitonicNetwork, PowerOfTwoDepth)
+{
+    // Depth = k * (k + 1) / 2 stages for n = 2^k.
+    for (int k = 1; k <= 6; ++k) {
+        const int n = 1 << k;
+        const BitonicNetwork net = BitonicNetwork::sorter(n);
+        EXPECT_EQ(net.depth(), k * (k + 1) / 2) << "n=" << n;
+    }
+}
+
+TEST(BitonicNetwork, ThreeSorterCellsReduceOps)
+{
+    // For width 3 the generalized network needs 3 comparators in 3
+    // stages; the paper's Sort3 cell does it in one op / one stage.
+    const BitonicNetwork gen = BitonicNetwork::sorter(3,
+                                                      SortKind::Generalized);
+    const BitonicNetwork cells =
+        BitonicNetwork::sorter(3, SortKind::ThreeSorterCells);
+    EXPECT_EQ(gen.opCount(), 3);
+    EXPECT_EQ(cells.opCount(), 1);
+    EXPECT_EQ(cells.depth(), 1);
+    EXPECT_LT(cells.depth(), gen.depth());
+}
+
+TEST(BitonicNetwork, ThreeSorterCellsNeverWorse)
+{
+    for (int n : {5, 9, 15, 21, 33, 49}) {
+        const BitonicNetwork gen =
+            BitonicNetwork::sorter(n, SortKind::Generalized);
+        const BitonicNetwork cells =
+            BitonicNetwork::sorter(n, SortKind::ThreeSorterCells);
+        EXPECT_LE(cells.opCount(), gen.opCount()) << "n=" << n;
+        EXPECT_LE(cells.depth(), gen.depth()) << "n=" << n;
+    }
+}
+
+TEST(BitonicNetwork, StagesTouchDisjointWires)
+{
+    const BitonicNetwork net =
+        BitonicNetwork::sorter(21, SortKind::ThreeSorterCells);
+    for (const auto &stage : net.stages()) {
+        std::vector<bool> used(21, false);
+        for (const auto &op : stage) {
+            for (int wire : {op.a, op.b, op.c}) {
+                if (wire < 0)
+                    continue;
+                ASSERT_FALSE(used[static_cast<std::size_t>(wire)]);
+                used[static_cast<std::size_t>(wire)] = true;
+            }
+        }
+    }
+}
+
+TEST(BitonicNetwork, ApplyBoolMatchesApplyInt)
+{
+    const BitonicNetwork net = BitonicNetwork::sorter(10);
+    sc::Xoshiro256StarStar rng(17);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<bool> vb(10);
+        std::vector<int> vi(10);
+        for (int i = 0; i < 10; ++i) {
+            const bool bit = rng.nextBit();
+            vb[static_cast<std::size_t>(i)] = bit;
+            vi[static_cast<std::size_t>(i)] = bit ? 1 : 0;
+        }
+        net.apply(vb);
+        net.apply(vi);
+        for (int i = 0; i < 10; ++i)
+            ASSERT_EQ(vb[static_cast<std::size_t>(i)],
+                      vi[static_cast<std::size_t>(i)] != 0);
+    }
+}
+
+} // namespace
+} // namespace aqfpsc::sorting

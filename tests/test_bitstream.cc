@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for sc::Bitstream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sc/bitstream.h"
+#include "sc/rng.h"
+
+namespace aqfpsc::sc {
+namespace {
+
+TEST(Bitstream, DefaultIsEmpty)
+{
+    Bitstream s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.wordCount(), 0u);
+}
+
+TEST(Bitstream, ConstructZeroFilled)
+{
+    Bitstream s(100);
+    EXPECT_EQ(s.size(), 100u);
+    EXPECT_EQ(s.countOnes(), 0u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(s.get(i));
+}
+
+TEST(Bitstream, ConstructOneFilledKeepsTailClean)
+{
+    Bitstream s(70, true);
+    EXPECT_EQ(s.countOnes(), 70u);
+    EXPECT_EQ(s.wordCount(), 2u);
+    // Bits 70..127 of the storage must be zero.
+    EXPECT_EQ(s.word(1) >> 6, 0u);
+}
+
+TEST(Bitstream, SetGetRoundTrip)
+{
+    Bitstream s(130);
+    s.set(0, true);
+    s.set(64, true);
+    s.set(129, true);
+    EXPECT_TRUE(s.get(0));
+    EXPECT_TRUE(s.get(64));
+    EXPECT_TRUE(s.get(129));
+    EXPECT_FALSE(s.get(1));
+    EXPECT_EQ(s.countOnes(), 3u);
+    s.set(64, false);
+    EXPECT_FALSE(s.get(64));
+    EXPECT_EQ(s.countOnes(), 2u);
+}
+
+TEST(Bitstream, FromBitsAndToString)
+{
+    Bitstream s = Bitstream::fromBits({true, false, true, true});
+    EXPECT_EQ(s.toString(), "1011");
+    EXPECT_EQ(s.countOnes(), 3u);
+}
+
+TEST(Bitstream, FromStringRoundTrip)
+{
+    const std::string pattern = "0100110100";
+    Bitstream s = Bitstream::fromString(pattern);
+    EXPECT_EQ(s.toString(), pattern);
+    // The paper's example: 0100110100 represents 4/10 = 0.4 unipolar.
+    EXPECT_DOUBLE_EQ(s.unipolarValue(), 0.4);
+}
+
+TEST(Bitstream, FromStringRejectsGarbage)
+{
+    EXPECT_THROW(Bitstream::fromString("01x1"), std::invalid_argument);
+}
+
+TEST(Bitstream, BipolarValueMatchesPaperExample)
+{
+    // -0.5 as 10010000: P(1) = 2/8 (Sec. 2.2 of the paper).
+    Bitstream s = Bitstream::fromString("10010000");
+    EXPECT_DOUBLE_EQ(s.bipolarValue(), -0.5);
+}
+
+TEST(Bitstream, AndOrXorNotXnor)
+{
+    Bitstream a = Bitstream::fromString("1100");
+    Bitstream b = Bitstream::fromString("1010");
+    EXPECT_EQ((a & b).toString(), "1000");
+    EXPECT_EQ((a | b).toString(), "1110");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+    EXPECT_EQ((~a).toString(), "0011");
+    EXPECT_EQ(a.xnorWith(b).toString(), "1001");
+}
+
+TEST(Bitstream, NotKeepsTailClean)
+{
+    Bitstream a(65);
+    Bitstream n = ~a;
+    EXPECT_EQ(n.countOnes(), 65u);
+    EXPECT_EQ(n.word(1), 1u);
+}
+
+TEST(Bitstream, XnorKeepsTailClean)
+{
+    Bitstream a(65);
+    Bitstream b(65);
+    Bitstream x = a.xnorWith(b);
+    EXPECT_EQ(x.countOnes(), 65u);
+    EXPECT_EQ(x.word(1) >> 1, 0u);
+}
+
+TEST(Bitstream, Equality)
+{
+    Bitstream a = Bitstream::fromString("101");
+    Bitstream b = Bitstream::fromString("101");
+    Bitstream c = Bitstream::fromString("100");
+    Bitstream d = Bitstream::fromString("1010");
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_FALSE(a == d);
+}
+
+TEST(Bitstream, SetWordMasksTail)
+{
+    Bitstream s(4);
+    s.setWord(0, ~0ULL);
+    EXPECT_EQ(s.countOnes(), 4u);
+}
+
+TEST(Bitstream, NeutralHasValueZero)
+{
+    for (std::size_t len : {2u, 64u, 100u, 1024u}) {
+        Bitstream n = Bitstream::neutral(len);
+        EXPECT_DOUBLE_EQ(n.bipolarValue(), 0.0) << "len=" << len;
+    }
+}
+
+TEST(Bitstream, NeutralPhases)
+{
+    Bitstream a = Bitstream::neutral(8, false);
+    Bitstream b = Bitstream::neutral(8, true);
+    EXPECT_EQ(a.toString(), "01010101");
+    EXPECT_EQ(b.toString(), "10101010");
+}
+
+TEST(Bitstream, NotOfBipolarNegatesValue)
+{
+    Xoshiro256StarStar rng(9);
+    Bitstream s(256);
+    for (std::size_t i = 0; i < 256; ++i)
+        s.set(i, rng.nextBit());
+    EXPECT_DOUBLE_EQ((~s).bipolarValue(), -s.bipolarValue());
+}
+
+class BitstreamLengthTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BitstreamLengthTest, CountOnesMatchesNaive)
+{
+    const std::size_t len = GetParam();
+    Xoshiro256StarStar rng(1234 + len);
+    Bitstream s(len);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        const bool v = rng.nextBit();
+        s.set(i, v);
+        expected += v ? 1 : 0;
+    }
+    EXPECT_EQ(s.countOnes(), expected);
+}
+
+TEST_P(BitstreamLengthTest, XnorValueProductProperty)
+{
+    // XNOR of independent bipolar streams multiplies their values
+    // (within Monte-Carlo tolerance).
+    const std::size_t len = GetParam();
+    if (len < 512)
+        GTEST_SKIP() << "too short for a statistical check";
+    Xoshiro256StarStar rng(99);
+    Bitstream a(len), b(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        a.set(i, rng.nextDouble() < 0.7);
+        b.set(i, rng.nextDouble() < 0.35);
+    }
+    const double got = a.xnorWith(b).bipolarValue();
+    const double expect = a.bipolarValue() * b.bipolarValue();
+    EXPECT_NEAR(got, expect, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BitstreamLengthTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000,
+                                           1024, 2048));
+
+} // namespace
+} // namespace aqfpsc::sc

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Gate-level equivalence tests: the AQFP netlists of the paper's blocks
+ * must reproduce the functional models bit-exactly, cycle by cycle, with
+ * the feedback loop closed externally -- before and after the full
+ * legalization pipeline.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aqfp/passes.h"
+#include "aqfp/simulator.h"
+#include "blocks/avg_pooling.h"
+#include "blocks/categorization.h"
+#include "blocks/feature_extraction.h"
+#include "blocks/sng_block.h"
+#include "sc/sng.h"
+
+namespace aqfpsc::blocks {
+namespace {
+
+std::vector<sc::Bitstream>
+randomStreams(int count, std::size_t len, std::uint64_t seed)
+{
+    sc::Xoshiro256StarStar rng(seed);
+    std::vector<sc::Bitstream> streams;
+    for (int j = 0; j < count; ++j) {
+        streams.push_back(sc::encodeBipolar(2.0 * rng.nextDouble() - 1.0,
+                                            8, len, rng));
+    }
+    return streams;
+}
+
+/**
+ * Run a feature-extraction netlist cycle by cycle with the external
+ * feedback loop closed, mirroring Algorithm 1's iteration.
+ */
+sc::Bitstream
+simulateFeatureNetlist(const aqfp::Netlist &net, int m,
+                       const std::vector<sc::Bitstream> &x,
+                       const std::vector<sc::Bitstream> &w)
+{
+    const int eff_m = m % 2 == 0 ? m + 1 : m;
+    const std::size_t len = x[0].size();
+    const sc::Bitstream neutral = sc::Bitstream::neutral(len);
+
+    // Operating-point initialization: (M-1)/2 ones, pre-sorted.
+    std::vector<bool> feedback(static_cast<std::size_t>(eff_m), false);
+    for (int j = 0; j < (eff_m - 1) / 2; ++j)
+        feedback[static_cast<std::size_t>(j)] = true;
+    sc::Bitstream out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        std::vector<bool> inputs;
+        for (int j = 0; j < m; ++j)
+            inputs.push_back(x[static_cast<std::size_t>(j)].get(i));
+        for (int j = 0; j < m; ++j)
+            inputs.push_back(w[static_cast<std::size_t>(j)].get(i));
+        if (eff_m != m)
+            inputs.push_back(neutral.get(i));
+        for (int j = 0; j < eff_m; ++j)
+            inputs.push_back(feedback[static_cast<std::size_t>(j)]);
+
+        const auto outs = aqfp::evalCombinational(net, inputs);
+        if (outs[0])
+            out.set(i, true);
+        for (int j = 0; j < eff_m; ++j)
+            feedback[static_cast<std::size_t>(j)] =
+                outs[static_cast<std::size_t>(1 + j)];
+    }
+    return out;
+}
+
+class FeatureNetlistTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FeatureNetlistTest, MatchesFunctionalModel)
+{
+    const int m = GetParam();
+    const std::size_t len = 192;
+    const auto x = randomStreams(m, len, 100 + m);
+    const auto w = randomStreams(m, len, 200 + m);
+
+    const FeatureExtractionBlock block(m);
+    const sc::Bitstream expect = block.runInnerProduct(x, w);
+
+    const aqfp::Netlist net = FeatureExtractionBlock::buildNetlist(m);
+    ASSERT_TRUE(net.check());
+    EXPECT_EQ(simulateFeatureNetlist(net, m, x, w), expect);
+}
+
+TEST_P(FeatureNetlistTest, LegalizedNetlistStillMatches)
+{
+    const int m = GetParam();
+    const std::size_t len = 96;
+    const auto x = randomStreams(m, len, 300 + m);
+    const auto w = randomStreams(m, len, 400 + m);
+
+    const FeatureExtractionBlock block(m);
+    const sc::Bitstream expect = block.runInnerProduct(x, w);
+
+    const aqfp::Netlist net =
+        aqfp::legalize(FeatureExtractionBlock::buildNetlist(m));
+    std::string err;
+    ASSERT_TRUE(aqfp::checkLegalized(net, &err)) << err;
+    EXPECT_EQ(simulateFeatureNetlist(net, m, x, w), expect);
+}
+
+TEST_P(FeatureNetlistTest, ThreeSorterCellVariantMatches)
+{
+    const int m = GetParam();
+    const std::size_t len = 96;
+    const auto x = randomStreams(m, len, 500 + m);
+    const auto w = randomStreams(m, len, 600 + m);
+    const FeatureExtractionBlock block(m);
+    const aqfp::Netlist net = FeatureExtractionBlock::buildNetlist(
+        m, sorting::SortKind::ThreeSorterCells);
+    EXPECT_EQ(simulateFeatureNetlist(net, m, x, w),
+              block.runInnerProduct(x, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FeatureNetlistTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 9));
+
+TEST(FeatureNetlist, ProductOnlyVariant)
+{
+    const int m = 5;
+    const std::size_t len = 128;
+    const auto products = randomStreams(m, len, 42);
+    const FeatureExtractionBlock block(m);
+    const aqfp::Netlist net = FeatureExtractionBlock::buildNetlist(
+        m, sorting::SortKind::Generalized, /*with_multipliers=*/false);
+
+    std::vector<bool> feedback(static_cast<std::size_t>(m), false);
+    for (int j = 0; j < (m - 1) / 2; ++j)
+        feedback[static_cast<std::size_t>(j)] = true;
+    sc::Bitstream out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        std::vector<bool> inputs;
+        for (int j = 0; j < m; ++j)
+            inputs.push_back(products[static_cast<std::size_t>(j)].get(i));
+        for (int j = 0; j < m; ++j)
+            inputs.push_back(feedback[static_cast<std::size_t>(j)]);
+        const auto outs = aqfp::evalCombinational(net, inputs);
+        if (outs[0])
+            out.set(i, true);
+        for (int j = 0; j < m; ++j)
+            feedback[static_cast<std::size_t>(j)] =
+                outs[static_cast<std::size_t>(1 + j)];
+    }
+    EXPECT_EQ(out, block.run(products));
+}
+
+TEST(FeatureNetlist, CSlowInterleavedHardwareLoop)
+{
+    // The real hardware closes the feedback loop through the pipeline
+    // itself: with depth D phases (plus the input register tick), D + 1
+    // independent streams interleave through one physical block, each
+    // seeing exactly the Algorithm 1 iteration (DESIGN.md Sec. 5.2).
+    // This test runs the legalized netlist in the phase-accurate
+    // simulator with the loop physically closed and checks every
+    // interleaved stream bit-exactly against the functional model.
+    const int m = 5;
+    const std::size_t len = 48; // logical cycles per stream
+    const aqfp::Netlist net =
+        aqfp::legalize(FeatureExtractionBlock::buildNetlist(m));
+    const int depth = net.depth();
+    const int ways = depth + 1; // interleave factor
+
+    // Independent workloads, one per interleaved stream.
+    std::vector<std::vector<sc::Bitstream>> xs, ws;
+    std::vector<sc::Bitstream> expected;
+    const FeatureExtractionBlock block(m);
+    for (int s = 0; s < ways; ++s) {
+        xs.push_back(randomStreams(m, len, 5000 + s));
+        ws.push_back(randomStreams(m, len, 6000 + s));
+        expected.push_back(block.runInnerProduct(xs.back(), ws.back()));
+    }
+
+    aqfp::PhaseAccurateSimulator sim(net);
+    std::vector<sc::Bitstream> got(static_cast<std::size_t>(ways),
+                                   sc::Bitstream(len));
+    std::vector<bool> prev_outputs; // outputs observed last tick
+
+    const long total_ticks = static_cast<long>(len) * ways + depth + 1;
+    for (long t = 0; t < total_ticks; ++t) {
+        const int s = static_cast<int>(t % ways);
+        const long cycle = t / ways;
+
+        std::vector<bool> inputs;
+        if (cycle < static_cast<long>(len)) {
+            for (int j = 0; j < m; ++j)
+                inputs.push_back(xs[static_cast<std::size_t>(s)]
+                                   [static_cast<std::size_t>(j)]
+                                       .get(static_cast<std::size_t>(cycle)));
+            for (int j = 0; j < m; ++j)
+                inputs.push_back(ws[static_cast<std::size_t>(s)]
+                                   [static_cast<std::size_t>(j)]
+                                       .get(static_cast<std::size_t>(cycle)));
+        } else {
+            inputs.assign(static_cast<std::size_t>(2 * m), false);
+        }
+        // Feedback: the outputs that emerged last tick belong to this
+        // stream's previous logical cycle (loop latency = ways ticks).
+        if (t < ways) {
+            // Warm-up: operating-point initialization, pre-sorted.
+            for (int j = 0; j < m; ++j)
+                inputs.push_back(j < (m - 1) / 2);
+        } else {
+            for (int j = 0; j < m; ++j)
+                inputs.push_back(prev_outputs[static_cast<std::size_t>(1 + j)]);
+        }
+
+        const auto outs = sim.tick(inputs);
+        prev_outputs.assign(outs.begin(), outs.end());
+
+        // Outputs at tick t correspond to inputs from tick t - depth.
+        const long src = t - depth;
+        if (src >= 0) {
+            const int src_stream = static_cast<int>(src % ways);
+            const long src_cycle = src / ways;
+            if (src_cycle < static_cast<long>(len) && outs[0]) {
+                got[static_cast<std::size_t>(src_stream)].set(
+                    static_cast<std::size_t>(src_cycle), true);
+            }
+        }
+    }
+
+    for (int s = 0; s < ways; ++s) {
+        ASSERT_EQ(got[static_cast<std::size_t>(s)],
+                  expected[static_cast<std::size_t>(s)])
+            << "interleaved stream " << s;
+    }
+}
+
+// --------------------------------------------------------- avg pooling
+
+class PoolingNetlistTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PoolingNetlistTest, MatchesFunctionalModel)
+{
+    const int m = GetParam();
+    const std::size_t len = 192;
+    const auto ins = randomStreams(m, len, 700 + m);
+    const AvgPoolingBlock block(m);
+    const sc::Bitstream expect = block.run(ins);
+
+    const aqfp::Netlist net =
+        aqfp::legalize(AvgPoolingBlock::buildNetlist(m));
+    std::string err;
+    ASSERT_TRUE(aqfp::checkLegalized(net, &err)) << err;
+
+    std::vector<bool> feedback(static_cast<std::size_t>(m), false);
+    sc::Bitstream out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        std::vector<bool> inputs;
+        for (int j = 0; j < m; ++j)
+            inputs.push_back(ins[static_cast<std::size_t>(j)].get(i));
+        for (int j = 0; j < m; ++j)
+            inputs.push_back(feedback[static_cast<std::size_t>(j)]);
+        const auto outs = aqfp::evalCombinational(net, inputs);
+        if (outs[0])
+            out.set(i, true);
+        for (int j = 0; j < m; ++j)
+            feedback[static_cast<std::size_t>(j)] =
+                outs[static_cast<std::size_t>(1 + j)];
+    }
+    EXPECT_EQ(out, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolingNetlistTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 9));
+
+// ------------------------------------------------------- categorization
+
+class CategorizationNetlistTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CategorizationNetlistTest, MatchesFunctionalModel)
+{
+    const int k = GetParam();
+    const std::size_t len = 256;
+    const auto x = randomStreams(k, len, 800 + k);
+    const auto w = randomStreams(k, len, 900 + k);
+    const CategorizationBlock block(k);
+    const sc::Bitstream expect = block.runInnerProduct(x, w);
+
+    const aqfp::Netlist net =
+        aqfp::legalize(CategorizationBlock::buildNetlist(k));
+    std::string err;
+    ASSERT_TRUE(aqfp::checkLegalized(net, &err)) << err;
+
+    const sc::Bitstream neutral = sc::Bitstream::neutral(len);
+    const bool padded = k % 2 == 0 && k > 1;
+    sc::Bitstream out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        std::vector<bool> inputs;
+        for (int j = 0; j < k; ++j)
+            inputs.push_back(x[static_cast<std::size_t>(j)].get(i));
+        for (int j = 0; j < k; ++j)
+            inputs.push_back(w[static_cast<std::size_t>(j)].get(i));
+        if (padded)
+            inputs.push_back(neutral.get(i));
+        if (aqfp::evalCombinational(net, inputs)[0])
+            out.set(i, true);
+    }
+    EXPECT_EQ(out, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CategorizationNetlistTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 9, 15));
+
+TEST(CategorizationNetlist, LinearGateGrowth)
+{
+    // The chain grows by one MAJ3 per two inputs (before legalization).
+    const aqfp::Netlist a = CategorizationBlock::buildNetlist(
+        101, /*with_multipliers=*/false);
+    const aqfp::Netlist b = CategorizationBlock::buildNetlist(
+        201, /*with_multipliers=*/false);
+    EXPECT_EQ(a.countType(aqfp::CellType::Maj3), 50);
+    EXPECT_EQ(b.countType(aqfp::CellType::Maj3), 100);
+}
+
+// ------------------------------------------------------------ SNG bank
+
+TEST(ComparatorNetlist, ExhaustiveSmallWidths)
+{
+    for (int n : {1, 2, 3, 4, 5}) {
+        const aqfp::Netlist net = buildComparatorNetlist(n);
+        ASSERT_TRUE(net.check());
+        for (int r = 0; r < (1 << n); ++r) {
+            for (int b = 0; b < (1 << n); ++b) {
+                std::vector<bool> in;
+                for (int i = 0; i < n; ++i)
+                    in.push_back((r >> i) & 1);
+                for (int i = 0; i < n; ++i)
+                    in.push_back((b >> i) & 1);
+                const auto out = aqfp::evalCombinational(net, in);
+                ASSERT_EQ(out[0], r < b)
+                    << "n=" << n << " r=" << r << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(ComparatorNetlist, RandomWidth10)
+{
+    const int n = 10;
+    const aqfp::Netlist net = aqfp::legalize(buildComparatorNetlist(n));
+    sc::Xoshiro256StarStar rng(4242);
+    for (int t = 0; t < 500; ++t) {
+        const int r = static_cast<int>(rng.nextBits(n));
+        const int b = static_cast<int>(rng.nextBits(n));
+        std::vector<bool> in;
+        for (int i = 0; i < n; ++i)
+            in.push_back((r >> i) & 1);
+        for (int i = 0; i < n; ++i)
+            in.push_back((b >> i) & 1);
+        ASSERT_EQ(aqfp::evalCombinational(net, in)[0], r < b);
+    }
+}
+
+TEST(SngBank, SharedMatrixCheaperThanPrivateRngs)
+{
+    const SngBankCost shared = analyzeSngBank(100, 10, true);
+    const SngBankCost priv = analyzeSngBank(100, 10, false);
+    EXPECT_LT(shared.rngJj, priv.rngJj);
+    EXPECT_EQ(shared.comparatorJj, priv.comparatorJj);
+    EXPECT_GT(shared.totalJj(), 0);
+}
+
+TEST(SngBank, CostScalesWithOutputs)
+{
+    const SngBankCost a = analyzeSngBank(100, 10);
+    const SngBankCost b = analyzeSngBank(800, 10);
+    EXPECT_GT(b.totalJj(), a.totalJj());
+    // Comparators dominate and scale linearly.
+    EXPECT_EQ(b.comparatorJj, 8 * a.comparatorJj);
+}
+
+} // namespace
+} // namespace aqfpsc::blocks

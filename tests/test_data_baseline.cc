@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the synthetic digit dataset and the CMOS SC baseline
+ * (SC-DCNN blocks and the CMOS cost model).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/cmos_model.h"
+#include "baseline/sc_dcnn.h"
+#include "data/digits.h"
+#include "sc/sng.h"
+
+namespace aqfpsc {
+namespace {
+
+TEST(Digits, DeterministicBySeed)
+{
+    const auto a = data::generateDigits(20, 99);
+    const auto b = data::generateDigits(20, 99);
+    const auto c = data::generateDigits(20, 100);
+    ASSERT_EQ(a.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(a[static_cast<std::size_t>(i)].label,
+                  b[static_cast<std::size_t>(i)].label);
+        for (std::size_t p = 0; p < a[static_cast<std::size_t>(i)].image.size(); ++p)
+            ASSERT_FLOAT_EQ(a[static_cast<std::size_t>(i)].image[p],
+                            b[static_cast<std::size_t>(i)].image[p]);
+    }
+    // Different seed produces different pixels.
+    int diffs = 0;
+    for (std::size_t p = 0; p < a[0].image.size(); ++p)
+        diffs += a[0].image[p] != c[0].image[p] ? 1 : 0;
+    EXPECT_GT(diffs, 100);
+}
+
+TEST(Digits, BalancedLabels)
+{
+    const auto samples = data::generateDigits(100, 5);
+    std::vector<int> counts(10, 0);
+    for (const auto &s : samples)
+        ++counts[static_cast<std::size_t>(s.label)];
+    for (int d = 0; d < 10; ++d)
+        EXPECT_EQ(counts[static_cast<std::size_t>(d)], 10);
+}
+
+TEST(Digits, PixelsInBipolarRange)
+{
+    const auto samples = data::generateDigits(10, 7);
+    for (const auto &s : samples) {
+        ASSERT_EQ(s.image.shape(),
+                  (std::vector<int>{1, 28, 28}));
+        for (std::size_t p = 0; p < s.image.size(); ++p) {
+            ASSERT_GE(s.image[p], -1.0f);
+            ASSERT_LE(s.image[p], 1.0f);
+        }
+    }
+}
+
+TEST(Digits, GlyphsHaveInk)
+{
+    data::DigitGenConfig cfg;
+    cfg.noiseStd = 0.0;
+    const auto samples = data::generateDigits(10, 3, cfg);
+    for (const auto &s : samples) {
+        double ink = 0.0;
+        for (std::size_t p = 0; p < s.image.size(); ++p)
+            ink += (s.image[p] + 1.0) / 2.0;
+        EXPECT_GT(ink, 30.0) << "digit " << s.label;
+        EXPECT_LT(ink, 400.0) << "digit " << s.label;
+    }
+}
+
+TEST(Digits, ClassesAreDistinguishable)
+{
+    // Noise-free renderings of different digits differ in many pixels.
+    data::DigitGenConfig cfg;
+    cfg.noiseStd = 0.0;
+    cfg.maxShift = 0.0;
+    cfg.maxRotateDeg = 0.0;
+    cfg.minScale = cfg.maxScale = 1.0;
+    const auto samples = data::generateDigits(10, 1, cfg);
+    for (int i = 0; i < 10; ++i) {
+        for (int j = i + 1; j < 10; ++j) {
+            double dist = 0.0;
+            for (std::size_t p = 0; p < samples[0].image.size(); ++p) {
+                const double d =
+                    samples[static_cast<std::size_t>(i)].image[p] -
+                    samples[static_cast<std::size_t>(j)].image[p];
+                dist += d * d;
+            }
+            EXPECT_GT(dist, 10.0) << i << " vs " << j;
+        }
+    }
+}
+
+// --------------------------------------------------------- SC-DCNN
+
+TEST(Btanh, StepSaturatesAndCenters)
+{
+    int state = 8; // s_max/2 for m = 8
+    // Feeding max counts drives the output to 1.
+    for (int i = 0; i < 10; ++i)
+        baseline::ApcFeatureExtraction::btanhStep(state, 8, 8, 16);
+    EXPECT_EQ(state, 15);
+    EXPECT_TRUE(baseline::ApcFeatureExtraction::btanhStep(state, 8, 8, 16));
+    // Feeding zero counts drives it to 0.
+    for (int i = 0; i < 10; ++i)
+        baseline::ApcFeatureExtraction::btanhStep(state, 0, 8, 16);
+    EXPECT_EQ(state, 0);
+    EXPECT_FALSE(baseline::ApcFeatureExtraction::btanhStep(state, 0, 8, 16));
+}
+
+TEST(ApcFeatureExtraction, TracksTanhOfSum)
+{
+    // For a moderate positive sum, the Btanh output value approximates
+    // tanh(z); the check is loose (it is an approximation by design).
+    const int m = 9;
+    baseline::ApcFeatureExtraction block(m, /*approximate_apc=*/false);
+    sc::Xoshiro256StarStar rng(71);
+    const std::size_t len = 8192;
+    for (double z : {-1.5, -0.5, 0.0, 0.5, 1.5}) {
+        std::vector<sc::Bitstream> products;
+        for (int j = 0; j < m; ++j)
+            products.push_back(sc::encodeBipolar(z / m, 10, len, rng));
+        const double got = block.run(products).bipolarValue();
+        EXPECT_NEAR(got, std::tanh(z), 0.25) << "z=" << z;
+        if (z > 0.5) {
+            EXPECT_GT(got, 0.0);
+        }
+        if (z < -0.5) {
+            EXPECT_LT(got, 0.0);
+        }
+    }
+}
+
+TEST(ApcFeatureExtraction, ApproximateApcBiasesUp)
+{
+    // The OR-layer approximation overcounts, so the approximate variant
+    // never reports a smaller value than the exact one on the same input.
+    const int m = 8;
+    baseline::ApcFeatureExtraction exact(m, false);
+    baseline::ApcFeatureExtraction approx(m, true);
+    sc::Xoshiro256StarStar rng(72);
+    std::vector<sc::Bitstream> products;
+    for (int j = 0; j < m; ++j)
+        products.push_back(sc::encodeBipolar(0.1, 10, 2048, rng));
+    EXPECT_GE(approx.run(products).countOnes(),
+              exact.run(products).countOnes());
+}
+
+TEST(MuxAveragePooling, UnbiasedMean)
+{
+    const int m = 4;
+    baseline::MuxAveragePooling mux(m);
+    sc::Xoshiro256StarStar rng(73);
+    const std::size_t len = 16384;
+    std::vector<sc::Bitstream> ins;
+    double sum = 0.0;
+    for (int j = 0; j < m; ++j) {
+        const double v = -0.5 + 0.4 * j;
+        sum += v;
+        ins.push_back(sc::encodeBipolar(v, 10, len, rng));
+    }
+    EXPECT_NEAR(mux.run(ins, rng).bipolarValue(), sum / m, 0.05);
+}
+
+TEST(MuxAveragePooling, NoisierThanSorterPooling)
+{
+    // The ablation claim (Sec. 4.3): MUX pooling has higher variance.
+    // Estimated by repeated runs at short stream length.
+    const int m = 16;
+    baseline::MuxAveragePooling mux(m);
+    sc::Xoshiro256StarStar rng(74);
+    const std::size_t len = 256;
+    double mux_err = 0.0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<sc::Bitstream> ins;
+        double sum = 0.0;
+        for (int j = 0; j < m; ++j) {
+            const double v = 2.0 * rng.nextDouble() - 1.0;
+            sum += sc::codeToBipolar(sc::quantizeBipolar(v, 10), 10);
+            ins.push_back(sc::encodeBipolar(v, 10, len, rng));
+        }
+        mux_err += std::abs(mux.run(ins, rng).bipolarValue() - sum / m);
+    }
+    mux_err /= trials;
+    // Sorter pooling at the same length is far below this (Table 2
+    // reports ~0.014 at N=128, M=16); MUX noise is sqrt(M)-ish larger.
+    EXPECT_GT(mux_err, 0.03);
+}
+
+// ------------------------------------------------------- cost model
+
+TEST(CmosModel, SngCost)
+{
+    const auto c = baseline::cmosSngCost(10);
+    EXPECT_GT(c.gates, 0);
+    EXPECT_EQ(c.flops, 10);
+    EXPECT_GT(c.energyPerCycleJ, 0.0);
+    EXPECT_GT(c.latencySeconds, 0.0);
+    EXPECT_NEAR(c.energyPerStreamJ(1024), c.energyPerCycleJ * 1024, 1e-20);
+}
+
+TEST(CmosModel, FeatureExtractionScalesWithInputs)
+{
+    double prev = 0.0;
+    for (int m : {9, 25, 49, 81, 121, 500, 800}) {
+        const auto c = baseline::cmosFeatureExtractionCost(m);
+        EXPECT_GT(c.energyPerCycleJ, prev) << "m=" << m;
+        prev = c.energyPerCycleJ;
+    }
+}
+
+TEST(CmosModel, PoolingCheaperThanFeatureExtraction)
+{
+    EXPECT_LT(baseline::cmosMuxPoolingCost(16).energyPerCycleJ,
+              baseline::cmosFeatureExtractionCost(16).energyPerCycleJ);
+}
+
+TEST(CmosModel, CategorizationScalesWithInputs)
+{
+    EXPECT_LT(baseline::cmosCategorizationCost(100).energyPerCycleJ,
+              baseline::cmosCategorizationCost(800).energyPerCycleJ);
+}
+
+} // namespace
+} // namespace aqfpsc

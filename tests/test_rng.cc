@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the random sources (rng.h) and the RNG matrix.
+ */
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sc/rng.h"
+#include "sc/rng_matrix.h"
+
+namespace aqfpsc::sc {
+namespace {
+
+TEST(Xoshiro, Deterministic)
+{
+    Xoshiro256StarStar a(42), b(42), c(43);
+    EXPECT_EQ(a.nextWord(), b.nextWord());
+    EXPECT_NE(a.nextWord(), c.nextWord());
+}
+
+TEST(Xoshiro, JumpDecorrelates)
+{
+    Xoshiro256StarStar a(42), b(42);
+    b.jump();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextWord() == b.nextWord() ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, BitMeanIsHalf)
+{
+    Xoshiro256StarStar rng(7);
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ones += rng.nextBit() ? 1 : 0;
+    // 5-sigma band around n/2.
+    EXPECT_NEAR(ones, n / 2, 5 * std::sqrt(n / 4.0));
+}
+
+TEST(Xoshiro, DoubleInUnitInterval)
+{
+    Xoshiro256StarStar rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RandomSource, NextBitsRange)
+{
+    Xoshiro256StarStar rng(3);
+    for (int bits : {1, 5, 10, 20, 63}) {
+        for (int i = 0; i < 100; ++i) {
+            EXPECT_LT(rng.nextBits(bits), 1ULL << bits);
+        }
+    }
+}
+
+TEST(Lfsr, MaximalPeriodWidth4)
+{
+    Lfsr lfsr(4, 1);
+    std::set<std::uint32_t> states;
+    for (int i = 0; i < 15; ++i)
+        states.insert(lfsr.nextState());
+    // A maximal 4-bit LFSR visits all 15 non-zero states.
+    EXPECT_EQ(states.size(), 15u);
+}
+
+TEST(Lfsr, MaximalPeriodWidth8)
+{
+    Lfsr lfsr(8, 0xAB);
+    std::set<std::uint32_t> states;
+    for (int i = 0; i < 255; ++i)
+        states.insert(lfsr.nextState());
+    EXPECT_EQ(states.size(), 255u);
+}
+
+TEST(Lfsr, ZeroSeedCoerced)
+{
+    Lfsr lfsr(5, 0);
+    EXPECT_NE(lfsr.nextState(), 0u);
+}
+
+TEST(Lfsr, StatesStayInRange)
+{
+    for (int width : {3, 7, 10, 16}) {
+        Lfsr lfsr(width, 123);
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(lfsr.nextState(), 1u << width);
+    }
+}
+
+TEST(AqfpTrueRng, UnbiasedAtZeroInput)
+{
+    AqfpTrueRng rng(5);
+    EXPECT_DOUBLE_EQ(rng.probabilityOfOne(), 0.5);
+    int ones = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ones += rng.nextBit() ? 1 : 0;
+    EXPECT_NEAR(ones, n / 2, 5 * std::sqrt(n / 4.0));
+}
+
+TEST(AqfpTrueRng, BiasFollowsNormalCdf)
+{
+    // P(1) = Phi(i_in / i_noise): spot-check a few standard values.
+    AqfpTrueRng rng(1, 0.0, 1.0);
+    rng.setInputCurrent(1.0);
+    EXPECT_NEAR(rng.probabilityOfOne(), 0.8413, 1e-3);
+    rng.setInputCurrent(-1.0);
+    EXPECT_NEAR(rng.probabilityOfOne(), 0.1587, 1e-3);
+    rng.setInputCurrent(3.0);
+    EXPECT_NEAR(rng.probabilityOfOne(), 0.99865, 1e-4);
+}
+
+TEST(AqfpTrueRng, EmpiricalBiasMatchesModel)
+{
+    AqfpTrueRng rng(77, 0.5, 1.0);
+    const int n = 50000;
+    int ones = 0;
+    for (int i = 0; i < n; ++i)
+        ones += rng.nextBit() ? 1 : 0;
+    const double p = rng.probabilityOfOne();
+    EXPECT_NEAR(static_cast<double>(ones) / n, p,
+                5 * std::sqrt(p * (1 - p) / n));
+}
+
+TEST(AqfpTrueRng, WordPathMatchesFairCoin)
+{
+    AqfpTrueRng rng(9);
+    int ones = 0;
+    for (int i = 0; i < 1000; ++i)
+        ones += std::popcount(rng.nextWord());
+    EXPECT_NEAR(ones, 32000, 5 * std::sqrt(64000 / 4.0));
+}
+
+// ---------------------------------------------------------------- matrix
+
+TEST(RngMatrix, Dimensions)
+{
+    RngMatrix m(11, 1);
+    EXPECT_EQ(m.n(), 11);
+    EXPECT_EQ(m.numOutputs(), 44);
+    EXPECT_EQ(m.jjCount(), 2 * 11 * 11);
+}
+
+TEST(RngMatrix, OutputsWithinRange)
+{
+    RngMatrix m(7, 2);
+    for (int i = 0; i < m.numOutputs(); ++i)
+        EXPECT_LT(m.output(i), 1ULL << 7);
+}
+
+TEST(RngMatrix, UnitsOfMatchesOutputBits)
+{
+    RngMatrix m(9, 3);
+    for (int idx = 0; idx < m.numOutputs(); ++idx) {
+        const auto units = m.unitsOf(idx);
+        ASSERT_EQ(units.size(), 9u);
+        const std::uint64_t out = m.output(idx);
+        for (int b = 0; b < 9; ++b) {
+            const int r = units[static_cast<std::size_t>(b)] / 9;
+            const int c = units[static_cast<std::size_t>(b)] % 9;
+            EXPECT_EQ((out >> b) & 1ULL, m.bit(r, c) ? 1ULL : 0ULL);
+        }
+    }
+}
+
+TEST(RngMatrix, OddDimensionSharesAtMostOneUnit)
+{
+    // The paper's claim (Sec. 4.1): every two output numbers share at
+    // most a single unit RNG.  Holds exactly for odd N.
+    RngMatrix m(11, 4);
+    for (int i = 0; i < m.numOutputs(); ++i) {
+        const auto ui = m.unitsOf(i);
+        const std::set<int> si(ui.begin(), ui.end());
+        for (int j = i + 1; j < m.numOutputs(); ++j) {
+            const auto uj = m.unitsOf(j);
+            int shared = 0;
+            for (int u : uj)
+                shared += si.count(u) ? 1 : 0;
+            EXPECT_LE(shared, 1) << "outputs " << i << ", " << j;
+        }
+    }
+}
+
+TEST(RngMatrix, EachUnitSharedByExactlyFourOutputs)
+{
+    RngMatrix m(9, 5);
+    std::vector<int> uses(81, 0);
+    for (int i = 0; i < m.numOutputs(); ++i) {
+        for (int u : m.unitsOf(i))
+            ++uses[static_cast<std::size_t>(u)];
+    }
+    for (int u = 0; u < 81; ++u)
+        EXPECT_EQ(uses[static_cast<std::size_t>(u)], 4);
+}
+
+TEST(RngMatrix, StepAdvances)
+{
+    RngMatrix m(11, 6);
+    std::vector<std::uint64_t> before;
+    for (int i = 0; i < m.numOutputs(); ++i)
+        before.push_back(m.output(i));
+    m.step();
+    int changed = 0;
+    for (int i = 0; i < m.numOutputs(); ++i)
+        changed += m.output(i) != before[static_cast<std::size_t>(i)] ? 1 : 0;
+    EXPECT_GT(changed, m.numOutputs() / 2);
+}
+
+TEST(RngMatrix, OutputPairCorrelationIsSmall)
+{
+    // Numbers sharing one bit out of 11 should be nearly independent:
+    // check the bitwise agreement rate of a row and a column output.
+    RngMatrix m(11, 8);
+    int agree = 0;
+    const int cycles = 8000;
+    for (int t = 0; t < cycles; ++t) {
+        const std::uint64_t a = m.output(0);      // row 0
+        const std::uint64_t b = m.output(11 + 5); // column 5
+        agree += std::popcount(~(a ^ b) & ((1ULL << 11) - 1));
+        m.step();
+    }
+    const double rate =
+        static_cast<double>(agree) / (11.0 * cycles);
+    // The single shared unit sits at different bit positions of the two
+    // numbers, so position-wise agreement is that of fair coins: 0.5.
+    EXPECT_NEAR(rate, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace aqfpsc::sc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for stochastic number generation (sng.h, stream_matrix.h).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sc/sng.h"
+#include "sc/stream_matrix.h"
+
+namespace aqfpsc::sc {
+namespace {
+
+TEST(Quantize, UnipolarEndpoints)
+{
+    EXPECT_EQ(quantizeUnipolar(0.0, 8), 0u);
+    EXPECT_EQ(quantizeUnipolar(1.0, 8), 256u);
+    EXPECT_EQ(quantizeUnipolar(0.5, 8), 128u);
+    // Out-of-range values clip.
+    EXPECT_EQ(quantizeUnipolar(-2.0, 8), 0u);
+    EXPECT_EQ(quantizeUnipolar(3.0, 8), 256u);
+}
+
+TEST(Quantize, BipolarEndpoints)
+{
+    EXPECT_EQ(quantizeBipolar(-1.0, 8), 0u);
+    EXPECT_EQ(quantizeBipolar(1.0, 8), 256u);
+    EXPECT_EQ(quantizeBipolar(0.0, 8), 128u);
+}
+
+TEST(Quantize, RoundTripErrorBounded)
+{
+    const int bits = 10;
+    for (double x = -1.0; x <= 1.0; x += 0.01) {
+        const double back = codeToBipolar(quantizeBipolar(x, bits), bits);
+        EXPECT_NEAR(back, x, 1.0 / (1 << bits));
+    }
+}
+
+TEST(Sng, StreamValueMatchesCode)
+{
+    Xoshiro256StarStar rng(11);
+    const int bits = 10;
+    const std::size_t len = 4096;
+    for (double x : {-0.9, -0.5, 0.0, 0.25, 0.7, 1.0}) {
+        const Bitstream s = encodeBipolar(x, bits, len, rng);
+        // 5-sigma binomial band.
+        const double p = (x + 1.0) / 2.0;
+        const double sigma = std::sqrt(p * (1 - p) / len);
+        EXPECT_NEAR(s.unipolarValue(), p, 5 * sigma + 1.0 / (1 << bits))
+            << "x=" << x;
+    }
+}
+
+TEST(Sng, ExtremeCodesAreExact)
+{
+    Xoshiro256StarStar rng(12);
+    EXPECT_EQ(encodeBipolar(1.0, 8, 512, rng).countOnes(), 512u);
+    EXPECT_EQ(encodeBipolar(-1.0, 8, 512, rng).countOnes(), 0u);
+}
+
+TEST(SngBank, MatrixDimIsOdd)
+{
+    SngBank even(10, SngBank::Mode::SharedMatrix, 1);
+    SngBank odd(9, SngBank::Mode::SharedMatrix, 1);
+    EXPECT_EQ(even.matrixDim(), 11);
+    EXPECT_EQ(odd.matrixDim(), 9);
+}
+
+class SngBankModeTest : public ::testing::TestWithParam<SngBank::Mode>
+{
+};
+
+TEST_P(SngBankModeTest, ValuesReproduced)
+{
+    SngBank bank(10, GetParam(), 77);
+    const std::vector<double> values = {-0.8, -0.3, 0.0, 0.4, 0.9};
+    const std::size_t len = 4096;
+    const auto streams = bank.generateBipolar(values, len);
+    ASSERT_EQ(streams.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_NEAR(streams[i].bipolarValue(), values[i], 0.07)
+            << "value " << values[i];
+    }
+}
+
+TEST_P(SngBankModeTest, StreamsAreUncorrelated)
+{
+    SngBank bank(10, GetParam(), 3);
+    const auto streams =
+        bank.generateBipolar(std::vector<double>(8, 0.0), 8192);
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        for (std::size_t j = i + 1; j < streams.size(); ++j) {
+            const double agree = static_cast<double>(
+                streams[i].xnorWith(streams[j]).countOnes()) / 8192.0;
+            EXPECT_NEAR(agree, 0.5, 0.04) << i << "," << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SngBankModeTest,
+                         ::testing::Values(SngBank::Mode::SharedMatrix,
+                                           SngBank::Mode::IndependentRng));
+
+TEST(SngBank, SharedMatrixAllocatesMatrices)
+{
+    SngBank bank(10, SngBank::Mode::SharedMatrix, 5);
+    // 11x11 matrix serves 44 numbers; 100 codes need 3 matrices.
+    bank.generateBipolar(std::vector<double>(100, 0.1), 64);
+    EXPECT_EQ(bank.matricesUsed(), 3);
+}
+
+TEST(StreamMatrix, FillAndReadBack)
+{
+    StreamMatrix m(4, 1000);
+    Xoshiro256StarStar rng(8);
+    m.fillBipolar(0, 0.5, 10, rng);
+    m.fillBipolar(1, -0.5, 10, rng);
+    m.fillNeutral(2);
+    EXPECT_NEAR(m.bipolarValue(0), 0.5, 0.1);
+    EXPECT_NEAR(m.bipolarValue(1), -0.5, 0.1);
+    EXPECT_DOUBLE_EQ(m.bipolarValue(2), 0.0);
+    EXPECT_EQ(m.countOnes(3), 0u);
+}
+
+TEST(StreamMatrix, ToBitstreamPreservesBits)
+{
+    StreamMatrix m(1, 130);
+    Xoshiro256StarStar rng(9);
+    m.fillBipolar(0, 0.2, 10, rng);
+    const Bitstream s = m.toBitstream(0);
+    EXPECT_EQ(s.size(), 130u);
+    EXPECT_EQ(s.countOnes(), m.countOnes(0));
+}
+
+TEST(StreamMatrix, NeutralTailClean)
+{
+    StreamMatrix m(1, 70);
+    m.fillNeutral(0);
+    EXPECT_EQ(m.row(0)[1] >> 6, 0u);
+    EXPECT_DOUBLE_EQ(m.bipolarValue(0), 0.0);
+}
+
+} // namespace
+} // namespace aqfpsc::sc
