@@ -24,8 +24,10 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bench_util.h"
+#include "core/batch_runner.h"
 #include "core/hardware_report.h"
 #include "core/model_zoo.h"
 #include "core/sc_engine.h"
@@ -132,10 +134,52 @@ printTable8()
 struct NetResult
 {
     double software = 0.0;
-    double aqfp_acc = 0.0;
-    double cmos_acc = 0.0;
+    core::ScEvalStats aqfp_t1;  ///< AQFP batch at 1 thread
+    core::ScEvalStats aqfp_t8;  ///< AQFP batch at 8 threads
+    core::ScEvalStats cmos;     ///< CMOS baseline batch (8 threads)
+    bool deterministic = false; ///< per-image predictions equal at 1 vs 8
     core::NetworkHardware hw;
 };
+
+constexpr int kBatchThreads = 8;
+
+/** Per-image score-level equality of two batch prediction sets. */
+bool
+predictionsMatch(const std::vector<core::ScPrediction> &a,
+                 const std::vector<core::ScPrediction> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].label != b[i].label || a[i].scores != b[i].scores)
+            return false;
+    }
+    return true;
+}
+
+/** Score a timed batch-prediction run into ScEvalStats. */
+core::ScEvalStats
+scoreBatch(const std::vector<core::ScPrediction> &predictions,
+           const std::vector<nn::Sample> &samples, double wall_seconds)
+{
+    core::ScEvalStats stats;
+    stats.images = predictions.size();
+    stats.wallSeconds = wall_seconds;
+    if (predictions.empty())
+        return stats;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        if (predictions[i].label == samples[i].label)
+            ++correct;
+    }
+    stats.accuracy = static_cast<double>(correct) /
+                     static_cast<double>(predictions.size());
+    stats.imagesPerSec =
+        wall_seconds > 0.0
+            ? static_cast<double>(predictions.size()) / wall_seconds
+            : 0.0;
+    return stats;
+}
 
 NetResult
 runNetwork(const std::string &tag, nn::Network &net,
@@ -156,14 +200,28 @@ runNetwork(const std::string &tag, nn::Network &net,
                                static_cast<std::size_t>(float_images)));
     r.software = net.evaluate(test_subset);
 
-    std::printf("[%s] AQFP SC inference (%d images, N=1024)\n", tag.c_str(),
-                sc_images);
+    std::printf("[%s] AQFP SC inference (%d images, N=1024, 1 vs %d "
+                "threads)\n",
+                tag.c_str(), sc_images, kBatchThreads);
     std::fflush(stdout);
     core::ScEngineConfig aqfp_cfg;
     aqfp_cfg.streamLen = 1024;
     aqfp_cfg.backend = core::ScBackend::AqfpSorter;
     core::ScNetworkEngine aqfp_engine(net, aqfp_cfg);
-    r.aqfp_acc = aqfp_engine.evaluate(test_set, sc_images, true);
+    bench::WallTimer timer;
+    const auto p1 =
+        core::BatchRunner(aqfp_engine, 1).run(test_set, sc_images, true);
+    r.aqfp_t1 = scoreBatch(p1, test_set, timer.seconds());
+    timer.reset();
+    const auto p8 = core::BatchRunner(aqfp_engine, kBatchThreads)
+                        .run(test_set, sc_images, true);
+    r.aqfp_t8 = scoreBatch(p8, test_set, timer.seconds());
+    r.deterministic = predictionsMatch(p1, p8);
+    if (!r.deterministic) {
+        std::printf("[%s] WARNING: thread count changed predictions "
+                    "(determinism violation!)\n",
+                    tag.c_str());
+    }
 
     std::printf("[%s] CMOS SC baseline inference (%d images, N=1024)\n",
                 tag.c_str(), sc_images);
@@ -174,7 +232,8 @@ runNetwork(const std::string &tag, nn::Network &net,
     cmos_cfg.streamLen = 1024;
     cmos_cfg.backend = core::ScBackend::CmosApc;
     core::ScNetworkEngine cmos_engine(cmos_net, cmos_cfg);
-    r.cmos_acc = cmos_engine.evaluate(test_set, sc_images, true);
+    r.cmos = core::BatchRunner(cmos_engine, kBatchThreads)
+                 .evaluate(test_set, sc_images, true);
 
     std::printf("[%s] hardware analysis...\n", tag.c_str());
     std::fflush(stdout);
@@ -190,12 +249,20 @@ printResult(const std::string &name, const NetResult &r, double p_sw,
     bench::header({"platform", "accuracy", "energy(uJ)", "imgs/ms"});
     bench::row({"Software", bench::cell(r.software * 100, 2) + "%", "-",
                 "-"});
-    bench::row({"CMOS", bench::cell(r.cmos_acc * 100, 2) + "%",
+    bench::row({"CMOS", bench::cell(r.cmos.accuracy * 100, 2) + "%",
                 bench::cell(r.hw.cmosEnergyPerImageJ * 1e6, 3),
                 bench::cell(r.hw.cmosThroughputImagesPerSec / 1e3, 0)});
-    bench::row({"AQFP", bench::cell(r.aqfp_acc * 100, 2) + "%",
+    bench::row({"AQFP", bench::cell(r.aqfp_t8.accuracy * 100, 2) + "%",
                 bench::sci(r.hw.aqfpEnergyPerImageJ * 1e6),
                 bench::cell(r.hw.aqfpThroughputImagesPerSec / 1e3, 0)});
+    std::printf("  SC simulation: %.2fs at 1 thread, %.2fs at %d threads "
+                "(%.2fx speedup, %.2f img/s)\n",
+                r.aqfp_t1.wallSeconds, r.aqfp_t8.wallSeconds,
+                kBatchThreads,
+                r.aqfp_t8.wallSeconds > 0.0
+                    ? r.aqfp_t1.wallSeconds / r.aqfp_t8.wallSeconds
+                    : 0.0,
+                r.aqfp_t8.imagesPerSec);
     std::printf("  energy improvement (CMOS/AQFP): %s (paper: %s)\n",
                 bench::sci(r.hw.cmosEnergyPerImageJ /
                            r.hw.aqfpEnergyPerImageJ, 2)
@@ -217,6 +284,52 @@ printResult(const std::string &name, const NetResult &r, double p_sw,
                 r.hw.aqfpLatencySeconds * 1e9);
 }
 
+/** Machine-readable record of one network's results. */
+bench::Json
+resultToJson(const std::string &name, const NetResult &r)
+{
+    bench::Json eval1 = bench::Json::object();
+    eval1.set("wall_seconds", r.aqfp_t1.wallSeconds)
+        .set("images_per_sec", r.aqfp_t1.imagesPerSec)
+        .set("threads", 1);
+    bench::Json eval8 = bench::Json::object();
+    eval8.set("wall_seconds", r.aqfp_t8.wallSeconds)
+        .set("images_per_sec", r.aqfp_t8.imagesPerSec)
+        .set("threads", kBatchThreads);
+
+    bench::Json j = bench::Json::object();
+    j.set("network", name)
+        .set("config", bench::Json::object()
+                           .set("stream_len", 1024)
+                           .set("sc_images", r.aqfp_t8.images)
+                           .set("batch_threads", kBatchThreads)
+                           .set("hardware_threads",
+                                static_cast<int>(
+                                    std::thread::hardware_concurrency())))
+        .set("accuracy", bench::Json::object()
+                             .set("software", r.software)
+                             .set("aqfp_sc", r.aqfp_t8.accuracy)
+                             .set("cmos_sc", r.cmos.accuracy))
+        .set("batch_eval_single", std::move(eval1))
+        .set("batch_eval_parallel", std::move(eval8))
+        .set("thread_speedup",
+             r.aqfp_t8.wallSeconds > 0.0
+                 ? r.aqfp_t1.wallSeconds / r.aqfp_t8.wallSeconds
+                 : 0.0)
+        .set("deterministic_across_threads", r.deterministic)
+        .set("hardware",
+             bench::Json::object()
+                 .set("aqfp_energy_per_image_j", r.hw.aqfpEnergyPerImageJ)
+                 .set("cmos_energy_per_image_j", r.hw.cmosEnergyPerImageJ)
+                 .set("aqfp_throughput_images_per_sec",
+                      r.hw.aqfpThroughputImagesPerSec)
+                 .set("cmos_throughput_images_per_sec",
+                      r.hw.cmosThroughputImagesPerSec)
+                 .set("aqfp_total_jj",
+                      static_cast<long long>(r.hw.aqfpTotalJj)));
+    return j;
+}
+
 } // namespace
 
 int
@@ -229,6 +342,9 @@ main()
 
     auto train_set = data::generateDigits(2500, 20260612);
     const auto test_set = data::generateDigits(500, 424242);
+
+    bench::WallTimer total_timer;
+    bench::Json networks = bench::Json::array();
 
     // ------------------------------------------------------------ SNN
     {
@@ -255,6 +371,7 @@ main()
                        test_set, 2500, 5, 60, 500, /*fast_hw=*/false);
         printResult("SNN", r, 99.04, 97.35, 97.91, 39.46, 5.606e-4, 231,
                     8305);
+        networks.push(resultToJson("SNN", r));
     }
 
     // ------------------------------------------------------------ DNN
@@ -287,7 +404,14 @@ main()
                        test_set, 1600, 4, 16, 200, /*fast_hw=*/true);
         printResult("DNN", r, 99.17, 96.62, 96.95, 219.37, 2.482e-3, 229,
                     6667);
+        networks.push(resultToJson("DNN", r));
     }
+
+    bench::Json report = bench::Json::object();
+    report.set("networks", std::move(networks))
+        .set("total_wall_seconds", total_timer.seconds());
+    bench::writeBenchReport("table9_network_performance",
+                            std::move(report));
 
     std::printf("\nExpected shape: AQFP accuracy within ~1%% of software "
                 "and at or above the\nCMOS SC baseline; energy improvement "

@@ -36,7 +36,7 @@ NodeId
 Netlist::addGateNeg(CellType type, NodeId a, bool na, NodeId b, bool nb,
                     NodeId c, bool nc)
 {
-    const int fanins = faninCount(type);
+    [[maybe_unused]] const int fanins = faninCount(type);
     assert(fanins >= 1 && "use addInput/addConst for source cells");
     assert(a != kNoNode && a < static_cast<NodeId>(gates_.size()));
     assert((fanins < 2) == (b == kNoNode));

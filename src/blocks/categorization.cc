@@ -34,7 +34,7 @@ CategorizationBlock::run(const std::vector<sc::Bitstream> &products) const
 {
     assert(static_cast<int>(products.size()) == k_);
     const std::size_t len = products[0].size();
-    for (const auto &p : products)
+    for ([[maybe_unused]] const auto &p : products)
         assert(p.size() == len);
 
     if (k_ == 1)

@@ -1,0 +1,118 @@
+#include "batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace aqfpsc::core {
+
+namespace {
+
+int
+resolveThreadCount(int requested)
+{
+    if (requested <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        requested = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    return std::clamp(requested, 1, 256);
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(const ScNetworkEngine &engine, int threads)
+    : engine_(engine), threads_(resolveThreadCount(threads))
+{
+}
+
+std::vector<ScPrediction>
+BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
+                 bool progress) const
+{
+    const std::size_t n =
+        limit < 0 ? samples.size()
+                  : std::min<std::size_t>(samples.size(),
+                                          static_cast<std::size_t>(limit));
+    std::vector<ScPrediction> predictions(n);
+    if (n == 0)
+        return predictions;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex print_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            predictions[i] = engine_.inferIndexed(samples[i].image, i);
+            const std::size_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress && done % 10 == 0) {
+                const std::lock_guard<std::mutex> lock(print_mutex);
+                std::printf(".");
+                std::fflush(stdout);
+            }
+        }
+    };
+
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(threads_), n));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    if (progress)
+        std::printf("\n");
+    return predictions;
+}
+
+ScEvalStats
+BatchRunner::evaluate(const std::vector<nn::Sample> &samples, int limit,
+                      bool progress) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ScPrediction> predictions =
+        run(samples, limit, progress);
+    const auto stop = std::chrono::steady_clock::now();
+
+    ScEvalStats stats;
+    stats.images = predictions.size();
+    stats.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (stats.images == 0)
+        return stats;
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        if (predictions[i].label == samples[i].label)
+            ++correct;
+    }
+    stats.accuracy = static_cast<double>(correct) /
+                     static_cast<double>(stats.images);
+    stats.imagesPerSec =
+        stats.wallSeconds > 0.0
+            ? static_cast<double>(stats.images) / stats.wallSeconds
+            : 0.0;
+    if (progress) {
+        std::printf("accuracy %.4f (%zu images, %.2f img/s, %d threads)\n",
+                    stats.accuracy, stats.images, stats.imagesPerSec,
+                    threads_);
+        std::fflush(stdout);
+    }
+    return stats;
+}
+
+} // namespace aqfpsc::core

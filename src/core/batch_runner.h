@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Batched, thread-parallel SC inference over one compiled engine.
+ *
+ * The stage graph is immutable after compilation, so a batch of images
+ * fans out across a pool of std::threads that pull image indices from a
+ * shared atomic counter.  Image i always runs with the seed
+ * sc::deriveStreamSeed(engine seed, i), so predictions are bit-identical
+ * for any thread count (1, 2, 8, ...) and any work-stealing schedule —
+ * parallelism changes wall-clock time only, never results.
+ */
+
+#ifndef AQFPSC_CORE_BATCH_RUNNER_H
+#define AQFPSC_CORE_BATCH_RUNNER_H
+
+#include <vector>
+
+#include "core/sc_engine.h"
+#include "nn/network.h"
+
+namespace aqfpsc::core {
+
+/** Fans a batch of images across a thread pool of SC inferences. */
+class BatchRunner
+{
+  public:
+    /**
+     * @param engine Compiled engine; must outlive the runner.
+     * @param threads Worker count; 0 selects one per hardware thread,
+     *        values are clamped to [1, 256].
+     */
+    explicit BatchRunner(const ScNetworkEngine &engine, int threads = 0);
+
+    /** Resolved worker count. */
+    int threads() const { return threads_; }
+
+    /**
+     * Predict the first @p limit samples (all if negative).
+     * @param progress Thread-safe: print a dot every 10 completed images.
+     * @return One prediction per image, in sample order.
+     */
+    std::vector<ScPrediction> run(const std::vector<nn::Sample> &samples,
+                                  int limit = -1,
+                                  bool progress = false) const;
+
+    /**
+     * Predict and score the first @p limit samples (all if negative),
+     * timing the batch.  With @p progress, prints dots while running and
+     * a final "accuracy ... (n images, ... img/s, T threads)" line.
+     */
+    ScEvalStats evaluate(const std::vector<nn::Sample> &samples,
+                         int limit = -1, bool progress = false) const;
+
+  private:
+    const ScNetworkEngine &engine_;
+    int threads_;
+};
+
+} // namespace aqfpsc::core
+
+#endif // AQFPSC_CORE_BATCH_RUNNER_H

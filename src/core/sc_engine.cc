@@ -1,526 +1,56 @@
 #include "sc_engine.h"
 
-#include <algorithm>
-#include <bit>
-#include <cassert>
-#include <cstdio>
-#include <stdexcept>
-
-#include "baseline/sc_dcnn.h"
-#include "blocks/feedback_unit.h"
-#include "sc/apc.h"
+#include "core/batch_runner.h"
+#include "core/stages/stage.h"
+#include "core/stages/stage_compiler.h"
 #include "sc/rng.h"
+#include "sc/stream_matrix.h"
 
 namespace aqfpsc::core {
-
-namespace {
-
-std::uint64_t
-majWord(std::uint64_t a, std::uint64_t b, std::uint64_t c)
-{
-    return (a & b) | (a & c) | (b & c);
-}
-
-/** Layers the feature-extraction block's activation can stand in for. */
-bool
-isScActivation(const nn::Layer &l)
-{
-    return dynamic_cast<const nn::HardTanh *>(&l) != nullptr ||
-           dynamic_cast<const nn::SorterTanh *>(&l) != nullptr;
-}
-
-} // namespace
-
-/** One compiled pipeline stage. */
-struct ScNetworkEngine::Stage
-{
-    enum class Kind
-    {
-        Conv,   ///< feature extraction over a conv window
-        Pool,   ///< 2x2 average pooling
-        Dense,  ///< feature extraction over a flat input
-        Output, ///< categorization (class scores)
-    };
-
-    Kind kind = Kind::Dense;
-
-    // Spatial geometry (Conv/Pool).
-    int inC = 0, inH = 0, inW = 0;
-    int outC = 0, outH = 0, outW = 0;
-    int kernel = 0;
-
-    // Flat geometry (Dense/Output).
-    int inFeatures = 0;
-    int outFeatures = 0;
-
-    sc::StreamMatrix weights; ///< rows follow the float layer's layout
-    sc::StreamMatrix biases;  ///< one row per output neuron/channel
-    sc::StreamMatrix neutral; ///< single neutral row for odd padding
-};
 
 ScNetworkEngine::~ScNetworkEngine() = default;
 
 ScNetworkEngine::ScNetworkEngine(const nn::Network &net,
                                  const ScEngineConfig &cfg)
-    : cfg_(cfg)
+    : cfg_(cfg), stages_(stages::compileNetwork(net, cfg))
 {
-    sc::Xoshiro256StarStar rng(cfg.seed);
-    const std::size_t len = cfg.streamLen;
-
-    // Walk the float network and fuse (Conv|Dense) + HardTanh pairs.
-    int in_c = 0, in_h = 0, in_w = 0; // tracked spatial shape
-    bool shape_known = false;
-
-    const std::size_t n_layers = net.layerCount();
-    for (std::size_t li = 0; li < n_layers; ++li) {
-        const nn::Layer &l = net.layer(li);
-
-        if (const auto *conv = dynamic_cast<const nn::Conv2D *>(&l)) {
-            if (li + 1 >= n_layers ||
-                !isScActivation(net.layer(li + 1))) {
-                throw std::invalid_argument(
-                    "ScNetworkEngine: Conv2D needs a following activation");
-            }
-            if (!shape_known) {
-                // First layer fixes the input geometry to 28x28.
-                in_c = conv->inChannels();
-                in_h = 28;
-                in_w = 28;
-                shape_known = true;
-            }
-            Stage s;
-            s.kind = Stage::Kind::Conv;
-            s.inC = conv->inChannels();
-            s.inH = in_h;
-            s.inW = in_w;
-            s.outC = conv->outChannels();
-            s.outH = in_h;
-            s.outW = in_w;
-            s.kernel = conv->kernel();
-
-            const auto &w = conv->weights();
-            s.weights = sc::StreamMatrix(w.size(), len);
-            for (std::size_t i = 0; i < w.size(); ++i)
-                s.weights.fillBipolar(i, w[i], cfg.rngBits, rng);
-            const auto &b = conv->biases();
-            s.biases = sc::StreamMatrix(b.size(), len);
-            for (std::size_t i = 0; i < b.size(); ++i)
-                s.biases.fillBipolar(i, b[i], cfg.rngBits, rng);
-            s.neutral = sc::StreamMatrix(1, len);
-            s.neutral.fillNeutral(0);
-
-            stages_.push_back(std::move(s));
-            in_c = conv->outChannels();
-            ++li; // consume the HardTanh
-            continue;
-        }
-
-        if (dynamic_cast<const nn::AvgPool2 *>(&l) != nullptr) {
-            assert(shape_known && in_h % 2 == 0 && in_w % 2 == 0);
-            Stage s;
-            s.kind = Stage::Kind::Pool;
-            s.inC = in_c;
-            s.inH = in_h;
-            s.inW = in_w;
-            s.outC = in_c;
-            s.outH = in_h / 2;
-            s.outW = in_w / 2;
-            stages_.push_back(std::move(s));
-            in_h /= 2;
-            in_w /= 2;
-            continue;
-        }
-
-        if (const auto *chain =
-                dynamic_cast<const nn::MajorityChainDense *>(&l)) {
-            if (li + 1 != n_layers)
-                throw std::invalid_argument(
-                    "ScNetworkEngine: MajorityChainDense must be last");
-            Stage s;
-            s.kind = Stage::Kind::Output;
-            s.inFeatures = chain->inFeatures();
-            s.outFeatures = chain->outFeatures();
-            const auto &w = chain->weights();
-            s.weights = sc::StreamMatrix(w.size(), len);
-            for (std::size_t i = 0; i < w.size(); ++i)
-                s.weights.fillBipolar(i, w[i], cfg.rngBits, rng);
-            const auto &b = chain->biases();
-            s.biases = sc::StreamMatrix(b.size(), len);
-            for (std::size_t i = 0; i < b.size(); ++i)
-                s.biases.fillBipolar(i, b[i], cfg.rngBits, rng);
-            s.neutral = sc::StreamMatrix(1, len);
-            s.neutral.fillNeutral(0);
-            stages_.push_back(std::move(s));
-            continue;
-        }
-
-        if (const auto *fc = dynamic_cast<const nn::Dense *>(&l)) {
-            const bool has_act =
-                li + 1 < n_layers && isScActivation(net.layer(li + 1));
-            Stage s;
-            s.kind = has_act ? Stage::Kind::Dense : Stage::Kind::Output;
-            s.inFeatures = fc->inFeatures();
-            s.outFeatures = fc->outFeatures();
-
-            const auto &w = fc->weights();
-            s.weights = sc::StreamMatrix(w.size(), len);
-            for (std::size_t i = 0; i < w.size(); ++i)
-                s.weights.fillBipolar(i, w[i], cfg.rngBits, rng);
-            const auto &b = fc->biases();
-            s.biases = sc::StreamMatrix(b.size(), len);
-            for (std::size_t i = 0; i < b.size(); ++i)
-                s.biases.fillBipolar(i, b[i], cfg.rngBits, rng);
-            s.neutral = sc::StreamMatrix(1, len);
-            s.neutral.fillNeutral(0);
-
-            stages_.push_back(std::move(s));
-            if (has_act)
-                ++li;
-            else if (li + 1 != n_layers)
-                throw std::invalid_argument(
-                    "ScNetworkEngine: activation-free Dense must be last");
-            continue;
-        }
-
-        throw std::invalid_argument("ScNetworkEngine: unmappable layer " +
-                                    l.name());
-    }
-
-    if (stages_.empty() || stages_.back().kind != Stage::Kind::Output)
-        throw std::invalid_argument(
-            "ScNetworkEngine: network must end in an output Dense layer");
-}
-
-sc::StreamMatrix
-ScNetworkEngine::runStage(const Stage &stage, const sc::StreamMatrix &in,
-                          std::vector<double> *scores_out)
-{
-    const std::size_t len = cfg_.streamLen;
-    const std::size_t wpr = in.wordsPerRow();
-    const bool aqfp = cfg_.backend == ScBackend::AqfpSorter;
-
-    std::vector<std::uint64_t> prod(wpr);
-    std::vector<std::uint64_t> prev_prod(wpr);
-    std::vector<int> col;
-    std::vector<int> over_col;
-
-    switch (stage.kind) {
-      case Stage::Kind::Pool: {
-        sc::StreamMatrix out(
-            static_cast<std::size_t>(stage.outC) * stage.outH * stage.outW,
-            len);
-        sc::Xoshiro256StarStar mux_rng(cfg_.seed ^ 0x9E3779B9ULL);
-        sc::ColumnCounts counts(len, 4);
-        for (int c = 0; c < stage.outC; ++c) {
-            for (int y = 0; y < stage.outH; ++y) {
-                for (int x = 0; x < stage.outW; ++x) {
-                    const std::size_t out_row =
-                        (static_cast<std::size_t>(c) * stage.outH + y) *
-                            stage.outW + x;
-                    const std::uint64_t *rows[4];
-                    for (int dy = 0; dy < 2; ++dy) {
-                        for (int dx = 0; dx < 2; ++dx) {
-                            rows[2 * dy + dx] = in.row(
-                                (static_cast<std::size_t>(c) * stage.inH +
-                                 (2 * y + dy)) * stage.inW + (2 * x + dx));
-                        }
-                    }
-                    std::uint64_t *dst = out.row(out_row);
-                    if (aqfp) {
-                        counts.clear();
-                        for (const auto *r : rows)
-                            counts.addWords(r, wpr);
-                        counts.extract(col);
-                        blocks::PoolingFeedbackUnit unit(4);
-                        for (std::size_t i = 0; i < len; ++i) {
-                            if (unit.step(col[i]))
-                                dst[i / 64] |= 1ULL << (i % 64);
-                        }
-                    } else {
-                        // CMOS MUX pooling: random input per cycle.
-                        for (std::size_t i = 0; i < len; ++i) {
-                            const std::uint64_t sel = mux_rng.nextBits(2);
-                            const std::uint64_t bit =
-                                (rows[sel][i / 64] >> (i % 64)) & 1ULL;
-                            dst[i / 64] |= bit << (i % 64);
-                        }
-                    }
-                }
-            }
-        }
-        return out;
-      }
-
-      case Stage::Kind::Conv: {
-        sc::StreamMatrix out(
-            static_cast<std::size_t>(stage.outC) * stage.outH * stage.outW,
-            len);
-        const int k = stage.kernel;
-        const int r = k / 2;
-        // Interior window + bias + possible neutral bounds the counts.
-        const int max_m = stage.inC * k * k + 2;
-        sc::ColumnCounts counts(len, max_m);
-        sc::ColumnCounts over(len, max_m / 2 + 1);
-
-        for (int oc = 0; oc < stage.outC; ++oc) {
-            for (int y = 0; y < stage.outH; ++y) {
-                for (int x = 0; x < stage.outW; ++x) {
-                    counts.clear();
-                    if (!aqfp)
-                        over.clear();
-                    int m = 0;
-                    bool have_prev = false;
-                    auto add_product = [&](const std::uint64_t *xr,
-                                           const std::uint64_t *wr) {
-                        for (std::size_t wi = 0; wi < wpr; ++wi)
-                            prod[wi] = ~(xr[wi] ^ wr[wi]);
-                        counts.addWords(prod.data(), wpr);
-                        ++m;
-                        if (!aqfp && cfg_.approximateApc) {
-                            if (have_prev) {
-                                for (std::size_t wi = 0; wi < wpr; ++wi)
-                                    prev_prod[wi] &= prod[wi];
-                                over.addWords(prev_prod.data(), wpr);
-                                have_prev = false;
-                            } else {
-                                prev_prod = prod;
-                                have_prev = true;
-                            }
-                        }
-                    };
-
-                    for (int ic = 0; ic < stage.inC; ++ic) {
-                        for (int ky = 0; ky < k; ++ky) {
-                            const int sy = y + ky - r;
-                            if (sy < 0 || sy >= stage.inH)
-                                continue;
-                            for (int kx = 0; kx < k; ++kx) {
-                                const int sx = x + kx - r;
-                                if (sx < 0 || sx >= stage.inW)
-                                    continue;
-                                add_product(
-                                    in.row((static_cast<std::size_t>(ic) *
-                                            stage.inH + sy) * stage.inW +
-                                           sx),
-                                    stage.weights.row(
-                                        ((static_cast<std::size_t>(oc) *
-                                          stage.inC + ic) * k + ky) * k +
-                                        kx));
-                            }
-                        }
-                    }
-                    // Bias enters the sum as one more product stream of
-                    // fixed value (its "input" is the constant 1 stream).
-                    counts.addWords(stage.biases.row(
-                                        static_cast<std::size_t>(oc)), wpr);
-                    ++m;
-
-                    const std::size_t out_row =
-                        (static_cast<std::size_t>(oc) * stage.outH + y) *
-                            stage.outW + x;
-                    std::uint64_t *dst = out.row(out_row);
-
-                    if (aqfp) {
-                        int eff_m = m;
-                        if (m % 2 == 0) {
-                            counts.addWords(stage.neutral.row(0), wpr);
-                            eff_m = m + 1;
-                        }
-                        counts.extract(col);
-                        blocks::FeatureFeedbackUnit unit(eff_m);
-                        for (std::size_t i = 0; i < len; ++i) {
-                            if (unit.step(col[i]))
-                                dst[i / 64] |= 1ULL << (i % 64);
-                        }
-                    } else {
-                        counts.extract(col);
-                        if (cfg_.approximateApc) {
-                            over.extract(over_col);
-                            for (std::size_t i = 0; i < len; ++i) {
-                                col[i] += over_col[i];
-                                if (col[i] > m)
-                                    col[i] = m;
-                            }
-                        }
-                        int state = m; // s_max / 2 with s_max = 2m
-                        for (std::size_t i = 0; i < len; ++i) {
-                            if (baseline::ApcFeatureExtraction::btanhStep(
-                                    state, col[i], m, 2 * m)) {
-                                dst[i / 64] |= 1ULL << (i % 64);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        return out;
-      }
-
-      case Stage::Kind::Dense: {
-        assert(static_cast<int>(in.rows()) == stage.inFeatures);
-        sc::StreamMatrix out(static_cast<std::size_t>(stage.outFeatures),
-                             len);
-        const int m_total = stage.inFeatures + 1; // + bias
-        sc::ColumnCounts counts(len, m_total + 1);
-        sc::ColumnCounts over(len, m_total / 2 + 1);
-
-        for (int o = 0; o < stage.outFeatures; ++o) {
-            counts.clear();
-            if (!aqfp)
-                over.clear();
-            bool have_prev = false;
-            for (int j = 0; j < stage.inFeatures; ++j) {
-                const std::uint64_t *xr =
-                    in.row(static_cast<std::size_t>(j));
-                const std::uint64_t *wr = stage.weights.row(
-                    static_cast<std::size_t>(o) * stage.inFeatures + j);
-                for (std::size_t wi = 0; wi < wpr; ++wi)
-                    prod[wi] = ~(xr[wi] ^ wr[wi]);
-                counts.addWords(prod.data(), wpr);
-                if (!aqfp && cfg_.approximateApc) {
-                    if (have_prev) {
-                        for (std::size_t wi = 0; wi < wpr; ++wi)
-                            prev_prod[wi] &= prod[wi];
-                        over.addWords(prev_prod.data(), wpr);
-                        have_prev = false;
-                    } else {
-                        prev_prod = prod;
-                        have_prev = true;
-                    }
-                }
-            }
-            counts.addWords(stage.biases.row(static_cast<std::size_t>(o)),
-                            wpr);
-
-            std::uint64_t *dst = out.row(static_cast<std::size_t>(o));
-            if (aqfp) {
-                int eff_m = m_total;
-                if (eff_m % 2 == 0) {
-                    counts.addWords(stage.neutral.row(0), wpr);
-                    ++eff_m;
-                }
-                counts.extract(col);
-                blocks::FeatureFeedbackUnit unit(eff_m);
-                for (std::size_t i = 0; i < len; ++i) {
-                    if (unit.step(col[i]))
-                        dst[i / 64] |= 1ULL << (i % 64);
-                }
-            } else {
-                counts.extract(col);
-                if (cfg_.approximateApc) {
-                    over.extract(over_col);
-                    for (std::size_t i = 0; i < len; ++i) {
-                        col[i] += over_col[i];
-                        if (col[i] > m_total)
-                            col[i] = m_total;
-                    }
-                }
-                int state = m_total;
-                for (std::size_t i = 0; i < len; ++i) {
-                    if (baseline::ApcFeatureExtraction::btanhStep(
-                            state, col[i], m_total, 2 * m_total)) {
-                        dst[i / 64] |= 1ULL << (i % 64);
-                    }
-                }
-            }
-        }
-        return out;
-      }
-
-      case Stage::Kind::Output: {
-        assert(static_cast<int>(in.rows()) == stage.inFeatures);
-        assert(scores_out != nullptr);
-        scores_out->assign(static_cast<std::size_t>(stage.outFeatures),
-                           0.0);
-
-        for (int o = 0; o < stage.outFeatures; ++o) {
-            if (aqfp) {
-                // Majority chain folded word-parallel over the product
-                // streams (bias as the final product; neutral pad keeps
-                // the chain's 2-per-stage consumption aligned).
-                const int k_total = stage.inFeatures + 1;
-                std::size_t ones = 0;
-                for (std::size_t wi = 0; wi < wpr; ++wi) {
-                    auto product = [&](int j) -> std::uint64_t {
-                        if (j < stage.inFeatures) {
-                            return ~(in.row(static_cast<std::size_t>(j))[wi] ^
-                                     stage.weights.row(
-                                         static_cast<std::size_t>(o) *
-                                             stage.inFeatures + j)[wi]);
-                        }
-                        if (j == stage.inFeatures)
-                            return stage.biases.row(
-                                static_cast<std::size_t>(o))[wi];
-                        return stage.neutral.row(0)[wi]; // padding
-                    };
-                    std::uint64_t acc =
-                        majWord(product(0), product(1), product(2));
-                    int j = 3;
-                    while (j < k_total) {
-                        const std::uint64_t p1 = product(j);
-                        const std::uint64_t p2 =
-                            j + 1 < k_total ? product(j + 1)
-                                            : stage.neutral.row(0)[wi];
-                        acc = majWord(acc, p1, p2);
-                        j += 2;
-                    }
-                    if (wi == wpr - 1 && len % 64 != 0)
-                        acc &= (1ULL << (len % 64)) - 1;
-                    ones += static_cast<std::size_t>(std::popcount(acc));
-                }
-                (*scores_out)[static_cast<std::size_t>(o)] =
-                    2.0 * static_cast<double>(ones) /
-                        static_cast<double>(len) - 1.0;
-            } else {
-                // CMOS: APC counts accumulated into an exact binary score.
-                long long ones = 0;
-                for (int j = 0; j < stage.inFeatures; ++j) {
-                    const std::uint64_t *xr =
-                        in.row(static_cast<std::size_t>(j));
-                    const std::uint64_t *wr = stage.weights.row(
-                        static_cast<std::size_t>(o) * stage.inFeatures + j);
-                    for (std::size_t wi = 0; wi < wpr; ++wi) {
-                        std::uint64_t p = ~(xr[wi] ^ wr[wi]);
-                        if (wi == wpr - 1 && len % 64 != 0)
-                            p &= (1ULL << (len % 64)) - 1;
-                        ones += std::popcount(p);
-                    }
-                }
-                ones += static_cast<long long>(stage.biases.countOnes(
-                    static_cast<std::size_t>(o)));
-                (*scores_out)[static_cast<std::size_t>(o)] =
-                    static_cast<double>(ones);
-            }
-        }
-        return sc::StreamMatrix(); // terminal stage
-      }
-    }
-    return sc::StreamMatrix();
 }
 
 ScPrediction
-ScNetworkEngine::infer(const nn::Tensor &image)
+ScNetworkEngine::infer(const nn::Tensor &image) const
+{
+    return inferIndexed(image, 0);
+}
+
+ScPrediction
+ScNetworkEngine::inferIndexed(const nn::Tensor &image,
+                              std::size_t index) const
 {
     const std::size_t len = cfg_.streamLen;
-    // Per-image input SNGs; a fresh substream keeps images independent.
-    sc::Xoshiro256StarStar rng(cfg_.seed ^ 0xABCDEF12345ULL);
 
+    StageContext ctx;
+    ctx.imageSeed = sc::deriveStreamSeed(cfg_.seed, index);
+
+    // Per-image input SNGs; a fresh substream keeps images independent.
+    sc::Xoshiro256StarStar rng(ctx.imageSeed ^ 0xABCDEF12345ULL);
     sc::StreamMatrix cur(image.size(), len);
     for (std::size_t i = 0; i < image.size(); ++i)
         cur.fillBipolar(i, image[i], cfg_.rngBits, rng);
 
-    ScPrediction pred;
     for (const auto &stage : stages_) {
-        if (stage.kind == Stage::Kind::Output) {
-            runStage(stage, cur, &pred.scores);
+        if (stage->terminal()) {
+            stage->run(cur, ctx);
             break;
         }
-        cur = runStage(stage, cur, nullptr);
+        cur = stage->run(cur, ctx);
     }
 
+    ScPrediction pred;
+    pred.scores = std::move(ctx.scores);
     pred.label = 0;
     for (std::size_t i = 1; i < pred.scores.size(); ++i) {
-        if (pred.scores[i] > pred.scores[static_cast<std::size_t>(pred.label)])
+        if (pred.scores[i] >
+            pred.scores[static_cast<std::size_t>(pred.label)])
             pred.label = static_cast<int>(i);
     }
     return pred;
@@ -528,26 +58,16 @@ ScNetworkEngine::infer(const nn::Tensor &image)
 
 double
 ScNetworkEngine::evaluate(const std::vector<nn::Sample> &samples, int limit,
-                          bool progress)
+                          bool progress) const
 {
-    const std::size_t n =
-        limit < 0 ? samples.size()
-                  : std::min<std::size_t>(samples.size(),
-                                          static_cast<std::size_t>(limit));
-    if (n == 0)
-        return 0.0;
-    int correct = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (infer(samples[i].image).label == samples[i].label)
-            ++correct;
-        if (progress && (i + 1) % 10 == 0) {
-            std::printf(".");
-            std::fflush(stdout);
-        }
-    }
-    if (progress)
-        std::printf("\n");
-    return static_cast<double>(correct) / static_cast<double>(n);
+    return evaluateBatch(samples, limit, cfg_.threads, progress).accuracy;
+}
+
+ScEvalStats
+ScNetworkEngine::evaluateBatch(const std::vector<nn::Sample> &samples,
+                               int limit, int threads, bool progress) const
+{
+    return BatchRunner(*this, threads).evaluate(samples, limit, progress);
 }
 
 } // namespace aqfpsc::core

@@ -2,8 +2,9 @@
  * @file
  * Whole-network stochastic-computing inference engine.
  *
- * Compiles a trained nn::Network into a pipeline of SC stages and runs
- * inference entirely in the bipolar stream domain:
+ * Compiles a trained nn::Network into a graph of polymorphic ScStage
+ * nodes (see core/stages/) and runs inference entirely in the bipolar
+ * stream domain:
  *
  *  - AqfpSorter backend (the paper's proposal): Conv / hidden-FC layers
  *    execute as sorter-based feature-extraction blocks (Algorithm 1,
@@ -18,18 +19,26 @@
  * Weight streams are generated once at engine construction (weights are
  * hardwired on chip and converted through SNGs continuously; re-drawing
  * them per image only adds Monte-Carlo noise), input streams per image.
+ *
+ * The compiled stage graph is immutable, so one engine can serve many
+ * images concurrently; batched multi-threaded inference lives in
+ * core::BatchRunner, which evaluate() delegates to.  Each image's
+ * randomness derives from seed XOR image-index, making every prediction
+ * independent of batch size and thread count.
  */
 
 #ifndef AQFPSC_CORE_SC_ENGINE_H
 #define AQFPSC_CORE_SC_ENGINE_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/network.h"
-#include "sc/stream_matrix.h"
 
 namespace aqfpsc::core {
+
+class ScStage;
 
 /** Which hardware's arithmetic the engine emulates. */
 enum class ScBackend
@@ -54,6 +63,11 @@ struct ScEngineConfig
      * study.
      */
     bool approximateApc = false;
+    /**
+     * Worker threads evaluate() fans images across (0 = one per
+     * hardware thread).  Results are bit-identical for any value.
+     */
+    int threads = 1;
 };
 
 /** Per-class SC scores plus the argmax prediction. */
@@ -63,48 +77,79 @@ struct ScPrediction
     std::vector<double> scores;
 };
 
+/** Timing/accuracy summary of one batched evaluation. */
+struct ScEvalStats
+{
+    double accuracy = 0.0;     ///< fraction of correct argmax labels
+    std::size_t images = 0;    ///< images evaluated
+    double wallSeconds = 0.0;  ///< wall-clock time of the batch
+    double imagesPerSec = 0.0; ///< throughput
+};
+
 /**
  * SC-domain executor for one trained network.
  *
  * The source network must follow the mappable pattern: every Conv2D and
- * every hidden Dense immediately followed by HardTanh, AvgPool2 between
- * feature stages, and a final Dense with no activation.
+ * every hidden Dense immediately followed by HardTanh/SorterTanh,
+ * AvgPool2 between feature stages, and a final Dense (or
+ * MajorityChainDense) with no activation.
  */
 class ScNetworkEngine
 {
   public:
     /**
-     * Build the stage plan and pre-generate all weight streams.
+     * Compile the stage graph and pre-generate all weight streams.
      * @param net Trained network (weights are read, not copied).
      * @param cfg Engine configuration.
      */
     ScNetworkEngine(const nn::Network &net, const ScEngineConfig &cfg);
 
-    /** Out-of-line: Stage is incomplete at this point. */
+    /** Out-of-line: ScStage is incomplete at this point. */
     ~ScNetworkEngine();
 
-    /** Run one image through the SC pipeline. */
-    ScPrediction infer(const nn::Tensor &image);
+    /**
+     * Run one image through the SC pipeline with the engine seed
+     * (identical to inferIndexed(image, 0)).  Thread-safe.
+     */
+    ScPrediction infer(const nn::Tensor &image) const;
 
     /**
-     * Accuracy over samples (optionally only the first @p limit).
-     * @param progress Print a dot every 10 images.
+     * Run one image with the per-image seed derived for batch position
+     * @p index (seed XOR index), so batched evaluation is a pure
+     * function of the image index.  Thread-safe.
+     */
+    ScPrediction inferIndexed(const nn::Tensor &image,
+                              std::size_t index) const;
+
+    /**
+     * Accuracy over samples (optionally only the first @p limit),
+     * evaluated through a BatchRunner with config().threads workers.
+     * @param progress Print a thread-safe dot every 10 images plus a
+     *        final accuracy/throughput summary line.
      */
     double evaluate(const std::vector<nn::Sample> &samples, int limit = -1,
-                    bool progress = false);
+                    bool progress = false) const;
+
+    /**
+     * Batched evaluation with full timing stats.
+     * @param threads Worker count (0 = one per hardware thread).
+     */
+    ScEvalStats evaluateBatch(const std::vector<nn::Sample> &samples,
+                              int limit = -1, int threads = 1,
+                              bool progress = false) const;
 
     /** Engine configuration. */
     const ScEngineConfig &config() const { return cfg_; }
 
+    /** Number of compiled stages (terminal stage included). */
+    std::size_t stageCount() const { return stages_.size(); }
+
+    /** Compiled stage @p i, in execution order. */
+    const ScStage &stage(std::size_t i) const { return *stages_[i]; }
+
   private:
-    struct Stage; // stage plan node (see .cc)
-
     ScEngineConfig cfg_;
-    std::vector<Stage> stages_;
-
-    sc::StreamMatrix
-    runStage(const Stage &stage, const sc::StreamMatrix &in,
-             std::vector<double> *scores_out);
+    std::vector<std::unique_ptr<ScStage>> stages_;
 };
 
 } // namespace aqfpsc::core

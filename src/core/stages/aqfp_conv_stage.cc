@@ -1,0 +1,74 @@
+#include "aqfp_conv_stage.h"
+
+#include "blocks/feedback_unit.h"
+
+namespace aqfpsc::core::stages {
+
+std::string
+AqfpConvStage::name() const
+{
+    return "AqfpConv " + std::to_string(geom_.outC) + "x" +
+           std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW) +
+           " k" + std::to_string(geom_.kernel);
+}
+
+sc::StreamMatrix
+AqfpConvStage::run(const sc::StreamMatrix &in, StageContext &) const
+{
+    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t wpr = in.wordsPerRow();
+
+    sc::StreamMatrix out(
+        static_cast<std::size_t>(geom_.outC) * geom_.outH * geom_.outW,
+        len);
+
+    // Interior window + bias + possible neutral bounds the counts.
+    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
+    sc::ColumnCounts counts(len, max_m);
+    std::vector<std::uint64_t> prod(wpr);
+    std::vector<int> col;
+
+    for (int oc = 0; oc < geom_.outC; ++oc) {
+        for (int y = 0; y < geom_.outH; ++y) {
+            for (int x = 0; x < geom_.outW; ++x) {
+                counts.clear();
+                int m = 0;
+                forEachConvProduct(
+                    geom_, in, streams_.weights, oc, y, x,
+                    [&](const std::uint64_t *xr, const std::uint64_t *wr) {
+                        xnorProduct(prod.data(), xr, wr, wpr);
+                        counts.addWords(prod.data(), wpr);
+                        ++m;
+                    });
+                // Bias enters the sum as one more product stream of fixed
+                // value (its "input" is the constant 1 stream).
+                counts.addWords(
+                    streams_.biases.row(static_cast<std::size_t>(oc)), wpr);
+                ++m;
+
+                // The sorter block needs an odd input count; pad with the
+                // neutral (value 0) stream when even.
+                int eff_m = m;
+                if (m % 2 == 0) {
+                    counts.addWords(streams_.neutral.row(0), wpr);
+                    eff_m = m + 1;
+                }
+
+                const std::size_t out_row =
+                    (static_cast<std::size_t>(oc) * geom_.outH + y) *
+                        geom_.outW +
+                    x;
+                std::uint64_t *dst = out.row(out_row);
+                counts.extract(col);
+                blocks::FeatureFeedbackUnit unit(eff_m);
+                for (std::size_t i = 0; i < len; ++i) {
+                    if (unit.step(col[i]))
+                        setStreamBit(dst, i);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace aqfpsc::core::stages

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Conv stage on the AQFP sorter backend: every output pixel/channel is
+ * one sorter-based feature-extraction block (Algorithm 1, counter form).
+ */
+
+#ifndef AQFPSC_CORE_STAGES_AQFP_CONV_STAGE_H
+#define AQFPSC_CORE_STAGES_AQFP_CONV_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Feature extraction over conv windows via sorter + feedback blocks. */
+class AqfpConvStage final : public ScStage
+{
+  public:
+    AqfpConvStage(const ConvGeometry &geom, FeatureStreams streams)
+        : geom_(geom), streams_(std::move(streams))
+    {
+    }
+
+    std::string name() const override;
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    ConvGeometry geom_;
+    FeatureStreams streams_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_AQFP_CONV_STAGE_H

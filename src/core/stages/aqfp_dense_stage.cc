@@ -1,0 +1,59 @@
+#include "aqfp_dense_stage.h"
+
+#include <cassert>
+
+#include "blocks/feedback_unit.h"
+
+namespace aqfpsc::core::stages {
+
+std::string
+AqfpDenseStage::name() const
+{
+    return "AqfpDense " + std::to_string(geom_.inFeatures) + "->" +
+           std::to_string(geom_.outFeatures);
+}
+
+sc::StreamMatrix
+AqfpDenseStage::run(const sc::StreamMatrix &in, StageContext &) const
+{
+    assert(static_cast<int>(in.rows()) == geom_.inFeatures);
+    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t wpr = in.wordsPerRow();
+
+    sc::StreamMatrix out(static_cast<std::size_t>(geom_.outFeatures), len);
+    const int m_total = geom_.inFeatures + 1; // + bias
+    sc::ColumnCounts counts(len, m_total + 1);
+    std::vector<std::uint64_t> prod(wpr);
+    std::vector<int> col;
+
+    for (int o = 0; o < geom_.outFeatures; ++o) {
+        counts.clear();
+        for (int j = 0; j < geom_.inFeatures; ++j) {
+            xnorProduct(prod.data(), in.row(static_cast<std::size_t>(j)),
+                        streams_.weights.row(static_cast<std::size_t>(o) *
+                                                 geom_.inFeatures +
+                                             j),
+                        wpr);
+            counts.addWords(prod.data(), wpr);
+        }
+        counts.addWords(streams_.biases.row(static_cast<std::size_t>(o)),
+                        wpr);
+
+        int eff_m = m_total;
+        if (eff_m % 2 == 0) {
+            counts.addWords(streams_.neutral.row(0), wpr);
+            ++eff_m;
+        }
+
+        std::uint64_t *dst = out.row(static_cast<std::size_t>(o));
+        counts.extract(col);
+        blocks::FeatureFeedbackUnit unit(eff_m);
+        for (std::size_t i = 0; i < len; ++i) {
+            if (unit.step(col[i]))
+                setStreamBit(dst, i);
+        }
+    }
+    return out;
+}
+
+} // namespace aqfpsc::core::stages

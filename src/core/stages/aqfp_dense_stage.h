@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hidden fully-connected stage on the AQFP sorter backend: one
+ * sorter-based feature-extraction block per output neuron.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_AQFP_DENSE_STAGE_H
+#define AQFPSC_CORE_STAGES_AQFP_DENSE_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Feature extraction over a flat input via sorter + feedback blocks. */
+class AqfpDenseStage final : public ScStage
+{
+  public:
+    AqfpDenseStage(const DenseGeometry &geom, FeatureStreams streams)
+        : geom_(geom), streams_(std::move(streams))
+    {
+    }
+
+    std::string name() const override;
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    DenseGeometry geom_;
+    FeatureStreams streams_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_AQFP_DENSE_STAGE_H

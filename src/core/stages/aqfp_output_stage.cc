@@ -1,0 +1,75 @@
+#include "aqfp_output_stage.h"
+
+#include <bit>
+#include <cassert>
+
+namespace aqfpsc::core::stages {
+
+namespace {
+
+std::uint64_t
+majWord(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    return (a & b) | (a & c) | (b & c);
+}
+
+} // namespace
+
+std::string
+AqfpOutputStage::name() const
+{
+    return "AqfpOutput " + std::to_string(geom_.inFeatures) + "->" +
+           std::to_string(geom_.outFeatures);
+}
+
+sc::StreamMatrix
+AqfpOutputStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
+{
+    assert(static_cast<int>(in.rows()) == geom_.inFeatures);
+    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t wpr = in.wordsPerRow();
+
+    ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
+
+    for (int o = 0; o < geom_.outFeatures; ++o) {
+        // Majority chain folded word-parallel over the product streams
+        // (bias as the final product; neutral pad keeps the chain's
+        // 2-per-stage consumption aligned).
+        const int k_total = geom_.inFeatures + 1;
+        std::size_t ones = 0;
+        for (std::size_t wi = 0; wi < wpr; ++wi) {
+            auto product = [&](int j) -> std::uint64_t {
+                if (j < geom_.inFeatures) {
+                    return ~(in.row(static_cast<std::size_t>(j))[wi] ^
+                             streams_.weights.row(
+                                 static_cast<std::size_t>(o) *
+                                     geom_.inFeatures +
+                                 j)[wi]);
+                }
+                if (j == geom_.inFeatures)
+                    return streams_.biases.row(
+                        static_cast<std::size_t>(o))[wi];
+                return streams_.neutral.row(0)[wi]; // padding
+            };
+            std::uint64_t acc = majWord(product(0), product(1), product(2));
+            int j = 3;
+            while (j < k_total) {
+                const std::uint64_t p1 = product(j);
+                const std::uint64_t p2 = j + 1 < k_total
+                                             ? product(j + 1)
+                                             : streams_.neutral.row(0)[wi];
+                acc = majWord(acc, p1, p2);
+                j += 2;
+            }
+            if (wi == wpr - 1 && len % 64 != 0)
+                acc &= (1ULL << (len % 64)) - 1;
+            ones += static_cast<std::size_t>(std::popcount(acc));
+        }
+        ctx.scores[static_cast<std::size_t>(o)] =
+            2.0 * static_cast<double>(ones) / static_cast<double>(len) -
+            1.0;
+    }
+    return sc::StreamMatrix(); // terminal stage
+}
+
+} // namespace aqfpsc::core::stages

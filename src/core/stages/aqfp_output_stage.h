@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Terminal categorization stage on the AQFP backend: one majority-chain
+ * block per class folds Maj3 gates over the product streams (Sec. 4.4)
+ * and the chain output's bipolar value is the class score.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_AQFP_OUTPUT_STAGE_H
+#define AQFPSC_CORE_STAGES_AQFP_OUTPUT_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Majority-chain categorization block. */
+class AqfpOutputStage final : public ScStage
+{
+  public:
+    AqfpOutputStage(const DenseGeometry &geom, FeatureStreams streams)
+        : geom_(geom), streams_(std::move(streams))
+    {
+    }
+
+    std::string name() const override;
+
+    bool terminal() const override { return true; }
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    DenseGeometry geom_;
+    FeatureStreams streams_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_AQFP_OUTPUT_STAGE_H

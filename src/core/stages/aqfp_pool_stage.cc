@@ -1,0 +1,57 @@
+#include "aqfp_pool_stage.h"
+
+#include "blocks/feedback_unit.h"
+
+namespace aqfpsc::core::stages {
+
+std::string
+AqfpPoolStage::name() const
+{
+    return "AqfpPool " + std::to_string(geom_.channels) + "x" +
+           std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW);
+}
+
+sc::StreamMatrix
+AqfpPoolStage::run(const sc::StreamMatrix &in, StageContext &) const
+{
+    const std::size_t len = in.streamLen();
+    const std::size_t wpr = in.wordsPerRow();
+
+    sc::StreamMatrix out(
+        static_cast<std::size_t>(geom_.channels) * geom_.outH * geom_.outW,
+        len);
+    sc::ColumnCounts counts(len, 4);
+    std::vector<int> col;
+
+    for (int c = 0; c < geom_.channels; ++c) {
+        for (int y = 0; y < geom_.outH; ++y) {
+            for (int x = 0; x < geom_.outW; ++x) {
+                const std::size_t out_row =
+                    (static_cast<std::size_t>(c) * geom_.outH + y) *
+                        geom_.outW +
+                    x;
+                counts.clear();
+                for (int dy = 0; dy < 2; ++dy) {
+                    for (int dx = 0; dx < 2; ++dx) {
+                        counts.addWords(
+                            in.row((static_cast<std::size_t>(c) * geom_.inH +
+                                    (2 * y + dy)) *
+                                       geom_.inW +
+                                   (2 * x + dx)),
+                            wpr);
+                    }
+                }
+                counts.extract(col);
+                std::uint64_t *dst = out.row(out_row);
+                blocks::PoolingFeedbackUnit unit(4);
+                for (std::size_t i = 0; i < len; ++i) {
+                    if (unit.step(col[i]))
+                        setStreamBit(dst, i);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace aqfpsc::core::stages

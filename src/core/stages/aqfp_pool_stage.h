@@ -1,0 +1,33 @@
+/**
+ * @file
+ * 2x2 average pooling on the AQFP sorter backend (Algorithm 2, counter
+ * form): the sorter + half-feedback loop emits the exact running average
+ * of the four pooled streams.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_AQFP_POOL_STAGE_H
+#define AQFPSC_CORE_STAGES_AQFP_POOL_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Sorter-based 2x2 average pooling. */
+class AqfpPoolStage final : public ScStage
+{
+  public:
+    explicit AqfpPoolStage(const PoolGeometry &geom) : geom_(geom) {}
+
+    std::string name() const override;
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    PoolGeometry geom_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_AQFP_POOL_STAGE_H

@@ -1,0 +1,73 @@
+#include "cmos_conv_stage.h"
+
+#include "baseline/sc_dcnn.h"
+
+namespace aqfpsc::core::stages {
+
+std::string
+CmosConvStage::name() const
+{
+    return "CmosConv " + std::to_string(geom_.outC) + "x" +
+           std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW) +
+           " k" + std::to_string(geom_.kernel);
+}
+
+sc::StreamMatrix
+CmosConvStage::run(const sc::StreamMatrix &in, StageContext &) const
+{
+    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t wpr = in.wordsPerRow();
+
+    sc::StreamMatrix out(
+        static_cast<std::size_t>(geom_.outC) * geom_.outH * geom_.outW,
+        len);
+
+    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
+    sc::ColumnCounts counts(len, max_m);
+    ApproxPairOvercount over(len, max_m / 2 + 1);
+    std::vector<std::uint64_t> prod(wpr);
+    std::vector<int> col;
+
+    for (int oc = 0; oc < geom_.outC; ++oc) {
+        for (int y = 0; y < geom_.outH; ++y) {
+            for (int x = 0; x < geom_.outW; ++x) {
+                counts.clear();
+                if (approximateApc_)
+                    over.reset();
+                int m = 0;
+                forEachConvProduct(
+                    geom_, in, streams_.weights, oc, y, x,
+                    [&](const std::uint64_t *xr, const std::uint64_t *wr) {
+                        xnorProduct(prod.data(), xr, wr, wpr);
+                        counts.addWords(prod.data(), wpr);
+                        ++m;
+                        if (approximateApc_)
+                            over.observe(prod, wpr);
+                    });
+                counts.addWords(
+                    streams_.biases.row(static_cast<std::size_t>(oc)), wpr);
+                ++m;
+
+                const std::size_t out_row =
+                    (static_cast<std::size_t>(oc) * geom_.outH + y) *
+                        geom_.outW +
+                    x;
+                std::uint64_t *dst = out.row(out_row);
+                counts.extract(col);
+                if (approximateApc_)
+                    over.addOvercount(col, m);
+
+                int state = m; // s_max / 2 with s_max = 2m
+                for (std::size_t i = 0; i < len; ++i) {
+                    if (baseline::ApcFeatureExtraction::btanhStep(
+                            state, col[i], m, 2 * m)) {
+                        setStreamBit(dst, i);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace aqfpsc::core::stages

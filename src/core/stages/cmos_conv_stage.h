@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Conv stage on the CMOS SC-DCNN baseline: APC column counts feed a
+ * Btanh activation counter (optionally modelling the first-layer OR-pair
+ * approximate counter).
+ */
+
+#ifndef AQFPSC_CORE_STAGES_CMOS_CONV_STAGE_H
+#define AQFPSC_CORE_STAGES_CMOS_CONV_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Feature extraction over conv windows via APC + Btanh. */
+class CmosConvStage final : public ScStage
+{
+  public:
+    CmosConvStage(const ConvGeometry &geom, FeatureStreams streams,
+                  bool approximate_apc)
+        : geom_(geom), streams_(std::move(streams)),
+          approximateApc_(approximate_apc)
+    {
+    }
+
+    std::string name() const override;
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    ConvGeometry geom_;
+    FeatureStreams streams_;
+    bool approximateApc_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_CMOS_CONV_STAGE_H

@@ -1,0 +1,64 @@
+#include "cmos_dense_stage.h"
+
+#include <cassert>
+
+#include "baseline/sc_dcnn.h"
+
+namespace aqfpsc::core::stages {
+
+std::string
+CmosDenseStage::name() const
+{
+    return "CmosDense " + std::to_string(geom_.inFeatures) + "->" +
+           std::to_string(geom_.outFeatures);
+}
+
+sc::StreamMatrix
+CmosDenseStage::run(const sc::StreamMatrix &in, StageContext &) const
+{
+    assert(static_cast<int>(in.rows()) == geom_.inFeatures);
+    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t wpr = in.wordsPerRow();
+
+    sc::StreamMatrix out(static_cast<std::size_t>(geom_.outFeatures), len);
+    const int m_total = geom_.inFeatures + 1; // + bias
+    sc::ColumnCounts counts(len, m_total + 1);
+    ApproxPairOvercount over(len, m_total / 2 + 1);
+    std::vector<std::uint64_t> prod(wpr);
+    std::vector<int> col;
+
+    for (int o = 0; o < geom_.outFeatures; ++o) {
+        counts.clear();
+        if (approximateApc_)
+            over.reset();
+        for (int j = 0; j < geom_.inFeatures; ++j) {
+            xnorProduct(prod.data(), in.row(static_cast<std::size_t>(j)),
+                        streams_.weights.row(static_cast<std::size_t>(o) *
+                                                 geom_.inFeatures +
+                                             j),
+                        wpr);
+            counts.addWords(prod.data(), wpr);
+            if (approximateApc_)
+                over.observe(prod, wpr);
+        }
+        counts.addWords(streams_.biases.row(static_cast<std::size_t>(o)),
+                        wpr);
+
+        std::uint64_t *dst = out.row(static_cast<std::size_t>(o));
+        counts.extract(col);
+        if (approximateApc_)
+            over.addOvercount(col, m_total);
+
+        int state = m_total;
+        for (std::size_t i = 0; i < len; ++i) {
+            if (baseline::ApcFeatureExtraction::btanhStep(state, col[i],
+                                                          m_total,
+                                                          2 * m_total)) {
+                setStreamBit(dst, i);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace aqfpsc::core::stages

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Hidden fully-connected stage on the CMOS SC-DCNN baseline: APC column
+ * counts feed a Btanh activation counter.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_CMOS_DENSE_STAGE_H
+#define AQFPSC_CORE_STAGES_CMOS_DENSE_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Feature extraction over a flat input via APC + Btanh. */
+class CmosDenseStage final : public ScStage
+{
+  public:
+    CmosDenseStage(const DenseGeometry &geom, FeatureStreams streams,
+                   bool approximate_apc)
+        : geom_(geom), streams_(std::move(streams)),
+          approximateApc_(approximate_apc)
+    {
+    }
+
+    std::string name() const override;
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    DenseGeometry geom_;
+    FeatureStreams streams_;
+    bool approximateApc_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_CMOS_DENSE_STAGE_H

@@ -1,0 +1,46 @@
+#include "cmos_output_stage.h"
+
+#include <bit>
+#include <cassert>
+
+namespace aqfpsc::core::stages {
+
+std::string
+CmosOutputStage::name() const
+{
+    return "CmosOutput " + std::to_string(geom_.inFeatures) + "->" +
+           std::to_string(geom_.outFeatures);
+}
+
+sc::StreamMatrix
+CmosOutputStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
+{
+    assert(static_cast<int>(in.rows()) == geom_.inFeatures);
+    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t wpr = in.wordsPerRow();
+
+    ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
+
+    for (int o = 0; o < geom_.outFeatures; ++o) {
+        // APC counts accumulated into an exact binary score.
+        long long ones = 0;
+        for (int j = 0; j < geom_.inFeatures; ++j) {
+            const std::uint64_t *xr = in.row(static_cast<std::size_t>(j));
+            const std::uint64_t *wr = streams_.weights.row(
+                static_cast<std::size_t>(o) * geom_.inFeatures + j);
+            for (std::size_t wi = 0; wi < wpr; ++wi) {
+                std::uint64_t p = ~(xr[wi] ^ wr[wi]);
+                if (wi == wpr - 1 && len % 64 != 0)
+                    p &= (1ULL << (len % 64)) - 1;
+                ones += std::popcount(p);
+            }
+        }
+        ones += static_cast<long long>(
+            streams_.biases.countOnes(static_cast<std::size_t>(o)));
+        ctx.scores[static_cast<std::size_t>(o)] =
+            static_cast<double>(ones);
+    }
+    return sc::StreamMatrix(); // terminal stage
+}
+
+} // namespace aqfpsc::core::stages

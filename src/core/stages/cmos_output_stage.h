@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Terminal categorization stage on the CMOS SC-DCNN baseline: exact APC
+ * counts of every product stream accumulate into a binary class score.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_CMOS_OUTPUT_STAGE_H
+#define AQFPSC_CORE_STAGES_CMOS_OUTPUT_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Linear APC accumulation categorization. */
+class CmosOutputStage final : public ScStage
+{
+  public:
+    CmosOutputStage(const DenseGeometry &geom, FeatureStreams streams)
+        : geom_(geom), streams_(std::move(streams))
+    {
+    }
+
+    std::string name() const override;
+
+    bool terminal() const override { return true; }
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    DenseGeometry geom_;
+    FeatureStreams streams_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_CMOS_OUTPUT_STAGE_H

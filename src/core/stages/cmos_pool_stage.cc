@@ -1,0 +1,56 @@
+#include "cmos_pool_stage.h"
+
+#include "sc/rng.h"
+
+namespace aqfpsc::core::stages {
+
+std::string
+CmosPoolStage::name() const
+{
+    return "CmosPool " + std::to_string(geom_.channels) + "x" +
+           std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW);
+}
+
+sc::StreamMatrix
+CmosPoolStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
+{
+    const std::size_t len = in.streamLen();
+
+    sc::StreamMatrix out(
+        static_cast<std::size_t>(geom_.channels) * geom_.outH * geom_.outW,
+        len);
+    // The MUX select lines are per-image randomness: derive them from the
+    // image seed so batched execution stays schedule-independent.
+    sc::Xoshiro256StarStar mux_rng(ctx.imageSeed ^ 0x9E3779B9ULL);
+
+    for (int c = 0; c < geom_.channels; ++c) {
+        for (int y = 0; y < geom_.outH; ++y) {
+            for (int x = 0; x < geom_.outW; ++x) {
+                const std::size_t out_row =
+                    (static_cast<std::size_t>(c) * geom_.outH + y) *
+                        geom_.outW +
+                    x;
+                const std::uint64_t *rows[4];
+                for (int dy = 0; dy < 2; ++dy) {
+                    for (int dx = 0; dx < 2; ++dx) {
+                        rows[2 * dy + dx] =
+                            in.row((static_cast<std::size_t>(c) * geom_.inH +
+                                    (2 * y + dy)) *
+                                       geom_.inW +
+                                   (2 * x + dx));
+                    }
+                }
+                std::uint64_t *dst = out.row(out_row);
+                for (std::size_t i = 0; i < len; ++i) {
+                    const std::uint64_t sel = mux_rng.nextBits(2);
+                    const std::uint64_t bit =
+                        (rows[sel][i / 64] >> (i % 64)) & 1ULL;
+                    dst[i / 64] |= bit << (i % 64);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace aqfpsc::core::stages

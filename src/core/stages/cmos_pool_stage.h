@@ -1,0 +1,32 @@
+/**
+ * @file
+ * 2x2 average pooling on the CMOS SC-DCNN baseline: a 4-to-1 MUX selects
+ * a random pooled input every cycle.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_CMOS_POOL_STAGE_H
+#define AQFPSC_CORE_STAGES_CMOS_POOL_STAGE_H
+
+#include "stage.h"
+#include "stage_common.h"
+
+namespace aqfpsc::core::stages {
+
+/** Random-select MUX 2x2 average pooling. */
+class CmosPoolStage final : public ScStage
+{
+  public:
+    explicit CmosPoolStage(const PoolGeometry &geom) : geom_(geom) {}
+
+    std::string name() const override;
+
+    sc::StreamMatrix run(const sc::StreamMatrix &in,
+                         StageContext &ctx) const override;
+
+  private:
+    PoolGeometry geom_;
+};
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_CMOS_POOL_STAGE_H

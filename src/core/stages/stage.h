@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Polymorphic stage interface of the SC inference stage graph.
+ *
+ * A compiled network is a linear graph of ScStage nodes.  Every stage
+ * consumes a StreamMatrix of packed stochastic streams (one row per
+ * neuron/pixel of the previous stage) and produces the next one; the
+ * terminal (categorization) stage instead writes per-class scores into
+ * the StageContext.
+ *
+ * Stages are immutable after compilation: run() is const and keeps all
+ * scratch state on its own stack, so one stage graph can execute many
+ * images concurrently from different threads (see core::BatchRunner).
+ * All per-image randomness derives from StageContext::imageSeed, which
+ * makes results a pure function of (network, config, image, image index)
+ * regardless of thread schedule.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_STAGE_H
+#define AQFPSC_CORE_STAGES_STAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sc/stream_matrix.h"
+
+namespace aqfpsc::core {
+
+/** Per-image state threaded through one stage-graph execution. */
+struct StageContext
+{
+    /** Deterministic per-image seed (sc::deriveStreamSeed of engine seed). */
+    std::uint64_t imageSeed = 0;
+
+    /** Per-class scores; written by the terminal stage. */
+    std::vector<double> scores;
+};
+
+/** One node of the compiled SC pipeline. */
+class ScStage
+{
+  public:
+    virtual ~ScStage() = default;
+
+    /** Stage name for reports/debugging, e.g. "AqfpConv 8x28x28". */
+    virtual std::string name() const = 0;
+
+    /** True for the terminal stage (writes scores, returns no streams). */
+    virtual bool terminal() const { return false; }
+
+    /**
+     * Execute the stage on one image's streams.
+     *
+     * Thread-safe: const, all scratch local.  Terminal stages fill
+     * @p ctx .scores and return an empty matrix.
+     */
+    virtual sc::StreamMatrix run(const sc::StreamMatrix &in,
+                                 StageContext &ctx) const = 0;
+};
+
+} // namespace aqfpsc::core
+
+#endif // AQFPSC_CORE_STAGES_STAGE_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Shared geometry/parameter structs and inner-loop helpers for the
+ * concrete ScStage implementations.
+ *
+ * Every weighted stage (Conv/Dense x backend) owns a FeatureStreams
+ * bundle: pre-generated weight and bias streams plus the neutral 0101...
+ * pad stream.  The helpers here keep the product-gathering loops (XNOR
+ * bipolar multiply, conv window walk, SC-DCNN OR-pair overcount model)
+ * identical across backends so that the backend files only differ in the
+ * accumulation/activation they implement.
+ */
+
+#ifndef AQFPSC_CORE_STAGES_STAGE_COMMON_H
+#define AQFPSC_CORE_STAGES_STAGE_COMMON_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sc/apc.h"
+#include "sc/stream_matrix.h"
+
+namespace aqfpsc::core::stages {
+
+/** Spatial geometry of a conv stage (same padding, stride 1). */
+struct ConvGeometry
+{
+    int inC = 0, inH = 0, inW = 0;
+    int outC = 0, outH = 0, outW = 0;
+    int kernel = 0;
+};
+
+/** Geometry of a 2x2 stride-2 pooling stage. */
+struct PoolGeometry
+{
+    int channels = 0;
+    int inH = 0, inW = 0;
+    int outH = 0, outW = 0;
+};
+
+/** Flat geometry of a dense/output stage. */
+struct DenseGeometry
+{
+    int inFeatures = 0;
+    int outFeatures = 0;
+};
+
+/** Pre-generated parameter streams of one weighted stage. */
+struct FeatureStreams
+{
+    sc::StreamMatrix weights; ///< rows follow the float layer's layout
+    sc::StreamMatrix biases;  ///< one row per output neuron/channel
+    sc::StreamMatrix neutral; ///< single neutral row for odd padding
+};
+
+/** Bipolar SC multiply: XNOR the packed words of two streams. */
+inline void
+xnorProduct(std::uint64_t *prod, const std::uint64_t *x,
+            const std::uint64_t *w, std::size_t wpr)
+{
+    for (std::size_t i = 0; i < wpr; ++i)
+        prod[i] = ~(x[i] ^ w[i]);
+}
+
+/**
+ * Walk one conv window's in-bounds products in the canonical order
+ * (input channel, kernel row, kernel column), invoking
+ * @p fn(input_row, weight_row) for each.  The order is part of the
+ * deterministic contract: the CMOS approximate counter pairs products in
+ * visit order, so both backends must share it.
+ */
+template <typename Fn>
+inline void
+forEachConvProduct(const ConvGeometry &g, const sc::StreamMatrix &in,
+                   const sc::StreamMatrix &weights, int oc, int y, int x,
+                   Fn &&fn)
+{
+    const int k = g.kernel;
+    const int r = k / 2;
+    for (int ic = 0; ic < g.inC; ++ic) {
+        for (int ky = 0; ky < k; ++ky) {
+            const int sy = y + ky - r;
+            if (sy < 0 || sy >= g.inH)
+                continue;
+            for (int kx = 0; kx < k; ++kx) {
+                const int sx = x + kx - r;
+                if (sx < 0 || sx >= g.inW)
+                    continue;
+                fn(in.row((static_cast<std::size_t>(ic) * g.inH + sy) *
+                              g.inW +
+                          sx),
+                   weights.row(
+                       ((static_cast<std::size_t>(oc) * g.inC + ic) * k +
+                        ky) *
+                           k +
+                       kx));
+            }
+        }
+    }
+}
+
+/**
+ * SC-DCNN first-layer OR-pair overcount model.
+ *
+ * The approximate parallel counter encodes product pairs as
+ * (a AND b, a OR b), which overcounts by one exactly when both pair
+ * members are 1.  Products are paired in arrival order; an unpaired
+ * trailing product is exact.  observe() every product, then
+ * addOvercount() folds the per-cycle overcounts into the extracted
+ * column counts, saturating at @p cap (the counter cannot exceed its
+ * input count).
+ */
+class ApproxPairOvercount
+{
+  public:
+    ApproxPairOvercount(std::size_t len, int max_pairs)
+        : over_(len, max_pairs)
+    {
+    }
+
+    void
+    reset()
+    {
+        over_.clear();
+        havePrev_ = false;
+    }
+
+    void
+    observe(const std::vector<std::uint64_t> &prod, std::size_t wpr)
+    {
+        if (havePrev_) {
+            for (std::size_t wi = 0; wi < wpr; ++wi)
+                prev_[wi] &= prod[wi];
+            over_.addWords(prev_.data(), wpr);
+            havePrev_ = false;
+        } else {
+            prev_ = prod;
+            havePrev_ = true;
+        }
+    }
+
+    void
+    addOvercount(std::vector<int> &col, int cap)
+    {
+        over_.extract(scratch_);
+        for (std::size_t i = 0; i < col.size(); ++i) {
+            col[i] += scratch_[i];
+            if (col[i] > cap)
+                col[i] = cap;
+        }
+    }
+
+  private:
+    sc::ColumnCounts over_;
+    std::vector<std::uint64_t> prev_;
+    std::vector<int> scratch_;
+    bool havePrev_ = false;
+};
+
+/** Set bit @p i of a packed stream row. */
+inline void
+setStreamBit(std::uint64_t *dst, std::size_t i)
+{
+    dst[i / 64] |= 1ULL << (i % 64);
+}
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_STAGE_COMMON_H

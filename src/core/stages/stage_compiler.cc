@@ -1,0 +1,192 @@
+#include "stage_compiler.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/stages/aqfp_conv_stage.h"
+#include "core/stages/aqfp_dense_stage.h"
+#include "core/stages/aqfp_output_stage.h"
+#include "core/stages/aqfp_pool_stage.h"
+#include "core/stages/cmos_conv_stage.h"
+#include "core/stages/cmos_dense_stage.h"
+#include "core/stages/cmos_output_stage.h"
+#include "core/stages/cmos_pool_stage.h"
+#include "sc/rng.h"
+
+namespace aqfpsc::core::stages {
+
+namespace {
+
+/** Layers the feature-extraction block's activation can stand in for. */
+bool
+isScActivation(const nn::Layer &l)
+{
+    return dynamic_cast<const nn::HardTanh *>(&l) != nullptr ||
+           dynamic_cast<const nn::SorterTanh *>(&l) != nullptr;
+}
+
+/**
+ * Generate the parameter streams of one weighted stage.  The shared
+ * @p rng is consumed in (weights, biases) order, matching the layer walk
+ * so that stream contents are a function of the engine seed alone.
+ */
+FeatureStreams
+makeStreams(const std::vector<float> &weights,
+            const std::vector<float> &biases, const ScEngineConfig &cfg,
+            sc::RandomSource &rng)
+{
+    FeatureStreams s;
+    const std::size_t len = cfg.streamLen;
+    s.weights = sc::StreamMatrix(weights.size(), len);
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        s.weights.fillBipolar(i, weights[i], cfg.rngBits, rng);
+    s.biases = sc::StreamMatrix(biases.size(), len);
+    for (std::size_t i = 0; i < biases.size(); ++i)
+        s.biases.fillBipolar(i, biases[i], cfg.rngBits, rng);
+    s.neutral = sc::StreamMatrix(1, len);
+    s.neutral.fillNeutral(0);
+    return s;
+}
+
+std::unique_ptr<ScStage>
+makeConvStage(const ConvGeometry &g, FeatureStreams s,
+              const ScEngineConfig &cfg)
+{
+    if (cfg.backend == ScBackend::AqfpSorter)
+        return std::make_unique<AqfpConvStage>(g, std::move(s));
+    return std::make_unique<CmosConvStage>(g, std::move(s),
+                                           cfg.approximateApc);
+}
+
+std::unique_ptr<ScStage>
+makeDenseStage(const DenseGeometry &g, FeatureStreams s,
+               const ScEngineConfig &cfg)
+{
+    if (cfg.backend == ScBackend::AqfpSorter)
+        return std::make_unique<AqfpDenseStage>(g, std::move(s));
+    return std::make_unique<CmosDenseStage>(g, std::move(s),
+                                            cfg.approximateApc);
+}
+
+std::unique_ptr<ScStage>
+makePoolStage(const PoolGeometry &g, const ScEngineConfig &cfg)
+{
+    if (cfg.backend == ScBackend::AqfpSorter)
+        return std::make_unique<AqfpPoolStage>(g);
+    return std::make_unique<CmosPoolStage>(g);
+}
+
+std::unique_ptr<ScStage>
+makeOutputStage(const DenseGeometry &g, FeatureStreams s,
+                const ScEngineConfig &cfg)
+{
+    if (cfg.backend == ScBackend::AqfpSorter)
+        return std::make_unique<AqfpOutputStage>(g, std::move(s));
+    return std::make_unique<CmosOutputStage>(g, std::move(s));
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<ScStage>>
+compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
+{
+    std::vector<std::unique_ptr<ScStage>> stages;
+    sc::Xoshiro256StarStar rng(cfg.seed);
+
+    // Walk the float network and fuse (Conv|Dense) + activation pairs.
+    int in_c = 0, in_h = 0, in_w = 0; // tracked spatial shape
+    bool shape_known = false;
+
+    const std::size_t n_layers = net.layerCount();
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const nn::Layer &l = net.layer(li);
+
+        if (const auto *conv = dynamic_cast<const nn::Conv2D *>(&l)) {
+            if (li + 1 >= n_layers || !isScActivation(net.layer(li + 1))) {
+                throw std::invalid_argument(
+                    "ScNetworkEngine: Conv2D needs a following activation");
+            }
+            if (!shape_known) {
+                // First layer fixes the input geometry to 28x28.
+                in_c = conv->inChannels();
+                in_h = 28;
+                in_w = 28;
+                shape_known = true;
+            }
+            ConvGeometry g;
+            g.inC = conv->inChannels();
+            g.inH = in_h;
+            g.inW = in_w;
+            g.outC = conv->outChannels();
+            g.outH = in_h;
+            g.outW = in_w;
+            g.kernel = conv->kernel();
+            stages.push_back(makeConvStage(
+                g, makeStreams(conv->weights(), conv->biases(), cfg, rng),
+                cfg));
+            in_c = conv->outChannels();
+            ++li; // consume the activation
+            continue;
+        }
+
+        if (dynamic_cast<const nn::AvgPool2 *>(&l) != nullptr) {
+            assert(shape_known && in_h % 2 == 0 && in_w % 2 == 0);
+            PoolGeometry g;
+            g.channels = in_c;
+            g.inH = in_h;
+            g.inW = in_w;
+            g.outH = in_h / 2;
+            g.outW = in_w / 2;
+            stages.push_back(makePoolStage(g, cfg));
+            in_h /= 2;
+            in_w /= 2;
+            continue;
+        }
+
+        if (const auto *chain =
+                dynamic_cast<const nn::MajorityChainDense *>(&l)) {
+            if (li + 1 != n_layers)
+                throw std::invalid_argument(
+                    "ScNetworkEngine: MajorityChainDense must be last");
+            DenseGeometry g;
+            g.inFeatures = chain->inFeatures();
+            g.outFeatures = chain->outFeatures();
+            stages.push_back(makeOutputStage(
+                g,
+                makeStreams(chain->weights(), chain->biases(), cfg, rng),
+                cfg));
+            continue;
+        }
+
+        if (const auto *fc = dynamic_cast<const nn::Dense *>(&l)) {
+            const bool has_act =
+                li + 1 < n_layers && isScActivation(net.layer(li + 1));
+            DenseGeometry g;
+            g.inFeatures = fc->inFeatures();
+            g.outFeatures = fc->outFeatures();
+            FeatureStreams s =
+                makeStreams(fc->weights(), fc->biases(), cfg, rng);
+            if (has_act) {
+                stages.push_back(makeDenseStage(g, std::move(s), cfg));
+                ++li;
+            } else {
+                if (li + 1 != n_layers)
+                    throw std::invalid_argument(
+                        "ScNetworkEngine: activation-free Dense must be "
+                        "last");
+                stages.push_back(makeOutputStage(g, std::move(s), cfg));
+            }
+            continue;
+        }
+
+        throw std::invalid_argument("ScNetworkEngine: unmappable layer " +
+                                    l.name());
+    }
+
+    if (stages.empty() || !stages.back()->terminal())
+        throw std::invalid_argument(
+            "ScNetworkEngine: network must end in an output Dense layer");
+    return stages;
+}
+
+} // namespace aqfpsc::core::stages

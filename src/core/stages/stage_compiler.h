@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Stage compiler: lowers a trained nn::Network into the executable stage
+ * graph of the requested backend.
+ *
+ * The compiler walks the float network, fuses (Conv2D | Dense) +
+ * activation pairs into feature-extraction stages, maps AvgPool2 to
+ * pooling stages and the final Dense / MajorityChainDense to the
+ * terminal categorization stage, and pre-generates every weight/bias
+ * stream from a single RNG walked in layer order (the stream contents
+ * are part of the deterministic contract: one seed, one stage graph).
+ */
+
+#ifndef AQFPSC_CORE_STAGES_STAGE_COMPILER_H
+#define AQFPSC_CORE_STAGES_STAGE_COMPILER_H
+
+#include <memory>
+#include <vector>
+
+#include "core/sc_engine.h"
+#include "core/stages/stage.h"
+#include "nn/network.h"
+
+namespace aqfpsc::core::stages {
+
+/**
+ * Compile @p net into an executable stage graph for @p cfg 's backend.
+ *
+ * @throws std::invalid_argument if the network does not follow the
+ *         mappable pattern (see ScNetworkEngine docs).
+ */
+std::vector<std::unique_ptr<ScStage>>
+compileNetwork(const nn::Network &net, const ScEngineConfig &cfg);
+
+} // namespace aqfpsc::core::stages
+
+#endif // AQFPSC_CORE_STAGES_STAGE_COMPILER_H

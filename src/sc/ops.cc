@@ -23,7 +23,7 @@ scaledAdd(const std::vector<Bitstream> &inputs, RandomSource &rng)
 {
     assert(!inputs.empty());
     const std::size_t len = inputs[0].size();
-    for (const auto &in : inputs)
+    for ([[maybe_unused]] const auto &in : inputs)
         assert(in.size() == len);
 
     Bitstream out(len);

@@ -23,6 +23,22 @@
 namespace aqfpsc::sc {
 
 /**
+ * Deterministic per-stream seed derivation: base XOR index.
+ *
+ * Batched inference gives image @p index the seed
+ * deriveStreamSeed(engine_seed, index), so every image's streams are a
+ * pure function of (seed, index) — independent of batch size, submission
+ * order, and thread schedule — and index 0 reproduces the engine seed
+ * exactly.  Adjacent derived seeds are decorrelated by the splitmix64
+ * expansion every consumer (Xoshiro256StarStar) applies to its seed.
+ */
+constexpr std::uint64_t
+deriveStreamSeed(std::uint64_t base, std::uint64_t index)
+{
+    return base ^ index;
+}
+
+/**
  * Interface for a source of uniform random bits/words.
  */
 class RandomSource

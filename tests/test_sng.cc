@@ -143,5 +143,58 @@ TEST(StreamMatrix, NeutralTailClean)
     EXPECT_DOUBLE_EQ(m.bipolarValue(0), 0.0);
 }
 
+// Bits past streamLen() must stay zero after any fill: the engine's
+// word-parallel kernels (ColumnCounts, majority folds, countOnes)
+// popcount whole words, so a dirty tail would silently corrupt counts.
+
+TEST(StreamMatrix, FillBipolarTailCleanAcrossLengths)
+{
+    for (const std::size_t len : {1u, 63u, 64u, 65u, 70u, 127u, 130u}) {
+        StreamMatrix m(2, len);
+        Xoshiro256StarStar rng(41);
+        // Value 1.0 sets every in-range bit, so any stray tail bit is
+        // detectable both by mask and by exact popcount.
+        m.fillBipolar(0, 1.0, 10, rng);
+        m.fillBipolar(1, 0.3, 10, rng);
+        for (std::size_t r = 0; r < 2; ++r) {
+            const std::size_t used = len % 64;
+            if (used != 0) {
+                EXPECT_EQ(m.row(r)[m.wordsPerRow() - 1] >> used, 0u)
+                    << "len=" << len << " row=" << r;
+            }
+        }
+        EXPECT_EQ(m.countOnes(0), len) << "len=" << len;
+        EXPECT_LE(m.countOnes(1), len) << "len=" << len;
+    }
+}
+
+TEST(StreamMatrix, FillNeutralTailCleanAcrossLengths)
+{
+    for (const std::size_t len : {1u, 63u, 64u, 65u, 70u, 127u, 130u}) {
+        StreamMatrix m(1, len);
+        m.fillNeutral(0);
+        const std::size_t used = len % 64;
+        if (used != 0) {
+            EXPECT_EQ(m.row(0)[m.wordsPerRow() - 1] >> used, 0u)
+                << "len=" << len;
+        }
+        // Neutral is 0101...: exactly floor(len / 2) ones (bit 0 is 0).
+        EXPECT_EQ(m.countOnes(0), len / 2) << "len=" << len;
+    }
+}
+
+TEST(StreamMatrix, RefillKeepsTailClean)
+{
+    // Re-filling a row that previously held ones must not leave stale
+    // tail bits behind.
+    StreamMatrix m(1, 70);
+    Xoshiro256StarStar rng(43);
+    m.fillBipolar(0, 1.0, 10, rng);
+    m.fillNeutral(0);
+    EXPECT_EQ(m.row(0)[1] >> 6, 0u);
+    m.fillBipolar(0, -1.0, 10, rng);
+    EXPECT_EQ(m.countOnes(0), 0u);
+}
+
 } // namespace
 } // namespace aqfpsc::sc
