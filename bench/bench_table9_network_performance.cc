@@ -6,10 +6,10 @@
  *
  *  - Software: float inference of the trained network;
  *  - AQFP: stochastic-computing inference through the sorter /
- *    majority-chain blocks (ScBackend::AqfpSorter) with hardware figures
+ *    majority-chain blocks (backend "aqfp-sorter") with hardware figures
  *    from legalized netlists;
  *  - CMOS: SC-DCNN-style inference (APC + Btanh + MUX pooling,
- *    ScBackend::CmosApc) with figures from the 40 nm model.  The CMOS
+ *    backend "cmos-apc") with figures from the 40 nm model.  The CMOS
  *    platform scores classes with linear APC accumulation, so it gets a
  *    linear output head trained on the same frozen features (the
  *    majority-chain weights are specific to the AQFP output structure).
@@ -27,10 +27,9 @@
 #include <thread>
 
 #include "bench_util.h"
-#include "core/batch_runner.h"
 #include "core/hardware_report.h"
 #include "core/model_zoo.h"
-#include "core/sc_engine.h"
+#include "core/session.h"
 #include "data/digits.h"
 
 namespace {
@@ -39,13 +38,23 @@ using namespace aqfpsc;
 
 constexpr const char *kAssetDir = "aqfpsc_assets";
 
-/** Trains (or loads cached weights for) one network. */
+/** Trains (or loads a cached model artifact for) one network. */
 void
 obtainWeights(nn::Network &net, const std::string &tag, int train_samples,
               int epochs, std::vector<nn::Sample> &train_set)
 {
     std::filesystem::create_directories(kAssetDir);
+    // Versioned model artifacts; fall back to the legacy weights-only
+    // cache so pre-existing asset dirs keep skipping training.
+    const std::string model_path =
+        std::string(kAssetDir) + "/" + tag + ".model";
     const std::string path = std::string(kAssetDir) + "/" + tag + ".bin";
+    if (std::filesystem::exists(model_path)) {
+        net = nn::Network::loadModel(model_path);
+        std::printf("[%s] loaded cached model from %s\n", tag.c_str(),
+                    model_path.c_str());
+        return;
+    }
     if (net.loadWeights(path)) {
         std::printf("[%s] loaded cached weights from %s\n", tag.c_str(),
                     path.c_str());
@@ -65,8 +74,8 @@ obtainWeights(nn::Network &net, const std::string &tag, int train_samples,
                                                       train_samples)));
     net.train(subset, cfg);
     net.quantizeParams(10);
-    if (!net.saveWeights(path))
-        std::printf("[%s] warning: could not cache weights\n", tag.c_str());
+    if (!net.saveModel(model_path))
+        std::printf("[%s] warning: could not cache model\n", tag.c_str());
 }
 
 /**
@@ -138,6 +147,8 @@ struct NetResult
     core::ScEvalStats aqfp_t8;  ///< AQFP batch at 8 threads
     core::ScEvalStats cmos;     ///< CMOS baseline batch (8 threads)
     bool deterministic = false; ///< per-image predictions equal at 1 vs 8
+    core::ScEngineConfig aqfpCfg; ///< engine stamps for the JSON report
+    core::ScEngineConfig cmosCfg;
     core::NetworkHardware hw;
 };
 
@@ -181,8 +192,10 @@ scoreBatch(const std::vector<core::ScPrediction> &predictions,
     return stats;
 }
 
+/** @param net Taken by value: the trained network moves into the AQFP
+ *  session, so the caller visibly gives up ownership at the call site. */
 NetResult
-runNetwork(const std::string &tag, nn::Network &net,
+runNetwork(const std::string &tag, nn::Network net,
            nn::Network &&linear_arch, std::vector<nn::Sample> &train_set,
            const std::vector<nn::Sample> &test_set, int train_samples,
            int epochs, int sc_images, int float_images, bool fast_hw)
@@ -204,17 +217,20 @@ runNetwork(const std::string &tag, nn::Network &net,
                 "threads)\n",
                 tag.c_str(), sc_images, kBatchThreads);
     std::fflush(stdout);
-    core::ScEngineConfig aqfp_cfg;
-    aqfp_cfg.streamLen = 1024;
-    aqfp_cfg.backend = core::ScBackend::AqfpSorter;
-    core::ScNetworkEngine aqfp_engine(net, aqfp_cfg);
+    core::EngineOptions aqfp_opts;
+    aqfp_opts.backend = "aqfp-sorter";
+    aqfp_opts.streamLen = 1024;
+    const core::InferenceSession aqfp(std::move(net), aqfp_opts);
+    aqfp.engine(); // compile outside the timed region
     bench::WallTimer timer;
-    const auto p1 =
-        core::BatchRunner(aqfp_engine, 1).run(test_set, sc_images, true);
+    const auto p1 = aqfp.predict(
+        test_set, {.limit = sc_images, .threads = 1, .progress = true});
     r.aqfp_t1 = scoreBatch(p1, test_set, timer.seconds());
     timer.reset();
-    const auto p8 = core::BatchRunner(aqfp_engine, kBatchThreads)
-                        .run(test_set, sc_images, true);
+    const auto p8 =
+        aqfp.predict(test_set, {.limit = sc_images,
+                                .threads = kBatchThreads,
+                                .progress = true});
     r.aqfp_t8 = scoreBatch(p8, test_set, timer.seconds());
     r.deterministic = predictionsMatch(p1, p8);
     if (!r.deterministic) {
@@ -226,18 +242,23 @@ runNetwork(const std::string &tag, nn::Network &net,
     std::printf("[%s] CMOS SC baseline inference (%d images, N=1024)\n",
                 tag.c_str(), sc_images);
     std::fflush(stdout);
-    nn::Network cmos_net =
-        buildCmosVariant(net, std::move(linear_arch), train_set, 1200);
-    core::ScEngineConfig cmos_cfg;
-    cmos_cfg.streamLen = 1024;
-    cmos_cfg.backend = core::ScBackend::CmosApc;
-    core::ScNetworkEngine cmos_engine(cmos_net, cmos_cfg);
-    r.cmos = core::BatchRunner(cmos_engine, kBatchThreads)
-                 .evaluate(test_set, sc_images, true);
+    core::EngineOptions cmos_opts;
+    cmos_opts.backend = "cmos-apc";
+    cmos_opts.streamLen = 1024;
+    cmos_opts.threads = kBatchThreads;
+    const core::InferenceSession cmos(
+        buildCmosVariant(aqfp.network(), std::move(linear_arch), train_set,
+                         1200),
+        cmos_opts);
+    r.cmos = cmos.evaluate(test_set,
+                           {.limit = sc_images, .progress = true});
+    r.aqfpCfg = aqfp.engine().config();
+    r.cmosCfg = cmos.engine().config();
 
     std::printf("[%s] hardware analysis...\n", tag.c_str());
     std::fflush(stdout);
-    r.hw = core::analyzeNetworkHardware(net, 1024, {}, {}, fast_hw);
+    r.hw = core::analyzeNetworkHardware(aqfp.network(), 1024, {}, {},
+                                        fast_hw);
     return r;
 }
 
@@ -306,6 +327,8 @@ resultToJson(const std::string &name, const NetResult &r)
                            .set("hardware_threads",
                                 static_cast<int>(
                                     std::thread::hardware_concurrency())))
+        .set("aqfp_engine", bench::engineJson(r.aqfpCfg))
+        .set("cmos_engine", bench::engineJson(r.cmosCfg))
         .set("accuracy", bench::Json::object()
                              .set("software", r.software)
                              .set("aqfp_sc", r.aqfp_t8.accuracy)
@@ -367,7 +390,8 @@ main()
         }
         std::printf("\n--- SNN: %s ---\n", snn.describe().c_str());
         const NetResult r =
-            runNetwork("snn", snn, std::move(snn_linear), train_set,
+            runNetwork("snn", std::move(snn), std::move(snn_linear),
+                       train_set,
                        test_set, 2500, 5, 60, 500, /*fast_hw=*/false);
         printResult("SNN", r, 99.04, 97.35, 97.91, 39.46, 5.606e-4, 231,
                     8305);
@@ -400,7 +424,8 @@ main()
         }
         std::printf("\n--- DNN: %s ---\n", dnn.describe().c_str());
         const NetResult r =
-            runNetwork("dnn", dnn, std::move(dnn_linear), train_set,
+            runNetwork("dnn", std::move(dnn), std::move(dnn_linear),
+                       train_set,
                        test_set, 1600, 4, 16, 200, /*fast_hw=*/true);
         printResult("DNN", r, 99.17, 96.62, 96.95, 219.37, 2.482e-3, 229,
                     6667);

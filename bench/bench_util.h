@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/sc_engine.h"
+
 namespace aqfpsc::bench {
 
 /** Print a centred banner for one experiment. */
@@ -235,6 +237,21 @@ class Json
     std::vector<std::pair<std::string, std::shared_ptr<Json>>> members_;
     std::vector<std::shared_ptr<Json>> elements_;
 };
+
+/**
+ * Self-describing engine stamp for bench JSON records: the backend
+ * registry name plus the stream length and worker count, so
+ * BENCH_*.json trajectories stay comparable across PRs without reading
+ * the bench source of that revision.
+ */
+inline Json
+engineJson(const core::ScEngineConfig &cfg)
+{
+    return Json::object()
+        .set("backend", cfg.resolvedBackend())
+        .set("stream_len", cfg.streamLen)
+        .set("threads", cfg.threads);
+}
 
 /**
  * Write @p payload to BENCH_<name>.json in the working directory.  The

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * aqfpsc_cli: train once, serve anywhere.
+ *
+ * Subcommands:
+ *   train  --model <zoo> --out <file> [--epochs N] [--samples N]
+ *          [--lr F] [--quant-bits B] [--seed S]
+ *       Build a model_zoo architecture, train it on the synthetic digit
+ *       task, quantize to the SNG grid and save a versioned model
+ *       artifact (architecture + quantization state + weights).
+ *   eval   --model-file <file> [--backend NAME] [--stream-len N]
+ *          [--threads N] [--rng-bits N] [--images N] [--seed S]
+ *       Load an artifact and evaluate it on any registered backend.
+ *   infer  --model-file <file> [--backend NAME] [--index I] [...]
+ *       Load an artifact and print one image's per-class scores.
+ *   backends   List the BackendRegistry names.
+ *   models     List the model_zoo names.
+ *
+ * Example round trip (the model file carries everything):
+ *   aqfpsc_cli train --model tiny --out m.bin
+ *   aqfpsc_cli eval --model-file m.bin --backend cmos-apc
+ *   aqfpsc_cli eval --model-file m.bin --backend float-ref
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/backend_registry.h"
+#include "core/model_zoo.h"
+#include "core/session.h"
+#include "data/digits.h"
+
+namespace {
+
+using namespace aqfpsc;
+
+/** Fixed dataset seeds: eval/infer must see images train never saw. */
+constexpr unsigned kTrainDataSeed = 11;
+constexpr unsigned kTestDataSeed = 999;
+constexpr int kTestImages = 200;
+
+struct Args
+{
+    std::string command;
+    std::string model;     ///< zoo name (train)
+    std::string modelFile; ///< artifact path (eval/infer) or --out (train)
+    core::EngineOptions engine;
+    int epochs = 4;
+    int samples = 600;
+    float lr = 0.08f;
+    int quantBits = 10;
+    unsigned trainSeed = 3;
+    int images = 40; ///< eval limit
+    int index = 0;   ///< infer image index
+    bool progress = true;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: aqfpsc_cli <command> [options]\n"
+        "  train --model <zoo> --out <file> [--epochs N] [--samples N]\n"
+        "        [--lr F] [--quant-bits B] [--seed S]\n"
+        "  eval  --model-file <file> [--backend NAME] [--stream-len N]\n"
+        "        [--threads N] [--rng-bits N] [--images N] [--seed S]\n"
+        "  infer --model-file <file> [--backend NAME] [--index I]\n"
+        "        [--stream-len N] [--threads N] [--rng-bits N] [--seed S]\n"
+        "  backends   list registered backends\n"
+        "  models     list model-zoo architectures\n");
+}
+
+bool
+parse(int argc, char **argv, Args &args)
+{
+    if (argc < 2)
+        return false;
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             flag.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--model")
+            args.model = next();
+        else if (flag == "--model-file" || flag == "--out")
+            args.modelFile = next();
+        else if (flag == "--backend")
+            args.engine.backend = next();
+        else if (flag == "--stream-len")
+            args.engine.streamLen =
+                static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+        else if (flag == "--threads")
+            args.engine.threads = std::atoi(next());
+        else if (flag == "--rng-bits")
+            args.engine.rngBits = std::atoi(next());
+        else if (flag == "--seed") {
+            const char *v = next();
+            args.engine.seed = std::strtoull(v, nullptr, 10);
+            args.trainSeed = static_cast<unsigned>(args.engine.seed);
+        } else if (flag == "--epochs")
+            args.epochs = std::atoi(next());
+        else if (flag == "--samples")
+            args.samples = std::atoi(next());
+        else if (flag == "--lr")
+            args.lr = static_cast<float>(std::atof(next()));
+        else if (flag == "--quant-bits")
+            args.quantBits = std::atoi(next());
+        else if (flag == "--images")
+            args.images = std::atoi(next());
+        else if (flag == "--index")
+            args.index = std::atoi(next());
+        else if (flag == "--quiet")
+            args.progress = false;
+        else {
+            std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    if (args.model.empty() || args.modelFile.empty()) {
+        std::fprintf(stderr,
+                     "error: train needs --model <zoo> and --out <file>\n");
+        return 2;
+    }
+    nn::Network net = core::buildModel(args.model, args.trainSeed);
+    std::printf("architecture: %s\n", net.describe().c_str());
+    auto train = data::generateDigits(args.samples, kTrainDataSeed);
+    const auto test = data::generateDigits(kTestImages, kTestDataSeed);
+    std::printf("training on %zu synthetic digits, %d epochs...\n",
+                train.size(), args.epochs);
+    nn::TrainConfig cfg;
+    cfg.epochs = args.epochs;
+    cfg.learningRate = args.lr;
+    cfg.verbose = args.progress;
+    net.train(train, cfg);
+    net.quantizeParams(args.quantBits);
+    std::printf("float accuracy (quantized to %d bits): %.2f%%\n",
+                args.quantBits, net.evaluate(test) * 100);
+    if (!net.saveModel(args.modelFile)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args.modelFile.c_str());
+        return 1;
+    }
+    std::printf("saved model artifact to %s\n", args.modelFile.c_str());
+    return 0;
+}
+
+int
+cmdEval(const Args &args)
+{
+    if (args.modelFile.empty()) {
+        std::fprintf(stderr, "error: eval needs --model-file <file>\n");
+        return 2;
+    }
+    const core::InferenceSession session =
+        core::InferenceSession::fromFile(args.modelFile, args.engine);
+    std::printf("model: %s (quantized to %d bits)\n",
+                session.network().describe().c_str(),
+                session.network().quantBits());
+    std::printf("backend %s, N=%zu, %d threads\n",
+                session.options().backend.c_str(),
+                session.options().streamLen, session.options().threads);
+    const auto test = data::generateDigits(kTestImages, kTestDataSeed);
+    core::EvalOptions opts;
+    opts.limit = args.images;
+    opts.progress = args.progress;
+    const core::ScEvalStats stats = session.evaluate(test, opts);
+    std::printf("accuracy %.4f over %zu images (%.2f img/s)\n",
+                stats.accuracy, stats.images, stats.imagesPerSec);
+    return 0;
+}
+
+int
+cmdInfer(const Args &args)
+{
+    if (args.modelFile.empty()) {
+        std::fprintf(stderr, "error: infer needs --model-file <file>\n");
+        return 2;
+    }
+    const auto test = data::generateDigits(kTestImages, kTestDataSeed);
+    if (args.index < 0 || args.index >= static_cast<int>(test.size())) {
+        std::fprintf(stderr, "error: --index must be in [0, %d)\n",
+                     kTestImages);
+        return 2;
+    }
+    const core::InferenceSession session =
+        core::InferenceSession::fromFile(args.modelFile, args.engine);
+    const nn::Sample &sample = test[static_cast<std::size_t>(args.index)];
+    const core::ScPrediction pred = session.infer(sample.image);
+    std::printf("backend %s, image %d: true label %d, predicted %d\n",
+                session.options().backend.c_str(), args.index, sample.label,
+                pred.label);
+    for (std::size_t c = 0; c < pred.scores.size(); ++c)
+        std::printf("  class %zu: %+.4f%s\n", c, pred.scores[c],
+                    static_cast<int>(c) == pred.label ? "  <-- argmax"
+                                                      : "");
+    return 0;
+}
+
+int
+cmdBackends()
+{
+    for (const auto &name : core::BackendRegistry::instance().names())
+        std::printf("%s\n", name.c_str());
+    return 0;
+}
+
+int
+cmdModels()
+{
+    for (const auto &name : core::modelNames())
+        std::printf("%s\n", name.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parse(argc, argv, args)) {
+        usage();
+        return 2;
+    }
+    try {
+        if (args.command == "train")
+            return cmdTrain(args);
+        if (args.command == "eval")
+            return cmdEval(args);
+        if (args.command == "infer")
+            return cmdInfer(args);
+        if (args.command == "backends")
+            return cmdBackends();
+        if (args.command == "models")
+            return cmdModels();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 args.command.c_str());
+    usage();
+    return 2;
+}

@@ -2,19 +2,20 @@
  * @file
  * End-to-end pipeline on the synthetic digit task: train a small CNN
  * with the AQFP-aware activation and output layers, quantize the weights
- * to the SNG grid, run inference entirely in the stochastic domain on
- * both backends, and print the hardware report -- the whole framework in
- * one runnable example (a scaled-down version of the Table 9 flow).
+ * to the SNG grid, then serve the model through an InferenceSession on
+ * three backends (the paper's AQFP sorter blocks, the CMOS SC baseline
+ * arithmetic, and the float-ref debugging backend) and print the
+ * hardware report -- the whole framework in one runnable example (a
+ * scaled-down version of the Table 9 flow).
  *
  * Build & run:  ./build/examples/digits_pipeline
  */
 
 #include <cstdio>
 
-#include "core/batch_runner.h"
 #include "core/hardware_report.h"
 #include "core/model_zoo.h"
-#include "core/sc_engine.h"
+#include "core/session.h"
 #include "data/digits.h"
 
 int
@@ -42,21 +43,32 @@ main()
     std::printf("float accuracy (quantized weights): %.1f%%\n",
                 float_acc * 100);
 
+    // One session serves every backend; engines compile lazily.
+    core::EngineOptions opts;
+    opts.backend = "aqfp-sorter";
+    opts.streamLen = 1024;
+    opts.threads = 0; // one worker per hardware thread
+    const core::InferenceSession session(std::move(net), opts);
+
     std::printf("\n== AQFP stochastic-computing inference (batched) ==\n");
-    core::ScEngineConfig aqfp_cfg;
-    aqfp_cfg.streamLen = 1024;
-    aqfp_cfg.backend = core::ScBackend::AqfpSorter;
-    core::ScNetworkEngine aqfp(net, aqfp_cfg);
-    // Fan the batch across all hardware threads; predictions are
-    // bit-identical to the single-thread path.
+    // Predictions are bit-identical to the single-thread path.
     const core::ScEvalStats stats =
-        core::BatchRunner(aqfp, /*threads=*/0).evaluate(test, 60, true);
+        session.evaluate(test, {.limit = 60, .progress = true});
     std::printf("AQFP SC accuracy (%zu images, N=1024): %.1f%% at "
                 "%.2f img/s\n",
                 stats.images, stats.accuracy * 100, stats.imagesPerSec);
 
+    std::printf("\n== Same session, float-ref backend (SC-noise-free) "
+                "==\n");
+    const core::ScEvalStats ref =
+        session.evaluate(test, {.limit = 60}, "float-ref");
+    std::printf("float-ref accuracy (%zu images): %.1f%%  (gap to SC: "
+                "%+.1f pts)\n",
+                ref.images, ref.accuracy * 100,
+                (stats.accuracy - ref.accuracy) * 100);
+
     std::printf("\n== One image in detail ==\n");
-    const core::ScPrediction pred = aqfp.infer(test[0].image);
+    const core::ScPrediction pred = session.infer(test[0].image);
     std::printf("true label %d, predicted %d; class scores:\n",
                 test[0].label, pred.label);
     for (std::size_t c = 0; c < pred.scores.size(); ++c)
@@ -65,8 +77,8 @@ main()
                                                       : "");
 
     std::printf("\n== Hardware report ==\n");
-    const core::NetworkHardware hw =
-        core::analyzeNetworkHardware(net, aqfp_cfg.streamLen);
+    const core::NetworkHardware hw = core::analyzeNetworkHardware(
+        session.network(), session.options().streamLen);
     std::printf("%-16s %12s %10s %14s %12s\n", "layer", "instances",
                 "M", "JJ/block", "depth(ph)");
     for (const auto &l : hw.layers) {

@@ -1,0 +1,150 @@
+#include "backend_registry.h"
+
+#include <stdexcept>
+
+namespace aqfpsc::core {
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+namespace {
+
+[[noreturn]] void
+throwDuplicate(const std::string &backend, const char *kind)
+{
+    throw std::logic_error("BackendRegistry: backend '" + backend +
+                           "' already registered a " + kind + " stage");
+}
+
+} // namespace
+
+void
+BackendRegistry::registerConv(const std::string &backend,
+                              ConvStageFactory f)
+{
+    BackendEntry &e = entries_[backend];
+    if (e.conv)
+        throwDuplicate(backend, "conv");
+    e.conv = std::move(f);
+}
+
+void
+BackendRegistry::registerDense(const std::string &backend,
+                               DenseStageFactory f)
+{
+    BackendEntry &e = entries_[backend];
+    if (e.dense)
+        throwDuplicate(backend, "dense");
+    e.dense = std::move(f);
+}
+
+void
+BackendRegistry::registerPool(const std::string &backend,
+                              PoolStageFactory f)
+{
+    BackendEntry &e = entries_[backend];
+    if (e.pool)
+        throwDuplicate(backend, "pool");
+    e.pool = std::move(f);
+}
+
+void
+BackendRegistry::registerOutput(const std::string &backend,
+                                OutputStageFactory f)
+{
+    BackendEntry &e = entries_[backend];
+    if (e.output)
+        throwDuplicate(backend, "output");
+    e.output = std::move(f);
+}
+
+void
+BackendRegistry::registerTraits(const std::string &backend,
+                                BackendTraits traits)
+{
+    entries_[backend].traits = traits;
+}
+
+bool
+BackendRegistry::has(const std::string &backend) const
+{
+    return entries_.find(backend) != entries_.end();
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        out.push_back(kv.first); // std::map keeps them sorted
+    return out;
+}
+
+std::string
+BackendRegistry::unknownBackendMessage(const std::string &backend) const
+{
+    std::string msg = "unknown backend '" + backend +
+                      "'; registered backends: ";
+    bool first = true;
+    for (const auto &kv : entries_) {
+        if (!first)
+            msg += ", ";
+        msg += kv.first;
+        first = false;
+    }
+    if (first)
+        msg += "(none)";
+    return msg;
+}
+
+const BackendEntry &
+BackendRegistry::entry(const std::string &backend) const
+{
+    const auto it = entries_.find(backend);
+    if (it == entries_.end())
+        throw std::invalid_argument(unknownBackendMessage(backend));
+    return it->second;
+}
+
+BackendTraits
+BackendRegistry::traits(const std::string &backend) const
+{
+    return entry(backend).traits;
+}
+
+ConvStageRegistration::ConvStageRegistration(const std::string &backend,
+                                             ConvStageFactory f)
+{
+    BackendRegistry::instance().registerConv(backend, std::move(f));
+}
+
+DenseStageRegistration::DenseStageRegistration(const std::string &backend,
+                                               DenseStageFactory f)
+{
+    BackendRegistry::instance().registerDense(backend, std::move(f));
+}
+
+PoolStageRegistration::PoolStageRegistration(const std::string &backend,
+                                             PoolStageFactory f)
+{
+    BackendRegistry::instance().registerPool(backend, std::move(f));
+}
+
+OutputStageRegistration::OutputStageRegistration(
+    const std::string &backend, OutputStageFactory f)
+{
+    BackendRegistry::instance().registerOutput(backend, std::move(f));
+}
+
+BackendTraitsRegistration::BackendTraitsRegistration(
+    const std::string &backend, BackendTraits traits)
+{
+    BackendRegistry::instance().registerTraits(backend, traits);
+}
+
+} // namespace aqfpsc::core

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -42,22 +43,36 @@ BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
     std::mutex print_mutex;
 
+    // Capture the first failure instead of letting it escape a pooled
+    // thread (which would std::terminate the process); rethrown to the
+    // caller after the join, matching single-thread semantics.
     auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            predictions[i] = engine_.inferIndexed(samples[i].image, i);
-            const std::size_t done =
-                completed.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (progress && done % 10 == 0) {
-                const std::lock_guard<std::mutex> lock(print_mutex);
-                std::printf(".");
-                std::fflush(stdout);
+        try {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n || failed.load(std::memory_order_relaxed))
+                    return;
+                predictions[i] =
+                    engine_.inferIndexed(samples[i].image, i);
+                const std::size_t done =
+                    completed.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (progress && done % 10 == 0) {
+                    const std::lock_guard<std::mutex> lock(print_mutex);
+                    std::printf(".");
+                    std::fflush(stdout);
+                }
             }
+        } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error)
+                error = std::current_exception();
         }
     };
 
@@ -74,6 +89,8 @@ BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
         for (auto &th : pool)
             th.join();
     }
+    if (error)
+        std::rethrow_exception(error);
     if (progress)
         std::printf("\n");
     return predictions;

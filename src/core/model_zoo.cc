@@ -1,6 +1,7 @@
 #include "model_zoo.h"
 
 #include <memory>
+#include <stdexcept>
 
 namespace aqfpsc::core {
 
@@ -68,6 +69,33 @@ buildTinyCnn(unsigned seed)
     net.add(std::make_unique<SorterTanh>());
     net.add(std::make_unique<MajorityChainDense>(64, 10, seed + 33));
     return net;
+}
+
+const std::vector<std::string> &
+modelNames()
+{
+    static const std::vector<std::string> names = {"dnn", "snn", "tiny"};
+    return names;
+}
+
+nn::Network
+buildModel(const std::string &name, unsigned seed)
+{
+    if (name == "snn")
+        return buildSnn(seed);
+    if (name == "dnn")
+        return buildDnn(seed);
+    if (name == "tiny")
+        return buildTinyCnn(seed);
+    std::string msg = "unknown model '" + name + "'; available models: ";
+    bool first = true;
+    for (const auto &n : modelNames()) {
+        if (!first)
+            msg += ", ";
+        msg += n;
+        first = false;
+    }
+    throw std::invalid_argument(msg);
 }
 
 } // namespace aqfpsc::core

@@ -17,6 +17,9 @@
 #ifndef AQFPSC_CORE_MODEL_ZOO_H
 #define AQFPSC_CORE_MODEL_ZOO_H
 
+#include <string>
+#include <vector>
+
 #include "nn/network.h"
 
 namespace aqfpsc::core {
@@ -32,6 +35,15 @@ nn::Network buildDnn(unsigned seed = 1);
  * examples and quick demonstrations.
  */
 nn::Network buildTinyCnn(unsigned seed = 1);
+
+/** Zoo model names accepted by buildModel, sorted ("dnn", "snn", "tiny"). */
+const std::vector<std::string> &modelNames();
+
+/**
+ * Name-keyed zoo lookup: "snn", "dnn" or "tiny".
+ * @throws std::invalid_argument listing modelNames() when unknown.
+ */
+nn::Network buildModel(const std::string &name, unsigned seed = 1);
 
 } // namespace aqfpsc::core
 

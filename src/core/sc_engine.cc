@@ -1,5 +1,6 @@
 #include "sc_engine.h"
 
+#include "core/backend_registry.h"
 #include "core/batch_runner.h"
 #include "core/stages/stage.h"
 #include "core/stages/stage_compiler.h"
@@ -8,11 +9,26 @@
 
 namespace aqfpsc::core {
 
+const char *
+scBackendName(ScBackend backend)
+{
+    switch (backend) {
+      case ScBackend::AqfpSorter:
+        return "aqfp-sorter";
+      case ScBackend::CmosApc:
+        return "cmos-apc";
+    }
+    return "aqfp-sorter";
+}
+
 ScNetworkEngine::~ScNetworkEngine() = default;
 
 ScNetworkEngine::ScNetworkEngine(const nn::Network &net,
                                  const ScEngineConfig &cfg)
-    : cfg_(cfg), stages_(stages::compileNetwork(net, cfg))
+    : cfg_(cfg), backendName_(cfg.resolvedBackend()),
+      encodeInputStreams_(
+          BackendRegistry::instance().traits(backendName_).wantsInputStreams),
+      stages_(stages::compileNetwork(net, cfg))
 {
 }
 
@@ -30,12 +46,19 @@ ScNetworkEngine::inferIndexed(const nn::Tensor &image,
 
     StageContext ctx;
     ctx.imageSeed = sc::deriveStreamSeed(cfg_.seed, index);
+    ctx.image = &image;
 
     // Per-image input SNGs; a fresh substream keeps images independent.
-    sc::Xoshiro256StarStar rng(ctx.imageSeed ^ 0xABCDEF12345ULL);
-    sc::StreamMatrix cur(image.size(), len);
-    for (std::size_t i = 0; i < image.size(); ++i)
-        cur.fillBipolar(i, image[i], cfg_.rngBits, rng);
+    // Value-domain backends (traits.wantsInputStreams == false) read the
+    // image through the context instead and get an empty matrix — no
+    // per-image allocation on the fast accuracy-debugging path.
+    sc::StreamMatrix cur;
+    if (encodeInputStreams_) {
+        cur = sc::StreamMatrix(image.size(), len);
+        sc::Xoshiro256StarStar rng(ctx.imageSeed ^ 0xABCDEF12345ULL);
+        for (std::size_t i = 0; i < image.size(); ++i)
+            cur.fillBipolar(i, image[i], cfg_.rngBits, rng);
+    }
 
     for (const auto &stage : stages_) {
         if (stage->terminal()) {
@@ -56,18 +79,43 @@ ScNetworkEngine::inferIndexed(const nn::Tensor &image,
     return pred;
 }
 
+ScEvalStats
+ScNetworkEngine::evaluate(const std::vector<nn::Sample> &samples,
+                          const EvalOptions &opts) const
+{
+    const int threads = opts.threads < 0 ? cfg_.threads : opts.threads;
+    return BatchRunner(*this, threads)
+        .evaluate(samples, opts.limit, opts.progress);
+}
+
+std::vector<ScPrediction>
+ScNetworkEngine::predict(const std::vector<nn::Sample> &samples,
+                         const EvalOptions &opts) const
+{
+    const int threads = opts.threads < 0 ? cfg_.threads : opts.threads;
+    return BatchRunner(*this, threads)
+        .run(samples, opts.limit, opts.progress);
+}
+
 double
 ScNetworkEngine::evaluate(const std::vector<nn::Sample> &samples, int limit,
                           bool progress) const
 {
-    return evaluateBatch(samples, limit, cfg_.threads, progress).accuracy;
+    EvalOptions opts;
+    opts.limit = limit;
+    opts.progress = progress;
+    return evaluate(samples, opts).accuracy;
 }
 
 ScEvalStats
 ScNetworkEngine::evaluateBatch(const std::vector<nn::Sample> &samples,
                                int limit, int threads, bool progress) const
 {
-    return BatchRunner(*this, threads).evaluate(samples, limit, progress);
+    EvalOptions opts;
+    opts.limit = limit;
+    opts.threads = threads;
+    opts.progress = progress;
+    return evaluate(samples, opts);
 }
 
 } // namespace aqfpsc::core

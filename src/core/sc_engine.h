@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/network.h"
@@ -40,12 +41,23 @@ namespace aqfpsc::core {
 
 class ScStage;
 
-/** Which hardware's arithmetic the engine emulates. */
+/**
+ * Which hardware's arithmetic the engine emulates.
+ *
+ * @deprecated Thin shim over the open string-keyed BackendRegistry.  New
+ * code selects backends by registry name ("aqfp-sorter", "cmos-apc",
+ * "float-ref", ...) via ScEngineConfig::backendName or
+ * EngineOptions::backend; the enum only survives so existing call sites
+ * keep compiling and cannot name backends registered outside this core.
+ */
 enum class ScBackend
 {
     AqfpSorter, ///< this paper's sorter/majority blocks
     CmosApc,    ///< SC-DCNN-style APC + Btanh + MUX pooling
 };
+
+/** Registry name of a legacy ScBackend value. */
+const char *scBackendName(ScBackend backend);
 
 /** Engine configuration. */
 struct ScEngineConfig
@@ -53,7 +65,14 @@ struct ScEngineConfig
     std::size_t streamLen = 1024; ///< stochastic stream length N
     int rngBits = 10;             ///< SNG code width
     std::uint64_t seed = 123;     ///< randomness seed
+    /** @deprecated Used only while backendName is empty. */
     ScBackend backend = ScBackend::AqfpSorter;
+    /**
+     * BackendRegistry name ("aqfp-sorter", "cmos-apc", "float-ref", ...).
+     * Empty derives the name from the deprecated enum, so existing
+     * enum-based call sites behave unchanged.
+     */
+    std::string backendName;
     /**
      * CmosApc: model the first-layer OR-pair approximate counter.  Off
      * by default: that approximation overcounts by ~M/8 per cycle, which
@@ -68,6 +87,25 @@ struct ScEngineConfig
      * hardware thread).  Results are bit-identical for any value.
      */
     int threads = 1;
+
+    /** The authoritative backend name: backendName, or the enum's. */
+    std::string resolvedBackend() const
+    {
+        return backendName.empty() ? scBackendName(backend) : backendName;
+    }
+};
+
+/**
+ * Per-call options of one batched evaluation.  The worker count defaults
+ * to the engine's config().threads — one source of truth — and can be
+ * overridden per call (benches comparing thread counts on one compiled
+ * engine).
+ */
+struct EvalOptions
+{
+    int limit = -1;       ///< evaluate only the first limit samples (<0 = all)
+    int threads = -1;     ///< <0 = config().threads, 0 = one per hw thread
+    bool progress = false; ///< thread-safe dots + final summary line
 };
 
 /** Per-class SC scores plus the argmax prediction. */
@@ -122,17 +160,32 @@ class ScNetworkEngine
                               std::size_t index) const;
 
     /**
-     * Accuracy over samples (optionally only the first @p limit),
-     * evaluated through a BatchRunner with config().threads workers.
-     * @param progress Print a thread-safe dot every 10 images plus a
-     *        final accuracy/throughput summary line.
+     * THE batched evaluation entry point: fans the batch across a
+     * BatchRunner and returns accuracy plus timing stats.  Worker count
+     * comes from config().threads unless @p opts overrides it.
+     */
+    ScEvalStats evaluate(const std::vector<nn::Sample> &samples,
+                         const EvalOptions &opts) const;
+
+    /**
+     * Batched per-image predictions, in sample order (same BatchRunner
+     * path as evaluate(), without the scoring).
+     */
+    std::vector<ScPrediction> predict(const std::vector<nn::Sample> &samples,
+                                      const EvalOptions &opts = {}) const;
+
+    /**
+     * Accuracy over samples (optionally only the first @p limit).
+     * @deprecated Thin forwarder to evaluate(samples, EvalOptions);
+     * kept so pre-registry call sites compile unchanged.
      */
     double evaluate(const std::vector<nn::Sample> &samples, int limit = -1,
                     bool progress = false) const;
 
     /**
-     * Batched evaluation with full timing stats.
-     * @param threads Worker count (0 = one per hardware thread).
+     * Batched evaluation with an explicit worker count.
+     * @deprecated Thin forwarder to evaluate(samples, EvalOptions) with
+     * EvalOptions::threads set; new code passes EvalOptions directly.
      */
     ScEvalStats evaluateBatch(const std::vector<nn::Sample> &samples,
                               int limit = -1, int threads = 1,
@@ -140,6 +193,9 @@ class ScNetworkEngine
 
     /** Engine configuration. */
     const ScEngineConfig &config() const { return cfg_; }
+
+    /** Resolved BackendRegistry name this engine was compiled for. */
+    const std::string &backendName() const { return backendName_; }
 
     /** Number of compiled stages (terminal stage included). */
     std::size_t stageCount() const { return stages_.size(); }
@@ -149,6 +205,8 @@ class ScNetworkEngine
 
   private:
     ScEngineConfig cfg_;
+    std::string backendName_;
+    bool encodeInputStreams_ = true; ///< from the backend's traits
     std::vector<std::unique_ptr<ScStage>> stages_;
 };
 

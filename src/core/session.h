@@ -1,0 +1,153 @@
+/**
+ * @file
+ * InferenceSession: the serving façade of the framework.
+ *
+ * A session owns one trained model (an nn::Network, typically loaded
+ * from a saveModel artifact) plus lazily-compiled per-backend engines,
+ * so the same model can be served on "aqfp-sorter", "cmos-apc",
+ * "float-ref" or any backend registered in core::BackendRegistry without
+ * recompiling more than once per backend.  Callers never wire
+ * train -> quantize -> ScEngineConfig -> ScNetworkEngine -> BatchRunner
+ * by hand any more:
+ *
+ *   core::EngineOptions opts;
+ *   opts.backend = "aqfp-sorter";
+ *   opts.threads = 0; // one worker per hardware thread
+ *   core::InferenceSession session(std::move(net), opts);
+ *   core::ScEvalStats s = session.evaluate(test, {.limit = 60});
+ *   core::ScPrediction p = session.infer(image, "cmos-apc");
+ *
+ * EngineOptions::validate() front-loads configuration errors with
+ * actionable messages (unknown backend -> the registered names; bad
+ * streamLen/rngBits/threads -> why the value is out of range).
+ */
+
+#ifndef AQFPSC_CORE_SESSION_H
+#define AQFPSC_CORE_SESSION_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/sc_engine.h"
+#include "nn/network.h"
+
+namespace aqfpsc::core {
+
+/**
+ * Validated session/engine configuration, keyed by backend registry
+ * name.  The one source of truth for worker threads: engines compile
+ * with EngineOptions::threads and evaluate() uses it unless an
+ * EvalOptions override asks otherwise.
+ */
+struct EngineOptions
+{
+    std::string backend = "aqfp-sorter"; ///< BackendRegistry name
+    std::size_t streamLen = 1024;        ///< stochastic stream length N
+    int rngBits = 10;                    ///< SNG code width
+    std::uint64_t seed = 123;            ///< randomness seed
+    int threads = 1;                     ///< workers (0 = one per hw thread)
+    bool approximateApc = false;         ///< cmos-apc: OR-pair first layer
+
+    /** Hard bounds validate() enforces. */
+    static constexpr std::size_t kMinStreamLen = 8;
+    static constexpr std::size_t kMaxStreamLen = std::size_t{1} << 22;
+    static constexpr int kMaxRngBits = 24;
+    static constexpr int kMaxThreads = 256; ///< BatchRunner's clamp
+
+    /**
+     * All configuration errors, each one actionable; empty means valid.
+     * Unknown backends list the registered names; numeric violations
+     * say which bound was broken and why it exists.
+     */
+    std::vector<std::string> validate() const;
+
+    /** @throws std::invalid_argument joining validate() errors. */
+    void validateOrThrow() const;
+
+    /** Lower to the engine config, optionally overriding the backend. */
+    ScEngineConfig toConfig(const std::string &backendOverride = {}) const;
+};
+
+/** One trained model served through lazily-compiled per-backend engines. */
+class InferenceSession
+{
+  public:
+    /**
+     * Take ownership of @p net and validate @p opts.
+     * @throws std::invalid_argument on invalid options.
+     */
+    explicit InferenceSession(nn::Network net, EngineOptions opts = {});
+
+    /** Serve a saveModel artifact.  @throws std::runtime_error on bad
+     *  files, std::invalid_argument on bad options. */
+    static InferenceSession fromFile(const std::string &path,
+                                     EngineOptions opts = {});
+
+    /** Serve a freshly built (untrained) zoo model ("snn", "dnn",
+     *  "tiny").  @throws std::invalid_argument on unknown names. */
+    static InferenceSession fromZoo(const std::string &model,
+                                    EngineOptions opts = {},
+                                    unsigned buildSeed = 1);
+
+    InferenceSession(const InferenceSession &) = delete;
+    InferenceSession &operator=(const InferenceSession &) = delete;
+
+    /** The owned model. */
+    const nn::Network &network() const { return net_; }
+
+    /** Session options (every engine compiles from these). */
+    const EngineOptions &options() const { return opts_; }
+
+    /**
+     * Run one image (engine seed, batch index 0).
+     * @param backend Registry name; empty = options().backend.
+     */
+    ScPrediction infer(const nn::Tensor &image,
+                       const std::string &backend = {}) const;
+
+    /** Batched per-image predictions in sample order. */
+    std::vector<ScPrediction>
+    predict(const std::vector<nn::Sample> &samples,
+            const EvalOptions &opts = {},
+            const std::string &backend = {}) const;
+
+    /**
+     * THE evaluation entry point: accuracy + timing over (a prefix of)
+     * @p samples, fanned across options().threads workers unless
+     * @p opts overrides.
+     */
+    ScEvalStats evaluate(const std::vector<nn::Sample> &samples,
+                         const EvalOptions &opts = {},
+                         const std::string &backend = {}) const;
+
+    /**
+     * The compiled engine of @p backend (empty = options().backend),
+     * compiling it on first use.  Thread-safe; the reference stays valid
+     * for the session's lifetime.
+     * @throws std::invalid_argument for unregistered backends.
+     */
+    const ScNetworkEngine &engine(const std::string &backend = {}) const;
+
+    /** Backends compiled so far (sorted). */
+    std::vector<std::string> compiledBackends() const;
+
+    /** Persist the model as a versioned artifact.  @return success. */
+    bool save(const std::string &path) const
+    {
+        return net_.saveModel(path);
+    }
+
+  private:
+    nn::Network net_;
+    EngineOptions opts_;
+    mutable std::mutex mutex_;
+    mutable std::map<std::string, std::unique_ptr<ScNetworkEngine>>
+        engines_;
+};
+
+} // namespace aqfpsc::core
+
+#endif // AQFPSC_CORE_SESSION_H

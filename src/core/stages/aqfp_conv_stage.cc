@@ -1,8 +1,16 @@
 #include "aqfp_conv_stage.h"
 
 #include "blocks/feedback_unit.h"
+#include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
+
+namespace {
+const ConvStageRegistration kRegistration{
+    "aqfp-sorter", [](const ConvGeometry &g, WeightedStageInit init) {
+        return std::make_unique<AqfpConvStage>(g, std::move(init.streams));
+    }};
+} // namespace
 
 std::string
 AqfpConvStage::name() const

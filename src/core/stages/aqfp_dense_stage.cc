@@ -3,8 +3,16 @@
 #include <cassert>
 
 #include "blocks/feedback_unit.h"
+#include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
+
+namespace {
+const DenseStageRegistration kRegistration{
+    "aqfp-sorter", [](const DenseGeometry &g, WeightedStageInit init) {
+        return std::make_unique<AqfpDenseStage>(g, std::move(init.streams));
+    }};
+} // namespace
 
 std::string
 AqfpDenseStage::name() const

@@ -3,9 +3,17 @@
 #include <bit>
 #include <cassert>
 
+#include "core/backend_registry.h"
+
 namespace aqfpsc::core::stages {
 
 namespace {
+
+const OutputStageRegistration kRegistration{
+    "aqfp-sorter", [](const DenseGeometry &g, WeightedStageInit init) {
+        return std::make_unique<AqfpOutputStage>(g,
+                                                 std::move(init.streams));
+    }};
 
 std::uint64_t
 majWord(std::uint64_t a, std::uint64_t b, std::uint64_t c)

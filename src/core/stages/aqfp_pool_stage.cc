@@ -1,8 +1,16 @@
 #include "aqfp_pool_stage.h"
 
 #include "blocks/feedback_unit.h"
+#include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
+
+namespace {
+const PoolStageRegistration kRegistration{
+    "aqfp-sorter", [](const PoolGeometry &g, const ScEngineConfig &) {
+        return std::make_unique<AqfpPoolStage>(g);
+    }};
+} // namespace
 
 std::string
 AqfpPoolStage::name() const

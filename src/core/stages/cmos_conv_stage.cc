@@ -1,8 +1,17 @@
 #include "cmos_conv_stage.h"
 
 #include "baseline/sc_dcnn.h"
+#include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
+
+namespace {
+const ConvStageRegistration kRegistration{
+    "cmos-apc", [](const ConvGeometry &g, WeightedStageInit init) {
+        return std::make_unique<CmosConvStage>(
+            g, std::move(init.streams), init.cfg.approximateApc);
+    }};
+} // namespace
 
 std::string
 CmosConvStage::name() const

@@ -3,8 +3,17 @@
 #include <cassert>
 
 #include "baseline/sc_dcnn.h"
+#include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
+
+namespace {
+const DenseStageRegistration kRegistration{
+    "cmos-apc", [](const DenseGeometry &g, WeightedStageInit init) {
+        return std::make_unique<CmosDenseStage>(
+            g, std::move(init.streams), init.cfg.approximateApc);
+    }};
+} // namespace
 
 std::string
 CmosDenseStage::name() const

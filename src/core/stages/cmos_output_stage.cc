@@ -3,7 +3,17 @@
 #include <bit>
 #include <cassert>
 
+#include "core/backend_registry.h"
+
 namespace aqfpsc::core::stages {
+
+namespace {
+const OutputStageRegistration kRegistration{
+    "cmos-apc", [](const DenseGeometry &g, WeightedStageInit init) {
+        return std::make_unique<CmosOutputStage>(g,
+                                                 std::move(init.streams));
+    }};
+} // namespace
 
 std::string
 CmosOutputStage::name() const

@@ -1,8 +1,16 @@
 #include "cmos_pool_stage.h"
 
+#include "core/backend_registry.h"
 #include "sc/rng.h"
 
 namespace aqfpsc::core::stages {
+
+namespace {
+const PoolStageRegistration kRegistration{
+    "cmos-apc", [](const PoolGeometry &g, const ScEngineConfig &) {
+        return std::make_unique<CmosPoolStage>(g);
+    }};
+} // namespace
 
 std::string
 CmosPoolStage::name() const

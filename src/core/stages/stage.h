@@ -25,6 +25,10 @@
 
 #include "sc/stream_matrix.h"
 
+namespace aqfpsc::nn {
+class Tensor;
+} // namespace aqfpsc::nn
+
 namespace aqfpsc::core {
 
 /** Per-image state threaded through one stage-graph execution. */
@@ -35,6 +39,14 @@ struct StageContext
 
     /** Per-class scores; written by the terminal stage. */
     std::vector<double> scores;
+
+    /** The raw input image; always set by the engine.  Value-domain
+     *  backends ("float-ref") read it instead of the input streams. */
+    const nn::Tensor *image = nullptr;
+
+    /** Value-domain side channel: float stages pass activations here and
+     *  return empty stream matrices.  Empty means "not started". */
+    std::vector<float> values;
 };
 
 /** One node of the compiled SC pipeline. */

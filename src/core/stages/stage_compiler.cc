@@ -3,14 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "core/stages/aqfp_conv_stage.h"
-#include "core/stages/aqfp_dense_stage.h"
-#include "core/stages/aqfp_output_stage.h"
-#include "core/stages/aqfp_pool_stage.h"
-#include "core/stages/cmos_conv_stage.h"
-#include "core/stages/cmos_dense_stage.h"
-#include "core/stages/cmos_output_stage.h"
-#include "core/stages/cmos_pool_stage.h"
+#include "core/backend_registry.h"
 #include "sc/rng.h"
 
 namespace aqfpsc::core::stages {
@@ -25,17 +18,32 @@ isScActivation(const nn::Layer &l)
            dynamic_cast<const nn::SorterTanh *>(&l) != nullptr;
 }
 
+FusedActivation
+activationKind(const nn::Layer &l)
+{
+    if (dynamic_cast<const nn::SorterTanh *>(&l) != nullptr)
+        return FusedActivation::SorterTanh;
+    if (dynamic_cast<const nn::HardTanh *>(&l) != nullptr)
+        return FusedActivation::HardTanh;
+    return FusedActivation::None;
+}
+
 /**
  * Generate the parameter streams of one weighted stage.  The shared
  * @p rng is consumed in (weights, biases) order, matching the layer walk
  * so that stream contents are a function of the engine seed alone.
+ * Backends whose traits opt out of parameter streams get an empty
+ * bundle (the whole graph is one backend, so the skipped draws cannot
+ * desynchronize anything).
  */
 FeatureStreams
 makeStreams(const std::vector<float> &weights,
             const std::vector<float> &biases, const ScEngineConfig &cfg,
-            sc::RandomSource &rng)
+            sc::RandomSource &rng, bool wanted)
 {
     FeatureStreams s;
+    if (!wanted)
+        return s;
     const std::size_t len = cfg.streamLen;
     s.weights = sc::StreamMatrix(weights.size(), len);
     for (std::size_t i = 0; i < weights.size(); ++i)
@@ -48,41 +56,11 @@ makeStreams(const std::vector<float> &weights,
     return s;
 }
 
-std::unique_ptr<ScStage>
-makeConvStage(const ConvGeometry &g, FeatureStreams s,
-              const ScEngineConfig &cfg)
+[[noreturn]] void
+throwIncomplete(const std::string &backend, const char *kind)
 {
-    if (cfg.backend == ScBackend::AqfpSorter)
-        return std::make_unique<AqfpConvStage>(g, std::move(s));
-    return std::make_unique<CmosConvStage>(g, std::move(s),
-                                           cfg.approximateApc);
-}
-
-std::unique_ptr<ScStage>
-makeDenseStage(const DenseGeometry &g, FeatureStreams s,
-               const ScEngineConfig &cfg)
-{
-    if (cfg.backend == ScBackend::AqfpSorter)
-        return std::make_unique<AqfpDenseStage>(g, std::move(s));
-    return std::make_unique<CmosDenseStage>(g, std::move(s),
-                                            cfg.approximateApc);
-}
-
-std::unique_ptr<ScStage>
-makePoolStage(const PoolGeometry &g, const ScEngineConfig &cfg)
-{
-    if (cfg.backend == ScBackend::AqfpSorter)
-        return std::make_unique<AqfpPoolStage>(g);
-    return std::make_unique<CmosPoolStage>(g);
-}
-
-std::unique_ptr<ScStage>
-makeOutputStage(const DenseGeometry &g, FeatureStreams s,
-                const ScEngineConfig &cfg)
-{
-    if (cfg.backend == ScBackend::AqfpSorter)
-        return std::make_unique<AqfpOutputStage>(g, std::move(s));
-    return std::make_unique<CmosOutputStage>(g, std::move(s));
+    throw std::invalid_argument("backend '" + backend +
+                                "' registers no " + kind + " stage");
 }
 
 } // namespace
@@ -90,6 +68,12 @@ makeOutputStage(const DenseGeometry &g, FeatureStreams s,
 std::vector<std::unique_ptr<ScStage>>
 compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
 {
+    const std::string backend = cfg.resolvedBackend();
+    // entry() throws the documented unknown-backend message.
+    const BackendEntry &factories =
+        BackendRegistry::instance().entry(backend);
+    const bool want_streams = factories.traits.wantsParamStreams;
+
     std::vector<std::unique_ptr<ScStage>> stages;
     sc::Xoshiro256StarStar rng(cfg.seed);
 
@@ -121,9 +105,14 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
             g.outH = in_h;
             g.outW = in_w;
             g.kernel = conv->kernel();
-            stages.push_back(makeConvStage(
-                g, makeStreams(conv->weights(), conv->biases(), cfg, rng),
-                cfg));
+            if (!factories.conv)
+                throwIncomplete(backend, "conv");
+            stages.push_back(factories.conv(
+                g, WeightedStageInit{
+                       makeStreams(conv->weights(), conv->biases(), cfg,
+                                   rng, want_streams),
+                       conv->weights(), conv->biases(),
+                       activationKind(net.layer(li + 1)), false, cfg}));
             in_c = conv->outChannels();
             ++li; // consume the activation
             continue;
@@ -137,7 +126,9 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
             g.inW = in_w;
             g.outH = in_h / 2;
             g.outW = in_w / 2;
-            stages.push_back(makePoolStage(g, cfg));
+            if (!factories.pool)
+                throwIncomplete(backend, "pool");
+            stages.push_back(factories.pool(g, cfg));
             in_h /= 2;
             in_w /= 2;
             continue;
@@ -151,10 +142,14 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
             DenseGeometry g;
             g.inFeatures = chain->inFeatures();
             g.outFeatures = chain->outFeatures();
-            stages.push_back(makeOutputStage(
-                g,
-                makeStreams(chain->weights(), chain->biases(), cfg, rng),
-                cfg));
+            if (!factories.output)
+                throwIncomplete(backend, "output");
+            stages.push_back(factories.output(
+                g, WeightedStageInit{
+                       makeStreams(chain->weights(), chain->biases(), cfg,
+                                   rng, want_streams),
+                       chain->weights(), chain->biases(),
+                       FusedActivation::None, true, cfg}));
             continue;
         }
 
@@ -164,17 +159,28 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
             DenseGeometry g;
             g.inFeatures = fc->inFeatures();
             g.outFeatures = fc->outFeatures();
-            FeatureStreams s =
-                makeStreams(fc->weights(), fc->biases(), cfg, rng);
+            FeatureStreams s = makeStreams(fc->weights(), fc->biases(),
+                                           cfg, rng, want_streams);
             if (has_act) {
-                stages.push_back(makeDenseStage(g, std::move(s), cfg));
+                if (!factories.dense)
+                    throwIncomplete(backend, "dense");
+                stages.push_back(factories.dense(
+                    g, WeightedStageInit{
+                           std::move(s), fc->weights(), fc->biases(),
+                           activationKind(net.layer(li + 1)), false, cfg}));
                 ++li;
             } else {
                 if (li + 1 != n_layers)
                     throw std::invalid_argument(
                         "ScNetworkEngine: activation-free Dense must be "
                         "last");
-                stages.push_back(makeOutputStage(g, std::move(s), cfg));
+                if (!factories.output)
+                    throwIncomplete(backend, "output");
+                stages.push_back(factories.output(
+                    g, WeightedStageInit{std::move(s), fc->weights(),
+                                         fc->biases(),
+                                         FusedActivation::None, false,
+                                         cfg}));
             }
             continue;
         }

@@ -9,6 +9,20 @@
  * terminal categorization stage, and pre-generates every weight/bias
  * stream from a single RNG walked in layer order (the stream contents
  * are part of the deterministic contract: one seed, one stage graph).
+ *
+ * Stage construction is registry-driven: the backend named by
+ * ScEngineConfig::resolvedBackend() is looked up in core::BackendRegistry
+ * and its per-layer-kind factories build the stages, so new backends
+ * plug in without touching this compiler.
+ *
+ * Documented error messages (all std::invalid_argument):
+ *  - "unknown backend '<name>'; registered backends: <a>, <b>, ..."
+ *  - "backend '<name>' registers no <conv|dense|pool|output> stage"
+ *  - "ScNetworkEngine: Conv2D needs a following activation"
+ *  - "ScNetworkEngine: MajorityChainDense must be last"
+ *  - "ScNetworkEngine: activation-free Dense must be last"
+ *  - "ScNetworkEngine: unmappable layer <name>"
+ *  - "ScNetworkEngine: network must end in an output Dense layer"
  */
 
 #ifndef AQFPSC_CORE_STAGES_STAGE_COMPILER_H
@@ -26,8 +40,9 @@ namespace aqfpsc::core::stages {
 /**
  * Compile @p net into an executable stage graph for @p cfg 's backend.
  *
- * @throws std::invalid_argument if the network does not follow the
- *         mappable pattern (see ScNetworkEngine docs).
+ * @throws std::invalid_argument if the backend is unknown or incomplete,
+ *         or the network does not follow the mappable pattern (see the
+ *         documented messages above).
  */
 std::vector<std::unique_ptr<ScStage>>
 compileNetwork(const nn::Network &net, const ScEngineConfig &cfg);

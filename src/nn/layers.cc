@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <stdexcept>
 
 namespace aqfpsc::nn {
 
@@ -440,6 +441,39 @@ std::vector<std::vector<float> *>
 MajorityChainDense::params()
 {
     return {&w_, &b_};
+}
+
+std::unique_ptr<Layer>
+makeLayer(const LayerSpec &spec)
+{
+    switch (spec.kind) {
+      case LayerSpec::Kind::Conv2D:
+        if (spec.p0 <= 0 || spec.p1 <= 0 || spec.p2 <= 0 ||
+            spec.p2 % 2 == 0)
+            throw std::invalid_argument(
+                "makeLayer: bad Conv2D spec (channels > 0, odd kernel)");
+        return std::make_unique<Conv2D>(spec.p0, spec.p1, spec.p2, 0u);
+      case LayerSpec::Kind::HardTanh:
+        return std::make_unique<HardTanh>();
+      case LayerSpec::Kind::SorterTanh:
+        return std::make_unique<SorterTanh>();
+      case LayerSpec::Kind::AvgPool2:
+        return std::make_unique<AvgPool2>();
+      case LayerSpec::Kind::Dense:
+        if (spec.p0 <= 0 || spec.p1 <= 0)
+            throw std::invalid_argument(
+                "makeLayer: bad Dense spec (features must be > 0)");
+        return std::make_unique<Dense>(spec.p0, spec.p1, 0u);
+      case LayerSpec::Kind::MajorityChainDense:
+        if (spec.p0 <= 0 || spec.p1 <= 0)
+            throw std::invalid_argument(
+                "makeLayer: bad MajorityChainDense spec (features must "
+                "be > 0)");
+        return std::make_unique<MajorityChainDense>(spec.p0, spec.p1, 0u);
+    }
+    throw std::invalid_argument(
+        "makeLayer: unknown layer kind " +
+        std::to_string(static_cast<int>(spec.kind)));
 }
 
 } // namespace aqfpsc::nn

@@ -23,6 +23,7 @@
 #ifndef AQFPSC_NN_LAYERS_H
 #define AQFPSC_NN_LAYERS_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,33 @@
 namespace aqfpsc::nn {
 
 class Rng;
+
+/**
+ * Serializable layer identity: a kind tag plus the shape parameters
+ * needed to reconstruct the layer (weights travel separately).  The kind
+ * values are part of the model-file format — never renumber them.
+ */
+struct LayerSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        Conv2D = 1,
+        HardTanh = 2,
+        SorterTanh = 3,
+        AvgPool2 = 4,
+        Dense = 5,
+        MajorityChainDense = 6,
+    };
+
+    Kind kind = Kind::HardTanh;
+    int p0 = 0; ///< Conv2D: in channels;  Dense/chain: in features
+    int p1 = 0; ///< Conv2D: out channels; Dense/chain: out features
+    int p2 = 0; ///< Conv2D: kernel size
+};
+
+/** Reconstruct an untrained layer from its spec.
+ *  @throws std::invalid_argument on an unknown kind or bad shape. */
+std::unique_ptr<class Layer> makeLayer(const LayerSpec &spec);
 
 /** Abstract layer. */
 class Layer
@@ -50,6 +78,9 @@ class Layer
 
     /** Layer name for reports. */
     virtual std::string name() const = 0;
+
+    /** Serializable identity (kind + shape) for model files. */
+    virtual LayerSpec spec() const = 0;
 
     /** Parameter arrays (weights then biases), for quantization / IO. */
     virtual std::vector<std::vector<float> *> params() { return {}; }
@@ -71,6 +102,10 @@ class Conv2D : public Layer
     Tensor backward(const Tensor &grad_out) override;
     void update(float lr, float momentum) override;
     std::string name() const override;
+    LayerSpec spec() const override
+    {
+        return {LayerSpec::Kind::Conv2D, inCh_, outCh_, k_};
+    }
     std::vector<std::vector<float> *> params() override;
 
     int inChannels() const { return inCh_; }
@@ -94,6 +129,7 @@ class HardTanh : public Layer
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return "HardTanh"; }
+    LayerSpec spec() const override { return {LayerSpec::Kind::HardTanh}; }
 
   private:
     Tensor lastIn_;
@@ -120,6 +156,10 @@ class SorterTanh : public Layer
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return "ScTanh"; }
+    LayerSpec spec() const override
+    {
+        return {LayerSpec::Kind::SorterTanh};
+    }
 
   private:
     Tensor lastOut_;
@@ -132,6 +172,7 @@ class AvgPool2 : public Layer
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return "AvgPool2"; }
+    LayerSpec spec() const override { return {LayerSpec::Kind::AvgPool2}; }
 
   private:
     std::vector<int> lastShape_;
@@ -147,6 +188,10 @@ class Dense : public Layer
     Tensor backward(const Tensor &grad_out) override;
     void update(float lr, float momentum) override;
     std::string name() const override;
+    LayerSpec spec() const override
+    {
+        return {LayerSpec::Kind::Dense, in_, out_, 0};
+    }
     std::vector<std::vector<float> *> params() override;
 
     int inFeatures() const { return in_; }
@@ -189,6 +234,10 @@ class MajorityChainDense : public Layer
     Tensor backward(const Tensor &grad_out) override;
     void update(float lr, float momentum) override;
     std::string name() const override;
+    LayerSpec spec() const override
+    {
+        return {LayerSpec::Kind::MajorityChainDense, in_, out_, 0};
+    }
     std::vector<std::vector<float> *> params() override;
 
     int inFeatures() const { return in_; }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <numeric>
 #include <random>
+#include <stdexcept>
 
 #include "sc/sng.h"
 
@@ -119,6 +121,7 @@ Network::train(std::vector<Sample> &samples, const TrainConfig &cfg)
 void
 Network::quantizeParams(int bits)
 {
+    quantBits_ = bits;
     for (auto &l : layers_) {
         for (std::vector<float> *p : l->params()) {
             for (auto &w : *p) {
@@ -173,6 +176,117 @@ Network::loadWeights(const std::string &path)
         }
     }
     return true;
+}
+
+namespace {
+
+constexpr char kModelMagic[8] = {'A', 'Q', 'F', 'P', 'S', 'C', 'M', '2'};
+
+template <typename T>
+void
+writePod(std::ofstream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+readPod(std::ifstream &in, const char *what)
+{
+    T v{};
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        throw std::runtime_error(std::string("loadModel: truncated file "
+                                             "while reading ") +
+                                 what);
+    return v;
+}
+
+} // namespace
+
+bool
+Network::saveModel(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out.write(kModelMagic, sizeof(kModelMagic));
+    writePod(out, static_cast<std::uint32_t>(kModelFormatVersion));
+    writePod(out, static_cast<std::int32_t>(quantBits_));
+    writePod(out, static_cast<std::uint32_t>(layers_.size()));
+    for (const auto &l : layers_) {
+        const LayerSpec spec = l->spec();
+        writePod(out, static_cast<std::uint8_t>(spec.kind));
+        writePod(out, static_cast<std::int32_t>(spec.p0));
+        writePod(out, static_cast<std::int32_t>(spec.p1));
+        writePod(out, static_cast<std::int32_t>(spec.p2));
+    }
+    for (const auto &l : layers_) {
+        for (std::vector<float> *p : const_cast<Layer &>(*l).params()) {
+            const std::uint64_t n = p->size();
+            writePod(out, n);
+            out.write(reinterpret_cast<const char *>(p->data()),
+                      static_cast<std::streamsize>(n * sizeof(float)));
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+Network
+Network::loadModel(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("loadModel: cannot open '" + path + "'");
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::string(magic, 8) != std::string(kModelMagic, 8))
+        throw std::runtime_error(
+            "loadModel: '" + path +
+            "' is not an AQFPSC model file (expected magic AQFPSCM2; "
+            "weights-only AQFPSCW1 files need loadWeights on a network "
+            "built in code)");
+    const auto version = readPod<std::uint32_t>(in, "version");
+    if (version != static_cast<std::uint32_t>(kModelFormatVersion))
+        throw std::runtime_error(
+            "loadModel: '" + path + "' has format version " +
+            std::to_string(version) + "; this build reads version " +
+            std::to_string(kModelFormatVersion));
+    Network net;
+    net.quantBits_ = readPod<std::int32_t>(in, "quantBits");
+    const auto n_layers = readPod<std::uint32_t>(in, "layer count");
+    for (std::uint32_t i = 0; i < n_layers; ++i) {
+        LayerSpec spec;
+        spec.kind =
+            static_cast<LayerSpec::Kind>(readPod<std::uint8_t>(in, "kind"));
+        spec.p0 = readPod<std::int32_t>(in, "layer param");
+        spec.p1 = readPod<std::int32_t>(in, "layer param");
+        spec.p2 = readPod<std::int32_t>(in, "layer param");
+        try {
+            net.add(makeLayer(spec));
+        } catch (const std::invalid_argument &e) {
+            throw std::runtime_error("loadModel: '" + path + "' layer " +
+                                     std::to_string(i) + ": " + e.what());
+        }
+    }
+    for (auto &l : net.layers_) {
+        for (std::vector<float> *p : l->params()) {
+            const auto n = readPod<std::uint64_t>(in, "parameter count");
+            if (n != p->size())
+                throw std::runtime_error(
+                    "loadModel: '" + path + "' parameter block of " +
+                    l->name() + " holds " + std::to_string(n) +
+                    " floats, architecture expects " +
+                    std::to_string(p->size()));
+            in.read(reinterpret_cast<char *>(p->data()),
+                    static_cast<std::streamsize>(n * sizeof(float)));
+            if (!in)
+                throw std::runtime_error(
+                    "loadModel: truncated file while reading " +
+                    l->name() + " parameters");
+        }
+    }
+    return net;
 }
 
 std::string

@@ -65,10 +65,35 @@ class Network
     /**
      * Snap all parameters to the bipolar SNG code grid (2^bits + 1 codes
      * over [-1, 1]).  Mirrors how weights are hardwired on chip.
+     * Records the grid in quantBits() so model files carry it.
      */
     void quantizeParams(int bits);
 
-    /** Serialize all parameters to a binary file.  @return success. */
+    /** SNG grid the parameters were last quantized to (0 = never). */
+    int quantBits() const { return quantBits_; }
+
+    /**
+     * Model-file format version written by saveModel ("AQFPSCM2"): a
+     * full artifact carrying architecture (layer specs), quantization
+     * state and all parameters, so a trained model is saved once and
+     * served anywhere without rebuilding the architecture in code.
+     */
+    static constexpr int kModelFormatVersion = 2;
+
+    /** Serialize architecture + quantization state + parameters.
+     *  @return success. */
+    bool saveModel(const std::string &path) const;
+
+    /**
+     * Reconstruct a network from a saveModel file.
+     * @throws std::runtime_error with an actionable message on missing
+     *         files, bad magic/version, or truncated/corrupt payloads.
+     */
+    static Network loadModel(const std::string &path);
+
+    /** Serialize all parameters to a binary file ("AQFPSCW1",
+     *  weights-only: the architecture must already exist in code).
+     *  @return success. */
     bool saveWeights(const std::string &path) const;
 
     /** Load parameters saved by saveWeights.  @return success. */
@@ -79,6 +104,7 @@ class Network
 
   private:
     std::vector<std::unique_ptr<Layer>> layers_;
+    int quantBits_ = 0;
 };
 
 /** Numerically stable softmax over a score tensor. */

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * BackendRegistry seams: builtin registrations, the documented error
+ * messages of compileNetwork/unknown backends, bit-exactness of the
+ * float-ref backend against the float network, and — the acceptance
+ * demonstration — a backend registered entirely outside the stage
+ * compiler (from this test TU).
+ */
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/backend_registry.h"
+#include "core/model_zoo.h"
+#include "core/sc_engine.h"
+#include "data/digits.h"
+#include "nn/layers.h"
+
+namespace aqfpsc::core {
+namespace {
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(BackendRegistry, BuiltinBackendsAreRegistered)
+{
+    const auto names = BackendRegistry::instance().names();
+    auto has = [&](const char *n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("aqfp-sorter"));
+    EXPECT_TRUE(has("cmos-apc"));
+    EXPECT_TRUE(has("float-ref"));
+}
+
+TEST(BackendRegistry, LegacyEnumMapsToRegistryNames)
+{
+    EXPECT_STREQ(scBackendName(ScBackend::AqfpSorter), "aqfp-sorter");
+    EXPECT_STREQ(scBackendName(ScBackend::CmosApc), "cmos-apc");
+    ScEngineConfig cfg;
+    cfg.backend = ScBackend::CmosApc;
+    EXPECT_EQ(cfg.resolvedBackend(), "cmos-apc");
+    cfg.backendName = "float-ref"; // the name wins over the enum
+    EXPECT_EQ(cfg.resolvedBackend(), "float-ref");
+}
+
+TEST(BackendRegistry, UnknownBackendListsRegisteredNames)
+{
+    nn::Network net = buildTinyCnn(1);
+    ScEngineConfig cfg;
+    cfg.backendName = "does-not-exist";
+    try {
+        ScNetworkEngine engine(net, cfg);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_TRUE(contains(msg, "unknown backend 'does-not-exist'"))
+            << msg;
+        EXPECT_TRUE(contains(msg, "registered backends:")) << msg;
+        EXPECT_TRUE(contains(msg, "aqfp-sorter")) << msg;
+        EXPECT_TRUE(contains(msg, "cmos-apc")) << msg;
+        EXPECT_TRUE(contains(msg, "float-ref")) << msg;
+    }
+}
+
+TEST(BackendRegistry, CompilerRejectsUnmappablePatterns)
+{
+    // Conv without a following activation.
+    {
+        nn::Network net;
+        net.add(std::make_unique<nn::Conv2D>(1, 2, 3, 1));
+        net.add(std::make_unique<nn::Dense>(2 * 28 * 28, 10, 2));
+        try {
+            ScNetworkEngine engine(net, {});
+            FAIL() << "expected std::invalid_argument";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_TRUE(contains(
+                e.what(), "Conv2D needs a following activation"))
+                << e.what();
+        }
+    }
+    // A bare activation is unmappable (nothing to fuse it into).
+    {
+        nn::Network net;
+        net.add(std::make_unique<nn::HardTanh>());
+        net.add(std::make_unique<nn::Dense>(784, 10, 1));
+        try {
+            ScNetworkEngine engine(net, {});
+            FAIL() << "expected std::invalid_argument";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_TRUE(contains(e.what(), "unmappable layer HardTanh"))
+                << e.what();
+        }
+    }
+}
+
+/**
+ * The acceptance demonstration: a complete backend registered from this
+ * TU — no edits to stage_compiler.cc (or any core file).  The backend
+ * only serves networks that are a single output layer and scores every
+ * class with a constant, which is all the test needs.
+ */
+class ConstantOutputStage final : public ScStage
+{
+  public:
+    explicit ConstantOutputStage(int classes) : classes_(classes) {}
+    std::string name() const override { return "ConstantOutput"; }
+    bool terminal() const override { return true; }
+    sc::StreamMatrix run(const sc::StreamMatrix &,
+                         StageContext &ctx) const override
+    {
+        ctx.scores.assign(static_cast<std::size_t>(classes_), 0.0);
+        for (int c = 0; c < classes_; ++c)
+            ctx.scores[static_cast<std::size_t>(c)] = c == 1 ? 1.0 : 0.0;
+        return {};
+    }
+
+  private:
+    int classes_;
+};
+
+const OutputStageRegistration kTestBackendOutput{
+    "test-constant",
+    [](const stages::DenseGeometry &g, WeightedStageInit) {
+        return std::make_unique<ConstantOutputStage>(g.outFeatures);
+    }};
+
+const BackendTraitsRegistration kTestBackendTraits{
+    "test-constant",
+    BackendTraits{/*wantsParamStreams=*/false,
+                  /*wantsInputStreams=*/false}};
+
+TEST(BackendRegistry, BackendRegisteredOutsideCompilerServesInference)
+{
+    ASSERT_TRUE(BackendRegistry::instance().has("test-constant"));
+
+    nn::Network net;
+    net.add(std::make_unique<nn::Dense>(16, 4, 1));
+    ScEngineConfig cfg;
+    cfg.backendName = "test-constant";
+    const ScNetworkEngine engine(net, cfg);
+
+    nn::Tensor image({1, 4, 4});
+    const ScPrediction pred = engine.infer(image);
+    EXPECT_EQ(pred.label, 1);
+    ASSERT_EQ(pred.scores.size(), 4u);
+    EXPECT_EQ(pred.scores[1], 1.0);
+
+    // An incomplete backend fails with the documented message when the
+    // network needs a stage kind it never registered.
+    nn::Network conv_net;
+    conv_net.add(std::make_unique<nn::Conv2D>(1, 2, 3, 1));
+    conv_net.add(std::make_unique<nn::HardTanh>());
+    conv_net.add(std::make_unique<nn::Dense>(2 * 28 * 28, 10, 2));
+    try {
+        ScNetworkEngine engine2(conv_net, cfg);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_TRUE(contains(
+            e.what(), "backend 'test-constant' registers no conv stage"))
+            << e.what();
+    }
+}
+
+TEST(BackendRegistry, FloatRefMatchesFloatNetworkBitExactly)
+{
+    nn::Network net = buildTinyCnn(7);
+    net.quantizeParams(10);
+    ScEngineConfig cfg;
+    cfg.backendName = "float-ref";
+    const ScNetworkEngine engine(net, cfg);
+
+    const auto samples = data::generateDigits(12, 2026);
+    for (const auto &s : samples) {
+        const ScPrediction pred = engine.infer(s.image);
+        const nn::Tensor scores = net.forward(s.image);
+        ASSERT_EQ(pred.scores.size(), scores.size());
+        for (std::size_t c = 0; c < scores.size(); ++c) {
+            EXPECT_EQ(pred.scores[c], static_cast<double>(scores[c]))
+                << "class " << c;
+        }
+        EXPECT_EQ(pred.label, net.predict(s.image));
+    }
+}
+
+TEST(BackendRegistry, FloatRefIsDeterministicAcrossEnginesAndIndices)
+{
+    nn::Network net = buildTinyCnn(5);
+    ScEngineConfig cfg;
+    cfg.backendName = "float-ref";
+    const ScNetworkEngine a(net, cfg);
+    const ScNetworkEngine b(net, cfg);
+    const auto samples = data::generateDigits(4, 99);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        // No SC randomness: the per-image index cannot change anything.
+        const ScPrediction p0 = a.inferIndexed(samples[i].image, 0);
+        const ScPrediction pi = a.inferIndexed(samples[i].image, i + 17);
+        const ScPrediction q = b.infer(samples[i].image);
+        EXPECT_EQ(p0.scores, pi.scores);
+        EXPECT_EQ(p0.scores, q.scores);
+    }
+}
+
+} // namespace
+} // namespace aqfpsc::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Versioned model artifacts: architecture + quantization + weights
+ * round-trip through saveModel/loadModel with bit-identical predictions
+ * on every backend, corrupt files fail with actionable errors, and the
+ * name-keyed model zoo resolves / rejects correctly.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "core/session.h"
+#include "data/digits.h"
+#include "nn/layers.h"
+#include "nn/network.h"
+
+namespace aqfpsc {
+namespace {
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+class TempFile
+{
+  public:
+    explicit TempFile(const char *name)
+        : path_(std::string("/tmp/aqfpsc_model_io_") + name)
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(ModelIo, RoundTripCarriesArchitectureAndQuantState)
+{
+    TempFile file("arch.model");
+    nn::Network net = core::buildTinyCnn(9);
+    EXPECT_EQ(net.quantBits(), 0);
+    net.quantizeParams(10);
+    EXPECT_EQ(net.quantBits(), 10);
+    ASSERT_TRUE(net.saveModel(file.path()));
+
+    // No architecture is built in code on the load side.
+    const nn::Network loaded = nn::Network::loadModel(file.path());
+    EXPECT_EQ(loaded.describe(), net.describe());
+    EXPECT_EQ(loaded.quantBits(), 10);
+    EXPECT_EQ(loaded.layerCount(), net.layerCount());
+}
+
+TEST(ModelIo, LoadedPredictionsBitIdenticalOnEveryBackend)
+{
+    TempFile file("bitexact.model");
+    nn::Network net = core::buildTinyCnn(4);
+    net.quantizeParams(10);
+    ASSERT_TRUE(net.saveModel(file.path()));
+
+    const auto samples = data::generateDigits(5, 31337);
+    core::EngineOptions opts;
+    opts.streamLen = 256;
+    const core::InferenceSession inmem(std::move(net), opts);
+    const core::InferenceSession loaded =
+        core::InferenceSession::fromFile(file.path(), opts);
+
+    for (const char *backend : {"aqfp-sorter", "cmos-apc", "float-ref"}) {
+        SCOPED_TRACE(backend);
+        const auto a = inmem.predict(samples, {}, backend);
+        const auto b = loaded.predict(samples, {}, backend);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].label, b[i].label) << "image " << i;
+            EXPECT_EQ(a[i].scores, b[i].scores) << "image " << i;
+        }
+    }
+}
+
+TEST(ModelIo, LoadModelRejectsMissingAndCorruptFiles)
+{
+    try {
+        nn::Network::loadModel("/tmp/aqfpsc_does_not_exist.model");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_TRUE(contains(e.what(), "cannot open")) << e.what();
+    }
+
+    TempFile bad_magic("bad_magic.model");
+    {
+        std::ofstream out(bad_magic.path(), std::ios::binary);
+        out << "NOTAMODL and then some bytes";
+    }
+    try {
+        nn::Network::loadModel(bad_magic.path());
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_TRUE(contains(e.what(), "not an AQFPSC model file"))
+            << e.what();
+    }
+
+    // Truncate a valid artifact inside the parameter payload.
+    TempFile good("good.model");
+    TempFile truncated("truncated.model");
+    nn::Network net = core::buildTinyCnn(2);
+    ASSERT_TRUE(net.saveModel(good.path()));
+    {
+        std::ifstream in(good.path(), std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        std::ofstream out(truncated.path(), std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    try {
+        nn::Network::loadModel(truncated.path());
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_TRUE(contains(e.what(), "truncated")) << e.what();
+    }
+}
+
+TEST(ModelIo, WeightsOnlyFilesAreRejectedWithGuidance)
+{
+    TempFile weights("weights.bin");
+    nn::Network net = core::buildTinyCnn(2);
+    ASSERT_TRUE(net.saveWeights(weights.path()));
+    try {
+        nn::Network::loadModel(weights.path());
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_TRUE(contains(e.what(), "AQFPSCW1")) << e.what();
+        EXPECT_TRUE(contains(e.what(), "loadWeights")) << e.what();
+    }
+}
+
+TEST(ModelZoo, NameKeyedLookup)
+{
+    EXPECT_EQ(core::modelNames(),
+              (std::vector<std::string>{"dnn", "snn", "tiny"}));
+    EXPECT_EQ(core::buildModel("tiny", 3).describe(),
+              core::buildTinyCnn(3).describe());
+    EXPECT_EQ(core::buildModel("snn").describe(),
+              core::buildSnn().describe());
+    try {
+        core::buildModel("mega");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_TRUE(contains(e.what(), "unknown model 'mega'"))
+            << e.what();
+        EXPECT_TRUE(contains(e.what(), "dnn, snn, tiny")) << e.what();
+    }
+}
+
+TEST(ModelZoo, MakeLayerRejectsBadSpecs)
+{
+    nn::LayerSpec bad_kind;
+    bad_kind.kind = static_cast<nn::LayerSpec::Kind>(99);
+    EXPECT_THROW(nn::makeLayer(bad_kind), std::invalid_argument);
+
+    nn::LayerSpec even_kernel;
+    even_kernel.kind = nn::LayerSpec::Kind::Conv2D;
+    even_kernel.p0 = 1;
+    even_kernel.p1 = 8;
+    even_kernel.p2 = 4; // kernels must be odd
+    EXPECT_THROW(nn::makeLayer(even_kernel), std::invalid_argument);
+}
+
+} // namespace
+} // namespace aqfpsc
