@@ -1,20 +1,34 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulation kernels: packed
- * XNOR multiply, column counting, the feedback units, sorting-network
- * application and netlist legalization.  These guard the performance of
- * the whole-network SC engine (which executes millions of block steps
- * per image).
+ * XNOR multiply, column counting (unfused reference vs fused
+ * XNOR+carry-save kernels), count extraction vs the fused feedback
+ * drive, SNG stream generation (bit-serial vs word-batched), the
+ * feedback units, sorting-network application and netlist legalization.
+ * These guard the performance of the whole-network SC engine (which
+ * executes millions of block steps per image).
+ *
+ * Besides the google-benchmark console output, the binary ends by
+ * measuring the fused-vs-unfused kernel pairs with a wall timer and
+ * writing BENCH_micro_kernels.json, so the kernel-level speedup is
+ * tracked machine-readably across PRs (set AQFPSC_BENCH_QUICK=1 to
+ * shrink the measurement for CI smoke runs).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "aqfp/passes.h"
+#include "bench_util.h"
 #include "blocks/avg_pooling.h"
 #include "blocks/feature_extraction.h"
 #include "blocks/feedback_unit.h"
+#include "core/stages/stage_common.h"
 #include "sc/apc.h"
 #include "sc/sng.h"
+#include "sc/stream_matrix.h"
 #include "sorting/bitonic.h"
 
 namespace {
@@ -56,6 +70,166 @@ BM_ColumnCounts(benchmark::State &state)
                             static_cast<long>(len));
 }
 BENCHMARK(BM_ColumnCounts)->Arg(9)->Arg(121)->Arg(1569);
+
+// ---------------------------------------------------------------------
+// Fused vs unfused inference kernels.  Each *Unfused/*Fused pair
+// computes the same per-neuron result (tests/test_fused_kernels.cc
+// asserts bit-equality); the bench pair isolates the cost of the
+// intermediate product buffer, the eager plane re-zeroing, and the
+// materialized count array that the fused kernels eliminate.
+// ---------------------------------------------------------------------
+
+struct KernelInputs
+{
+    KernelInputs(int m, std::size_t len)
+        : x(static_cast<std::size_t>(m), len),
+          w(static_cast<std::size_t>(m), len)
+    {
+        sc::Xoshiro256StarStar rng(3);
+        for (int j = 0; j < m; ++j) {
+            x.fillBipolar(static_cast<std::size_t>(j), 0.1, 10, rng);
+            w.fillBipolar(static_cast<std::size_t>(j), -0.2, 10, rng);
+        }
+    }
+
+    sc::StreamMatrix x, w;
+};
+
+/** Reference path: XNOR into a product buffer, addWords, extract, step. */
+void
+runUnfusedNeuron(const KernelInputs &in, sc::ColumnCounts &counts,
+                 std::vector<std::uint64_t> &prod, std::vector<int> &col,
+                 std::uint64_t *dst)
+{
+    const std::size_t wpr = in.x.wordsPerRow();
+    const int m = static_cast<int>(in.x.rows());
+    counts.clear();
+    for (int j = 0; j < m; ++j) {
+        core::stages::xnorProduct(prod.data(),
+                                  in.x.row(static_cast<std::size_t>(j)),
+                                  in.w.row(static_cast<std::size_t>(j)),
+                                  wpr);
+        counts.addWords(prod.data(), wpr);
+    }
+    counts.extract(col);
+    const int eff_m = m % 2 == 1 ? m : m + 1;
+    blocks::FeatureFeedbackUnit unit(eff_m);
+    for (std::size_t i = 0; i < in.x.streamLen(); ++i) {
+        if (unit.step(col[i]))
+            core::stages::setStreamBit(dst, i);
+    }
+}
+
+/** Fused path: paired addXnor2 + lazy clear + drive, no intermediates. */
+void
+runFusedNeuron(const KernelInputs &in, sc::ColumnCounts &counts,
+               blocks::FeatureFeedbackUnit &unit, std::uint64_t *dst)
+{
+    const std::size_t wpr = in.x.wordsPerRow();
+    const int m = static_cast<int>(in.x.rows());
+    counts.clear();
+    int j = 0;
+    for (; j + 1 < m; j += 2) {
+        counts.addXnor2(in.x.row(static_cast<std::size_t>(j)),
+                        in.w.row(static_cast<std::size_t>(j)),
+                        in.x.row(static_cast<std::size_t>(j) + 1),
+                        in.w.row(static_cast<std::size_t>(j) + 1), wpr);
+    }
+    if (j < m)
+        counts.addXnor(in.x.row(static_cast<std::size_t>(j)),
+                       in.w.row(static_cast<std::size_t>(j)), wpr);
+    unit.reset(m % 2 == 1 ? m : m + 1);
+    counts.drive([&](int c) { return unit.step(c); }, dst);
+}
+
+void
+BM_NeuronKernelUnfused(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    const std::size_t len = 1024;
+    const KernelInputs in(m, len);
+    sc::ColumnCounts counts(len, m + 2);
+    std::vector<std::uint64_t> prod(in.x.wordsPerRow());
+    std::vector<int> col;
+    std::vector<std::uint64_t> dst(in.x.wordsPerRow());
+    for (auto _ : state) {
+        std::fill(dst.begin(), dst.end(), 0);
+        runUnfusedNeuron(in, counts, prod, col, dst.data());
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_NeuronKernelUnfused)->Arg(9)->Arg(121)->Arg(1569);
+
+void
+BM_NeuronKernelFused(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    const std::size_t len = 1024;
+    const KernelInputs in(m, len);
+    sc::ColumnCounts counts(len, m + 2);
+    blocks::FeatureFeedbackUnit unit(1);
+    std::vector<std::uint64_t> dst(in.x.wordsPerRow());
+    for (auto _ : state) {
+        runFusedNeuron(in, counts, unit, dst.data());
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_NeuronKernelFused)->Arg(9)->Arg(121)->Arg(1569);
+
+/** The pre-fusion StreamMatrix::fillBipolar loop: one virtual RNG draw
+ *  and one compare per cycle.  Shared by the google-benchmark case and
+ *  the JSON report so both measure the same reference kernel. */
+void
+runSngFillBitSerial(sc::StreamMatrix &m, sc::RandomSource &rng,
+                    std::uint32_t code, int bits)
+{
+    const std::size_t len = m.streamLen();
+    std::uint64_t *dst = m.row(0);
+    for (std::size_t w = 0; w < m.wordsPerRow(); ++w) {
+        std::uint64_t word = 0;
+        const std::size_t hi = len - w * 64 < 64 ? len - w * 64 : 64;
+        for (std::size_t b = 0; b < hi; ++b) {
+            if (rng.nextBits(bits) < code)
+                word |= 1ULL << b;
+        }
+        dst[w] = word;
+    }
+}
+
+void
+BM_SngFillBitSerial(benchmark::State &state)
+{
+    const std::size_t len = static_cast<std::size_t>(state.range(0));
+    sc::Xoshiro256StarStar rng(4);
+    sc::StreamMatrix m(1, len);
+    const std::uint32_t code = sc::quantizeBipolar(0.25, 10);
+    for (auto _ : state) {
+        runSngFillBitSerial(m, rng, code, 10);
+        benchmark::DoNotOptimize(m.row(0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_SngFillBitSerial)->Arg(1024);
+
+void
+BM_SngFillWordBatched(benchmark::State &state)
+{
+    const std::size_t len = static_cast<std::size_t>(state.range(0));
+    sc::Xoshiro256StarStar rng(4);
+    sc::StreamMatrix m(1, len);
+    for (auto _ : state) {
+        m.fillBipolar(0, 0.25, 10, rng);
+        benchmark::DoNotOptimize(m.row(0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(len));
+}
+BENCHMARK(BM_SngFillWordBatched)->Arg(1024);
 
 void
 BM_FeatureBlockRun(benchmark::State &state)
@@ -115,6 +289,88 @@ BM_LegalizeFeatureBlock(benchmark::State &state)
 BENCHMARK(BM_LegalizeFeatureBlock)->Arg(9)->Arg(49)->Unit(
     benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Machine-readable fused-vs-unfused report
+// ---------------------------------------------------------------------
+
+/** Seconds per pass of @p fn, adaptively iterated to ~target seconds. */
+template <typename Fn>
+double
+secondsPerPass(Fn &&fn, double target)
+{
+    std::size_t iters = 0;
+    bench::WallTimer timer;
+    do {
+        fn();
+        ++iters;
+    } while (timer.seconds() < target);
+    return timer.seconds() / static_cast<double>(iters);
+}
+
+void
+writeFusedKernelReport()
+{
+    const bool quick = std::getenv("AQFPSC_BENCH_QUICK") != nullptr;
+    const double target = quick ? 0.02 : 0.3;
+    const std::size_t len = 1024;
+
+    bench::Json rows = bench::Json::array();
+    for (const int m : {9, 121, 1569}) {
+        const KernelInputs in(m, len);
+        sc::ColumnCounts counts(len, m + 2);
+        std::vector<std::uint64_t> prod(in.x.wordsPerRow());
+        std::vector<int> col;
+        std::vector<std::uint64_t> dst(in.x.wordsPerRow());
+        blocks::FeatureFeedbackUnit unit(1);
+
+        const double unfused = secondsPerPass(
+            [&] {
+                std::fill(dst.begin(), dst.end(), 0);
+                runUnfusedNeuron(in, counts, prod, col, dst.data());
+            },
+            target);
+        const double fused = secondsPerPass(
+            [&] { runFusedNeuron(in, counts, unit, dst.data()); }, target);
+
+        rows.push(bench::Json::object()
+                      .set("kernel", "xnor_count_feedback_neuron")
+                      .set("m", m)
+                      .set("stream_len", len)
+                      .set("unfused_sec_per_neuron", unfused)
+                      .set("fused_sec_per_neuron", fused)
+                      .set("speedup", unfused / fused));
+    }
+
+    // SNG fill: bit-serial reference vs word-batched fillBipolar.
+    {
+        sc::Xoshiro256StarStar rng(4);
+        sc::StreamMatrix m(1, len);
+        const std::uint32_t code = sc::quantizeBipolar(0.25, 10);
+        const double serial = secondsPerPass(
+            [&] { runSngFillBitSerial(m, rng, code, 10); }, target);
+        const double batched = secondsPerPass(
+            [&] { m.fillBipolar(0, 0.25, 10, rng); }, target);
+        rows.push(bench::Json::object()
+                      .set("kernel", "sng_fill_bipolar")
+                      .set("stream_len", len)
+                      .set("unfused_sec_per_stream", serial)
+                      .set("fused_sec_per_stream", batched)
+                      .set("speedup", serial / batched));
+    }
+
+    bench::writeBenchReport("micro_kernels", std::move(rows));
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeFusedKernelReport();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * End-to-end SC inference throughput (images/sec) through the
+ * InferenceSession serving path, per stream backend.
+ *
+ * This is the hot path the fused zero-allocation kernels target: one
+ * trained-architecture model ("tiny" by default), SNG input encoding,
+ * the full stage graph, per-thread StageWorkspace arenas.  Results go to
+ * BENCH_throughput_inference.json (with the build provenance stamp from
+ * bench_util.h), so the serving-throughput trajectory is machine-
+ * readable across PRs.
+ *
+ * Usage:
+ *   bench_throughput_inference [--images N] [--stream-len L]
+ *                              [--model tiny|snn|dnn] [--threads T]
+ *
+ * Defaults (24 images, stream length 1024, 1 thread) give a stable
+ * single-core measurement in a few seconds; CI smoke runs pass tiny
+ * values and only checks that the bench runs and emits valid JSON.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/model_zoo.h"
+#include "core/session.h"
+#include "data/digits.h"
+
+namespace {
+
+using namespace aqfpsc;
+
+int
+argInt(int argc, char **argv, const char *name, int fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return std::atoi(argv[i + 1]);
+    }
+    return fallback;
+}
+
+const char *
+argStr(int argc, char **argv, const char *name, const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    }
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int images = argInt(argc, argv, "--images", 24);
+    const int stream_len = argInt(argc, argv, "--stream-len", 1024);
+    const int threads = argInt(argc, argv, "--threads", 1);
+    const std::string model = argStr(argc, argv, "--model", "tiny");
+
+    bench::banner("End-to-end SC inference throughput (" + model +
+                  ", N=" + std::to_string(stream_len) + ", " +
+                  std::to_string(images) + " images, " +
+                  std::to_string(threads) + " thread(s))");
+
+    const std::vector<nn::Sample> samples =
+        data::generateDigits(images, 42);
+
+    bench::Json results = bench::Json::array();
+    bench::header({"backend", "img/s", "ms/img", "accuracy"});
+    for (const char *backend : {"aqfp-sorter", "cmos-apc"}) {
+        core::EngineOptions opts;
+        opts.backend = backend;
+        opts.streamLen = static_cast<std::size_t>(stream_len);
+        opts.threads = threads;
+        core::InferenceSession session(core::buildModel(model, 3), opts);
+
+        // Compile + warm one image outside the timed region so the
+        // measurement sees steady-state serving only.
+        session.evaluate(samples, {.limit = 1});
+
+        const core::ScEvalStats stats = session.evaluate(samples, {});
+        bench::row({backend, bench::cell(stats.imagesPerSec, 2),
+                    bench::cell(1000.0 / stats.imagesPerSec, 2),
+                    bench::cell(stats.accuracy, 3)});
+
+        results.push(
+            bench::Json::object()
+                .set("engine", bench::engineJson(opts.toConfig(backend)))
+                .set("model", model)
+                .set("images", stats.images)
+                .set("wall_seconds", stats.wallSeconds)
+                .set("images_per_sec", stats.imagesPerSec)
+                .set("accuracy", stats.accuracy));
+    }
+
+    return bench::writeBenchReport("throughput_inference",
+                                   std::move(results))
+               ? 0
+               : 1;
+}

@@ -14,10 +14,24 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/sc_engine.h"
+
+// Build provenance macros, normally injected by CMake (see
+// aqfpsc_bench_info in CMakeLists.txt); the fallbacks keep out-of-tree
+// compilation working.
+#ifndef AQFPSC_GIT_SHA
+#define AQFPSC_GIT_SHA "unknown"
+#endif
+#ifndef AQFPSC_COMPILER
+#define AQFPSC_COMPILER "unknown"
+#endif
+#ifndef AQFPSC_CXX_FLAGS
+#define AQFPSC_CXX_FLAGS ""
+#endif
 
 namespace aqfpsc::bench {
 
@@ -254,15 +268,35 @@ engineJson(const core::ScEngineConfig &cfg)
 }
 
 /**
+ * Build/hardware provenance stamp: git SHA (of the configure, refreshed
+ * by re-running CMake), compiler id+version, the compile flags of the
+ * active configuration, and the machine's hardware thread count.  Makes
+ * BENCH_*.json numbers from different PRs / machines comparable without
+ * archaeology.
+ */
+inline Json
+buildInfoJson()
+{
+    return Json::object()
+        .set("git_sha", AQFPSC_GIT_SHA)
+        .set("compiler", AQFPSC_COMPILER)
+        .set("cxx_flags", AQFPSC_CXX_FLAGS)
+        .set("hardware_threads",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+}
+
+/**
  * Write @p payload to BENCH_<name>.json in the working directory.  The
- * bench name is stamped into the payload so aggregators can glob the
- * files without parsing filenames.  @return success.
+ * bench name and the build provenance stamp (buildInfoJson) are added
+ * so aggregators can glob the files without parsing filenames and
+ * compare numbers across PRs.  @return success.
  */
 inline bool
 writeBenchReport(const std::string &name, Json payload)
 {
     Json wrapped = Json::object();
     wrapped.set("bench", name);
+    wrapped.set("build", buildInfoJson());
     wrapped.set("results", std::move(payload));
     const std::string path = "BENCH_" + name + ".json";
     std::ofstream out(path);

@@ -79,6 +79,20 @@ class FeatureFeedbackUnit
     /** Reset the feedback vector to the operating point (M-1)/2. */
     void reset() { carry_ = (m_ - 1) / 2; }
 
+    /**
+     * Re-arm for a (possibly different) input count @p m — equivalent to
+     * constructing FeatureFeedbackUnit(m), without the per-use object
+     * churn in the inference inner loops (conv border windows change M
+     * per output pixel).
+     */
+    void
+    reset(int m)
+    {
+        assert(m >= 1 && m % 2 == 1);
+        m_ = m;
+        carry_ = (m - 1) / 2;
+    }
+
     int m() const { return m_; }
 
   private:
@@ -109,6 +123,15 @@ class PoolingFeedbackUnit
 
     /** Reset the feedback vector to all zeros. */
     void reset() { carry_ = 0; }
+
+    /** Re-arm for input count @p m (== constructing PoolingFeedbackUnit(m)). */
+    void
+    reset(int m)
+    {
+        assert(m >= 1);
+        m_ = m;
+        carry_ = 0;
+    }
 
     int m() const { return m_; }
 

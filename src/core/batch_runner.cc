@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "core/workspace.h"
+
 namespace aqfpsc::core {
 
 namespace {
@@ -53,13 +55,17 @@ BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
     // caller after the join, matching single-thread semantics.
     auto worker = [&]() {
         try {
+            // One arena per worker: scratch + stream buffers are built
+            // once here, so the per-image loop below never allocates
+            // inside the stage pipeline.
+            StageWorkspace workspace(engine_);
             for (;;) {
                 const std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= n || failed.load(std::memory_order_relaxed))
                     return;
                 predictions[i] =
-                    engine_.inferIndexed(samples[i].image, i);
+                    engine_.inferIndexed(samples[i].image, i, workspace);
                 const std::size_t done =
                     completed.fetch_add(1, std::memory_order_relaxed) + 1;
                 if (progress && done % 10 == 0) {

@@ -1,9 +1,12 @@
 #include "sc_engine.h"
 
+#include <cassert>
+
 #include "core/backend_registry.h"
 #include "core/batch_runner.h"
 #include "core/stages/stage.h"
 #include "core/stages/stage_compiler.h"
+#include "core/workspace.h"
 #include "sc/rng.h"
 #include "sc/stream_matrix.h"
 
@@ -42,34 +45,58 @@ ScPrediction
 ScNetworkEngine::inferIndexed(const nn::Tensor &image,
                               std::size_t index) const
 {
+    StageWorkspace workspace(*this);
+    return inferIndexed(image, index, workspace);
+}
+
+ScPrediction
+ScNetworkEngine::inferIndexed(const nn::Tensor &image, std::size_t index,
+                              StageWorkspace &ws) const
+{
+    assert(&ws.engine_ == this &&
+           "workspace belongs to a different engine");
     const std::size_t len = cfg_.streamLen;
 
-    StageContext ctx;
+    StageContext &ctx = ws.ctx_;
     ctx.imageSeed = sc::deriveStreamSeed(cfg_.seed, index);
     ctx.image = &image;
+    ctx.values.clear();
+    // Match fresh-context semantics: a pipeline whose terminal stage
+    // never assigns scores must not inherit the previous image's.
+    // clear() keeps capacity, so the steady state still allocates
+    // nothing.
+    ctx.scores.clear();
 
     // Per-image input SNGs; a fresh substream keeps images independent.
     // Value-domain backends (traits.wantsInputStreams == false) read the
     // image through the context instead and get an empty matrix — no
-    // per-image allocation on the fast accuracy-debugging path.
-    sc::StreamMatrix cur;
+    // per-image work on the fast accuracy-debugging path.
     if (encodeInputStreams_) {
-        cur = sc::StreamMatrix(image.size(), len);
+        ws.input_.reset(image.size(), len);
         sc::Xoshiro256StarStar rng(ctx.imageSeed ^ 0xABCDEF12345ULL);
         for (std::size_t i = 0; i < image.size(); ++i)
-            cur.fillBipolar(i, image[i], cfg_.rngBits, rng);
+            ws.input_.fillBipolar(i, image[i], cfg_.rngBits, rng);
+    } else {
+        ws.input_.reset(0, 0);
     }
 
-    for (const auto &stage : stages_) {
-        if (stage->terminal()) {
-            stage->run(cur, ctx);
+    // Ping-pong the activation buffers: stage s reads what stage s-1
+    // wrote and overwrites the other buffer, so no stream is ever copied
+    // and steady-state stage execution allocates nothing.
+    const sc::StreamMatrix *cur = &ws.input_;
+    int flip = 0;
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const ScStage &stage = *stages_[s];
+        sc::StreamMatrix &out = ws.pingPong_[flip];
+        stage.runInto(*cur, out, ctx, ws.scratch_[s].get());
+        if (stage.terminal())
             break;
-        }
-        cur = stage->run(cur, ctx);
+        cur = &out;
+        flip ^= 1;
     }
 
     ScPrediction pred;
-    pred.scores = std::move(ctx.scores);
+    pred.scores = ctx.scores; // copy: ctx keeps its capacity for reuse
     pred.label = 0;
     for (std::size_t i = 1; i < pred.scores.size(); ++i) {
         if (pred.scores[i] >

@@ -40,6 +40,7 @@
 namespace aqfpsc::core {
 
 class ScStage;
+class StageWorkspace;
 
 /**
  * Which hardware's arithmetic the engine emulates.
@@ -154,10 +155,23 @@ class ScNetworkEngine
     /**
      * Run one image with the per-image seed derived for batch position
      * @p index (seed XOR index), so batched evaluation is a pure
-     * function of the image index.  Thread-safe.
+     * function of the image index.  Thread-safe.  Convenience form: a
+     * transient StageWorkspace is built per call; loops should hold a
+     * workspace and use the overload below.
      */
     ScPrediction inferIndexed(const nn::Tensor &image,
                               std::size_t index) const;
+
+    /**
+     * The zero-allocation serving path: run one image through
+     * @p workspace (which must have been constructed for this engine).
+     * All stage scratch and stream buffers come from the workspace, so
+     * steady-state calls perform no heap allocation inside the stage
+     * pipeline.  Results are bit-identical to the transient overload.
+     * Thread-safe across distinct workspaces.
+     */
+    ScPrediction inferIndexed(const nn::Tensor &image, std::size_t index,
+                              StageWorkspace &workspace) const;
 
     /**
      * THE batched evaluation entry point: fans the batch across a

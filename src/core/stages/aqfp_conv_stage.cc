@@ -6,10 +6,23 @@
 namespace aqfpsc::core::stages {
 
 namespace {
+
 const ConvStageRegistration kRegistration{
     "aqfp-sorter", [](const ConvGeometry &g, WeightedStageInit init) {
         return std::make_unique<AqfpConvStage>(g, std::move(init.streams));
     }};
+
+/** Column counter + feedback unit reused across all output pixels. */
+struct ConvScratch final : StageScratch
+{
+    ConvScratch(std::size_t len, int max_m) : counts(len, max_m), unit(1)
+    {
+    }
+
+    sc::ColumnCounts counts;
+    blocks::FeatureFeedbackUnit unit;
+};
+
 } // namespace
 
 std::string
@@ -20,45 +33,70 @@ AqfpConvStage::name() const
            " k" + std::to_string(geom_.kernel);
 }
 
-sc::StreamMatrix
-AqfpConvStage::run(const sc::StreamMatrix &in, StageContext &) const
+StageFootprint
+AqfpConvStage::footprint() const
+{
+    return {static_cast<std::size_t>(geom_.outC) * geom_.outH *
+            geom_.outW};
+}
+
+std::unique_ptr<StageScratch>
+AqfpConvStage::makeScratch() const
+{
+    // Interior window + bias + possible neutral bounds the counts.
+    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
+    return std::make_unique<ConvScratch>(streams_.weights.streamLen(),
+                                         max_m);
+}
+
+void
+AqfpConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                       StageContext &, StageScratch *scratch) const
 {
     const std::size_t len = streams_.weights.streamLen();
     const std::size_t wpr = in.wordsPerRow();
 
-    sc::StreamMatrix out(
-        static_cast<std::size_t>(geom_.outC) * geom_.outH * geom_.outW,
-        len);
-
-    // Interior window + bias + possible neutral bounds the counts.
-    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
-    sc::ColumnCounts counts(len, max_m);
-    std::vector<std::uint64_t> prod(wpr);
-    std::vector<int> col;
+    out.reset(footprint().outputRows, len);
+    auto &ws = *static_cast<ConvScratch *>(scratch);
+    sc::ColumnCounts &counts = ws.counts;
+    blocks::FeatureFeedbackUnit &unit = ws.unit;
+    const std::uint64_t *neutral = streams_.neutral.row(0);
 
     for (int oc = 0; oc < geom_.outC; ++oc) {
+        const std::uint64_t *bias =
+            streams_.biases.row(static_cast<std::size_t>(oc));
         for (int y = 0; y < geom_.outH; ++y) {
             for (int x = 0; x < geom_.outW; ++x) {
                 counts.clear();
                 int m = 0;
+                // Pair up window products for the 3:2 carry-save add;
+                // an odd trailing product goes in alone.
+                const std::uint64_t *px = nullptr;
+                const std::uint64_t *pw = nullptr;
                 forEachConvProduct(
                     geom_, in, streams_.weights, oc, y, x,
                     [&](const std::uint64_t *xr, const std::uint64_t *wr) {
-                        xnorProduct(prod.data(), xr, wr, wpr);
-                        counts.addWords(prod.data(), wpr);
+                        if (px != nullptr) {
+                            counts.addXnor2(px, pw, xr, wr, wpr);
+                            px = nullptr;
+                        } else {
+                            px = xr;
+                            pw = wr;
+                        }
                         ++m;
                     });
+                if (px != nullptr)
+                    counts.addXnor(px, pw, wpr);
                 // Bias enters the sum as one more product stream of fixed
                 // value (its "input" is the constant 1 stream).
-                counts.addWords(
-                    streams_.biases.row(static_cast<std::size_t>(oc)), wpr);
+                counts.addWords(bias, wpr);
                 ++m;
 
                 // The sorter block needs an odd input count; pad with the
                 // neutral (value 0) stream when even.
                 int eff_m = m;
                 if (m % 2 == 0) {
-                    counts.addWords(streams_.neutral.row(0), wpr);
+                    counts.addWords(neutral, wpr);
                     eff_m = m + 1;
                 }
 
@@ -66,17 +104,12 @@ AqfpConvStage::run(const sc::StreamMatrix &in, StageContext &) const
                     (static_cast<std::size_t>(oc) * geom_.outH + y) *
                         geom_.outW +
                     x;
-                std::uint64_t *dst = out.row(out_row);
-                counts.extract(col);
-                blocks::FeatureFeedbackUnit unit(eff_m);
-                for (std::size_t i = 0; i < len; ++i) {
-                    if (unit.step(col[i]))
-                        setStreamBit(dst, i);
-                }
+                unit.reset(eff_m);
+                counts.drive([&](int c) { return unit.step(c); },
+                             out.row(out_row));
             }
         }
     }
-    return out;
 }
 
 } // namespace aqfpsc::core::stages

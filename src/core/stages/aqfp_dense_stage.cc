@@ -8,10 +8,23 @@
 namespace aqfpsc::core::stages {
 
 namespace {
+
 const DenseStageRegistration kRegistration{
     "aqfp-sorter", [](const DenseGeometry &g, WeightedStageInit init) {
         return std::make_unique<AqfpDenseStage>(g, std::move(init.streams));
     }};
+
+/** Column counter + feedback unit reused across all output neurons. */
+struct DenseScratch final : StageScratch
+{
+    DenseScratch(std::size_t len, int max_m) : counts(len, max_m), unit(1)
+    {
+    }
+
+    sc::ColumnCounts counts;
+    blocks::FeatureFeedbackUnit unit;
+};
+
 } // namespace
 
 std::string
@@ -21,47 +34,66 @@ AqfpDenseStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
-sc::StreamMatrix
-AqfpDenseStage::run(const sc::StreamMatrix &in, StageContext &) const
+StageFootprint
+AqfpDenseStage::footprint() const
+{
+    return {static_cast<std::size_t>(geom_.outFeatures)};
+}
+
+std::unique_ptr<StageScratch>
+AqfpDenseStage::makeScratch() const
+{
+    return std::make_unique<DenseScratch>(streams_.weights.streamLen(),
+                                          geom_.inFeatures + 2);
+}
+
+void
+AqfpDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                        StageContext &, StageScratch *scratch) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
     const std::size_t wpr = in.wordsPerRow();
 
-    sc::StreamMatrix out(static_cast<std::size_t>(geom_.outFeatures), len);
+    out.reset(static_cast<std::size_t>(geom_.outFeatures), len);
+    auto &ws = *static_cast<DenseScratch *>(scratch);
+    sc::ColumnCounts &counts = ws.counts;
+    blocks::FeatureFeedbackUnit &unit = ws.unit;
+
+    // The input count is the same for every output neuron: hoist the
+    // odd/even padding decision (and the neutral row) out of the loop.
     const int m_total = geom_.inFeatures + 1; // + bias
-    sc::ColumnCounts counts(len, m_total + 1);
-    std::vector<std::uint64_t> prod(wpr);
-    std::vector<int> col;
+    const bool pad = m_total % 2 == 0;
+    const int eff_m = pad ? m_total + 1 : m_total;
+    const std::uint64_t *neutral = streams_.neutral.row(0);
 
     for (int o = 0; o < geom_.outFeatures; ++o) {
         counts.clear();
-        for (int j = 0; j < geom_.inFeatures; ++j) {
-            xnorProduct(prod.data(), in.row(static_cast<std::size_t>(j)),
-                        streams_.weights.row(static_cast<std::size_t>(o) *
-                                                 geom_.inFeatures +
-                                             j),
-                        wpr);
-            counts.addWords(prod.data(), wpr);
+        const sc::StreamMatrix &w = streams_.weights;
+        const std::size_t wbase =
+            static_cast<std::size_t>(o) * geom_.inFeatures;
+        int j = 0;
+        for (; j + 1 < geom_.inFeatures; j += 2) {
+            counts.addXnor2(in.row(static_cast<std::size_t>(j)),
+                            w.row(wbase + static_cast<std::size_t>(j)),
+                            in.row(static_cast<std::size_t>(j) + 1),
+                            w.row(wbase + static_cast<std::size_t>(j) + 1),
+                            wpr);
+        }
+        if (j < geom_.inFeatures) {
+            counts.addXnor(in.row(static_cast<std::size_t>(j)),
+                           w.row(wbase + static_cast<std::size_t>(j)),
+                           wpr);
         }
         counts.addWords(streams_.biases.row(static_cast<std::size_t>(o)),
                         wpr);
+        if (pad)
+            counts.addWords(neutral, wpr);
 
-        int eff_m = m_total;
-        if (eff_m % 2 == 0) {
-            counts.addWords(streams_.neutral.row(0), wpr);
-            ++eff_m;
-        }
-
-        std::uint64_t *dst = out.row(static_cast<std::size_t>(o));
-        counts.extract(col);
-        blocks::FeatureFeedbackUnit unit(eff_m);
-        for (std::size_t i = 0; i < len; ++i) {
-            if (unit.step(col[i]))
-                setStreamBit(dst, i);
-        }
+        unit.reset(eff_m);
+        counts.drive([&](int c) { return unit.step(c); },
+                     out.row(static_cast<std::size_t>(o)));
     }
-    return out;
 }
 
 } // namespace aqfpsc::core::stages

@@ -30,42 +30,44 @@ AqfpOutputStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
-sc::StreamMatrix
-AqfpOutputStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
+void
+AqfpOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &,
+                         StageContext &ctx, StageScratch *) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
     const std::size_t wpr = in.wordsPerRow();
 
     ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
+    const std::uint64_t *neutral = streams_.neutral.row(0);
 
     for (int o = 0; o < geom_.outFeatures; ++o) {
         // Majority chain folded word-parallel over the product streams
         // (bias as the final product; neutral pad keeps the chain's
-        // 2-per-stage consumption aligned).
+        // 2-per-stage consumption aligned).  Weight-row base and bias
+        // row are loop-invariant per output class.
         const int k_total = geom_.inFeatures + 1;
+        const std::uint64_t *bias =
+            streams_.biases.row(static_cast<std::size_t>(o));
+        const std::uint64_t *wbase = streams_.weights.row(
+            static_cast<std::size_t>(o) * geom_.inFeatures);
         std::size_t ones = 0;
         for (std::size_t wi = 0; wi < wpr; ++wi) {
             auto product = [&](int j) -> std::uint64_t {
                 if (j < geom_.inFeatures) {
                     return ~(in.row(static_cast<std::size_t>(j))[wi] ^
-                             streams_.weights.row(
-                                 static_cast<std::size_t>(o) *
-                                     geom_.inFeatures +
-                                 j)[wi]);
+                             wbase[static_cast<std::size_t>(j) * wpr + wi]);
                 }
                 if (j == geom_.inFeatures)
-                    return streams_.biases.row(
-                        static_cast<std::size_t>(o))[wi];
-                return streams_.neutral.row(0)[wi]; // padding
+                    return bias[wi];
+                return neutral[wi]; // padding
             };
             std::uint64_t acc = majWord(product(0), product(1), product(2));
             int j = 3;
             while (j < k_total) {
                 const std::uint64_t p1 = product(j);
-                const std::uint64_t p2 = j + 1 < k_total
-                                             ? product(j + 1)
-                                             : streams_.neutral.row(0)[wi];
+                const std::uint64_t p2 =
+                    j + 1 < k_total ? product(j + 1) : neutral[wi];
                 acc = majWord(acc, p1, p2);
                 j += 2;
             }
@@ -77,7 +79,6 @@ AqfpOutputStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
             2.0 * static_cast<double>(ones) / static_cast<double>(len) -
             1.0;
     }
-    return sc::StreamMatrix(); // terminal stage
 }
 
 } // namespace aqfpsc::core::stages

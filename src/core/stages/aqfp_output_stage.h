@@ -26,8 +26,8 @@ class AqfpOutputStage final : public ScStage
 
     bool terminal() const override { return true; }
 
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     DenseGeometry geom_;

@@ -1,15 +1,28 @@
 #include "aqfp_pool_stage.h"
 
+#include <cassert>
+
 #include "blocks/feedback_unit.h"
 #include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
 
 namespace {
+
 const PoolStageRegistration kRegistration{
-    "aqfp-sorter", [](const PoolGeometry &g, const ScEngineConfig &) {
-        return std::make_unique<AqfpPoolStage>(g);
+    "aqfp-sorter", [](const PoolGeometry &g, const ScEngineConfig &cfg) {
+        return std::make_unique<AqfpPoolStage>(g, cfg.streamLen);
     }};
+
+/** 2x2 window counter + pooling feedback unit reused across pixels. */
+struct PoolScratch final : StageScratch
+{
+    explicit PoolScratch(std::size_t len) : counts(len, 4), unit(4) {}
+
+    sc::ColumnCounts counts;
+    blocks::PoolingFeedbackUnit unit;
+};
+
 } // namespace
 
 std::string
@@ -19,17 +32,33 @@ AqfpPoolStage::name() const
            std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW);
 }
 
-sc::StreamMatrix
-AqfpPoolStage::run(const sc::StreamMatrix &in, StageContext &) const
+StageFootprint
+AqfpPoolStage::footprint() const
+{
+    return {static_cast<std::size_t>(geom_.channels) * geom_.outH *
+            geom_.outW};
+}
+
+std::unique_ptr<StageScratch>
+AqfpPoolStage::makeScratch() const
+{
+    return std::make_unique<PoolScratch>(streamLen_);
+}
+
+void
+AqfpPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                       StageContext &, StageScratch *scratch) const
 {
     const std::size_t len = in.streamLen();
     const std::size_t wpr = in.wordsPerRow();
+    // The scratch counter was sized from the engine config; the input
+    // must match it (the only stage where the two could diverge).
+    assert(len == streamLen_);
 
-    sc::StreamMatrix out(
-        static_cast<std::size_t>(geom_.channels) * geom_.outH * geom_.outW,
-        len);
-    sc::ColumnCounts counts(len, 4);
-    std::vector<int> col;
+    out.reset(footprint().outputRows, len);
+    auto &ws = *static_cast<PoolScratch *>(scratch);
+    sc::ColumnCounts &counts = ws.counts;
+    blocks::PoolingFeedbackUnit &unit = ws.unit;
 
     for (int c = 0; c < geom_.channels; ++c) {
         for (int y = 0; y < geom_.outH; ++y) {
@@ -49,17 +78,12 @@ AqfpPoolStage::run(const sc::StreamMatrix &in, StageContext &) const
                             wpr);
                     }
                 }
-                counts.extract(col);
-                std::uint64_t *dst = out.row(out_row);
-                blocks::PoolingFeedbackUnit unit(4);
-                for (std::size_t i = 0; i < len; ++i) {
-                    if (unit.step(col[i]))
-                        setStreamBit(dst, i);
-                }
+                unit.reset();
+                counts.drive([&](int cnt) { return unit.step(cnt); },
+                             out.row(out_row));
             }
         }
     }
-    return out;
 }
 
 } // namespace aqfpsc::core::stages

@@ -17,15 +17,24 @@ namespace aqfpsc::core::stages {
 class AqfpPoolStage final : public ScStage
 {
   public:
-    explicit AqfpPoolStage(const PoolGeometry &geom) : geom_(geom) {}
+    /** @param stream_len Engine stream length (sizes the scratch). */
+    AqfpPoolStage(const PoolGeometry &geom, std::size_t stream_len)
+        : geom_(geom), streamLen_(stream_len)
+    {
+    }
 
     std::string name() const override;
 
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    StageFootprint footprint() const override;
+
+    std::unique_ptr<StageScratch> makeScratch() const override;
+
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     PoolGeometry geom_;
+    std::size_t streamLen_;
 };
 
 } // namespace aqfpsc::core::stages

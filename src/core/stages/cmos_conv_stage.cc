@@ -6,11 +6,29 @@
 namespace aqfpsc::core::stages {
 
 namespace {
+
 const ConvStageRegistration kRegistration{
     "cmos-apc", [](const ConvGeometry &g, WeightedStageInit init) {
         return std::make_unique<CmosConvStage>(
             g, std::move(init.streams), init.cfg.approximateApc);
     }};
+
+/** APC column counter + OR-pair overcount model reused across pixels. */
+struct CmosConvScratch final : StageScratch
+{
+    CmosConvScratch(std::size_t len, int max_m)
+        : counts(len, max_m), over(len, max_m / 2 + 1),
+          prod((len + 63) / 64)
+    {
+    }
+
+    sc::ColumnCounts counts;
+    ApproxPairOvercount over;
+    /** Product buffer of the approximate-APC path (shared between the
+     *  counter and the overcount model: one XNOR pass per product). */
+    std::vector<std::uint64_t> prod;
+};
+
 } // namespace
 
 std::string
@@ -21,40 +39,75 @@ CmosConvStage::name() const
            " k" + std::to_string(geom_.kernel);
 }
 
-sc::StreamMatrix
-CmosConvStage::run(const sc::StreamMatrix &in, StageContext &) const
+StageFootprint
+CmosConvStage::footprint() const
+{
+    return {static_cast<std::size_t>(geom_.outC) * geom_.outH *
+            geom_.outW};
+}
+
+std::unique_ptr<StageScratch>
+CmosConvStage::makeScratch() const
+{
+    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
+    return std::make_unique<CmosConvScratch>(streams_.weights.streamLen(),
+                                             max_m);
+}
+
+void
+CmosConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                       StageContext &, StageScratch *scratch) const
 {
     const std::size_t len = streams_.weights.streamLen();
     const std::size_t wpr = in.wordsPerRow();
 
-    sc::StreamMatrix out(
-        static_cast<std::size_t>(geom_.outC) * geom_.outH * geom_.outW,
-        len);
-
-    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
-    sc::ColumnCounts counts(len, max_m);
-    ApproxPairOvercount over(len, max_m / 2 + 1);
-    std::vector<std::uint64_t> prod(wpr);
-    std::vector<int> col;
+    out.reset(footprint().outputRows, len);
+    auto &ws = *static_cast<CmosConvScratch *>(scratch);
+    sc::ColumnCounts &counts = ws.counts;
+    ApproxPairOvercount &over = ws.over;
 
     for (int oc = 0; oc < geom_.outC; ++oc) {
+        const std::uint64_t *bias =
+            streams_.biases.row(static_cast<std::size_t>(oc));
         for (int y = 0; y < geom_.outH; ++y) {
             for (int x = 0; x < geom_.outW; ++x) {
                 counts.clear();
-                if (approximateApc_)
-                    over.reset();
                 int m = 0;
-                forEachConvProduct(
-                    geom_, in, streams_.weights, oc, y, x,
-                    [&](const std::uint64_t *xr, const std::uint64_t *wr) {
-                        xnorProduct(prod.data(), xr, wr, wpr);
-                        counts.addWords(prod.data(), wpr);
-                        ++m;
-                        if (approximateApc_)
-                            over.observe(prod, wpr);
-                    });
-                counts.addWords(
-                    streams_.biases.row(static_cast<std::size_t>(oc)), wpr);
+                if (approximateApc_) {
+                    // One XNOR pass per product, shared by the counter
+                    // and the overcount model.
+                    over.reset();
+                    forEachConvProduct(
+                        geom_, in, streams_.weights, oc, y, x,
+                        [&](const std::uint64_t *xr,
+                            const std::uint64_t *wr) {
+                            xnorProduct(ws.prod.data(), xr, wr, wpr);
+                            counts.addWords(ws.prod.data(), wpr);
+                            over.observe(ws.prod, wpr);
+                            ++m;
+                        });
+                } else {
+                    // Pair up window products for the 3:2 carry-save
+                    // add; an odd trailing product goes in alone.
+                    const std::uint64_t *px = nullptr;
+                    const std::uint64_t *pw = nullptr;
+                    forEachConvProduct(
+                        geom_, in, streams_.weights, oc, y, x,
+                        [&](const std::uint64_t *xr,
+                            const std::uint64_t *wr) {
+                            if (px != nullptr) {
+                                counts.addXnor2(px, pw, xr, wr, wpr);
+                                px = nullptr;
+                            } else {
+                                px = xr;
+                                pw = wr;
+                            }
+                            ++m;
+                        });
+                    if (px != nullptr)
+                        counts.addXnor(px, pw, wpr);
+                }
+                counts.addWords(bias, wpr);
                 ++m;
 
                 const std::size_t out_row =
@@ -62,21 +115,18 @@ CmosConvStage::run(const sc::StreamMatrix &in, StageContext &) const
                         geom_.outW +
                     x;
                 std::uint64_t *dst = out.row(out_row);
-                counts.extract(col);
-                if (approximateApc_)
-                    over.addOvercount(col, m);
-
                 int state = m; // s_max / 2 with s_max = 2m
-                for (std::size_t i = 0; i < len; ++i) {
-                    if (baseline::ApcFeatureExtraction::btanhStep(
-                            state, col[i], m, 2 * m)) {
-                        setStreamBit(dst, i);
-                    }
-                }
+                auto step = [&](int c) {
+                    return baseline::ApcFeatureExtraction::btanhStep(
+                        state, c, m, 2 * m);
+                };
+                if (approximateApc_)
+                    counts.driveWithOvercount(over.counts(), m, step, dst);
+                else
+                    counts.drive(step, dst);
             }
         }
     }
-    return out;
 }
 
 } // namespace aqfpsc::core::stages

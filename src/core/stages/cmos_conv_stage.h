@@ -26,8 +26,12 @@ class CmosConvStage final : public ScStage
 
     std::string name() const override;
 
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    StageFootprint footprint() const override;
+
+    std::unique_ptr<StageScratch> makeScratch() const override;
+
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     ConvGeometry geom_;

@@ -8,11 +8,29 @@
 namespace aqfpsc::core::stages {
 
 namespace {
+
 const DenseStageRegistration kRegistration{
     "cmos-apc", [](const DenseGeometry &g, WeightedStageInit init) {
         return std::make_unique<CmosDenseStage>(
             g, std::move(init.streams), init.cfg.approximateApc);
     }};
+
+/** APC column counter + OR-pair overcount model reused across neurons. */
+struct CmosDenseScratch final : StageScratch
+{
+    CmosDenseScratch(std::size_t len, int m_total)
+        : counts(len, m_total + 1), over(len, m_total / 2 + 1),
+          prod((len + 63) / 64)
+    {
+    }
+
+    sc::ColumnCounts counts;
+    ApproxPairOvercount over;
+    /** Product buffer of the approximate-APC path (shared between the
+     *  counter and the overcount model: one XNOR pass per product). */
+    std::vector<std::uint64_t> prod;
+};
+
 } // namespace
 
 std::string
@@ -22,52 +40,79 @@ CmosDenseStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
-sc::StreamMatrix
-CmosDenseStage::run(const sc::StreamMatrix &in, StageContext &) const
+StageFootprint
+CmosDenseStage::footprint() const
+{
+    return {static_cast<std::size_t>(geom_.outFeatures)};
+}
+
+std::unique_ptr<StageScratch>
+CmosDenseStage::makeScratch() const
+{
+    return std::make_unique<CmosDenseScratch>(
+        streams_.weights.streamLen(), geom_.inFeatures + 1);
+}
+
+void
+CmosDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                        StageContext &, StageScratch *scratch) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
     const std::size_t wpr = in.wordsPerRow();
 
-    sc::StreamMatrix out(static_cast<std::size_t>(geom_.outFeatures), len);
+    out.reset(static_cast<std::size_t>(geom_.outFeatures), len);
+    auto &ws = *static_cast<CmosDenseScratch *>(scratch);
+    sc::ColumnCounts &counts = ws.counts;
+    ApproxPairOvercount &over = ws.over;
     const int m_total = geom_.inFeatures + 1; // + bias
-    sc::ColumnCounts counts(len, m_total + 1);
-    ApproxPairOvercount over(len, m_total / 2 + 1);
-    std::vector<std::uint64_t> prod(wpr);
-    std::vector<int> col;
 
     for (int o = 0; o < geom_.outFeatures; ++o) {
         counts.clear();
-        if (approximateApc_)
+        const sc::StreamMatrix &wm = streams_.weights;
+        const std::size_t wbase =
+            static_cast<std::size_t>(o) * geom_.inFeatures;
+        if (approximateApc_) {
+            // One XNOR pass per product, shared by the counter and the
+            // overcount model.
             over.reset();
-        for (int j = 0; j < geom_.inFeatures; ++j) {
-            xnorProduct(prod.data(), in.row(static_cast<std::size_t>(j)),
-                        streams_.weights.row(static_cast<std::size_t>(o) *
-                                                 geom_.inFeatures +
-                                             j),
-                        wpr);
-            counts.addWords(prod.data(), wpr);
-            if (approximateApc_)
-                over.observe(prod, wpr);
+            for (int j = 0; j < geom_.inFeatures; ++j) {
+                xnorProduct(ws.prod.data(),
+                            in.row(static_cast<std::size_t>(j)),
+                            wm.row(wbase + static_cast<std::size_t>(j)),
+                            wpr);
+                counts.addWords(ws.prod.data(), wpr);
+                over.observe(ws.prod, wpr);
+            }
+        } else {
+            int j = 0;
+            for (; j + 1 < geom_.inFeatures; j += 2) {
+                counts.addXnor2(
+                    in.row(static_cast<std::size_t>(j)),
+                    wm.row(wbase + static_cast<std::size_t>(j)),
+                    in.row(static_cast<std::size_t>(j) + 1),
+                    wm.row(wbase + static_cast<std::size_t>(j) + 1), wpr);
+            }
+            if (j < geom_.inFeatures) {
+                counts.addXnor(in.row(static_cast<std::size_t>(j)),
+                               wm.row(wbase + static_cast<std::size_t>(j)),
+                               wpr);
+            }
         }
         counts.addWords(streams_.biases.row(static_cast<std::size_t>(o)),
                         wpr);
 
         std::uint64_t *dst = out.row(static_cast<std::size_t>(o));
-        counts.extract(col);
-        if (approximateApc_)
-            over.addOvercount(col, m_total);
-
         int state = m_total;
-        for (std::size_t i = 0; i < len; ++i) {
-            if (baseline::ApcFeatureExtraction::btanhStep(state, col[i],
-                                                          m_total,
-                                                          2 * m_total)) {
-                setStreamBit(dst, i);
-            }
-        }
+        auto step = [&](int c) {
+            return baseline::ApcFeatureExtraction::btanhStep(
+                state, c, m_total, 2 * m_total);
+        };
+        if (approximateApc_)
+            counts.driveWithOvercount(over.counts(), m_total, step, dst);
+        else
+            counts.drive(step, dst);
     }
-    return out;
 }
 
 } // namespace aqfpsc::core::stages

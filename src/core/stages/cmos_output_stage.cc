@@ -22,8 +22,9 @@ CmosOutputStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
-sc::StreamMatrix
-CmosOutputStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
+void
+CmosOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &,
+                         StageContext &ctx, StageScratch *) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
@@ -50,7 +51,6 @@ CmosOutputStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
         ctx.scores[static_cast<std::size_t>(o)] =
             static_cast<double>(ones);
     }
-    return sc::StreamMatrix(); // terminal stage
 }
 
 } // namespace aqfpsc::core::stages

@@ -19,14 +19,20 @@ CmosPoolStage::name() const
            std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW);
 }
 
-sc::StreamMatrix
-CmosPoolStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
+StageFootprint
+CmosPoolStage::footprint() const
+{
+    return {static_cast<std::size_t>(geom_.channels) * geom_.outH *
+            geom_.outW};
+}
+
+void
+CmosPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                       StageContext &ctx, StageScratch *) const
 {
     const std::size_t len = in.streamLen();
 
-    sc::StreamMatrix out(
-        static_cast<std::size_t>(geom_.channels) * geom_.outH * geom_.outW,
-        len);
+    out.reset(footprint().outputRows, len);
     // The MUX select lines are per-image randomness: derive them from the
     // image seed so batched execution stays schedule-independent.
     sc::Xoshiro256StarStar mux_rng(ctx.imageSeed ^ 0x9E3779B9ULL);
@@ -48,17 +54,25 @@ CmosPoolStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
                                    (2 * x + dx));
                     }
                 }
+                // Accumulate each 64-cycle block in a register and store
+                // whole words: the output buffer is reused across images,
+                // so every word (tail bits included) is fully rewritten.
                 std::uint64_t *dst = out.row(out_row);
+                std::uint64_t word = 0;
                 for (std::size_t i = 0; i < len; ++i) {
                     const std::uint64_t sel = mux_rng.nextBits(2);
-                    const std::uint64_t bit =
-                        (rows[sel][i / 64] >> (i % 64)) & 1ULL;
-                    dst[i / 64] |= bit << (i % 64);
+                    word |= ((rows[sel][i / 64] >> (i % 64)) & 1ULL)
+                            << (i % 64);
+                    if (i % 64 == 63) {
+                        dst[i / 64] = word;
+                        word = 0;
+                    }
                 }
+                if (len % 64 != 0)
+                    dst[len / 64] = word;
             }
         }
     }
-    return out;
 }
 
 } // namespace aqfpsc::core::stages

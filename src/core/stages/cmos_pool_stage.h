@@ -20,8 +20,10 @@ class CmosPoolStage final : public ScStage
 
     std::string name() const override;
 
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    StageFootprint footprint() const override;
+
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     PoolGeometry geom_;

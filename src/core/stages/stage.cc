@@ -1,0 +1,57 @@
+#include "stage.h"
+
+#include <stdexcept>
+
+namespace aqfpsc::core {
+
+namespace {
+
+/**
+ * Guard against a stage that overrides neither run() nor runInto():
+ * the default implementations bridge to each other, so such a stage
+ * would otherwise recurse to a stack overflow with no diagnostic.
+ * Thread-local because one stage graph executes from many workers.
+ */
+thread_local const ScStage *t_bridging = nullptr;
+
+struct BridgeGuard
+{
+    explicit BridgeGuard(const ScStage *stage) : stage_(stage)
+    {
+        if (t_bridging == stage) {
+            throw std::logic_error(
+                "ScStage '" + stage->name() +
+                "' must override run() or runInto()");
+        }
+        t_bridging = stage;
+    }
+
+    ~BridgeGuard() { t_bridging = nullptr; }
+
+    const ScStage *stage_;
+};
+
+} // namespace
+
+void
+ScStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *) const
+{
+    // Compatibility bridge for stages that only implement run(): the
+    // per-image allocation of the returned matrix is the cost of not
+    // migrating to the workspace API.
+    const BridgeGuard guard(this);
+    out = run(in, ctx);
+}
+
+sc::StreamMatrix
+ScStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
+{
+    const BridgeGuard guard(this);
+    const std::unique_ptr<StageScratch> scratch = makeScratch();
+    sc::StreamMatrix out;
+    runInto(in, out, ctx, scratch.get());
+    return out;
+}
+
+} // namespace aqfpsc::core

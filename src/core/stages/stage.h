@@ -8,18 +8,34 @@
  * terminal (categorization) stage instead writes per-class scores into
  * the StageContext.
  *
- * Stages are immutable after compilation: run() is const and keeps all
- * scratch state on its own stack, so one stage graph can execute many
- * images concurrently from different threads (see core::BatchRunner).
- * All per-image randomness derives from StageContext::imageSeed, which
- * makes results a pure function of (network, config, image, image index)
- * regardless of thread schedule.
+ * Stages are immutable after compilation: execution is const and keeps
+ * all mutable per-image state either on the stack or in a caller-owned
+ * StageScratch, so one stage graph can execute many images concurrently
+ * from different threads (see core::BatchRunner).  All per-image
+ * randomness derives from StageContext::imageSeed, which makes results a
+ * pure function of (network, config, image, image index) regardless of
+ * thread schedule.
+ *
+ * Execution has two entry points:
+ *
+ *  - runInto(in, out, ctx, scratch): the allocation-free hot path.  The
+ *    stage reshapes @p out (a reusable arena buffer that only ever
+ *    grows) and fully overwrites it, drawing all scratch state from the
+ *    StageScratch it built once via makeScratch().  Steady-state
+ *    inference through core::StageWorkspace performs no heap allocation
+ *    here.
+ *  - run(in, ctx): convenience wrapper that allocates a fresh output and
+ *    scratch per call; kept for tests and out-of-tree stages.
+ *
+ * A concrete stage must override at least one of run()/runInto(); each
+ * default implementation forwards to the other.
  */
 
 #ifndef AQFPSC_CORE_STAGES_STAGE_H
 #define AQFPSC_CORE_STAGES_STAGE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +65,30 @@ struct StageContext
     std::vector<float> values;
 };
 
+/**
+ * Opaque per-thread mutable state of one stage (column counters,
+ * feedback units, ...), built once by ScStage::makeScratch() and reused
+ * across images so the inference inner loop never allocates.  A scratch
+ * object may only be passed back to the stage that created it, and to
+ * one stage execution at a time.
+ */
+class StageScratch
+{
+  public:
+    virtual ~StageScratch() = default;
+};
+
+/**
+ * Compile-time resource declaration of one stage, used by
+ * core::StageWorkspace to pre-size its arena buffers before the first
+ * image runs.
+ */
+struct StageFootprint
+{
+    /** Rows runInto() writes into @p out (0 = terminal / value-domain). */
+    std::size_t outputRows = 0;
+};
+
 /** One node of the compiled SC pipeline. */
 class ScStage
 {
@@ -61,14 +101,42 @@ class ScStage
     /** True for the terminal stage (writes scores, returns no streams). */
     virtual bool terminal() const { return false; }
 
+    /** Declared output/scratch footprint (defaults to "no streams"). */
+    virtual StageFootprint footprint() const { return {}; }
+
     /**
-     * Execute the stage on one image's streams.
+     * Build this stage's reusable scratch state (may be null for stages
+     * that need none).  Called once per worker thread at workspace
+     * construction, never on the per-image path.
+     */
+    virtual std::unique_ptr<StageScratch> makeScratch() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Execute the stage on one image's streams, writing the output
+     * streams into @p out (reshaped and fully overwritten by the stage;
+     * its buffer is reused across images and only ever grows).
+     * @p scratch must come from this stage's makeScratch().
      *
-     * Thread-safe: const, all scratch local.  Terminal stages fill
-     * @p ctx .scores and return an empty matrix.
+     * Thread-safe across distinct (out, scratch) pairs.  Terminal stages
+     * fill @p ctx .scores and leave @p out untouched.
+     *
+     * Default: forwards to run() (compatibility for stages that predate
+     * the workspace API — they pay one allocation per image).
+     */
+    virtual void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                         StageContext &ctx, StageScratch *scratch) const;
+
+    /**
+     * Execute the stage on one image's streams into a freshly allocated
+     * matrix.  Default: allocates a scratch + output and forwards to
+     * runInto().  Terminal stages fill @p ctx .scores and return an
+     * empty matrix.
      */
     virtual sc::StreamMatrix run(const sc::StreamMatrix &in,
-                                 StageContext &ctx) const = 0;
+                                 StageContext &ctx) const;
 };
 
 } // namespace aqfpsc::core

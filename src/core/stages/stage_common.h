@@ -105,16 +105,18 @@ forEachConvProduct(const ConvGeometry &g, const sc::StreamMatrix &in,
  * The approximate parallel counter encodes product pairs as
  * (a AND b, a OR b), which overcounts by one exactly when both pair
  * members are 1.  Products are paired in arrival order; an unpaired
- * trailing product is exact.  observe() every product, then
- * addOvercount() folds the per-cycle overcounts into the extracted
- * column counts, saturating at @p cap (the counter cannot exceed its
- * input count).
+ * trailing product is exact.  observe()/observeXnor() every product,
+ * then either addOvercount() folds the per-cycle overcounts into the
+ * extracted column counts (reference path) or
+ * ColumnCounts::driveWithOvercount reads counts() directly (fused
+ * path); both saturate at @p cap (the counter cannot exceed its input
+ * count).
  */
 class ApproxPairOvercount
 {
   public:
     ApproxPairOvercount(std::size_t len, int max_pairs)
-        : over_(len, max_pairs)
+        : over_(len, max_pairs), prev_((len + 63) / 64, 0)
     {
     }
 
@@ -125,6 +127,7 @@ class ApproxPairOvercount
         havePrev_ = false;
     }
 
+    /** Reference form: observe a materialized product buffer. */
     void
     observe(const std::vector<std::uint64_t> &prod, std::size_t wpr)
     {
@@ -134,7 +137,29 @@ class ApproxPairOvercount
             over_.addWords(prev_.data(), wpr);
             havePrev_ = false;
         } else {
-            prev_ = prod;
+            for (std::size_t wi = 0; wi < wpr; ++wi)
+                prev_[wi] = prod[wi];
+            havePrev_ = true;
+        }
+    }
+
+    /**
+     * Fused form: observe the XNOR product of rows @p x and @p w with no
+     * caller-side product buffer — bit-identical to observe() of
+     * xnorProduct(x, w).
+     */
+    void
+    observeXnor(const std::uint64_t *x, const std::uint64_t *w,
+                std::size_t wpr)
+    {
+        if (havePrev_) {
+            for (std::size_t wi = 0; wi < wpr; ++wi)
+                prev_[wi] &= ~(x[wi] ^ w[wi]);
+            over_.addWords(prev_.data(), wpr);
+            havePrev_ = false;
+        } else {
+            for (std::size_t wi = 0; wi < wpr; ++wi)
+                prev_[wi] = ~(x[wi] ^ w[wi]);
             havePrev_ = true;
         }
     }
@@ -149,6 +174,9 @@ class ApproxPairOvercount
                 col[i] = cap;
         }
     }
+
+    /** The accumulated per-cycle overcounts (fused drive path). */
+    const sc::ColumnCounts &counts() const { return over_; }
 
   private:
     sc::ColumnCounts over_;

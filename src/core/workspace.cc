@@ -1,0 +1,28 @@
+#include "workspace.h"
+
+#include <algorithm>
+
+#include "core/sc_engine.h"
+
+namespace aqfpsc::core {
+
+StageWorkspace::StageWorkspace(const ScNetworkEngine &engine)
+    : engine_(engine)
+{
+    const std::size_t len = engine.config().streamLen;
+    // Stage s reads pingPong_[s % 2 ^ 1] and writes pingPong_[s % 2]
+    // (the first stage reads input_), so pre-size each buffer to the
+    // largest output that will ever land in it.
+    std::size_t max_rows[2] = {0, 0};
+    scratch_.reserve(engine.stageCount());
+    for (std::size_t s = 0; s < engine.stageCount(); ++s) {
+        const ScStage &stage = engine.stage(s);
+        scratch_.push_back(stage.makeScratch());
+        max_rows[s % 2] =
+            std::max(max_rows[s % 2], stage.footprint().outputRows);
+    }
+    for (int i = 0; i < 2; ++i)
+        pingPong_[i].reset(max_rows[i], len);
+}
+
+} // namespace aqfpsc::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-thread inference arena: all mutable buffers one worker needs to
+ * push images through a compiled stage graph without allocating.
+ *
+ * A StageWorkspace is bound to one ScNetworkEngine.  It owns
+ *
+ *  - the SNG-encoded input stream matrix,
+ *  - two ping-pong activation StreamMatrix buffers that stages
+ *    runInto() alternately (pre-sized from the stages' declared
+ *    footprints, so even the first image allocates nothing for them),
+ *  - one StageScratch per stage (column counters, feedback units, ...),
+ *  - the reusable StageContext.
+ *
+ * Buffers only ever grow; after the first image every
+ * ScNetworkEngine::inferIndexed(image, index, workspace) call is
+ * heap-allocation-free through the whole stage pipeline.  A workspace is
+ * NOT thread-safe: one workspace per worker thread (core::BatchRunner
+ * constructs exactly that).  Results never depend on workspace reuse —
+ * every row of every buffer is fully overwritten before it is read.
+ */
+
+#ifndef AQFPSC_CORE_WORKSPACE_H
+#define AQFPSC_CORE_WORKSPACE_H
+
+#include <memory>
+#include <vector>
+
+#include "core/stages/stage.h"
+#include "sc/stream_matrix.h"
+
+namespace aqfpsc::core {
+
+class ScNetworkEngine;
+
+/** Reusable per-worker buffers of one engine's inference loop. */
+class StageWorkspace
+{
+  public:
+    /** Build scratch for every stage of @p engine and pre-size the
+     *  ping-pong buffers from the declared stage footprints.
+     *  @param engine Must outlive the workspace. */
+    explicit StageWorkspace(const ScNetworkEngine &engine);
+
+    StageWorkspace(const StageWorkspace &) = delete;
+    StageWorkspace &operator=(const StageWorkspace &) = delete;
+
+    /** The engine this workspace serves. */
+    const ScNetworkEngine &engine() const { return engine_; }
+
+  private:
+    friend class ScNetworkEngine;
+
+    const ScNetworkEngine &engine_;
+    sc::StreamMatrix input_;            ///< per-image SNG input streams
+    sc::StreamMatrix pingPong_[2];      ///< stage activation buffers
+    std::vector<std::unique_ptr<StageScratch>> scratch_; ///< per stage
+    StageContext ctx_;                  ///< reused per-image context
+};
+
+} // namespace aqfpsc::core
+
+#endif // AQFPSC_CORE_WORKSPACE_H

@@ -1,5 +1,6 @@
 #include "apc.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -96,6 +97,59 @@ ColumnCounts::addWords(const std::uint64_t *words, std::size_t word_count)
     }
 }
 
+void
+ColumnCounts::addXnor(const std::uint64_t *x, const std::uint64_t *w,
+                      std::size_t word_count)
+{
+    assert(word_count == wordCount_);
+    assert(added_ < maxCount_);
+    ++added_;
+    for (std::size_t wi = 0; wi < word_count; ++wi) {
+        std::uint64_t carry = ~(x[wi] ^ w[wi]);
+        for (int k = 0; k < planeCount_ && carry; ++k) {
+            std::uint64_t &plane = planes_[
+                static_cast<std::size_t>(k) * wordCount_ + wi];
+            const std::uint64_t t = plane & carry;
+            plane ^= carry;
+            carry = t;
+        }
+        assert(carry == 0 && "ColumnCounts overflow");
+    }
+}
+
+void
+ColumnCounts::addXnor2(const std::uint64_t *x1, const std::uint64_t *w1,
+                       const std::uint64_t *x2, const std::uint64_t *w2,
+                       std::size_t word_count)
+{
+    assert(word_count == wordCount_);
+    assert(added_ + 2 <= maxCount_);
+    added_ += 2;
+    for (std::size_t wi = 0; wi < word_count; ++wi) {
+        const std::uint64_t p1 = ~(x1[wi] ^ w1[wi]);
+        const std::uint64_t p2 = ~(x2[wi] ^ w2[wi]);
+        // 3:2 compress: p1 + p2 = (p1 ^ p2) + 2 * (p1 & p2).
+        std::uint64_t carry = p1 ^ p2;
+        for (int k = 0; k < planeCount_ && carry; ++k) {
+            std::uint64_t &plane = planes_[
+                static_cast<std::size_t>(k) * wordCount_ + wi];
+            const std::uint64_t t = plane & carry;
+            plane ^= carry;
+            carry = t;
+        }
+        assert(carry == 0 && "ColumnCounts overflow");
+        carry = p1 & p2;
+        for (int k = 1; k < planeCount_ && carry; ++k) {
+            std::uint64_t &plane = planes_[
+                static_cast<std::size_t>(k) * wordCount_ + wi];
+            const std::uint64_t t = plane & carry;
+            plane ^= carry;
+            carry = t;
+        }
+        assert(carry == 0 && "ColumnCounts overflow");
+    }
+}
+
 int
 ColumnCounts::count(std::size_t i) const
 {
@@ -135,8 +189,13 @@ ColumnCounts::extract(std::vector<int> &out) const
 void
 ColumnCounts::clear()
 {
+    // Counts never exceed the number of streams added, so planes at and
+    // above bit_width(added_) are still zero — re-zero only the dirty
+    // prefix (the whole point of reusing one counter per output neuron).
+    const std::size_t dirty =
+        static_cast<std::size_t>(dirtyPlanes()) * wordCount_;
+    std::fill_n(planes_.begin(), dirty, 0);
     added_ = 0;
-    planes_.assign(planes_.size(), 0);
 }
 
 } // namespace aqfpsc::sc

@@ -22,6 +22,8 @@
 #ifndef AQFPSC_SC_APC_H
 #define AQFPSC_SC_APC_H
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -68,6 +70,19 @@ class ApproximateParallelCounter
  * word into P planes costs at most P AND/XOR pairs, so accumulating M
  * streams of N cycles costs O(M * N/64 * log2 M) word ops instead of the
  * naive O(M * N) single-bit ops.
+ *
+ * Two usage styles:
+ *
+ *  - Reference path: addWords() every (pre-XNORed) product, then
+ *    extract() the per-cycle counts into a std::vector<int>.  This is
+ *    the golden implementation the fused kernels are tested against.
+ *  - Fused path: addXnor() folds the bipolar XNOR multiply directly into
+ *    the carry-save add (no product buffer), and drive()/forEachCount()
+ *    walk the planes word-by-word to feed a bit-serial step function
+ *    without materializing the count array.  clear() is lazy: it only
+ *    re-zeros the planes dirtied since the last clear (tracked through
+ *    the stream count high-water mark), so per-neuron reuse in the
+ *    inference hot loop costs O(planes actually used).
  */
 class ColumnCounts
 {
@@ -85,19 +100,185 @@ class ColumnCounts
     /** Add a raw packed word array of the same word count. */
     void addWords(const std::uint64_t *words, std::size_t word_count);
 
+    /**
+     * Fused bipolar multiply-accumulate: add the XNOR of rows @p x and
+     * @p w without materializing the product.  Bit-identical to
+     * xnor-into-a-buffer followed by addWords(buffer), including the
+     * all-ones tail bits XNOR produces beyond the stream length (they
+     * stay confined to the planes and are never read back).
+     */
+    void addXnor(const std::uint64_t *x, const std::uint64_t *w,
+                 std::size_t word_count);
+
+    /**
+     * Add two XNOR products in one pass with a 3:2 carry-save
+     * compression: the pair enters the planes as (sum, carry) at
+     * weights 1 and 2, so two streams cost roughly one ripple instead
+     * of two.  The planes hold the exact per-cycle binary count, which
+     * is independent of addition grouping — the result is bit-identical
+     * to two addXnor() calls.
+     */
+    void addXnor2(const std::uint64_t *x1, const std::uint64_t *w1,
+                  const std::uint64_t *x2, const std::uint64_t *w2,
+                  std::size_t word_count);
+
     /** Extract the count at cycle @p i. */
     int count(std::size_t i) const;
 
     /** Extract all per-cycle counts into @p out (resized to len). */
     void extract(std::vector<int> &out) const;
 
+    /**
+     * Visit the per-cycle counts in cycle order without materializing
+     * them: fn(cycle_index, count).  Counts are rebuilt one 64-cycle
+     * block at a time in a stack-resident column array (the sparse
+     * set-bit walk of extract(), minus the len-sized heap vector).
+     */
+    template <typename Fn>
+    void
+    forEachCount(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < wordCount_; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t hi = len_ - base < 64 ? len_ - base : 64;
+            std::uint32_t col[64];
+            blockCounts(w, col);
+            for (std::size_t b = 0; b < hi; ++b)
+                fn(base + b, static_cast<int>(col[b]));
+        }
+    }
+
+    /**
+     * Fused count-extract + bit-serial drive: call
+     * @p step (count) for every cycle in order and pack the returned
+     * bits into @p dst (wordCount() words; tail bits are zeroed).  This
+     * is the inference hot path: one cache-hot pass over the planes, no
+     * std::vector<int> column array, full-word output stores.
+     */
+    template <typename Step>
+    void
+    drive(Step &&step, std::uint64_t *dst) const
+    {
+        for (std::size_t w = 0; w < wordCount_; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t hi = len_ - base < 64 ? len_ - base : 64;
+            std::uint32_t col[64];
+            blockCounts(w, col);
+            std::uint64_t outw = 0;
+            for (std::size_t b = 0; b < hi; ++b) {
+                if (step(static_cast<int>(col[b])))
+                    outw |= 1ULL << b;
+            }
+            dst[w] = outw;
+        }
+    }
+
+    /**
+     * drive() with the SC-DCNN OR-pair overcount folded in: the cycle
+     * count becomes min(count + over.count, @p cap) before @p step sees
+     * it, matching the reference extract() + addOvercount() sequence
+     * bit-for-bit.  @p over must have the same length.
+     */
+    template <typename Step>
+    void
+    driveWithOvercount(const ColumnCounts &over, int cap, Step &&step,
+                       std::uint64_t *dst) const
+    {
+        assert(over.len_ == len_ && over.wordCount_ == wordCount_);
+        for (std::size_t w = 0; w < wordCount_; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t hi = len_ - base < 64 ? len_ - base : 64;
+            std::uint32_t col[64];
+            std::uint32_t ocol[64];
+            blockCounts(w, col);
+            over.blockCounts(w, ocol);
+            std::uint64_t outw = 0;
+            for (std::size_t b = 0; b < hi; ++b) {
+                int c = static_cast<int>(col[b] + ocol[b]);
+                if (c > cap)
+                    c = cap;
+                if (step(c))
+                    outw |= 1ULL << b;
+            }
+            dst[w] = outw;
+        }
+    }
+
     /** Number of streams added so far. */
     int added() const { return added_; }
 
-    /** Reset all counters to zero. */
+    /** Packed words per plane ((len + 63) / 64). */
+    std::size_t wordCount() const { return wordCount_; }
+
+    /** Stream length in cycles. */
+    std::size_t length() const { return len_; }
+
+    /**
+     * Reset all counters to zero.  Lazy: only the planes that the
+     * streams added since the last clear can have dirtied are re-zeroed.
+     */
     void clear();
 
   private:
+    /** Planes the currently-added streams can have written. */
+    int
+    dirtyPlanes() const
+    {
+        return std::bit_width(static_cast<unsigned>(added_));
+    }
+
+    /** 8x8 bit-matrix transpose (Hacker's Delight 7-3), rows = bytes. */
+    static std::uint64_t
+    transpose8x8(std::uint64_t x)
+    {
+        std::uint64_t t;
+        t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAULL;
+        x = x ^ t ^ (t << 7);
+        t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCULL;
+        x = x ^ t ^ (t << 14);
+        t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ULL;
+        x = x ^ t ^ (t << 28);
+        return x;
+    }
+
+    /**
+     * Rebuild the counts of 64-cycle block @p w into @p col (64
+     * entries; tail entries beyond the stream length are garbage).
+     *
+     * Up to 8 dirty planes (counts < 256, i.e. every conv window and
+     * pooling stage) the planes are transposed 8 bytes at a time with
+     * the branch-free 8x8 bit transpose — constant cost per cycle.
+     * Beyond that, each extra plane is scattered through its set bits
+     * (high planes are sparse, so the walk stays cheap).
+     */
+    void
+    blockCounts(std::size_t w, std::uint32_t *col) const
+    {
+        const int planes = dirtyPlanes();
+        const int low = planes < 8 ? planes : 8;
+        std::uint64_t pw[8];
+        for (int k = 0; k < low; ++k)
+            pw[k] = planes_[static_cast<std::size_t>(k) * wordCount_ + w];
+        for (int g = 0; g < 8; ++g) {
+            std::uint64_t x = 0;
+            for (int k = 0; k < low; ++k)
+                x |= ((pw[k] >> (8 * g)) & 0xFFULL) << (8 * k);
+            x = transpose8x8(x);
+            for (int i = 0; i < 8; ++i)
+                col[8 * g + i] =
+                    static_cast<std::uint32_t>((x >> (8 * i)) & 0xFFULL);
+        }
+        for (int k = 8; k < planes; ++k) {
+            std::uint64_t bits =
+                planes_[static_cast<std::size_t>(k) * wordCount_ + w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                col[b] |= 1u << k;
+            }
+        }
+    }
+
     std::size_t len_;
     std::size_t wordCount_;
     int planeCount_;

@@ -67,6 +67,28 @@ Xoshiro256StarStar::nextWord()
 }
 
 void
+Xoshiro256StarStar::nextWords(std::uint64_t *dst, std::size_t n)
+{
+    // Same recurrence as nextWord(), with the state held in locals so
+    // the compiler keeps it in registers across the whole batch.
+    std::uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = rotl(s1 * 5, 7) * 9;
+        const std::uint64_t t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = rotl(s3, 45);
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+}
+
+void
 Xoshiro256StarStar::jump()
 {
     static const std::uint64_t kJump[] = {

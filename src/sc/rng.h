@@ -52,6 +52,19 @@ class RandomSource
     /** Next uniform bit. */
     virtual bool nextBit() { return nextWord() & 1ULL; }
 
+    /**
+     * Fill @p dst with the next @p n words — the exact sequence n
+     * nextWord() calls would produce.  Concrete generators override this
+     * to batch the state updates (no virtual dispatch per word), which
+     * is what makes word-parallel SNG stream fill fast.
+     */
+    virtual void
+    nextWords(std::uint64_t *dst, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = nextWord();
+    }
+
     /** Next uniform value in [0, 2^bits). @p bits must be in [1, 64]. */
     std::uint64_t nextBits(int bits);
 
@@ -70,6 +83,9 @@ class Xoshiro256StarStar : public RandomSource
     explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
     std::uint64_t nextWord() override;
+
+    /** Batched generation with the state kept in registers. */
+    void nextWords(std::uint64_t *dst, std::size_t n) override;
 
     /** Jump function: advance by 2^128 steps (for independent substreams). */
     void jump();

@@ -14,19 +14,45 @@ StreamMatrix::StreamMatrix(std::size_t rows, std::size_t len)
 }
 
 void
+StreamMatrix::reset(std::size_t rows, std::size_t len)
+{
+    rows_ = rows;
+    len_ = len;
+    wpr_ = (len + 63) / 64;
+    // resize() keeps capacity, so repeated reuse at or below the
+    // high-water size allocates nothing.
+    words_.resize(rows_ * wpr_);
+}
+
+void
 StreamMatrix::fillBipolar(std::size_t r, double value, int bits,
                           RandomSource &rng)
 {
     assert(r < rows_);
     const std::uint32_t code = quantizeBipolar(value, bits);
+    // bit = (rng.nextBits(bits) < code) with nextBits(b) = word >> (64-b);
+    // floor(x / 2^s) < code  <=>  x < code << s, so one full-width compare
+    // per RNG word reproduces the bit-serial SNG exactly.  code can be
+    // 2^bits (value 1.0), where code << shift overflows 64 bits; that
+    // case means "always 1" and is special-cased (the RNG words are still
+    // consumed, one per cycle, to keep the draw sequence identical).
+    const int shift = 64 - bits;
+    const bool all_ones = (code >> bits) != 0;
+    const std::uint64_t threshold = static_cast<std::uint64_t>(code)
+                                    << shift;
+    std::uint64_t rnd[64];
     std::uint64_t *dst = row(r);
     for (std::size_t w = 0; w < wpr_; ++w) {
-        std::uint64_t word = 0;
         const std::size_t hi =
             len_ - w * 64 < 64 ? len_ - w * 64 : 64;
-        for (std::size_t b = 0; b < hi; ++b) {
-            if (rng.nextBits(bits) < code)
-                word |= 1ULL << b;
+        rng.nextWords(rnd, hi);
+        std::uint64_t word = 0;
+        if (all_ones) {
+            word = hi == 64 ? ~0ULL : (1ULL << hi) - 1;
+        } else {
+            for (std::size_t b = 0; b < hi; ++b)
+                word |= static_cast<std::uint64_t>(rnd[b] < threshold)
+                        << b;
         }
         dst[w] = word;
     }

@@ -28,6 +28,16 @@ class StreamMatrix
     /** @param rows Number of streams. @param len Stream length (cycles). */
     StreamMatrix(std::size_t rows, std::size_t len);
 
+    /**
+     * Re-shape in place, reusing the existing word buffer (it only grows,
+     * never shrinks — the workspace-arena contract).  Row contents are
+     * unspecified afterwards: every row must be fully overwritten by a
+     * whole-word writer (fillBipolar, fillNeutral, ColumnCounts::drive)
+     * before it is read.  Steady-state inference therefore performs no
+     * allocation here once the buffer has reached its high-water size.
+     */
+    void reset(std::size_t rows, std::size_t len);
+
     std::size_t rows() const { return rows_; }
     std::size_t streamLen() const { return len_; }
     std::size_t wordsPerRow() const { return wpr_; }
@@ -42,6 +52,11 @@ class StreamMatrix
      * Fill row @p r with an SNG stream for bipolar value @p value
      * (quantized to @p bits), drawing randomness from @p rng.
      * Tail bits beyond streamLen() are left zero.
+     *
+     * Word-batched: 64 comparison bits are generated per iteration from
+     * a block of RNG words (RandomSource::nextWords), consuming the RNG
+     * in exactly the per-bit order — the streams are bit-identical to
+     * the bit-serial formulation bit = (rng.nextBits(bits) < code).
      */
     void fillBipolar(std::size_t r, double value, int bits,
                      RandomSource &rng);
