@@ -10,27 +10,39 @@
  *       artifact (architecture + quantization state + weights).
  *   eval   --model-file <file> [--backend NAME] [--stream-len N]
  *          [--threads N] [--rng-bits N] [--images N] [--seed S]
- *       Load an artifact and evaluate it on any registered backend.
+ *          [--adaptive [--checkpoint C] [--margin F] [--min-cycles M]
+ *           [--nondet]]
+ *       Load an artifact and evaluate it on any registered backend;
+ *       --adaptive adds confidence-based early exit and reports the
+ *       mean consumed stream cycles.
  *   infer  --model-file <file> [--backend NAME] [--index I] [...]
  *       Load an artifact and print one image's per-class scores.
+ *   serve  --model-file <file> [--workers W] [--queue-cap Q]
+ *          [--max-batch B] [--adaptive ...] [--images N]
+ *       Spin up the async micro-batching InferenceServer, push the test
+ *       set through it, and report latency percentiles + server stats.
  *   backends   List the BackendRegistry names.
  *   models     List the model_zoo names.
  *
  * Example round trip (the model file carries everything):
  *   aqfpsc_cli train --model tiny --out m.bin
  *   aqfpsc_cli eval --model-file m.bin --backend cmos-apc
- *   aqfpsc_cli eval --model-file m.bin --backend float-ref
+ *   aqfpsc_cli eval --model-file m.bin --adaptive --margin 0.125
+ *   aqfpsc_cli serve --model-file m.bin --workers 4 --adaptive
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/backend_registry.h"
 #include "core/model_zoo.h"
+#include "core/server.h"
 #include "core/session.h"
 #include "data/digits.h"
 
@@ -54,9 +66,11 @@ struct Args
     float lr = 0.08f;
     int quantBits = 10;
     unsigned trainSeed = 3;
-    int images = 40; ///< eval limit
+    int images = 40; ///< eval limit / serve request count
     int index = 0;   ///< infer image index
     bool progress = true;
+    bool adaptive = false; ///< eval/serve: early-exit mode
+    core::ServerOptions server; ///< serve: worker/queue/batch knobs
 };
 
 void
@@ -68,8 +82,12 @@ usage()
         "        [--lr F] [--quant-bits B] [--seed S]\n"
         "  eval  --model-file <file> [--backend NAME] [--stream-len N]\n"
         "        [--threads N] [--rng-bits N] [--images N] [--seed S]\n"
+        "        [--adaptive [--checkpoint C] [--margin F]\n"
+        "         [--min-cycles M] [--nondet]]\n"
         "  infer --model-file <file> [--backend NAME] [--index I]\n"
         "        [--stream-len N] [--threads N] [--rng-bits N] [--seed S]\n"
+        "  serve --model-file <file> [--workers W] [--queue-cap Q]\n"
+        "        [--max-batch B] [--images N] [--adaptive ...]\n"
         "  backends   list registered backends\n"
         "  models     list model-zoo architectures\n");
 }
@@ -121,6 +139,25 @@ parse(int argc, char **argv, Args &args)
             args.index = std::atoi(next());
         else if (flag == "--quiet")
             args.progress = false;
+        else if (flag == "--adaptive")
+            args.adaptive = true;
+        else if (flag == "--checkpoint")
+            args.engine.adaptive.checkpointCycles =
+                static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+        else if (flag == "--margin")
+            args.engine.adaptive.exitMargin = std::atof(next());
+        else if (flag == "--min-cycles")
+            args.engine.adaptive.minCycles =
+                static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+        else if (flag == "--nondet")
+            args.engine.adaptive.deterministic = false;
+        else if (flag == "--workers")
+            args.server.workers = std::atoi(next());
+        else if (flag == "--queue-cap")
+            args.server.queueCapacity =
+                static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+        else if (flag == "--max-batch")
+            args.server.maxBatch = std::atoi(next());
         else {
             std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
             return false;
@@ -179,9 +216,88 @@ cmdEval(const Args &args)
     core::EvalOptions opts;
     opts.limit = args.images;
     opts.progress = args.progress;
+    if (args.adaptive) {
+        const core::AdaptivePolicy &policy = args.engine.adaptive;
+        std::printf("adaptive: checkpoint %zu, margin %.3f, floor %zu, "
+                    "%s\n",
+                    policy.checkpointCycles, policy.exitMargin,
+                    policy.minCycles,
+                    policy.deterministic ? "deterministic"
+                                         : "lazy substreams");
+        const core::AdaptiveEvalStats stats =
+            session.evaluateAdaptive(test, opts);
+        std::printf("accuracy %.4f over %zu images (%.2f img/s, avg "
+                    "%.0f/%zu cycles, %zu early exits)\n",
+                    stats.stats.accuracy, stats.stats.images,
+                    stats.stats.imagesPerSec, stats.avgConsumedCycles,
+                    session.options().streamLen, stats.earlyExits);
+        return 0;
+    }
     const core::ScEvalStats stats = session.evaluate(test, opts);
     std::printf("accuracy %.4f over %zu images (%.2f img/s)\n",
                 stats.accuracy, stats.images, stats.imagesPerSec);
+    return 0;
+}
+
+int
+cmdServe(const Args &args)
+{
+    if (args.modelFile.empty()) {
+        std::fprintf(stderr, "error: serve needs --model-file <file>\n");
+        return 2;
+    }
+    if (args.images <= 0) {
+        std::fprintf(stderr, "error: serve needs --images >= 1\n");
+        return 2;
+    }
+    const core::InferenceSession session =
+        core::InferenceSession::fromFile(args.modelFile, args.engine);
+    core::ServerOptions sopts = args.server;
+    sopts.adaptive = args.adaptive;
+    sopts.policy = args.engine.adaptive;
+    core::InferenceServer server(session, sopts);
+    std::printf("serving %s on %s: %d worker(s), queue %zu, "
+                "micro-batch %d%s\n",
+                args.modelFile.c_str(), session.options().backend.c_str(),
+                server.workers(), sopts.queueCapacity, sopts.maxBatch,
+                sopts.adaptive ? ", adaptive early exit" : "");
+
+    const auto test = data::generateDigits(kTestImages, kTestDataSeed);
+    const int n = std::min<int>(args.images, kTestImages);
+    std::vector<std::future<core::ServedPrediction>> futures;
+    futures.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        futures.push_back(
+            server.submit(test[static_cast<std::size_t>(i)].image));
+
+    std::vector<double> latency_ms;
+    latency_ms.reserve(futures.size());
+    std::size_t correct = 0;
+    for (int i = 0; i < n; ++i) {
+        const core::ServedPrediction r = futures[static_cast<std::size_t>(i)].get();
+        latency_ms.push_back((r.queueSeconds + r.serviceSeconds) * 1e3);
+        if (r.prediction.label == test[static_cast<std::size_t>(i)].label)
+            ++correct;
+    }
+    server.shutdown();
+
+    std::sort(latency_ms.begin(), latency_ms.end());
+    auto pct = [&](double q) {
+        const std::size_t i = static_cast<std::size_t>(
+            q * static_cast<double>(latency_ms.size() - 1));
+        return latency_ms[i];
+    };
+    const core::ServerStats stats = server.stats();
+    std::printf("served %llu requests: accuracy %.4f, p50 %.1f ms, "
+                "p90 %.1f ms, p99 %.1f ms\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<double>(correct) / static_cast<double>(n),
+                pct(0.50), pct(0.90), pct(0.99));
+    std::printf("avg micro-batch %.2f, avg consumed cycles %.0f/%zu, "
+                "early exits %llu\n",
+                stats.avgBatchSize, stats.avgConsumedCycles,
+                session.options().streamLen,
+                static_cast<unsigned long long>(stats.earlyExits));
     return 0;
 }
 
@@ -245,6 +361,8 @@ main(int argc, char **argv)
             return cmdEval(args);
         if (args.command == "infer")
             return cmdInfer(args);
+        if (args.command == "serve")
+            return cmdServe(args);
         if (args.command == "backends")
             return cmdBackends();
         if (args.command == "models")

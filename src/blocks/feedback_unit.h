@@ -27,7 +27,7 @@
  * fixed slice; with a fixed slice the carry cannot represent deficits
  * and the output acquires a large positive bias (O(sigma^2/drift) ones
  * per stream), contradicting the paper's own Table 1 -- see
- * tests/test_blocks.cc (MarkovSpec) and DESIGN.md Sec. 5.  The offset
+ * tests/test_blocks.cc (MarkovSpec).  The offset
  * reading is the one consistent with Eq. (2)/(3) and with the reported
  * accuracy, and costs the same hardware as the pooling block's
  * output-selected feedback mux (Fig. 14).
@@ -93,6 +93,22 @@ class FeatureFeedbackUnit
         carry_ = (m - 1) / 2;
     }
 
+    /**
+     * Re-arm for input count @p m with an explicit feedback count —
+     * resumes a block-wise (checkpointed) execution exactly where a
+     * previous block's carry() left off, so processing a stream in
+     * 64-cycle-aligned blocks is bit-identical to one uninterrupted
+     * pass.
+     */
+    void
+    restore(int m, int carry)
+    {
+        assert(m >= 1 && m % 2 == 1);
+        assert(carry >= 0 && carry <= m);
+        m_ = m;
+        carry_ = carry;
+    }
+
     int m() const { return m_; }
 
   private:
@@ -131,6 +147,18 @@ class PoolingFeedbackUnit
         assert(m >= 1);
         m_ = m;
         carry_ = 0;
+    }
+
+    /** Re-arm with an explicit remainder count — resumes a block-wise
+     *  execution from a previous block's carry() (see
+     *  FeatureFeedbackUnit::restore). */
+    void
+    restore(int m, int carry)
+    {
+        assert(m >= 1);
+        assert(carry >= 0 && carry < m);
+        m_ = m;
+        carry_ = carry;
     }
 
     int m() const { return m_; }

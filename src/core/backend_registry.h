@@ -92,9 +92,16 @@ struct BackendEntry
 /**
  * Process-wide backend name -> stage-factory table.
  *
- * Registration normally happens during static initialization (before
- * main), so lookups never race with it; later programmatic registration
- * is allowed but must not run concurrently with compiles.
+ * Thread safety: registration normally happens during static
+ * initialization (before main), so lookups never race with it; all
+ * const lookups (has/names/entry/traits) are safe to call concurrently
+ * once main has started.  Later programmatic registration is allowed
+ * but must not run concurrently with lookups or compiles.
+ *
+ * Determinism: the registry only resolves names to factories — stream
+ * generation stays in the stage compiler, so every stream-domain
+ * backend sees bit-identical parameter streams for the same seed, and
+ * backend lookup order never influences results.
  */
 class BackendRegistry
 {

@@ -31,17 +31,13 @@ BatchRunner::BatchRunner(const ScNetworkEngine &engine, int threads)
 {
 }
 
-std::vector<ScPrediction>
-BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
-                 bool progress) const
+void
+BatchRunner::forEachImage(
+    std::size_t n, bool progress,
+    const std::function<void(StageWorkspace &, std::size_t)> &fn) const
 {
-    const std::size_t n =
-        limit < 0 ? samples.size()
-                  : std::min<std::size_t>(samples.size(),
-                                          static_cast<std::size_t>(limit));
-    std::vector<ScPrediction> predictions(n);
     if (n == 0)
-        return predictions;
+        return;
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
@@ -64,8 +60,7 @@ BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= n || failed.load(std::memory_order_relaxed))
                     return;
-                predictions[i] =
-                    engine_.inferIndexed(samples[i].image, i, workspace);
+                fn(workspace, i);
                 const std::size_t done =
                     completed.fetch_add(1, std::memory_order_relaxed) + 1;
                 if (progress && done % 10 == 0) {
@@ -99,7 +94,95 @@ BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
         std::rethrow_exception(error);
     if (progress)
         std::printf("\n");
+}
+
+namespace {
+
+std::size_t
+resolveLimit(const std::vector<nn::Sample> &samples, int limit)
+{
+    return limit < 0 ? samples.size()
+                     : std::min<std::size_t>(
+                           samples.size(), static_cast<std::size_t>(limit));
+}
+
+} // namespace
+
+std::vector<ScPrediction>
+BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
+                 bool progress) const
+{
+    const std::size_t n = resolveLimit(samples, limit);
+    std::vector<ScPrediction> predictions(n);
+    forEachImage(n, progress,
+                 [&](StageWorkspace &workspace, std::size_t i) {
+                     predictions[i] = engine_.inferIndexed(
+                         samples[i].image, i, workspace);
+                 });
     return predictions;
+}
+
+std::vector<AdaptivePrediction>
+BatchRunner::runAdaptive(const std::vector<nn::Sample> &samples,
+                         const AdaptivePolicy &policy, int limit,
+                         bool progress) const
+{
+    const std::size_t n = resolveLimit(samples, limit);
+    std::vector<AdaptivePrediction> predictions(n);
+    forEachImage(n, progress,
+                 [&](StageWorkspace &workspace, std::size_t i) {
+                     predictions[i] = engine_.inferAdaptive(
+                         samples[i].image, i, workspace, policy);
+                 });
+    return predictions;
+}
+
+AdaptiveEvalStats
+BatchRunner::evaluateAdaptive(const std::vector<nn::Sample> &samples,
+                              const AdaptivePolicy &policy, int limit,
+                              bool progress) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<AdaptivePrediction> predictions =
+        runAdaptive(samples, policy, limit, progress);
+    const auto stop = std::chrono::steady_clock::now();
+
+    AdaptiveEvalStats result;
+    result.stats.images = predictions.size();
+    result.stats.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (predictions.empty())
+        return result;
+
+    std::size_t correct = 0;
+    std::size_t cycles = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        if (predictions[i].prediction.label == samples[i].label)
+            ++correct;
+        cycles += predictions[i].consumedCycles;
+        if (predictions[i].exitedEarly)
+            ++result.earlyExits;
+    }
+    result.stats.accuracy = static_cast<double>(correct) /
+                            static_cast<double>(predictions.size());
+    result.stats.imagesPerSec =
+        result.stats.wallSeconds > 0.0
+            ? static_cast<double>(predictions.size()) /
+                  result.stats.wallSeconds
+            : 0.0;
+    result.avgConsumedCycles =
+        static_cast<double>(cycles) /
+        static_cast<double>(predictions.size());
+    if (progress) {
+        std::printf("accuracy %.4f (%zu images, %.2f img/s, %d threads, "
+                    "avg %.0f/%zu cycles, %zu early exits)\n",
+                    result.stats.accuracy, result.stats.images,
+                    result.stats.imagesPerSec, threads_,
+                    result.avgConsumedCycles,
+                    engine_.config().streamLen, result.earlyExits);
+        std::fflush(stdout);
+    }
+    return result;
 }
 
 ScEvalStats

@@ -13,12 +13,15 @@
 #ifndef AQFPSC_CORE_BATCH_RUNNER_H
 #define AQFPSC_CORE_BATCH_RUNNER_H
 
+#include <functional>
 #include <vector>
 
 #include "core/sc_engine.h"
 #include "nn/network.h"
 
 namespace aqfpsc::core {
+
+class StageWorkspace;
 
 /** Fans a batch of images across a thread pool of SC inferences. */
 class BatchRunner
@@ -51,7 +54,35 @@ class BatchRunner
     ScEvalStats evaluate(const std::vector<nn::Sample> &samples,
                          int limit = -1, bool progress = false) const;
 
+    /**
+     * run() with per-image adaptive early exit under @p policy: images
+     * consume different amounts of work, which the atomic work-stealing
+     * index absorbs naturally (an idle worker just pulls the next
+     * image).  Deterministic policies keep every prediction bit-
+     * identical for any thread count, exactly like run().
+     */
+    std::vector<AdaptivePrediction>
+    runAdaptive(const std::vector<nn::Sample> &samples,
+                const AdaptivePolicy &policy, int limit = -1,
+                bool progress = false) const;
+
+    /** evaluate() over runAdaptive(): accuracy/timing plus mean consumed
+     *  cycles and the early-exit count. */
+    AdaptiveEvalStats
+    evaluateAdaptive(const std::vector<nn::Sample> &samples,
+                     const AdaptivePolicy &policy, int limit = -1,
+                     bool progress = false) const;
+
   private:
+    /**
+     * The shared worker pool: one StageWorkspace per worker, images
+     * pulled from an atomic index, first exception captured and
+     * rethrown after the join.  @p fn runs once per image.
+     */
+    void forEachImage(
+        std::size_t n, bool progress,
+        const std::function<void(StageWorkspace &, std::size_t)> &fn) const;
+
     const ScNetworkEngine &engine_;
     int threads_;
 };

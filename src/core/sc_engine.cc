@@ -1,6 +1,9 @@
 #include "sc_engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 #include "core/backend_registry.h"
 #include "core/batch_runner.h"
@@ -11,6 +14,40 @@
 #include "sc/stream_matrix.h"
 
 namespace aqfpsc::core {
+
+namespace {
+
+/** Argmax over per-class scores (first index wins ties). */
+int
+argmaxLabel(const std::vector<double> &scores)
+{
+    int label = 0;
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+        if (scores[i] > scores[static_cast<std::size_t>(label)])
+            label = static_cast<int>(i);
+    }
+    return label;
+}
+
+} // namespace
+
+std::vector<std::string>
+AdaptivePolicy::validate() const
+{
+    std::vector<std::string> errors;
+    if (checkpointCycles == 0 || checkpointCycles % 64 != 0) {
+        errors.push_back(
+            "checkpointCycles must be a positive multiple of 64 (spans "
+            "are aligned to the packed-stream word size); got " +
+            std::to_string(checkpointCycles));
+    }
+    if (std::isnan(exitMargin) || exitMargin < 0.0) {
+        errors.push_back(
+            "exitMargin must be >= 0 (a normalized top-1 score margin; "
+            "0 exits at the first checkpoint, infinity never exits)");
+    }
+    return errors;
+}
 
 const char *
 scBackendName(ScBackend backend)
@@ -97,13 +134,126 @@ ScNetworkEngine::inferIndexed(const nn::Tensor &image, std::size_t index,
 
     ScPrediction pred;
     pred.scores = ctx.scores; // copy: ctx keeps its capacity for reuse
-    pred.label = 0;
-    for (std::size_t i = 1; i < pred.scores.size(); ++i) {
-        if (pred.scores[i] >
-            pred.scores[static_cast<std::size_t>(pred.label)])
-            pred.label = static_cast<int>(i);
-    }
+    pred.label = argmaxLabel(pred.scores);
     return pred;
+}
+
+bool
+ScNetworkEngine::supportsAdaptive(std::string *why_not) const
+{
+    for (const auto &stage : stages_) {
+        if (!stage->resumable()) {
+            if (why_not != nullptr)
+                *why_not = stage->name();
+            return false;
+        }
+    }
+    return true;
+}
+
+AdaptivePrediction
+ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
+                               StageWorkspace &ws,
+                               const AdaptivePolicy &policy) const
+{
+    assert(&ws.engine_ == this &&
+           "workspace belongs to a different engine");
+    {
+        const std::vector<std::string> errors = policy.validate();
+        if (!errors.empty()) {
+            std::string joined = "invalid AdaptivePolicy: ";
+            for (std::size_t i = 0; i < errors.size(); ++i)
+                joined += (i ? "; " : "") + errors[i];
+            throw std::invalid_argument(joined);
+        }
+    }
+    std::string why_not;
+    if (!supportsAdaptive(&why_not)) {
+        throw std::invalid_argument(
+            "backend '" + backendName_ +
+            "' does not support adaptive inference: stage '" + why_not +
+            "' is not resumable");
+    }
+
+    const std::size_t len = cfg_.streamLen;
+    StageContext &ctx = ws.ctx_;
+    ctx.imageSeed = sc::deriveStreamSeed(cfg_.seed, index);
+    ctx.image = &image;
+    ctx.values.clear();
+    ctx.scores.clear();
+    ctx.deterministicSpans = policy.deterministic;
+
+    if (encodeInputStreams_) {
+        ws.input_.reset(image.size(), len);
+        if (policy.deterministic) {
+            // Full-length up-front SNG fill: the exact draws of the
+            // non-adaptive path, so any exit point is a bit-exact
+            // prefix.
+            sc::Xoshiro256StarStar rng(ctx.imageSeed ^ 0xABCDEF12345ULL);
+            for (std::size_t i = 0; i < image.size(); ++i)
+                ws.input_.fillBipolar(i, image[i], cfg_.rngBits, rng);
+        }
+    } else {
+        ws.input_.reset(0, 0);
+    }
+
+    const std::size_t block = std::min(policy.checkpointCycles, len);
+    AdaptivePrediction result;
+    const ScStage *terminalStage = nullptr;
+    std::size_t begin = 0;
+    for (;;) {
+        const std::size_t end = std::min(begin + block, len);
+        if (encodeInputStreams_ && !policy.deterministic) {
+            // Lazy SNG: this block's input cycles from an own substream
+            // — cycles past an early exit are never generated.  The
+            // block index is spread by the golden-ratio constant so no
+            // two (image, block) pairs share a seed in practice.
+            sc::Xoshiro256StarStar rng(
+                ctx.imageSeed ^
+                (0xB10C5EEDULL + (begin / 64) * 0x9E3779B97F4A7C15ULL));
+            for (std::size_t i = 0; i < image.size(); ++i)
+                ws.input_.fillBipolarSpan(i, image[i], cfg_.rngBits, rng,
+                                          begin, end);
+        }
+
+        const sc::StreamMatrix *cur = &ws.input_;
+        int flip = 0;
+        for (std::size_t s = 0; s < stages_.size(); ++s) {
+            const ScStage &stage = *stages_[s];
+            sc::StreamMatrix &out = ws.pingPong_[flip];
+            stage.runSpan(*cur, out, ctx, ws.scratch_[s].get(), begin,
+                          end);
+            if (stage.terminal()) {
+                terminalStage = &stage;
+                break;
+            }
+            cur = &out;
+            flip ^= 1;
+        }
+
+        ++result.checkpoints;
+        result.consumedCycles = end;
+        if (end >= len)
+            break;
+        if (end >= policy.minCycles && terminalStage != nullptr &&
+            terminalStage->scoreMargin(ctx, end) >= policy.exitMargin) {
+            result.exitedEarly = true;
+            break;
+        }
+        begin = end;
+    }
+
+    result.prediction.scores = ctx.scores;
+    result.prediction.label = argmaxLabel(result.prediction.scores);
+    return result;
+}
+
+AdaptivePrediction
+ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
+                               const AdaptivePolicy &policy) const
+{
+    StageWorkspace workspace(*this);
+    return inferAdaptive(image, index, workspace, policy);
 }
 
 ScEvalStats
@@ -113,6 +263,16 @@ ScNetworkEngine::evaluate(const std::vector<nn::Sample> &samples,
     const int threads = opts.threads < 0 ? cfg_.threads : opts.threads;
     return BatchRunner(*this, threads)
         .evaluate(samples, opts.limit, opts.progress);
+}
+
+AdaptiveEvalStats
+ScNetworkEngine::evaluateAdaptive(const std::vector<nn::Sample> &samples,
+                                  const AdaptivePolicy &policy,
+                                  const EvalOptions &opts) const
+{
+    const int threads = opts.threads < 0 ? cfg_.threads : opts.threads;
+    return BatchRunner(*this, threads)
+        .evaluateAdaptive(samples, policy, opts.limit, opts.progress);
 }
 
 std::vector<ScPrediction>

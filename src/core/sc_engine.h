@@ -116,6 +116,72 @@ struct ScPrediction
     std::vector<double> scores;
 };
 
+/**
+ * Confidence-based progressive-precision (early-exit) policy.
+ *
+ * The SC stream length trades accuracy/energy for latency; most images
+ * are classified correctly long before the full stream is consumed.
+ * Adaptive inference executes the stage graph in checkpointCycles-sized
+ * blocks and, after each checkpoint, exits as soon as the terminal
+ * stage's normalized top-1 margin (ScStage::scoreMargin, in [0, 1])
+ * reaches exitMargin — the remaining stream cycles are never computed.
+ *
+ * exitMargin = 0 exits at the first eligible checkpoint;
+ * infinity() never exits (useful to verify the checkpoint machinery is
+ * bit-exact against the non-adaptive path).
+ *
+ * The margin estimated after n cycles carries O(1/sqrt(n)) SC noise, so
+ * a bare threshold misfires at the earliest checkpoints; the minCycles
+ * floor suppresses that wrong-exit tail at almost no mean-cycle cost.
+ * The defaults below were tuned on the trained tiny model at N = 1024
+ * (bench_adaptive_serving: ~2.3x mean-cycle reduction at unchanged
+ * accuracy); both knobs are model- and stream-length-dependent.
+ */
+struct AdaptivePolicy
+{
+    /**
+     * Cycles per checkpoint block; must be a positive multiple of 64
+     * (the packed-stream word size — spans are word-aligned so the
+     * incremental kernels never split a word).  Values >= streamLen
+     * degenerate to the non-adaptive single-block path.
+     */
+    std::size_t checkpointCycles = 64;
+
+    /** Normalized margin in [0, 1] at which an image may exit early. */
+    double exitMargin = 0.125;
+
+    /** No exit before this many cycles (rounded up to a checkpoint);
+     *  0 = may exit at the first checkpoint. */
+    std::size_t minCycles = 320;
+
+    /**
+     * true (default): all randomness draws are identical to the
+     * non-adaptive path — input SNG streams are generated at full length
+     * up front and position-dependent per-stage draws are replayed
+     * exactly, so results are bit-identical to ScNetworkEngine::infer*
+     * truncated at the exit point.  false: input streams and MUX selects
+     * come from cheaper per-block/per-pixel substreams (early-exited
+     * cycles are never even generated); statistically equivalent,
+     * different draws.
+     */
+    bool deterministic = true;
+
+    /** Violations of the constraints above; empty means valid. */
+    std::vector<std::string> validate() const;
+};
+
+/** One adaptive inference: the prediction plus how it terminated. */
+struct AdaptivePrediction
+{
+    /** Scores over the consumed cycles (the full-stream scores when the
+     *  image did not exit early). */
+    ScPrediction prediction;
+    std::size_t consumedCycles = 0; ///< stream cycles actually executed
+    std::size_t checkpoints = 0;    ///< margin evaluations performed
+    bool exitedEarly = false;       ///< stopped before the full length
+};
+
+
 /** Timing/accuracy summary of one batched evaluation. */
 struct ScEvalStats
 {
@@ -123,6 +189,14 @@ struct ScEvalStats
     std::size_t images = 0;    ///< images evaluated
     double wallSeconds = 0.0;  ///< wall-clock time of the batch
     double imagesPerSec = 0.0; ///< throughput
+};
+
+/** ScEvalStats of an adaptive batch plus early-exit accounting. */
+struct AdaptiveEvalStats
+{
+    ScEvalStats stats;              ///< accuracy / wall time / throughput
+    double avgConsumedCycles = 0.0; ///< mean cycles per image
+    std::size_t earlyExits = 0;     ///< images that exited early
 };
 
 /**
@@ -174,12 +248,52 @@ class ScNetworkEngine
                               StageWorkspace &workspace) const;
 
     /**
+     * True when every compiled stage supports checkpointed (runSpan)
+     * execution, i.e. adaptive early-exit inference is available on this
+     * backend.  When false and @p why_not is non-null, it receives the
+     * first non-resumable stage's name.
+     */
+    bool supportsAdaptive(std::string *why_not = nullptr) const;
+
+    /**
+     * Adaptive early-exit inference (see AdaptivePolicy): runs the stage
+     * graph in checkpoint blocks through @p workspace and stops as soon
+     * as the score margin clears the policy's exit threshold.  With
+     * policy.deterministic the result is bit-identical to what
+     * inferIndexed(image, index, workspace) computes over the same
+     * number of cycles — and to the full inferIndexed() result whenever
+     * the image does not exit early.  Thread-safe across distinct
+     * workspaces.
+     * @throws std::invalid_argument on invalid policies or if any stage
+     *         is not resumable (see supportsAdaptive()).
+     */
+    AdaptivePrediction inferAdaptive(const nn::Tensor &image,
+                                     std::size_t index,
+                                     StageWorkspace &workspace,
+                                     const AdaptivePolicy &policy) const;
+
+    /** Transient-workspace convenience overload of inferAdaptive(). */
+    AdaptivePrediction inferAdaptive(const nn::Tensor &image,
+                                     std::size_t index,
+                                     const AdaptivePolicy &policy) const;
+
+    /**
      * THE batched evaluation entry point: fans the batch across a
      * BatchRunner and returns accuracy plus timing stats.  Worker count
      * comes from config().threads unless @p opts overrides it.
      */
     ScEvalStats evaluate(const std::vector<nn::Sample> &samples,
                          const EvalOptions &opts) const;
+
+    /**
+     * Batched adaptive evaluation: evaluate() with per-image early exit
+     * under @p policy, also reporting the mean consumed stream cycles
+     * and the early-exit count.  Deterministic policies keep per-image
+     * results bit-identical for any thread count, like evaluate().
+     */
+    AdaptiveEvalStats evaluateAdaptive(const std::vector<nn::Sample> &samples,
+                                       const AdaptivePolicy &policy,
+                                       const EvalOptions &opts) const;
 
     /**
      * Batched per-image predictions, in sample order (same BatchRunner

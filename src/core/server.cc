@@ -1,0 +1,244 @@
+#include "server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/workspace.h"
+
+namespace aqfpsc::core {
+
+namespace {
+
+int
+resolveWorkerCount(int requested)
+{
+    if (requested <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        requested = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    return std::clamp(requested, 1, 256);
+}
+
+} // namespace
+
+std::vector<std::string>
+ServerOptions::validate() const
+{
+    std::vector<std::string> errors;
+    if (workers < 0 || workers > 256) {
+        errors.push_back(
+            "workers " + std::to_string(workers) +
+            " out of [0, 256]: 0 means one worker per hardware thread");
+    }
+    if (queueCapacity == 0 || queueCapacity > kMaxQueueCapacity) {
+        errors.push_back(
+            "queueCapacity " + std::to_string(queueCapacity) +
+            " out of [1, " + std::to_string(kMaxQueueCapacity) +
+            "]: pending requests own their image tensors, so the bound "
+            "is what keeps a slow consumer from exhausting memory");
+    }
+    if (maxBatch < 1) {
+        errors.push_back(
+            "maxBatch " + std::to_string(maxBatch) +
+            " must be >= 1: it is the number of requests a worker pops "
+            "per queue lock (micro-batching amortization)");
+    }
+    if (adaptive) {
+        for (const std::string &e : policy.validate())
+            errors.push_back("policy: " + e);
+    }
+    return errors;
+}
+
+InferenceServer::InferenceServer(const InferenceSession &session,
+                                 ServerOptions opts)
+    : session_(session), opts_(std::move(opts))
+{
+    {
+        const std::vector<std::string> errors = opts_.validate();
+        if (!errors.empty()) {
+            std::string msg = "invalid ServerOptions: ";
+            for (std::size_t i = 0; i < errors.size(); ++i)
+                msg += (i ? "; " : "") + errors[i];
+            throw std::invalid_argument(msg);
+        }
+    }
+    // Compile up front: serving threads must never pay (or race on) the
+    // first-use engine build, and configuration errors — unknown
+    // backend, adaptive on a non-resumable backend — surface here, not
+    // inside a future.
+    engine_ = &session_.engine(opts_.backend);
+    if (opts_.adaptive) {
+        std::string why_not;
+        if (!engine_->supportsAdaptive(&why_not)) {
+            throw std::invalid_argument(
+                "adaptive serving unavailable on backend '" +
+                engine_->backendName() + "': stage '" + why_not +
+                "' is not resumable");
+        }
+    }
+    workerCount_ = resolveWorkerCount(opts_.workers);
+    threads_.reserve(static_cast<std::size_t>(workerCount_));
+    for (int t = 0; t < workerCount_; ++t)
+        threads_.emplace_back(&InferenceServer::workerLoop, this);
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+std::future<ServedPrediction>
+InferenceServer::submit(nn::Tensor image)
+{
+    std::future<ServedPrediction> future;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return stopping_ || queue_.size() < opts_.queueCapacity;
+        });
+        if (stopping_) {
+            throw std::runtime_error(
+                "InferenceServer is shut down: request rejected");
+        }
+        Request request;
+        request.image = std::move(image);
+        request.id = nextId_++;
+        request.enqueued = std::chrono::steady_clock::now();
+        future = request.promise.get_future();
+        queue_.push_back(std::move(request));
+    }
+    notEmpty_.notify_one();
+    return future;
+}
+
+std::vector<std::future<ServedPrediction>>
+InferenceServer::submitBatch(const std::vector<nn::Tensor> &images)
+{
+    std::vector<std::future<ServedPrediction>> futures;
+    futures.reserve(images.size());
+    for (const nn::Tensor &image : images)
+        futures.push_back(submit(image));
+    return futures;
+}
+
+void
+InferenceServer::shutdown()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+    const std::lock_guard<std::mutex> join_lock(joinMutex_);
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+bool
+InferenceServer::accepting() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return !stopping_;
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ServerStats s;
+    s.submitted = nextId_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.earlyExits = earlyExits_;
+    s.batches = batches_;
+    s.avgConsumedCycles =
+        completed_ == 0 ? 0.0
+                        : static_cast<double>(consumedCycles_) /
+                              static_cast<double>(completed_);
+    s.avgBatchSize = batches_ == 0 ? 0.0
+                                   : static_cast<double>(completed_ +
+                                                         failed_) /
+                                         static_cast<double>(batches_);
+    return s;
+}
+
+void
+InferenceServer::workerLoop()
+{
+    // One arena per worker, built once: steady-state serving performs no
+    // heap allocation inside the stage pipeline.
+    StageWorkspace workspace(*engine_);
+    std::vector<Request> batch;
+    batch.reserve(static_cast<std::size_t>(opts_.maxBatch));
+
+    for (;;) {
+        batch.clear();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock,
+                           [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping, queue drained
+            const std::size_t take = std::min(
+                queue_.size(), static_cast<std::size_t>(opts_.maxBatch));
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            ++batches_;
+        }
+        // Space freed: wake blocked producers (all of them — several
+        // slots may have opened).
+        notFull_.notify_all();
+
+        for (Request &request : batch) {
+            const auto picked = std::chrono::steady_clock::now();
+            ServedPrediction served;
+            served.requestId = request.id;
+            served.queueSeconds =
+                std::chrono::duration<double>(picked - request.enqueued)
+                    .count();
+            try {
+                if (opts_.adaptive) {
+                    AdaptivePrediction adaptive = engine_->inferAdaptive(
+                        request.image, request.id, workspace,
+                        opts_.policy);
+                    served.prediction = std::move(adaptive.prediction);
+                    served.consumedCycles = adaptive.consumedCycles;
+                    served.exitedEarly = adaptive.exitedEarly;
+                } else {
+                    served.prediction = engine_->inferIndexed(
+                        request.image, request.id, workspace);
+                    served.consumedCycles = engine_->config().streamLen;
+                }
+                served.serviceSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - picked)
+                        .count();
+                // Count before fulfilling: a caller returning from
+                // future.get() must already see itself in stats().
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    ++completed_;
+                    consumedCycles_ += served.consumedCycles;
+                    if (served.exitedEarly)
+                        ++earlyExits_;
+                }
+                request.promise.set_value(std::move(served));
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    ++failed_;
+                }
+                request.promise.set_exception(std::current_exception());
+            }
+        }
+    }
+}
+
+} // namespace aqfpsc::core

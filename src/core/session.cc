@@ -38,6 +38,8 @@ EngineOptions::validate() const
             "]: 0 means one worker per hardware thread; the batch "
             "runner clamps worker pools at " + std::to_string(kMaxThreads));
     }
+    for (const std::string &e : adaptive.validate())
+        errors.push_back("adaptive: " + e);
     return errors;
 }
 
@@ -150,6 +152,21 @@ InferenceSession::evaluate(const std::vector<nn::Sample> &samples,
                            const std::string &backend) const
 {
     return engine(backend).evaluate(samples, opts);
+}
+
+AdaptivePrediction
+InferenceSession::inferAdaptive(const nn::Tensor &image,
+                                const std::string &backend) const
+{
+    return engine(backend).inferAdaptive(image, 0, opts_.adaptive);
+}
+
+AdaptiveEvalStats
+InferenceSession::evaluateAdaptive(const std::vector<nn::Sample> &samples,
+                                   const EvalOptions &opts,
+                                   const std::string &backend) const
+{
+    return engine(backend).evaluateAdaptive(samples, opts_.adaptive, opts);
 }
 
 } // namespace aqfpsc::core

@@ -20,6 +20,19 @@
  * EngineOptions::validate() front-loads configuration errors with
  * actionable messages (unknown backend -> the registered names; bad
  * streamLen/rngBits/threads -> why the value is out of range).
+ *
+ * Thread safety: all const methods — infer/predict/evaluate, the
+ * adaptive variants, engine(), compiledBackends() — may be called
+ * concurrently from any number of threads; first-use engine compilation
+ * is internally synchronized (two racing compiles of one backend both
+ * run, the first registration wins).  Construction/destruction must not
+ * overlap other calls.
+ *
+ * Determinism: every prediction is a pure function of (model, options,
+ * backend, image, image index) — independent of thread count, batch
+ * size, call order, and which entry point computed it.  Adaptive calls
+ * with a deterministic policy are bit-identical to the non-adaptive
+ * path over the cycles they consume (see AdaptivePolicy).
  */
 
 #ifndef AQFPSC_CORE_SESSION_H
@@ -50,6 +63,10 @@ struct EngineOptions
     std::uint64_t seed = 123;            ///< randomness seed
     int threads = 1;                     ///< workers (0 = one per hw thread)
     bool approximateApc = false;         ///< cmos-apc: OR-pair first layer
+    /** Early-exit policy of the session's adaptive entry points
+     *  (inferAdaptive/evaluateAdaptive, core::InferenceServer);
+     *  non-adaptive calls ignore it.  Validated with the rest. */
+    AdaptivePolicy adaptive;
 
     /** Hard bounds validate() enforces. */
     static constexpr std::size_t kMinStreamLen = 8;
@@ -122,6 +139,26 @@ class InferenceSession
     ScEvalStats evaluate(const std::vector<nn::Sample> &samples,
                          const EvalOptions &opts = {},
                          const std::string &backend = {}) const;
+
+    /**
+     * Adaptive early-exit inference of one image under
+     * options().adaptive (engine seed, batch index 0).  Thread-safe.
+     * @throws std::invalid_argument if the backend has non-resumable
+     *         stages (e.g. "float-ref").
+     */
+    AdaptivePrediction inferAdaptive(const nn::Tensor &image,
+                                     const std::string &backend = {}) const;
+
+    /**
+     * Batched adaptive evaluation under options().adaptive: evaluate()
+     * plus mean consumed stream cycles and the early-exit count.
+     * Deterministic policies are bit-identical for any thread count.
+     * @throws std::invalid_argument like inferAdaptive().
+     */
+    AdaptiveEvalStats
+    evaluateAdaptive(const std::vector<nn::Sample> &samples,
+                     const EvalOptions &opts = {},
+                     const std::string &backend = {}) const;
 
     /**
      * The compiled engine of @p backend (empty = options().backend),

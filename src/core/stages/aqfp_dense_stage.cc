@@ -17,12 +17,15 @@ const DenseStageRegistration kRegistration{
 /** Column counter + feedback unit reused across all output neurons. */
 struct DenseScratch final : StageScratch
 {
-    DenseScratch(std::size_t len, int max_m) : counts(len, max_m), unit(1)
+    DenseScratch(std::size_t len, int max_m, std::size_t rows)
+        : counts(len, max_m), unit(1), carries(rows, 0)
     {
     }
 
     sc::ColumnCounts counts;
     blocks::FeatureFeedbackUnit unit;
+    /** Per-output-neuron feedback count, resumed across spans. */
+    std::vector<int> carries;
 };
 
 } // namespace
@@ -44,16 +47,27 @@ std::unique_ptr<StageScratch>
 AqfpDenseStage::makeScratch() const
 {
     return std::make_unique<DenseScratch>(streams_.weights.streamLen(),
-                                          geom_.inFeatures + 2);
+                                          geom_.inFeatures + 2,
+                                          footprint().outputRows);
 }
 
 void
 AqfpDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                        StageContext &, StageScratch *scratch) const
+                        StageContext &ctx, StageScratch *scratch) const
+{
+    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+}
+
+void
+AqfpDenseStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                        StageContext &, StageScratch *scratch,
+                        std::size_t begin, std::size_t end) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
-    const std::size_t wpr = in.wordsPerRow();
+    assert(begin % 64 == 0 && begin < end && end <= len);
+    const std::size_t w0 = begin / 64;
+    const std::size_t sw = (end - begin + 63) / 64;
 
     out.reset(static_cast<std::size_t>(geom_.outFeatures), len);
     auto &ws = *static_cast<DenseScratch *>(scratch);
@@ -74,25 +88,30 @@ AqfpDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
             static_cast<std::size_t>(o) * geom_.inFeatures;
         int j = 0;
         for (; j + 1 < geom_.inFeatures; j += 2) {
-            counts.addXnor2(in.row(static_cast<std::size_t>(j)),
-                            w.row(wbase + static_cast<std::size_t>(j)),
-                            in.row(static_cast<std::size_t>(j) + 1),
-                            w.row(wbase + static_cast<std::size_t>(j) + 1),
-                            wpr);
+            counts.addXnor2(
+                in.row(static_cast<std::size_t>(j)) + w0,
+                w.row(wbase + static_cast<std::size_t>(j)) + w0,
+                in.row(static_cast<std::size_t>(j) + 1) + w0,
+                w.row(wbase + static_cast<std::size_t>(j) + 1) + w0, sw);
         }
         if (j < geom_.inFeatures) {
-            counts.addXnor(in.row(static_cast<std::size_t>(j)),
-                           w.row(wbase + static_cast<std::size_t>(j)),
-                           wpr);
+            counts.addXnor(in.row(static_cast<std::size_t>(j)) + w0,
+                           w.row(wbase + static_cast<std::size_t>(j)) + w0,
+                           sw);
         }
-        counts.addWords(streams_.biases.row(static_cast<std::size_t>(o)),
-                        wpr);
+        counts.addWords(
+            streams_.biases.row(static_cast<std::size_t>(o)) + w0, sw);
         if (pad)
-            counts.addWords(neutral, wpr);
+            counts.addWords(neutral + w0, sw);
 
-        unit.reset(eff_m);
-        counts.drive([&](int c) { return unit.step(c); },
-                     out.row(static_cast<std::size_t>(o)));
+        if (begin == 0)
+            unit.reset(eff_m);
+        else
+            unit.restore(eff_m, ws.carries[static_cast<std::size_t>(o)]);
+        counts.drivePrefix(end - begin,
+                           [&](int c) { return unit.step(c); },
+                           out.row(static_cast<std::size_t>(o)) + w0);
+        ws.carries[static_cast<std::size_t>(o)] = unit.carry();
     }
 }
 

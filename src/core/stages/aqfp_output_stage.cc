@@ -21,6 +21,14 @@ majWord(std::uint64_t a, std::uint64_t b, std::uint64_t c)
     return (a & b) | (a & c) | (b & c);
 }
 
+/** Per-class ones count of the chain output, resumed across spans. */
+struct OutputScratch final : StageScratch
+{
+    explicit OutputScratch(std::size_t classes) : ones(classes, 0) {}
+
+    std::vector<std::size_t> ones;
+};
+
 } // namespace
 
 std::string
@@ -30,14 +38,35 @@ AqfpOutputStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
+std::unique_ptr<StageScratch>
+AqfpOutputStage::makeScratch() const
+{
+    return std::make_unique<OutputScratch>(
+        static_cast<std::size_t>(geom_.outFeatures));
+}
+
 void
-AqfpOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &,
-                         StageContext &ctx, StageScratch *) const
+AqfpOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                         StageContext &ctx, StageScratch *scratch) const
+{
+    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+}
+
+void
+AqfpOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
+                         StageContext &ctx, StageScratch *scratch,
+                         std::size_t begin, std::size_t end) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
+    assert(begin % 64 == 0 && begin < end && end <= len);
     const std::size_t wpr = in.wordsPerRow();
+    const std::size_t w0 = begin / 64;
+    const std::size_t w1 = (end + 63) / 64;
 
+    auto &ws = *static_cast<OutputScratch *>(scratch);
+    if (begin == 0)
+        ws.ones.assign(static_cast<std::size_t>(geom_.outFeatures), 0);
     ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
     const std::uint64_t *neutral = streams_.neutral.row(0);
 
@@ -51,8 +80,8 @@ AqfpOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &,
             streams_.biases.row(static_cast<std::size_t>(o));
         const std::uint64_t *wbase = streams_.weights.row(
             static_cast<std::size_t>(o) * geom_.inFeatures);
-        std::size_t ones = 0;
-        for (std::size_t wi = 0; wi < wpr; ++wi) {
+        std::size_t ones = ws.ones[static_cast<std::size_t>(o)];
+        for (std::size_t wi = w0; wi < w1; ++wi) {
             auto product = [&](int j) -> std::uint64_t {
                 if (j < geom_.inFeatures) {
                     return ~(in.row(static_cast<std::size_t>(j))[wi] ^
@@ -75,8 +104,11 @@ AqfpOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &,
                 acc &= (1ULL << (len % 64)) - 1;
             ones += static_cast<std::size_t>(std::popcount(acc));
         }
+        ws.ones[static_cast<std::size_t>(o)] = ones;
+        // Scores over the cycles consumed so far; at end == len this is
+        // the full-stream bipolar value, bit-identical to one pass.
         ctx.scores[static_cast<std::size_t>(o)] =
-            2.0 * static_cast<double>(ones) / static_cast<double>(len) -
+            2.0 * static_cast<double>(ones) / static_cast<double>(end) -
             1.0;
     }
 }

@@ -17,10 +17,15 @@ const PoolStageRegistration kRegistration{
 /** 2x2 window counter + pooling feedback unit reused across pixels. */
 struct PoolScratch final : StageScratch
 {
-    explicit PoolScratch(std::size_t len) : counts(len, 4), unit(4) {}
+    PoolScratch(std::size_t len, std::size_t rows)
+        : counts(len, 4), unit(4), carries(rows, 0)
+    {
+    }
 
     sc::ColumnCounts counts;
     blocks::PoolingFeedbackUnit unit;
+    /** Per-output-pixel remainder count, resumed across spans. */
+    std::vector<int> carries;
 };
 
 } // namespace
@@ -42,18 +47,29 @@ AqfpPoolStage::footprint() const
 std::unique_ptr<StageScratch>
 AqfpPoolStage::makeScratch() const
 {
-    return std::make_unique<PoolScratch>(streamLen_);
+    return std::make_unique<PoolScratch>(streamLen_,
+                                         footprint().outputRows);
 }
 
 void
 AqfpPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                       StageContext &, StageScratch *scratch) const
+                       StageContext &ctx, StageScratch *scratch) const
+{
+    runSpan(in, out, ctx, scratch, 0, in.streamLen());
+}
+
+void
+AqfpPoolStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                       StageContext &, StageScratch *scratch,
+                       std::size_t begin, std::size_t end) const
 {
     const std::size_t len = in.streamLen();
-    const std::size_t wpr = in.wordsPerRow();
     // The scratch counter was sized from the engine config; the input
     // must match it (the only stage where the two could diverge).
     assert(len == streamLen_);
+    assert(begin % 64 == 0 && begin < end && end <= len);
+    const std::size_t w0 = begin / 64;
+    const std::size_t sw = (end - begin + 63) / 64;
 
     out.reset(footprint().outputRows, len);
     auto &ws = *static_cast<PoolScratch *>(scratch);
@@ -74,13 +90,19 @@ AqfpPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                             in.row((static_cast<std::size_t>(c) * geom_.inH +
                                     (2 * y + dy)) *
                                        geom_.inW +
-                                   (2 * x + dx)),
-                            wpr);
+                                   (2 * x + dx)) +
+                                w0,
+                            sw);
                     }
                 }
-                unit.reset();
-                counts.drive([&](int cnt) { return unit.step(cnt); },
-                             out.row(out_row));
+                if (begin == 0)
+                    unit.reset();
+                else
+                    unit.restore(4, ws.carries[out_row]);
+                counts.drivePrefix(end - begin,
+                                   [&](int cnt) { return unit.step(cnt); },
+                                   out.row(out_row) + w0);
+                ws.carries[out_row] = unit.carry();
             }
         }
     }

@@ -32,6 +32,12 @@ class AqfpPoolStage final : public ScStage
     void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                  StageContext &ctx, StageScratch *scratch) const override;
 
+    bool resumable() const override { return true; }
+
+    void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch,
+                 std::size_t begin, std::size_t end) const override;
+
   private:
     PoolGeometry geom_;
     std::size_t streamLen_;

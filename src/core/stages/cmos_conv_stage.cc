@@ -1,5 +1,7 @@
 #include "cmos_conv_stage.h"
 
+#include <cassert>
+
 #include "baseline/sc_dcnn.h"
 #include "core/backend_registry.h"
 
@@ -16,9 +18,9 @@ const ConvStageRegistration kRegistration{
 /** APC column counter + OR-pair overcount model reused across pixels. */
 struct CmosConvScratch final : StageScratch
 {
-    CmosConvScratch(std::size_t len, int max_m)
+    CmosConvScratch(std::size_t len, int max_m, std::size_t rows)
         : counts(len, max_m), over(len, max_m / 2 + 1),
-          prod((len + 63) / 64)
+          prod((len + 63) / 64), states(rows, 0)
     {
     }
 
@@ -27,6 +29,8 @@ struct CmosConvScratch final : StageScratch
     /** Product buffer of the approximate-APC path (shared between the
      *  counter and the overcount model: one XNOR pass per product). */
     std::vector<std::uint64_t> prod;
+    /** Per-output-pixel Btanh counter state, resumed across spans. */
+    std::vector<int> states;
 };
 
 } // namespace
@@ -51,15 +55,26 @@ CmosConvStage::makeScratch() const
 {
     const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
     return std::make_unique<CmosConvScratch>(streams_.weights.streamLen(),
-                                             max_m);
+                                             max_m,
+                                             footprint().outputRows);
 }
 
 void
 CmosConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                       StageContext &, StageScratch *scratch) const
+                       StageContext &ctx, StageScratch *scratch) const
+{
+    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+}
+
+void
+CmosConvStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                       StageContext &, StageScratch *scratch,
+                       std::size_t begin, std::size_t end) const
 {
     const std::size_t len = streams_.weights.streamLen();
-    const std::size_t wpr = in.wordsPerRow();
+    assert(begin % 64 == 0 && begin < end && end <= len);
+    const std::size_t w0 = begin / 64;
+    const std::size_t sw = (end - begin + 63) / 64;
 
     out.reset(footprint().outputRows, len);
     auto &ws = *static_cast<CmosConvScratch *>(scratch);
@@ -81,9 +96,10 @@ CmosConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                         geom_, in, streams_.weights, oc, y, x,
                         [&](const std::uint64_t *xr,
                             const std::uint64_t *wr) {
-                            xnorProduct(ws.prod.data(), xr, wr, wpr);
-                            counts.addWords(ws.prod.data(), wpr);
-                            over.observe(ws.prod, wpr);
+                            xnorProduct(ws.prod.data(), xr + w0, wr + w0,
+                                        sw);
+                            counts.addWords(ws.prod.data(), sw);
+                            over.observe(ws.prod, sw);
                             ++m;
                         });
                 } else {
@@ -96,7 +112,8 @@ CmosConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                         [&](const std::uint64_t *xr,
                             const std::uint64_t *wr) {
                             if (px != nullptr) {
-                                counts.addXnor2(px, pw, xr, wr, wpr);
+                                counts.addXnor2(px + w0, pw + w0, xr + w0,
+                                                wr + w0, sw);
                                 px = nullptr;
                             } else {
                                 px = xr;
@@ -105,25 +122,28 @@ CmosConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                             ++m;
                         });
                     if (px != nullptr)
-                        counts.addXnor(px, pw, wpr);
+                        counts.addXnor(px + w0, pw + w0, sw);
                 }
-                counts.addWords(bias, wpr);
+                counts.addWords(bias + w0, sw);
                 ++m;
 
                 const std::size_t out_row =
                     (static_cast<std::size_t>(oc) * geom_.outH + y) *
                         geom_.outW +
                     x;
-                std::uint64_t *dst = out.row(out_row);
-                int state = m; // s_max / 2 with s_max = 2m
+                std::uint64_t *dst = out.row(out_row) + w0;
+                // s_max / 2 with s_max = 2m; resumed across spans.
+                int state = begin == 0 ? m : ws.states[out_row];
                 auto step = [&](int c) {
                     return baseline::ApcFeatureExtraction::btanhStep(
                         state, c, m, 2 * m);
                 };
                 if (approximateApc_)
-                    counts.driveWithOvercount(over.counts(), m, step, dst);
+                    counts.driveWithOvercountPrefix(over.counts(), m,
+                                                    end - begin, step, dst);
                 else
-                    counts.drive(step, dst);
+                    counts.drivePrefix(end - begin, step, dst);
+                ws.states[out_row] = state;
             }
         }
     }

@@ -18,9 +18,9 @@ const DenseStageRegistration kRegistration{
 /** APC column counter + OR-pair overcount model reused across neurons. */
 struct CmosDenseScratch final : StageScratch
 {
-    CmosDenseScratch(std::size_t len, int m_total)
+    CmosDenseScratch(std::size_t len, int m_total, std::size_t rows)
         : counts(len, m_total + 1), over(len, m_total / 2 + 1),
-          prod((len + 63) / 64)
+          prod((len + 63) / 64), states(rows, 0)
     {
     }
 
@@ -29,6 +29,8 @@ struct CmosDenseScratch final : StageScratch
     /** Product buffer of the approximate-APC path (shared between the
      *  counter and the overcount model: one XNOR pass per product). */
     std::vector<std::uint64_t> prod;
+    /** Per-output-neuron Btanh counter state, resumed across spans. */
+    std::vector<int> states;
 };
 
 } // namespace
@@ -50,16 +52,27 @@ std::unique_ptr<StageScratch>
 CmosDenseStage::makeScratch() const
 {
     return std::make_unique<CmosDenseScratch>(
-        streams_.weights.streamLen(), geom_.inFeatures + 1);
+        streams_.weights.streamLen(), geom_.inFeatures + 1,
+        footprint().outputRows);
 }
 
 void
 CmosDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                        StageContext &, StageScratch *scratch) const
+                        StageContext &ctx, StageScratch *scratch) const
+{
+    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+}
+
+void
+CmosDenseStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                        StageContext &, StageScratch *scratch,
+                        std::size_t begin, std::size_t end) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
-    const std::size_t wpr = in.wordsPerRow();
+    assert(begin % 64 == 0 && begin < end && end <= len);
+    const std::size_t w0 = begin / 64;
+    const std::size_t sw = (end - begin + 63) / 64;
 
     out.reset(static_cast<std::size_t>(geom_.outFeatures), len);
     auto &ws = *static_cast<CmosDenseScratch *>(scratch);
@@ -78,40 +91,45 @@ CmosDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
             over.reset();
             for (int j = 0; j < geom_.inFeatures; ++j) {
                 xnorProduct(ws.prod.data(),
-                            in.row(static_cast<std::size_t>(j)),
-                            wm.row(wbase + static_cast<std::size_t>(j)),
-                            wpr);
-                counts.addWords(ws.prod.data(), wpr);
-                over.observe(ws.prod, wpr);
+                            in.row(static_cast<std::size_t>(j)) + w0,
+                            wm.row(wbase + static_cast<std::size_t>(j)) +
+                                w0,
+                            sw);
+                counts.addWords(ws.prod.data(), sw);
+                over.observe(ws.prod, sw);
             }
         } else {
             int j = 0;
             for (; j + 1 < geom_.inFeatures; j += 2) {
                 counts.addXnor2(
-                    in.row(static_cast<std::size_t>(j)),
-                    wm.row(wbase + static_cast<std::size_t>(j)),
-                    in.row(static_cast<std::size_t>(j) + 1),
-                    wm.row(wbase + static_cast<std::size_t>(j) + 1), wpr);
+                    in.row(static_cast<std::size_t>(j)) + w0,
+                    wm.row(wbase + static_cast<std::size_t>(j)) + w0,
+                    in.row(static_cast<std::size_t>(j) + 1) + w0,
+                    wm.row(wbase + static_cast<std::size_t>(j) + 1) + w0,
+                    sw);
             }
             if (j < geom_.inFeatures) {
-                counts.addXnor(in.row(static_cast<std::size_t>(j)),
-                               wm.row(wbase + static_cast<std::size_t>(j)),
-                               wpr);
+                counts.addXnor(
+                    in.row(static_cast<std::size_t>(j)) + w0,
+                    wm.row(wbase + static_cast<std::size_t>(j)) + w0, sw);
             }
         }
-        counts.addWords(streams_.biases.row(static_cast<std::size_t>(o)),
-                        wpr);
+        counts.addWords(
+            streams_.biases.row(static_cast<std::size_t>(o)) + w0, sw);
 
-        std::uint64_t *dst = out.row(static_cast<std::size_t>(o));
-        int state = m_total;
+        std::uint64_t *dst = out.row(static_cast<std::size_t>(o)) + w0;
+        int state = begin == 0 ? m_total
+                               : ws.states[static_cast<std::size_t>(o)];
         auto step = [&](int c) {
             return baseline::ApcFeatureExtraction::btanhStep(
                 state, c, m_total, 2 * m_total);
         };
         if (approximateApc_)
-            counts.driveWithOvercount(over.counts(), m_total, step, dst);
+            counts.driveWithOvercountPrefix(over.counts(), m_total,
+                                            end - begin, step, dst);
         else
-            counts.drive(step, dst);
+            counts.drivePrefix(end - begin, step, dst);
+        ws.states[static_cast<std::size_t>(o)] = state;
     }
 }
 

@@ -13,6 +13,15 @@ const OutputStageRegistration kRegistration{
         return std::make_unique<CmosOutputStage>(g,
                                                  std::move(init.streams));
     }};
+
+/** Per-class APC ones count, resumed across spans. */
+struct OutputScratch final : StageScratch
+{
+    explicit OutputScratch(std::size_t classes) : ones(classes, 0) {}
+
+    std::vector<long long> ones;
+};
+
 } // namespace
 
 std::string
@@ -22,35 +31,78 @@ CmosOutputStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
+std::unique_ptr<StageScratch>
+CmosOutputStage::makeScratch() const
+{
+    return std::make_unique<OutputScratch>(
+        static_cast<std::size_t>(geom_.outFeatures));
+}
+
 void
-CmosOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &,
-                         StageContext &ctx, StageScratch *) const
+CmosOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                         StageContext &ctx, StageScratch *scratch) const
+{
+    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+}
+
+void
+CmosOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
+                         StageContext &ctx, StageScratch *scratch,
+                         std::size_t begin, std::size_t end) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams_.weights.streamLen();
+    assert(begin % 64 == 0 && begin < end && end <= len);
     const std::size_t wpr = in.wordsPerRow();
+    const std::size_t w0 = begin / 64;
+    const std::size_t w1 = (end + 63) / 64;
 
+    auto &ws = *static_cast<OutputScratch *>(scratch);
+    if (begin == 0)
+        ws.ones.assign(static_cast<std::size_t>(geom_.outFeatures), 0);
     ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
 
     for (int o = 0; o < geom_.outFeatures; ++o) {
         // APC counts accumulated into an exact binary score.
-        long long ones = 0;
+        long long ones = ws.ones[static_cast<std::size_t>(o)];
         for (int j = 0; j < geom_.inFeatures; ++j) {
             const std::uint64_t *xr = in.row(static_cast<std::size_t>(j));
             const std::uint64_t *wr = streams_.weights.row(
                 static_cast<std::size_t>(o) * geom_.inFeatures + j);
-            for (std::size_t wi = 0; wi < wpr; ++wi) {
+            for (std::size_t wi = w0; wi < w1; ++wi) {
                 std::uint64_t p = ~(xr[wi] ^ wr[wi]);
                 if (wi == wpr - 1 && len % 64 != 0)
                     p &= (1ULL << (len % 64)) - 1;
                 ones += std::popcount(p);
             }
         }
-        ones += static_cast<long long>(
-            streams_.biases.countOnes(static_cast<std::size_t>(o)));
+        // The bias stream's tail bits beyond streamLen() are zero, so
+        // per-span word popcounts sum to countOnes() at end == len.
+        {
+            const std::uint64_t *br =
+                streams_.biases.row(static_cast<std::size_t>(o));
+            for (std::size_t wi = w0; wi < w1; ++wi)
+                ones += std::popcount(br[wi]);
+        }
+        ws.ones[static_cast<std::size_t>(o)] = ones;
         ctx.scores[static_cast<std::size_t>(o)] =
             static_cast<double>(ones);
     }
+}
+
+double
+CmosOutputStage::scoreMargin(const StageContext &ctx,
+                             std::size_t cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    // Scores are raw ones counts in [0, (inFeatures + 1) * cycles]:
+    // normalize the gap to the per-cycle full-scale range, mapping to
+    // [0, 1] like the bipolar backends' margins.
+    const double scale =
+        static_cast<double>(geom_.inFeatures + 1) *
+        static_cast<double>(cycles);
+    return scoreTopTwoGap(ctx.scores) / scale;
 }
 
 } // namespace aqfpsc::core::stages

@@ -25,8 +25,19 @@ class CmosOutputStage final : public ScStage
 
     bool terminal() const override { return true; }
 
+    std::unique_ptr<StageScratch> makeScratch() const override;
+
     void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                  StageContext &ctx, StageScratch *scratch) const override;
+
+    bool resumable() const override { return true; }
+
+    void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch,
+                 std::size_t begin, std::size_t end) const override;
+
+    double scoreMargin(const StageContext &ctx,
+                       std::size_t cycles) const override;
 
   private:
     DenseGeometry geom_;

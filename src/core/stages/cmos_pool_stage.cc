@@ -1,5 +1,7 @@
 #include "cmos_pool_stage.h"
 
+#include <cassert>
+
 #include "core/backend_registry.h"
 #include "sc/rng.h"
 
@@ -10,6 +12,25 @@ const PoolStageRegistration kRegistration{
     "cmos-apc", [](const PoolGeometry &g, const ScEngineConfig &) {
         return std::make_unique<CmosPoolStage>(g);
     }};
+
+/**
+ * Per-pixel MUX-select RNG positions, resumed across spans.
+ *
+ * The uninterrupted path consumes ONE per-image RNG pixel-major (pixel p
+ * draws selects [p*N, (p+1)*N)), so checkpointed execution snapshots the
+ * generator at every pixel's start offset on the first span and resumes
+ * each snapshot as later spans arrive — the select draws are
+ * bit-identical to runInto() at any checkpoint granularity.  In
+ * non-deterministic mode each pixel instead gets an independent
+ * substream (no skip-ahead cost, draws differ from the one-pass path).
+ */
+struct CmosPoolScratch final : StageScratch
+{
+    explicit CmosPoolScratch(std::size_t rows) : rngs(rows) {}
+
+    std::vector<sc::Xoshiro256StarStar> rngs;
+};
+
 } // namespace
 
 std::string
@@ -26,16 +47,34 @@ CmosPoolStage::footprint() const
             geom_.outW};
 }
 
+std::unique_ptr<StageScratch>
+CmosPoolStage::makeScratch() const
+{
+    return std::make_unique<CmosPoolScratch>(footprint().outputRows);
+}
+
 void
 CmosPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                       StageContext &ctx, StageScratch *) const
+                       StageContext &ctx, StageScratch *scratch) const
+{
+    runSpan(in, out, ctx, scratch, 0, in.streamLen());
+}
+
+void
+CmosPoolStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                       StageContext &ctx, StageScratch *scratch,
+                       std::size_t begin, std::size_t end) const
 {
     const std::size_t len = in.streamLen();
+    assert(begin % 64 == 0 && begin < end && end <= len);
 
     out.reset(footprint().outputRows, len);
+    auto &ws = *static_cast<CmosPoolScratch *>(scratch);
+    const bool firstSpan = begin == 0;
+    const bool fullSpan = firstSpan && end == len;
     // The MUX select lines are per-image randomness: derive them from the
     // image seed so batched execution stays schedule-independent.
-    sc::Xoshiro256StarStar mux_rng(ctx.imageSeed ^ 0x9E3779B9ULL);
+    sc::Xoshiro256StarStar master(ctx.imageSeed ^ 0x9E3779B9ULL);
 
     for (int c = 0; c < geom_.channels; ++c) {
         for (int y = 0; y < geom_.outH; ++y) {
@@ -54,13 +93,28 @@ CmosPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                                    (2 * x + dx));
                     }
                 }
+                // Position this pixel's select generator.  Full span
+                // (the runInto() path): draw from the master directly —
+                // identical cost and draws to the one-pass loop.
+                sc::Xoshiro256StarStar *rng = &master;
+                if (!fullSpan) {
+                    if (firstSpan && !ctx.deterministicSpans)
+                        ws.rngs[out_row] = sc::Xoshiro256StarStar(
+                            sc::deriveStreamSeed(
+                                ctx.imageSeed ^ 0x9E3779B9ULL,
+                                out_row + 1));
+                    else if (firstSpan)
+                        ws.rngs[out_row] = master; // offset p*N
+                    rng = &ws.rngs[out_row];
+                }
                 // Accumulate each 64-cycle block in a register and store
                 // whole words: the output buffer is reused across images,
-                // so every word (tail bits included) is fully rewritten.
+                // so every covered word (tail bits included) is fully
+                // rewritten.
                 std::uint64_t *dst = out.row(out_row);
                 std::uint64_t word = 0;
-                for (std::size_t i = 0; i < len; ++i) {
-                    const std::uint64_t sel = mux_rng.nextBits(2);
+                for (std::size_t i = begin; i < end; ++i) {
+                    const std::uint64_t sel = rng->nextBits(2);
                     word |= ((rows[sel][i / 64] >> (i % 64)) & 1ULL)
                             << (i % 64);
                     if (i % 64 == 63) {
@@ -68,8 +122,17 @@ CmosPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                         word = 0;
                     }
                 }
-                if (len % 64 != 0)
-                    dst[len / 64] = word;
+                if (end % 64 != 0)
+                    dst[end / 64] = word;
+                // Deterministic partial first span: skip the master past
+                // the draws this pixel would have consumed to the end of
+                // the stream, so the next pixel's snapshot lands at its
+                // one-pass offset.
+                if (firstSpan && !fullSpan && ctx.deterministicSpans) {
+                    master = ws.rngs[out_row];
+                    for (std::size_t i = end; i < len; ++i)
+                        master.nextWord();
+                }
             }
         }
     }

@@ -22,8 +22,16 @@ class CmosPoolStage final : public ScStage
 
     StageFootprint footprint() const override;
 
+    std::unique_ptr<StageScratch> makeScratch() const override;
+
     void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                  StageContext &ctx, StageScratch *scratch) const override;
+
+    bool resumable() const override { return true; }
+
+    void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch,
+                 std::size_t begin, std::size_t end) const override;
 
   private:
     PoolGeometry geom_;

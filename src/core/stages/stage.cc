@@ -1,6 +1,7 @@
 #include "stage.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace aqfpsc::core {
 
@@ -52,6 +53,46 @@ ScStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
     sc::StreamMatrix out;
     runInto(in, out, ctx, scratch.get());
     return out;
+}
+
+void
+ScStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch,
+                 std::size_t begin, std::size_t end) const
+{
+    if (begin != 0 || end != in.streamLen()) {
+        throw std::logic_error("ScStage '" + name() +
+                               "' does not support partial spans "
+                               "(resumable() is false)");
+    }
+    runInto(in, out, ctx, scratch);
+}
+
+double
+scoreTopTwoGap(const std::vector<double> &scores)
+{
+    if (scores.size() < 2)
+        return 0.0;
+    double top = scores[0], second = scores[1];
+    if (second > top)
+        std::swap(top, second);
+    for (std::size_t i = 2; i < scores.size(); ++i) {
+        const double s = scores[i];
+        if (s > top) {
+            second = top;
+            top = s;
+        } else if (s > second) {
+            second = s;
+        }
+    }
+    return top - second;
+}
+
+double
+ScStage::scoreMargin(const StageContext &ctx, std::size_t) const
+{
+    // Bipolar scores live in [-1, 1]: half the gap normalizes to [0, 1].
+    return 0.5 * scoreTopTwoGap(ctx.scores);
 }
 
 } // namespace aqfpsc::core

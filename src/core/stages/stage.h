@@ -47,6 +47,11 @@ class Tensor;
 
 namespace aqfpsc::core {
 
+/** Gap between the largest and second-largest score (0 if fewer than
+ *  two) — the raw confidence quantity every ScStage::scoreMargin
+ *  normalizes into [0, 1]. */
+double scoreTopTwoGap(const std::vector<double> &scores);
+
 /** Per-image state threaded through one stage-graph execution. */
 struct StageContext
 {
@@ -63,6 +68,16 @@ struct StageContext
     /** Value-domain side channel: float stages pass activations here and
      *  return empty stream matrices.  Empty means "not started". */
     std::vector<float> values;
+
+    /**
+     * Checkpointed (runSpan) execution only: when true, stages whose
+     * randomness consumption depends on stream position (CmosPool's MUX
+     * selects) replay the exact draw sequence of the uninterrupted path,
+     * so block-wise execution is bit-identical to runInto().  When
+     * false, they may draw from cheaper per-block substreams instead
+     * (statistically equivalent, not bit-identical).
+     */
+    bool deterministicSpans = true;
 };
 
 /**
@@ -137,6 +152,52 @@ class ScStage
      */
     virtual sc::StreamMatrix run(const sc::StreamMatrix &in,
                                  StageContext &ctx) const;
+
+    /**
+     * True when this stage implements runSpan(), i.e. can execute a
+     * stream in 64-cycle-aligned blocks with per-image state resumed
+     * across blocks.  Adaptive (early-exit) inference requires every
+     * stage of the graph to be resumable.
+     */
+    virtual bool resumable() const { return false; }
+
+    /**
+     * Checkpointable execution: process input cycles [@p begin, @p end)
+     * and write the same cycle range of the output streams (only the
+     * covered words of @p out are touched; @p begin must be 64-aligned).
+     *
+     * Per-image sequential state (feedback-vector counts, activation
+     * counters, score accumulators, per-pixel RNG positions) lives in
+     * @p scratch: a call with begin == 0 re-arms it for a new image and
+     * reshapes @p out; later calls resume it, so that covering [0, N)
+     * with any sequence of adjacent spans is bit-identical to one
+     * runInto() pass (see StageContext::deterministicSpans for the one
+     * permitted deviation).  Within one image, spans must be executed in
+     * order and without gaps.  Terminal stages update ctx.scores to the
+     * scores over cycles [0, @p end) — at end == N these equal the
+     * runInto() scores exactly.
+     *
+     * Thread-safe across distinct (out, scratch) pairs, like runInto().
+     * Default: forwards full spans ([0, input length)) to runInto() and
+     * throws std::logic_error for partial ones — a stage that returns
+     * resumable() == true must override it.
+     */
+    virtual void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                         StageContext &ctx, StageScratch *scratch,
+                         std::size_t begin, std::size_t end) const;
+
+    /**
+     * Terminal stages: normalized confidence margin of the scores
+     * currently in @p ctx, computed over the first @p cycles cycles of
+     * stream.  Returns (top-1 − top-2) mapped to [0, 1] in the backend's
+     * own score scale, comparable across checkpoints of one execution;
+     * 0 when fewer than two classes.  The default implementation assumes
+     * scores in [−1, 1] (bipolar stream values, the AQFP convention) and
+     * returns half the top-2 gap; backends with other score scales
+     * override it.
+     */
+    virtual double scoreMargin(const StageContext &ctx,
+                               std::size_t cycles) const;
 };
 
 } // namespace aqfpsc::core

@@ -14,10 +14,20 @@
  *
  * Buffers only ever grow; after the first image every
  * ScNetworkEngine::inferIndexed(image, index, workspace) call is
- * heap-allocation-free through the whole stage pipeline.  A workspace is
- * NOT thread-safe: one workspace per worker thread (core::BatchRunner
- * constructs exactly that).  Results never depend on workspace reuse —
- * every row of every buffer is fully overwritten before it is read.
+ * heap-allocation-free through the whole stage pipeline.
+ *
+ * Thread safety: a workspace is NOT thread-safe — one workspace per
+ * worker thread (core::BatchRunner and core::InferenceServer construct
+ * exactly that), and at most one inference may run through it at a
+ * time.  Distinct workspaces of one engine run concurrently without
+ * restriction.
+ *
+ * Determinism: results never depend on workspace reuse or on which
+ * workspace served an image — every row of every buffer (and every
+ * per-stage scratch) is fully overwritten or re-armed before it is
+ * read, for both full-stream and checkpointed (adaptive) execution.
+ * Interleaving adaptive and non-adaptive calls through one workspace is
+ * equally clean (tests/test_adaptive.cc).
  */
 
 #ifndef AQFPSC_CORE_WORKSPACE_H

@@ -81,7 +81,8 @@ ColumnCounts::add(const Bitstream &s)
 void
 ColumnCounts::addWords(const std::uint64_t *words, std::size_t word_count)
 {
-    assert(word_count == wordCount_);
+    // Spans (drivePrefix) may add fewer words than the full stream.
+    assert(word_count <= wordCount_);
     assert(added_ < maxCount_);
     ++added_;
     for (std::size_t w = 0; w < word_count; ++w) {
@@ -101,7 +102,8 @@ void
 ColumnCounts::addXnor(const std::uint64_t *x, const std::uint64_t *w,
                       std::size_t word_count)
 {
-    assert(word_count == wordCount_);
+    // Spans (drivePrefix) may add fewer words than the full stream.
+    assert(word_count <= wordCount_);
     assert(added_ < maxCount_);
     ++added_;
     for (std::size_t wi = 0; wi < word_count; ++wi) {
@@ -122,7 +124,8 @@ ColumnCounts::addXnor2(const std::uint64_t *x1, const std::uint64_t *w1,
                        const std::uint64_t *x2, const std::uint64_t *w2,
                        std::size_t word_count)
 {
-    assert(word_count == wordCount_);
+    // Spans (drivePrefix) may add fewer words than the full stream.
+    assert(word_count <= wordCount_);
     assert(added_ + 2 <= maxCount_);
     added_ += 2;
     for (std::size_t wi = 0; wi < word_count; ++wi) {

@@ -159,9 +159,28 @@ class ColumnCounts
     void
     drive(Step &&step, std::uint64_t *dst) const
     {
-        for (std::size_t w = 0; w < wordCount_; ++w) {
+        drivePrefix(len_, static_cast<Step &&>(step), dst);
+    }
+
+    /**
+     * Incremental drive entry point of the fused kernel: drive() limited
+     * to the first @p cycles cycles (first ceil(cycles/64) words of the
+     * planes and of @p dst; tail bits of the last written word are
+     * zeroed).  This is what checkpointable stage execution runs: a
+     * stage accumulates one 64-cycle-aligned block of streams at plane
+     * offset 0 and drives exactly that block, resuming the step
+     * function's state across blocks.  drivePrefix(length(), ...) is
+     * drive() exactly.
+     */
+    template <typename Step>
+    void
+    drivePrefix(std::size_t cycles, Step &&step, std::uint64_t *dst) const
+    {
+        assert(cycles <= len_);
+        const std::size_t words = (cycles + 63) / 64;
+        for (std::size_t w = 0; w < words; ++w) {
             const std::size_t base = w * 64;
-            const std::size_t hi = len_ - base < 64 ? len_ - base : 64;
+            const std::size_t hi = cycles - base < 64 ? cycles - base : 64;
             std::uint32_t col[64];
             blockCounts(w, col);
             std::uint64_t outw = 0;
@@ -184,10 +203,24 @@ class ColumnCounts
     driveWithOvercount(const ColumnCounts &over, int cap, Step &&step,
                        std::uint64_t *dst) const
     {
+        driveWithOvercountPrefix(over, cap, len_, static_cast<Step &&>(step),
+                                 dst);
+    }
+
+    /** driveWithOvercount() limited to the first @p cycles cycles (see
+     *  drivePrefix()). */
+    template <typename Step>
+    void
+    driveWithOvercountPrefix(const ColumnCounts &over, int cap,
+                             std::size_t cycles, Step &&step,
+                             std::uint64_t *dst) const
+    {
         assert(over.len_ == len_ && over.wordCount_ == wordCount_);
-        for (std::size_t w = 0; w < wordCount_; ++w) {
+        assert(cycles <= len_);
+        const std::size_t words = (cycles + 63) / 64;
+        for (std::size_t w = 0; w < words; ++w) {
             const std::size_t base = w * 64;
-            const std::size_t hi = len_ - base < 64 ? len_ - base : 64;
+            const std::size_t hi = cycles - base < 64 ? cycles - base : 64;
             std::uint32_t col[64];
             std::uint32_t ocol[64];
             blockCounts(w, col);

@@ -59,6 +59,43 @@ StreamMatrix::fillBipolar(std::size_t r, double value, int bits,
 }
 
 void
+StreamMatrix::fillBipolarSpan(std::size_t r, double value, int bits,
+                              RandomSource &rng, std::size_t begin_cycle,
+                              std::size_t end_cycle)
+{
+    assert(r < rows_);
+    assert(begin_cycle % 64 == 0);
+    if (end_cycle > len_)
+        end_cycle = len_;
+    if (begin_cycle >= end_cycle)
+        return;
+    // Same word-batched threshold compare as fillBipolar (see there for
+    // the bit-serial equivalence argument), over a word sub-range.
+    const std::uint32_t code = quantizeBipolar(value, bits);
+    const int shift = 64 - bits;
+    const bool all_ones = (code >> bits) != 0;
+    const std::uint64_t threshold = static_cast<std::uint64_t>(code)
+                                    << shift;
+    std::uint64_t rnd[64];
+    std::uint64_t *dst = row(r);
+    const std::size_t w_end = (end_cycle + 63) / 64;
+    for (std::size_t w = begin_cycle / 64; w < w_end; ++w) {
+        const std::size_t hi =
+            end_cycle - w * 64 < 64 ? end_cycle - w * 64 : 64;
+        rng.nextWords(rnd, hi);
+        std::uint64_t word = 0;
+        if (all_ones) {
+            word = hi == 64 ? ~0ULL : (1ULL << hi) - 1;
+        } else {
+            for (std::size_t b = 0; b < hi; ++b)
+                word |= static_cast<std::uint64_t>(rnd[b] < threshold)
+                        << b;
+        }
+        dst[w] = word;
+    }
+}
+
+void
 StreamMatrix::fillNeutral(std::size_t r)
 {
     assert(r < rows_);

@@ -61,6 +61,23 @@ class StreamMatrix
     void fillBipolar(std::size_t r, double value, int bits,
                      RandomSource &rng);
 
+    /**
+     * fillBipolar() restricted to cycles [@p begin_cycle, @p end_cycle):
+     * only the covered words of row @p r are written (tail bits beyond
+     * streamLen() stay zero) and only that many RNG draws are consumed.
+     * @p begin_cycle must be 64-aligned; @p end_cycle is clamped to
+     * streamLen().
+     *
+     * This is the lazy-SNG path of non-deterministic adaptive inference:
+     * each checkpoint block draws from its own RNG substream, so blocks
+     * beyond an early exit are never generated at all.  The draws differ
+     * from one uninterrupted fillBipolar() pass — use full fills when
+     * bit-identity with the non-adaptive path matters.
+     */
+    void fillBipolarSpan(std::size_t r, double value, int bits,
+                         RandomSource &rng, std::size_t begin_cycle,
+                         std::size_t end_cycle);
+
     /** Fill row @p r with the neutral 0101... stream (bipolar value 0). */
     void fillNeutral(std::size_t r);
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repository's markdown files.
+
+Checks every inline markdown link/image ``[text](target)`` whose target
+is not an external URL or a pure in-page anchor:
+
+  * the referenced file (resolved relative to the markdown file, or to
+    the repo root for ``/``-prefixed targets) must exist;
+  * for ``target#anchor`` forms pointing at a markdown file, the anchor
+    must match a heading of that file (GitHub slug rules, simplified).
+
+External schemes (http/https/mailto) are not fetched — CI must not
+depend on the network.  Exit status: 0 clean, 1 broken links (each
+printed as ``file:line: message``).
+
+Usage: tools/check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
+
+
+def heading_slugs(md_path):
+    """GitHub-style slugs of every heading in *md_path*."""
+    slugs = set()
+    in_fence = False
+    with open(md_path, encoding="utf-8") as fh:
+        for line in fh:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence or not line.startswith("#"):
+                continue
+            text = line.lstrip("#").strip()
+            # Strip inline code/emphasis markers, then slugify.
+            text = re.sub(r"[`*_]", "", text)
+            slug = re.sub(r"[^\w\- ]", "", text.lower())
+            slug = slug.replace(" ", "-")
+            slugs.add(slug)
+    return slugs
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check(root):
+    errors = []
+    for md in sorted(md_files(root)):
+        rel_md = os.path.relpath(md, root)
+        in_fence = False
+        with open(md, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                if line.lstrip().startswith("```"):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for match in LINK_RE.finditer(line):
+                    target = match.group(1)
+                    if EXTERNAL_RE.match(target) or target.startswith("#"):
+                        continue
+                    path, _, anchor = target.partition("#")
+                    if path.startswith("/"):
+                        resolved = os.path.join(root, path.lstrip("/"))
+                    else:
+                        resolved = os.path.join(os.path.dirname(md), path)
+                    resolved = os.path.normpath(resolved)
+                    if not os.path.exists(resolved):
+                        errors.append(f"{rel_md}:{lineno}: broken link "
+                                      f"'{target}' ({path} not found)")
+                        continue
+                    if anchor and resolved.endswith(".md"):
+                        if anchor.lower() not in heading_slugs(resolved):
+                            errors.append(
+                                f"{rel_md}:{lineno}: broken anchor "
+                                f"'{target}' (no heading #{anchor})")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = check(root)
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"{len(errors)} broken markdown link(s)")
+        return 1
+    print("markdown links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
