@@ -1,11 +1,14 @@
 /**
  * @file
  * End-to-end SC inference throughput (images/sec) through the
- * InferenceSession serving path, per stream backend.
+ * InferenceSession serving path, per stream backend and cohort size.
  *
- * This is the hot path the fused zero-allocation kernels target: one
- * trained-architecture model ("tiny" by default), SNG input encoding,
- * the full stage graph, per-thread StageWorkspace arenas.  Results go to
+ * This is the hot path the fused zero-allocation kernels and the
+ * stage-major cohort execution target: one trained-architecture model
+ * ("tiny" by default), SNG input encoding, the full stage graph,
+ * per-thread CohortWorkspace arenas.  Each backend is swept over the
+ * cohort sizes {1, 2, 4, 8} (results are bit-identical across cohort
+ * sizes; only throughput moves).  Results go to
  * BENCH_throughput_inference.json (with the build provenance stamp from
  * bench_util.h), so the serving-throughput trajectory is machine-
  * readable across PRs.
@@ -13,10 +16,12 @@
  * Usage:
  *   bench_throughput_inference [--images N] [--stream-len L]
  *                              [--model tiny|snn|dnn] [--threads T]
+ *                              [--cohort C]
  *
- * Defaults (24 images, stream length 1024, 1 thread) give a stable
- * single-core measurement in a few seconds; CI smoke runs pass tiny
- * values and only checks that the bench runs and emits valid JSON.
+ * Defaults (24 images, stream length 1024, 1 thread, cohort sweep) give
+ * a stable single-core measurement in under a minute; --cohort C
+ * restricts the sweep to one size.  CI smoke runs pass tiny values and
+ * only check that the bench runs and emits valid JSON.
  */
 
 #include <cstdio>
@@ -62,7 +67,12 @@ main(int argc, char **argv)
     const int images = argInt(argc, argv, "--images", 24);
     const int stream_len = argInt(argc, argv, "--stream-len", 1024);
     const int threads = argInt(argc, argv, "--threads", 1);
+    const int cohort_arg = argInt(argc, argv, "--cohort", 0);
+
     const std::string model = argStr(argc, argv, "--model", "tiny");
+    const std::vector<int> cohorts =
+        cohort_arg > 0 ? std::vector<int>{cohort_arg}
+                       : std::vector<int>{1, 2, 4, 8};
 
     bench::banner("End-to-end SC inference throughput (" + model +
                   ", N=" + std::to_string(stream_len) + ", " +
@@ -73,7 +83,7 @@ main(int argc, char **argv)
         data::generateDigits(images, 42);
 
     bench::Json results = bench::Json::array();
-    bench::header({"backend", "img/s", "ms/img", "accuracy"});
+    bench::header({"backend", "cohort", "img/s", "ms/img", "accuracy"});
     for (const char *backend : {"aqfp-sorter", "cmos-apc"}) {
         core::EngineOptions opts;
         opts.backend = backend;
@@ -85,19 +95,26 @@ main(int argc, char **argv)
         // measurement sees steady-state serving only.
         session.evaluate(samples, {.limit = 1});
 
-        const core::ScEvalStats stats = session.evaluate(samples, {});
-        bench::row({backend, bench::cell(stats.imagesPerSec, 2),
-                    bench::cell(1000.0 / stats.imagesPerSec, 2),
-                    bench::cell(stats.accuracy, 3)});
+        for (const int cohort : cohorts) {
+            core::EvalOptions eval;
+            eval.cohort = cohort;
+            const core::ScEvalStats stats = session.evaluate(samples, eval);
+            bench::row({backend, std::to_string(cohort),
+                        bench::cell(stats.imagesPerSec, 2),
+                        bench::cell(1000.0 / stats.imagesPerSec, 2),
+                        bench::cell(stats.accuracy, 3)});
 
-        results.push(
-            bench::Json::object()
-                .set("engine", bench::engineJson(opts.toConfig(backend)))
-                .set("model", model)
-                .set("images", stats.images)
-                .set("wall_seconds", stats.wallSeconds)
-                .set("images_per_sec", stats.imagesPerSec)
-                .set("accuracy", stats.accuracy));
+            results.push(
+                bench::Json::object()
+                    .set("engine",
+                         bench::engineJson(opts.toConfig(backend)))
+                    .set("model", model)
+                    .set("cohort", cohort)
+                    .set("images", stats.images)
+                    .set("wall_seconds", stats.wallSeconds)
+                    .set("images_per_sec", stats.imagesPerSec)
+                    .set("accuracy", stats.accuracy));
+        }
     }
 
     return bench::writeBenchReport("throughput_inference",

@@ -9,12 +9,14 @@
  *       task, quantize to the SNG grid and save a versioned model
  *       artifact (architecture + quantization state + weights).
  *   eval   --model-file <file> [--backend NAME] [--stream-len N]
- *          [--threads N] [--rng-bits N] [--images N] [--seed S]
- *          [--adaptive [--checkpoint C] [--margin F] [--min-cycles M]
- *           [--nondet]]
+ *          [--threads N] [--cohort C] [--rng-bits N] [--images N]
+ *          [--seed S] [--adaptive [--checkpoint C] [--margin F]
+ *           [--min-cycles M] [--nondet]]
  *       Load an artifact and evaluate it on any registered backend;
- *       --adaptive adds confidence-based early exit and reports the
- *       mean consumed stream cycles.
+ *       --cohort batches C images through each stage together
+ *       (stage-major execution, bit-identical results) and --adaptive
+ *       adds confidence-based early exit and reports the mean consumed
+ *       stream cycles.
  *   infer  --model-file <file> [--backend NAME] [--index I] [...]
  *       Load an artifact and print one image's per-class scores.
  *   serve  --model-file <file> [--workers W] [--queue-cap Q]
@@ -81,8 +83,8 @@ usage()
         "  train --model <zoo> --out <file> [--epochs N] [--samples N]\n"
         "        [--lr F] [--quant-bits B] [--seed S]\n"
         "  eval  --model-file <file> [--backend NAME] [--stream-len N]\n"
-        "        [--threads N] [--rng-bits N] [--images N] [--seed S]\n"
-        "        [--adaptive [--checkpoint C] [--margin F]\n"
+        "        [--threads N] [--cohort C] [--rng-bits N] [--images N]\n"
+        "        [--seed S] [--adaptive [--checkpoint C] [--margin F]\n"
         "         [--min-cycles M] [--nondet]]\n"
         "  infer --model-file <file> [--backend NAME] [--index I]\n"
         "        [--stream-len N] [--threads N] [--rng-bits N] [--seed S]\n"
@@ -119,6 +121,8 @@ parse(int argc, char **argv, Args &args)
                 static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
         else if (flag == "--threads")
             args.engine.threads = std::atoi(next());
+        else if (flag == "--cohort")
+            args.engine.cohort = std::atoi(next());
         else if (flag == "--rng-bits")
             args.engine.rngBits = std::atoi(next());
         else if (flag == "--seed") {
@@ -209,9 +213,10 @@ cmdEval(const Args &args)
     std::printf("model: %s (quantized to %d bits)\n",
                 session.network().describe().c_str(),
                 session.network().quantBits());
-    std::printf("backend %s, N=%zu, %d threads\n",
+    std::printf("backend %s, N=%zu, %d threads, cohort %d\n",
                 session.options().backend.c_str(),
-                session.options().streamLen, session.options().threads);
+                session.options().streamLen, session.options().threads,
+                session.options().cohort);
     const auto test = data::generateDigits(kTestImages, kTestDataSeed);
     core::EvalOptions opts;
     opts.limit = args.images;

@@ -26,19 +26,24 @@ resolveThreadCount(int requested)
 
 } // namespace
 
-BatchRunner::BatchRunner(const ScNetworkEngine &engine, int threads)
-    : engine_(engine), threads_(resolveThreadCount(threads))
+BatchRunner::BatchRunner(const ScNetworkEngine &engine, int threads,
+                         int cohort)
+    : engine_(engine), threads_(resolveThreadCount(threads)),
+      cohort_(std::clamp(cohort, 1,
+                         static_cast<int>(kMaxCohortImages)))
 {
 }
 
 void
-BatchRunner::forEachImage(
+BatchRunner::forEachCohort(
     std::size_t n, bool progress,
-    const std::function<void(StageWorkspace &, std::size_t)> &fn) const
+    const std::function<void(CohortWorkspace &, std::size_t, std::size_t)>
+        &fn) const
 {
     if (n == 0)
         return;
 
+    const std::size_t cohort = static_cast<std::size_t>(cohort_);
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
     std::atomic<bool> failed{false};
@@ -52,18 +57,21 @@ BatchRunner::forEachImage(
     auto worker = [&]() {
         try {
             // One arena per worker: scratch + stream buffers are built
-            // once here, so the per-image loop below never allocates
+            // once here, so the per-cohort loop below never allocates
             // inside the stage pipeline.
-            StageWorkspace workspace(engine_);
+            CohortWorkspace workspace(engine_, cohort);
             for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n || failed.load(std::memory_order_relaxed))
+                const std::size_t base =
+                    next.fetch_add(cohort, std::memory_order_relaxed);
+                if (base >= n || failed.load(std::memory_order_relaxed))
                     return;
-                fn(workspace, i);
+                const std::size_t count = std::min(cohort, n - base);
+                fn(workspace, base, count);
                 const std::size_t done =
-                    completed.fetch_add(1, std::memory_order_relaxed) + 1;
-                if (progress && done % 10 == 0) {
+                    completed.fetch_add(count,
+                                        std::memory_order_relaxed) +
+                    count;
+                if (progress && done / 10 != (done - count) / 10) {
                     const std::lock_guard<std::mutex> lock(print_mutex);
                     std::printf(".");
                     std::fflush(stdout);
@@ -77,9 +85,9 @@ BatchRunner::forEachImage(
         }
     };
 
-    const int workers =
-        static_cast<int>(std::min<std::size_t>(
-            static_cast<std::size_t>(threads_), n));
+    const std::size_t cohorts = (n + cohort - 1) / cohort;
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads_), cohorts));
     if (workers <= 1) {
         worker();
     } else {
@@ -106,6 +114,22 @@ resolveLimit(const std::vector<nn::Sample> &samples, int limit)
                            samples.size(), static_cast<std::size_t>(limit));
 }
 
+/** Per-cohort pointer/index tables of the engine cohort entry points. */
+struct CohortArgs
+{
+    const nn::Tensor *images[kMaxCohortImages];
+    std::size_t indices[kMaxCohortImages];
+
+    CohortArgs(const std::vector<nn::Sample> &samples, std::size_t base,
+               std::size_t count)
+    {
+        for (std::size_t j = 0; j < count; ++j) {
+            images[j] = &samples[base + j].image;
+            indices[j] = base + j;
+        }
+    }
+};
+
 } // namespace
 
 std::vector<ScPrediction>
@@ -114,11 +138,13 @@ BatchRunner::run(const std::vector<nn::Sample> &samples, int limit,
 {
     const std::size_t n = resolveLimit(samples, limit);
     std::vector<ScPrediction> predictions(n);
-    forEachImage(n, progress,
-                 [&](StageWorkspace &workspace, std::size_t i) {
-                     predictions[i] = engine_.inferIndexed(
-                         samples[i].image, i, workspace);
-                 });
+    forEachCohort(n, progress,
+                  [&](CohortWorkspace &workspace, std::size_t base,
+                      std::size_t count) {
+                      const CohortArgs args(samples, base, count);
+                      engine_.inferCohort(args.images, args.indices, count,
+                                          workspace, &predictions[base]);
+                  });
     return predictions;
 }
 
@@ -129,11 +155,14 @@ BatchRunner::runAdaptive(const std::vector<nn::Sample> &samples,
 {
     const std::size_t n = resolveLimit(samples, limit);
     std::vector<AdaptivePrediction> predictions(n);
-    forEachImage(n, progress,
-                 [&](StageWorkspace &workspace, std::size_t i) {
-                     predictions[i] = engine_.inferAdaptive(
-                         samples[i].image, i, workspace, policy);
-                 });
+    forEachCohort(n, progress,
+                  [&](CohortWorkspace &workspace, std::size_t base,
+                      std::size_t count) {
+                      const CohortArgs args(samples, base, count);
+                      engine_.inferAdaptiveCohort(args.images, args.indices,
+                                                  count, workspace, policy,
+                                                  &predictions[base]);
+                  });
     return predictions;
 }
 

@@ -3,11 +3,14 @@
  * Batched, thread-parallel SC inference over one compiled engine.
  *
  * The stage graph is immutable after compilation, so a batch of images
- * fans out across a pool of std::threads that pull image indices from a
- * shared atomic counter.  Image i always runs with the seed
+ * fans out across a pool of std::threads that pull *cohorts* — ranges
+ * of consecutive image indices — from a shared atomic counter and push
+ * each cohort through the stage-major execution path
+ * (ScNetworkEngine::inferCohort).  Image i always runs with the seed
  * sc::deriveStreamSeed(engine seed, i), so predictions are bit-identical
- * for any thread count (1, 2, 8, ...) and any work-stealing schedule —
- * parallelism changes wall-clock time only, never results.
+ * for any thread count (1, 2, 8, ...), any cohort size and any
+ * work-stealing schedule — parallelism and cohort batching change
+ * wall-clock time only, never results.
  */
 
 #ifndef AQFPSC_CORE_BATCH_RUNNER_H
@@ -21,7 +24,7 @@
 
 namespace aqfpsc::core {
 
-class StageWorkspace;
+class CohortWorkspace;
 
 /** Fans a batch of images across a thread pool of SC inferences. */
 class BatchRunner
@@ -31,11 +34,17 @@ class BatchRunner
      * @param engine Compiled engine; must outlive the runner.
      * @param threads Worker count; 0 selects one per hardware thread,
      *        values are clamped to [1, 256].
+     * @param cohort Images per stage-major execution cohort; clamped to
+     *        [1, kMaxCohortImages].
      */
-    explicit BatchRunner(const ScNetworkEngine &engine, int threads = 0);
+    explicit BatchRunner(const ScNetworkEngine &engine, int threads = 0,
+                         int cohort = 1);
 
     /** Resolved worker count. */
     int threads() const { return threads_; }
+
+    /** Resolved cohort size. */
+    int cohort() const { return cohort_; }
 
     /**
      * Predict the first @p limit samples (all if negative).
@@ -55,11 +64,13 @@ class BatchRunner
                          int limit = -1, bool progress = false) const;
 
     /**
-     * run() with per-image adaptive early exit under @p policy: images
+     * run() with per-image adaptive early exit under @p policy: a cohort
+     * compacts in place as its images clear the margin, and cohorts
      * consume different amounts of work, which the atomic work-stealing
      * index absorbs naturally (an idle worker just pulls the next
-     * image).  Deterministic policies keep every prediction bit-
-     * identical for any thread count, exactly like run().
+     * cohort).  Deterministic policies keep every prediction bit-
+     * identical for any thread count and cohort size, exactly like
+     * run().
      */
     std::vector<AdaptivePrediction>
     runAdaptive(const std::vector<nn::Sample> &samples,
@@ -75,16 +86,19 @@ class BatchRunner
 
   private:
     /**
-     * The shared worker pool: one StageWorkspace per worker, images
-     * pulled from an atomic index, first exception captured and
-     * rethrown after the join.  @p fn runs once per image.
+     * The shared worker pool: one CohortWorkspace per worker, cohorts of
+     * consecutive image indices pulled from an atomic index, first
+     * exception captured and rethrown after the join.  @p fn runs once
+     * per cohort with [base, base + count) image indices.
      */
-    void forEachImage(
+    void forEachCohort(
         std::size_t n, bool progress,
-        const std::function<void(StageWorkspace &, std::size_t)> &fn) const;
+        const std::function<void(CohortWorkspace &, std::size_t,
+                                 std::size_t)> &fn) const;
 
     const ScNetworkEngine &engine_;
     int threads_;
+    int cohort_;
 };
 
 } // namespace aqfpsc::core

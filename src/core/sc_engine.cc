@@ -29,6 +29,34 @@ argmaxLabel(const std::vector<double> &scores)
     return label;
 }
 
+/**
+ * Re-arm a (possibly reused) context for a new image.  clear() keeps
+ * capacity, so the steady state still allocates nothing; a pipeline
+ * whose terminal stage never assigns scores must not inherit the
+ * previous image's.
+ */
+void
+armContext(StageContext &ctx, std::uint64_t engine_seed, std::size_t index,
+           const nn::Tensor &image, bool deterministic_spans)
+{
+    ctx.imageSeed = sc::deriveStreamSeed(engine_seed, index);
+    ctx.image = &image;
+    ctx.values.clear();
+    ctx.scores.clear();
+    ctx.deterministicSpans = deterministic_spans;
+}
+
+/** Per-image input SNGs; a fresh substream keeps images independent. */
+void
+fillInputStreams(sc::StreamMatrix &input, const nn::Tensor &image,
+                 const ScEngineConfig &cfg, std::uint64_t image_seed)
+{
+    input.reset(image.size(), cfg.streamLen);
+    sc::Xoshiro256StarStar rng(image_seed ^ 0xABCDEF12345ULL);
+    for (std::size_t i = 0; i < image.size(); ++i)
+        input.fillBipolar(i, image[i], cfg.rngBits, rng);
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -68,8 +96,21 @@ ScNetworkEngine::ScNetworkEngine(const nn::Network &net,
     : cfg_(cfg), backendName_(cfg.resolvedBackend()),
       encodeInputStreams_(
           BackendRegistry::instance().traits(backendName_).wantsInputStreams),
-      stages_(stages::compileNetwork(net, cfg))
+      plan_(std::make_unique<stages::ExecutionPlan>(
+          stages::compileNetwork(net, cfg)))
 {
+}
+
+std::size_t
+ScNetworkEngine::stageCount() const
+{
+    return plan_->stageCount();
+}
+
+const ScStage &
+ScNetworkEngine::stage(std::size_t i) const
+{
+    return plan_->stage(i);
 }
 
 ScPrediction
@@ -95,35 +136,23 @@ ScNetworkEngine::inferIndexed(const nn::Tensor &image, std::size_t index,
     const std::size_t len = cfg_.streamLen;
 
     StageContext &ctx = ws.ctx_;
-    ctx.imageSeed = sc::deriveStreamSeed(cfg_.seed, index);
-    ctx.image = &image;
-    ctx.values.clear();
-    // Match fresh-context semantics: a pipeline whose terminal stage
-    // never assigns scores must not inherit the previous image's.
-    // clear() keeps capacity, so the steady state still allocates
-    // nothing.
-    ctx.scores.clear();
+    armContext(ctx, cfg_.seed, index, image, true);
 
-    // Per-image input SNGs; a fresh substream keeps images independent.
     // Value-domain backends (traits.wantsInputStreams == false) read the
     // image through the context instead and get an empty matrix — no
     // per-image work on the fast accuracy-debugging path.
-    if (encodeInputStreams_) {
-        ws.input_.reset(image.size(), len);
-        sc::Xoshiro256StarStar rng(ctx.imageSeed ^ 0xABCDEF12345ULL);
-        for (std::size_t i = 0; i < image.size(); ++i)
-            ws.input_.fillBipolar(i, image[i], cfg_.rngBits, rng);
-    } else {
+    if (encodeInputStreams_)
+        fillInputStreams(ws.input_, image, cfg_, ctx.imageSeed);
+    else
         ws.input_.reset(0, 0);
-    }
 
     // Ping-pong the activation buffers: stage s reads what stage s-1
     // wrote and overwrites the other buffer, so no stream is ever copied
     // and steady-state stage execution allocates nothing.
     const sc::StreamMatrix *cur = &ws.input_;
     int flip = 0;
-    for (std::size_t s = 0; s < stages_.size(); ++s) {
-        const ScStage &stage = *stages_[s];
+    for (std::size_t s = 0; s < plan_->stageCount(); ++s) {
+        const ScStage &stage = plan_->stage(s);
         sc::StreamMatrix &out = ws.pingPong_[flip];
         stage.runInto(*cur, out, ctx, ws.scratch_[s].get());
         if (stage.terminal())
@@ -138,18 +167,92 @@ ScNetworkEngine::inferIndexed(const nn::Tensor &image, std::size_t index,
     return pred;
 }
 
+void
+ScNetworkEngine::inferCohort(const nn::Tensor *const images[],
+                             const std::size_t indices[], std::size_t count,
+                             CohortWorkspace &ws, ScPrediction out[]) const
+{
+    assert(&ws.engine_ == this &&
+           "workspace belongs to a different engine");
+    assert(count <= ws.capacity());
+    if (count == 0)
+        return;
+    const std::size_t len = cfg_.streamLen;
+
+    for (std::size_t c = 0; c < count; ++c) {
+        CohortWorkspace::Slot &slot = ws.slots_[c];
+        armContext(slot.ctx, cfg_.seed, indices[c], *images[c], true);
+        if (encodeInputStreams_)
+            fillInputStreams(slot.input, *images[c], cfg_,
+                             slot.ctx.imageSeed);
+        else
+            slot.input.reset(0, 0);
+    }
+
+    // Stage-major sweep: one dispatch per stage pushes the whole cohort
+    // through it, so the stage's weight streams are traversed once per
+    // cohort.  Each slot ping-pongs its own pair of activation buffers
+    // exactly like the single-image path.
+    int flip = 0;
+    for (std::size_t s = 0; s < plan_->stageCount(); ++s) {
+        const ScStage &stage = plan_->stage(s);
+        for (std::size_t c = 0; c < count; ++c) {
+            CohortWorkspace::Slot &slot = ws.slots_[c];
+            ws.views_[c] =
+                CohortSlot{s == 0 ? &slot.input : &slot.pingPong[flip ^ 1],
+                           &slot.pingPong[flip], &slot.ctx,
+                           slot.scratch[s].get()};
+        }
+        stage.runCohortSpan(ws.views_.data(), count, 0, len);
+        if (stage.terminal())
+            break;
+        flip ^= 1;
+    }
+
+    for (std::size_t c = 0; c < count; ++c) {
+        out[c].scores = ws.slots_[c].ctx.scores;
+        out[c].label = argmaxLabel(out[c].scores);
+    }
+}
+
 bool
 ScNetworkEngine::supportsAdaptive(std::string *why_not) const
 {
-    for (const auto &stage : stages_) {
-        if (!stage->resumable()) {
+    if (plan_->resumable)
+        return true;
+    for (std::size_t s = 0; s < plan_->stageCount(); ++s) {
+        if (!plan_->stage(s).resumable()) {
             if (why_not != nullptr)
-                *why_not = stage->name();
+                *why_not = plan_->stage(s).name();
             return false;
         }
     }
-    return true;
+    return false;
 }
+
+namespace {
+
+/** Shared argument validation of the adaptive entry points. */
+void
+requireAdaptive(const ScNetworkEngine &engine, const AdaptivePolicy &policy)
+{
+    const std::vector<std::string> errors = policy.validate();
+    if (!errors.empty()) {
+        std::string joined = "invalid AdaptivePolicy: ";
+        for (std::size_t i = 0; i < errors.size(); ++i)
+            joined += (i ? "; " : "") + errors[i];
+        throw std::invalid_argument(joined);
+    }
+    std::string why_not;
+    if (!engine.supportsAdaptive(&why_not)) {
+        throw std::invalid_argument(
+            "backend '" + engine.backendName() +
+            "' does not support adaptive inference: stage '" + why_not +
+            "' is not resumable");
+    }
+}
+
+} // namespace
 
 AdaptivePrediction
 ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
@@ -158,40 +261,20 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
 {
     assert(&ws.engine_ == this &&
            "workspace belongs to a different engine");
-    {
-        const std::vector<std::string> errors = policy.validate();
-        if (!errors.empty()) {
-            std::string joined = "invalid AdaptivePolicy: ";
-            for (std::size_t i = 0; i < errors.size(); ++i)
-                joined += (i ? "; " : "") + errors[i];
-            throw std::invalid_argument(joined);
-        }
-    }
-    std::string why_not;
-    if (!supportsAdaptive(&why_not)) {
-        throw std::invalid_argument(
-            "backend '" + backendName_ +
-            "' does not support adaptive inference: stage '" + why_not +
-            "' is not resumable");
-    }
+    requireAdaptive(*this, policy);
 
     const std::size_t len = cfg_.streamLen;
     StageContext &ctx = ws.ctx_;
-    ctx.imageSeed = sc::deriveStreamSeed(cfg_.seed, index);
-    ctx.image = &image;
-    ctx.values.clear();
-    ctx.scores.clear();
-    ctx.deterministicSpans = policy.deterministic;
+    armContext(ctx, cfg_.seed, index, image, policy.deterministic);
 
     if (encodeInputStreams_) {
-        ws.input_.reset(image.size(), len);
         if (policy.deterministic) {
             // Full-length up-front SNG fill: the exact draws of the
             // non-adaptive path, so any exit point is a bit-exact
             // prefix.
-            sc::Xoshiro256StarStar rng(ctx.imageSeed ^ 0xABCDEF12345ULL);
-            for (std::size_t i = 0; i < image.size(); ++i)
-                ws.input_.fillBipolar(i, image[i], cfg_.rngBits, rng);
+            fillInputStreams(ws.input_, image, cfg_, ctx.imageSeed);
+        } else {
+            ws.input_.reset(image.size(), len);
         }
     } else {
         ws.input_.reset(0, 0);
@@ -218,8 +301,8 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
 
         const sc::StreamMatrix *cur = &ws.input_;
         int flip = 0;
-        for (std::size_t s = 0; s < stages_.size(); ++s) {
-            const ScStage &stage = *stages_[s];
+        for (std::size_t s = 0; s < plan_->stageCount(); ++s) {
+            const ScStage &stage = plan_->stage(s);
             sc::StreamMatrix &out = ws.pingPong_[flip];
             stage.runSpan(*cur, out, ctx, ws.scratch_[s].get(), begin,
                           end);
@@ -256,12 +339,115 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
     return inferAdaptive(image, index, workspace, policy);
 }
 
+void
+ScNetworkEngine::inferAdaptiveCohort(const nn::Tensor *const images[],
+                                     const std::size_t indices[],
+                                     std::size_t count, CohortWorkspace &ws,
+                                     const AdaptivePolicy &policy,
+                                     AdaptivePrediction out[]) const
+{
+    assert(&ws.engine_ == this &&
+           "workspace belongs to a different engine");
+    assert(count <= ws.capacity());
+    requireAdaptive(*this, policy);
+    if (count == 0)
+        return;
+    const std::size_t len = cfg_.streamLen;
+
+    ws.active_.clear();
+    for (std::size_t c = 0; c < count; ++c) {
+        CohortWorkspace::Slot &slot = ws.slots_[c];
+        armContext(slot.ctx, cfg_.seed, indices[c], *images[c],
+                   policy.deterministic);
+        if (encodeInputStreams_) {
+            if (policy.deterministic)
+                fillInputStreams(slot.input, *images[c], cfg_,
+                                 slot.ctx.imageSeed);
+            else
+                slot.input.reset(images[c]->size(), len);
+        } else {
+            slot.input.reset(0, 0);
+        }
+        out[c] = AdaptivePrediction{};
+        ws.active_.push_back(c);
+    }
+
+    // The cohort advances through checkpoint blocks together: every
+    // still-active image executes the same span sequence (and therefore
+    // the same per-image state transitions) as the single-image adaptive
+    // path, so results are bit-identical to inferAdaptive() per image.
+    // Retired images are compacted out in place, shrinking the cohort a
+    // stage dispatch serves.
+    const std::size_t block = std::min(policy.checkpointCycles, len);
+    std::size_t begin = 0;
+    while (!ws.active_.empty()) {
+        const std::size_t end = std::min(begin + block, len);
+        if (encodeInputStreams_ && !policy.deterministic) {
+            for (const std::size_t c : ws.active_) {
+                CohortWorkspace::Slot &slot = ws.slots_[c];
+                sc::Xoshiro256StarStar rng(
+                    slot.ctx.imageSeed ^
+                    (0xB10C5EEDULL + (begin / 64) * 0x9E3779B97F4A7C15ULL));
+                for (std::size_t i = 0; i < images[c]->size(); ++i)
+                    slot.input.fillBipolarSpan(i, (*images[c])[i],
+                                               cfg_.rngBits, rng, begin,
+                                               end);
+            }
+        }
+
+        const ScStage *terminalStage = nullptr;
+        int flip = 0;
+        for (std::size_t s = 0; s < plan_->stageCount(); ++s) {
+            const ScStage &stage = plan_->stage(s);
+            for (std::size_t k = 0; k < ws.active_.size(); ++k) {
+                CohortWorkspace::Slot &slot = ws.slots_[ws.active_[k]];
+                ws.views_[k] = CohortSlot{
+                    s == 0 ? &slot.input : &slot.pingPong[flip ^ 1],
+                    &slot.pingPong[flip], &slot.ctx,
+                    slot.scratch[s].get()};
+            }
+            stage.runCohortSpan(ws.views_.data(), ws.active_.size(), begin,
+                                end);
+            if (stage.terminal()) {
+                terminalStage = &stage;
+                break;
+            }
+            flip ^= 1;
+        }
+
+        std::size_t keep = 0;
+        for (std::size_t k = 0; k < ws.active_.size(); ++k) {
+            const std::size_t c = ws.active_[k];
+            AdaptivePrediction &r = out[c];
+            ++r.checkpoints;
+            r.consumedCycles = end;
+            bool retire = end >= len;
+            if (!retire && end >= policy.minCycles &&
+                terminalStage != nullptr &&
+                terminalStage->scoreMargin(ws.slots_[c].ctx, end) >=
+                    policy.exitMargin) {
+                retire = true;
+                r.exitedEarly = true;
+            }
+            if (retire) {
+                r.prediction.scores = ws.slots_[c].ctx.scores;
+                r.prediction.label = argmaxLabel(r.prediction.scores);
+            } else {
+                ws.active_[keep++] = c;
+            }
+        }
+        ws.active_.resize(keep);
+        begin = end;
+    }
+}
+
 ScEvalStats
 ScNetworkEngine::evaluate(const std::vector<nn::Sample> &samples,
                           const EvalOptions &opts) const
 {
     const int threads = opts.threads < 0 ? cfg_.threads : opts.threads;
-    return BatchRunner(*this, threads)
+    const int cohort = opts.cohort <= 0 ? cfg_.cohort : opts.cohort;
+    return BatchRunner(*this, threads, cohort)
         .evaluate(samples, opts.limit, opts.progress);
 }
 
@@ -271,7 +457,8 @@ ScNetworkEngine::evaluateAdaptive(const std::vector<nn::Sample> &samples,
                                   const EvalOptions &opts) const
 {
     const int threads = opts.threads < 0 ? cfg_.threads : opts.threads;
-    return BatchRunner(*this, threads)
+    const int cohort = opts.cohort <= 0 ? cfg_.cohort : opts.cohort;
+    return BatchRunner(*this, threads, cohort)
         .evaluateAdaptive(samples, policy, opts.limit, opts.progress);
 }
 
@@ -280,29 +467,9 @@ ScNetworkEngine::predict(const std::vector<nn::Sample> &samples,
                          const EvalOptions &opts) const
 {
     const int threads = opts.threads < 0 ? cfg_.threads : opts.threads;
-    return BatchRunner(*this, threads)
+    const int cohort = opts.cohort <= 0 ? cfg_.cohort : opts.cohort;
+    return BatchRunner(*this, threads, cohort)
         .run(samples, opts.limit, opts.progress);
-}
-
-double
-ScNetworkEngine::evaluate(const std::vector<nn::Sample> &samples, int limit,
-                          bool progress) const
-{
-    EvalOptions opts;
-    opts.limit = limit;
-    opts.progress = progress;
-    return evaluate(samples, opts).accuracy;
-}
-
-ScEvalStats
-ScNetworkEngine::evaluateBatch(const std::vector<nn::Sample> &samples,
-                               int limit, int threads, bool progress) const
-{
-    EvalOptions opts;
-    opts.limit = limit;
-    opts.threads = threads;
-    opts.progress = progress;
-    return evaluate(samples, opts);
 }
 
 } // namespace aqfpsc::core

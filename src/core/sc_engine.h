@@ -41,6 +41,11 @@ namespace aqfpsc::core {
 
 class ScStage;
 class StageWorkspace;
+class CohortWorkspace;
+
+namespace stages {
+struct ExecutionPlan;
+} // namespace stages
 
 /**
  * Which hardware's arithmetic the engine emulates.
@@ -50,6 +55,10 @@ class StageWorkspace;
  * "float-ref", ...) via ScEngineConfig::backendName or
  * EngineOptions::backend; the enum only survives so existing call sites
  * keep compiling and cannot name backends registered outside this core.
+ * It is retained deliberately (unlike the removed ScStage::run() and
+ * evaluate/evaluateBatch forwarders): it is a two-value POD with no
+ * maintenance surface, and deleting it would churn every stored
+ * ScEngineConfig for no behavioral gain.
  */
 enum class ScBackend
 {
@@ -88,6 +97,14 @@ struct ScEngineConfig
      * hardware thread).  Results are bit-identical for any value.
      */
     int threads = 1;
+    /**
+     * Images per execution cohort (stage-major batching): each worker
+     * pushes up to this many images through every stage together, so
+     * weight streams are traversed once per cohort instead of once per
+     * image.  Results are bit-identical for any value (per-image seeds
+     * are untouched); clamped to [1, kMaxCohortImages of stage.h].
+     */
+    int cohort = 1;
 
     /** The authoritative backend name: backendName, or the enum's. */
     std::string resolvedBackend() const
@@ -107,6 +124,7 @@ struct EvalOptions
     int limit = -1;       ///< evaluate only the first limit samples (<0 = all)
     int threads = -1;     ///< <0 = config().threads, 0 = one per hw thread
     bool progress = false; ///< thread-safe dots + final summary line
+    int cohort = -1;       ///< images per cohort; <=0 = config().cohort
 };
 
 /** Per-class SC scores plus the argmax prediction. */
@@ -278,6 +296,35 @@ class ScNetworkEngine
                                      const AdaptivePolicy &policy) const;
 
     /**
+     * Stage-major cohort execution: run @p count images (each with the
+     * per-image seed of its entry in @p indices) through the stage graph
+     * together, one stage dispatch per stage for the whole cohort.
+     * Weight streams are traversed once per cohort, and every prediction
+     * is bit-identical to inferIndexed(*images[c], indices[c]) — cohort
+     * size changes throughput only, never results.  @p out receives
+     * @p count predictions.  @p count must not exceed the workspace's
+     * capacity.  Thread-safe across distinct workspaces.
+     */
+    void inferCohort(const nn::Tensor *const images[],
+                     const std::size_t indices[], std::size_t count,
+                     CohortWorkspace &workspace, ScPrediction out[]) const;
+
+    /**
+     * Adaptive early-exit cohort execution: the cohort advances through
+     * checkpoint blocks together and images whose margin clears the
+     * policy's threshold are retired, compacting the cohort in place, so
+     * the remaining images keep the stage-major amortization.  Each
+     * result is bit-identical to inferAdaptive(*images[c], indices[c],
+     * policy) for deterministic policies.
+     * @throws std::invalid_argument like inferAdaptive().
+     */
+    void inferAdaptiveCohort(const nn::Tensor *const images[],
+                             const std::size_t indices[], std::size_t count,
+                             CohortWorkspace &workspace,
+                             const AdaptivePolicy &policy,
+                             AdaptivePrediction out[]) const;
+
+    /**
      * THE batched evaluation entry point: fans the batch across a
      * BatchRunner and returns accuracy plus timing stats.  Worker count
      * comes from config().threads unless @p opts overrides it.
@@ -302,23 +349,6 @@ class ScNetworkEngine
     std::vector<ScPrediction> predict(const std::vector<nn::Sample> &samples,
                                       const EvalOptions &opts = {}) const;
 
-    /**
-     * Accuracy over samples (optionally only the first @p limit).
-     * @deprecated Thin forwarder to evaluate(samples, EvalOptions);
-     * kept so pre-registry call sites compile unchanged.
-     */
-    double evaluate(const std::vector<nn::Sample> &samples, int limit = -1,
-                    bool progress = false) const;
-
-    /**
-     * Batched evaluation with an explicit worker count.
-     * @deprecated Thin forwarder to evaluate(samples, EvalOptions) with
-     * EvalOptions::threads set; new code passes EvalOptions directly.
-     */
-    ScEvalStats evaluateBatch(const std::vector<nn::Sample> &samples,
-                              int limit = -1, int threads = 1,
-                              bool progress = false) const;
-
     /** Engine configuration. */
     const ScEngineConfig &config() const { return cfg_; }
 
@@ -326,16 +356,19 @@ class ScNetworkEngine
     const std::string &backendName() const { return backendName_; }
 
     /** Number of compiled stages (terminal stage included). */
-    std::size_t stageCount() const { return stages_.size(); }
+    std::size_t stageCount() const;
 
     /** Compiled stage @p i, in execution order. */
-    const ScStage &stage(std::size_t i) const { return *stages_[i]; }
+    const ScStage &stage(std::size_t i) const;
+
+    /** The compiled execution plan (stage graph + buffer plan). */
+    const stages::ExecutionPlan &plan() const { return *plan_; }
 
   private:
     ScEngineConfig cfg_;
     std::string backendName_;
     bool encodeInputStreams_ = true; ///< from the backend's traits
-    std::vector<std::unique_ptr<ScStage>> stages_;
+    std::unique_ptr<stages::ExecutionPlan> plan_;
 };
 
 } // namespace aqfpsc::core

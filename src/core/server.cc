@@ -38,11 +38,14 @@ ServerOptions::validate() const
             "]: pending requests own their image tensors, so the bound "
             "is what keeps a slow consumer from exhausting memory");
     }
-    if (maxBatch < 1) {
+    if (maxBatch < 1 ||
+        static_cast<std::size_t>(maxBatch) > kMaxQueueCapacity) {
         errors.push_back(
-            "maxBatch " + std::to_string(maxBatch) +
-            " must be >= 1: it is the number of requests a worker pops "
-            "per queue lock (micro-batching amortization)");
+            "maxBatch " + std::to_string(maxBatch) + " out of [1, " +
+            std::to_string(kMaxQueueCapacity) +
+            "]: it is the number of requests a worker pops per queue "
+            "lock (micro-batching amortization) and each worker "
+            "pre-reserves that many request slots");
     }
     if (adaptive) {
         for (const std::string &e : policy.validate())
@@ -171,10 +174,16 @@ void
 InferenceServer::workerLoop()
 {
     // One arena per worker, built once: steady-state serving performs no
-    // heap allocation inside the stage pipeline.
-    StageWorkspace workspace(*engine_);
+    // heap allocation inside the stage pipeline.  A popped micro-batch
+    // is served as stage-major cohorts (requestId = image index keeps
+    // every prediction the same pure function as per-request serving).
+    const std::size_t cohortCap = std::min<std::size_t>(
+        static_cast<std::size_t>(opts_.maxBatch), kMaxCohortImages);
+    CohortWorkspace workspace(*engine_, cohortCap);
     std::vector<Request> batch;
-    batch.reserve(static_cast<std::size_t>(opts_.maxBatch));
+    // A pop can never exceed what the queue may hold.
+    batch.reserve(std::min(static_cast<std::size_t>(opts_.maxBatch),
+                           opts_.queueCapacity));
 
     for (;;) {
         batch.clear();
@@ -196,47 +205,90 @@ InferenceServer::workerLoop()
         // slots may have opened).
         notFull_.notify_all();
 
-        for (Request &request : batch) {
-            const auto picked = std::chrono::steady_clock::now();
-            ServedPrediction served;
-            served.requestId = request.id;
-            served.queueSeconds =
-                std::chrono::duration<double>(picked - request.enqueued)
-                    .count();
-            try {
-                if (opts_.adaptive) {
-                    AdaptivePrediction adaptive = engine_->inferAdaptive(
-                        request.image, request.id, workspace,
-                        opts_.policy);
-                    served.prediction = std::move(adaptive.prediction);
-                    served.consumedCycles = adaptive.consumedCycles;
-                    served.exitedEarly = adaptive.exitedEarly;
-                } else {
-                    served.prediction = engine_->inferIndexed(
-                        request.image, request.id, workspace);
-                    served.consumedCycles = engine_->config().streamLen;
-                }
-                served.serviceSeconds =
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - picked)
-                        .count();
-                // Count before fulfilling: a caller returning from
-                // future.get() must already see itself in stats().
-                {
-                    const std::lock_guard<std::mutex> lock(mutex_);
-                    ++completed_;
-                    consumedCycles_ += served.consumedCycles;
-                    if (served.exitedEarly)
-                        ++earlyExits_;
-                }
-                request.promise.set_value(std::move(served));
-            } catch (...) {
-                {
-                    const std::lock_guard<std::mutex> lock(mutex_);
-                    ++failed_;
-                }
-                request.promise.set_exception(std::current_exception());
+        for (std::size_t off = 0; off < batch.size(); off += cohortCap)
+            serveCohort(batch, off,
+                        std::min(cohortCap, batch.size() - off),
+                        workspace);
+    }
+}
+
+void
+InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
+                             std::size_t count, CohortWorkspace &workspace)
+{
+    const auto picked = std::chrono::steady_clock::now();
+    const nn::Tensor *images[kMaxCohortImages];
+    std::size_t ids[kMaxCohortImages];
+    for (std::size_t j = 0; j < count; ++j) {
+        images[j] = &batch[off + j].image;
+        ids[j] = batch[off + j].id;
+    }
+
+    ScPrediction preds[kMaxCohortImages];
+    AdaptivePrediction apreds[kMaxCohortImages];
+    bool cohortOk = true;
+    try {
+        if (opts_.adaptive)
+            engine_->inferAdaptiveCohort(images, ids, count, workspace,
+                                         opts_.policy, apreds);
+        else
+            engine_->inferCohort(images, ids, count, workspace, preds);
+    } catch (...) {
+        cohortOk = false;
+    }
+    const double serviceSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      picked)
+            .count();
+
+    for (std::size_t j = 0; j < count; ++j) {
+        Request &request = batch[off + j];
+        ServedPrediction served;
+        served.requestId = request.id;
+        served.queueSeconds =
+            std::chrono::duration<double>(picked - request.enqueued)
+                .count();
+        // Execution is cohort-granular, so the measured service time is
+        // shared by every request of the cohort.
+        served.serviceSeconds = serviceSeconds;
+        try {
+            if (!cohortOk) {
+                // Isolate the failure: re-run this request as a cohort
+                // of one (bit-identical result), so one bad request
+                // cannot fail its cohort-mates.
+                if (opts_.adaptive)
+                    engine_->inferAdaptiveCohort(&images[j], &ids[j], 1,
+                                                 workspace, opts_.policy,
+                                                 &apreds[j]);
+                else
+                    engine_->inferCohort(&images[j], &ids[j], 1,
+                                         workspace, &preds[j]);
             }
+            if (opts_.adaptive) {
+                served.prediction = std::move(apreds[j].prediction);
+                served.consumedCycles = apreds[j].consumedCycles;
+                served.exitedEarly = apreds[j].exitedEarly;
+            } else {
+                served.prediction = std::move(preds[j]);
+                served.consumedCycles = engine_->config().streamLen;
+            }
+            // Count before fulfilling: a caller returning from
+            // future.get() must already see itself in stats().  All
+            // counters are per image, never per cohort or queue pop.
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                ++completed_;
+                consumedCycles_ += served.consumedCycles;
+                if (served.exitedEarly)
+                    ++earlyExits_;
+            }
+            request.promise.set_value(std::move(served));
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                ++failed_;
+            }
+            request.promise.set_exception(std::current_exception());
         }
     }
 }

@@ -22,11 +22,13 @@
  *    shuts down.  Any number of producer threads may submit
  *    concurrently.
  *  - **Micro-batching workers.**  Each worker pops up to maxBatch
- *    requests in one critical section and serves them back-to-back from
- *    its thread-local StageWorkspace — queue lock traffic is amortized
- *    over the batch and the arena stays cache-hot, which is what the
- *    zero-allocation kernels want.  Per-request work may vary wildly
- *    (adaptive early exit); idle workers simply pop the next batch.
+ *    requests in one critical section and serves them as stage-major
+ *    execution cohorts from its thread-local CohortWorkspace — queue
+ *    lock traffic is amortized over the batch, and every stage's weight
+ *    streams are traversed once per cohort instead of once per request,
+ *    which is what the interleaved kernel cores want.  Per-request work
+ *    may vary wildly (adaptive early exit compacts the cohort in
+ *    place); idle workers simply pop the next batch.
  *  - **Deterministic identity.**  Every request gets a monotonically
  *    increasing requestId used as the inference image index, so a
  *    request's prediction is the pure function
@@ -69,7 +71,9 @@ struct ServerOptions
 {
     int workers = 1;                 ///< worker threads (0 = one per hw thread)
     std::size_t queueCapacity = 256; ///< pending-request bound (backpressure)
-    int maxBatch = 8;                ///< max requests popped per worker wake
+    /** Max requests popped per worker wake; also the execution cohort
+     *  size (clamped to kMaxCohortImages for the stage-major kernels). */
+    int maxBatch = 8;
     /** Serve with adaptive early exit under @ref policy instead of
      *  full-length inference (requires a resumable backend). */
     bool adaptive = false;
@@ -95,7 +99,15 @@ struct ServedPrediction
     double serviceSeconds = 0.0;    ///< worker pickup -> done
 };
 
-/** Counters since construction (monotonic, racy-read consistent). */
+/**
+ * Counters since construction (monotonic, racy-read consistent).
+ *
+ * All counters are cohort-aware, i.e. per *image*: completed/failed/
+ * earlyExits count individual requests and avgConsumedCycles averages
+ * per-request cycles, no matter how many requests one cohort execution
+ * served.  Only batches counts worker queue pops, so avgBatchSize =
+ * images per pop — the micro-batching (and cohort) amortization factor.
+ */
 struct ServerStats
 {
     std::uint64_t submitted = 0;    ///< requests accepted into the queue
@@ -103,8 +115,8 @@ struct ServerStats
     std::uint64_t failed = 0;       ///< futures satisfied with an exception
     std::uint64_t earlyExits = 0;   ///< completed with exitedEarly
     std::uint64_t batches = 0;      ///< worker micro-batch pops
-    double avgConsumedCycles = 0.0; ///< mean cycles over completed
-    double avgBatchSize = 0.0;      ///< (completed + failed) / batches
+    double avgConsumedCycles = 0.0; ///< mean cycles over completed images
+    double avgBatchSize = 0.0;      ///< images per pop: (completed + failed) / batches
 };
 
 /**
@@ -171,6 +183,10 @@ class InferenceServer
     };
 
     void workerLoop();
+
+    /** Serve batch[off, off + count) as one stage-major cohort. */
+    void serveCohort(std::vector<Request> &batch, std::size_t off,
+                     std::size_t count, CohortWorkspace &workspace);
 
     const InferenceSession &session_;
     ServerOptions opts_;

@@ -8,6 +8,12 @@
 
 namespace aqfpsc::core {
 
+// validate() promises exactly the bound the execution layer clamps to.
+static_assert(EngineOptions::kMaxCohort ==
+                  static_cast<int>(kMaxCohortImages),
+              "EngineOptions::kMaxCohort must match stage.h's "
+              "kMaxCohortImages");
+
 std::vector<std::string>
 EngineOptions::validate() const
 {
@@ -38,6 +44,14 @@ EngineOptions::validate() const
             "]: 0 means one worker per hardware thread; the batch "
             "runner clamps worker pools at " + std::to_string(kMaxThreads));
     }
+    if (cohort < 1 || cohort > kMaxCohort) {
+        errors.push_back(
+            "cohort " + std::to_string(cohort) + " out of [1, " +
+            std::to_string(kMaxCohort) +
+            "]: the stage-major kernel cores keep per-cohort pointer "
+            "tables on the stack, so cohorts are bounded; larger batches "
+            "simply run as several cohorts");
+    }
     for (const std::string &e : adaptive.validate())
         errors.push_back("adaptive: " + e);
     return errors;
@@ -66,6 +80,7 @@ EngineOptions::toConfig(const std::string &backendOverride) const
     cfg.rngBits = rngBits;
     cfg.seed = seed;
     cfg.threads = threads;
+    cfg.cohort = cohort;
     cfg.approximateApc = approximateApc;
     cfg.backendName = backendOverride.empty() ? backend : backendOverride;
     // Keep the deprecated enum coherent for legacy readers of config().

@@ -62,6 +62,10 @@ struct EngineOptions
     int rngBits = 10;                    ///< SNG code width
     std::uint64_t seed = 123;            ///< randomness seed
     int threads = 1;                     ///< workers (0 = one per hw thread)
+    /** Images per stage-major execution cohort: each worker pushes up to
+     *  this many images through every stage together, amortizing weight-
+     *  stream traversal.  Bit-identical results at any value. */
+    int cohort = 1;
     bool approximateApc = false;         ///< cmos-apc: OR-pair first layer
     /** Early-exit policy of the session's adaptive entry points
      *  (inferAdaptive/evaluateAdaptive, core::InferenceServer);
@@ -73,6 +77,7 @@ struct EngineOptions
     static constexpr std::size_t kMaxStreamLen = std::size_t{1} << 22;
     static constexpr int kMaxRngBits = 24;
     static constexpr int kMaxThreads = 256; ///< BatchRunner's clamp
+    static constexpr int kMaxCohort = 64;   ///< == stages' kMaxCohortImages
 
     /**
      * All configuration errors, each one actionable; empty means valid.

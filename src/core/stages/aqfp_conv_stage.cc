@@ -1,8 +1,5 @@
 #include "aqfp_conv_stage.h"
 
-#include <cassert>
-
-#include "blocks/feedback_unit.h"
 #include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
@@ -14,126 +11,15 @@ const ConvStageRegistration kRegistration{
         return std::make_unique<AqfpConvStage>(g, std::move(init.streams));
     }};
 
-/** Column counter + feedback unit reused across all output pixels. */
-struct ConvScratch final : StageScratch
-{
-    ConvScratch(std::size_t len, int max_m, std::size_t rows)
-        : counts(len, max_m), unit(1), carries(rows, 0)
-    {
-    }
-
-    sc::ColumnCounts counts;
-    blocks::FeatureFeedbackUnit unit;
-    /** Per-output-pixel feedback count, resumed across spans. */
-    std::vector<int> carries;
-};
-
 } // namespace
 
 std::string
 AqfpConvStage::name() const
 {
-    return "AqfpConv " + std::to_string(geom_.outC) + "x" +
-           std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW) +
-           " k" + std::to_string(geom_.kernel);
-}
-
-StageFootprint
-AqfpConvStage::footprint() const
-{
-    return {static_cast<std::size_t>(geom_.outC) * geom_.outH *
-            geom_.outW};
-}
-
-std::unique_ptr<StageScratch>
-AqfpConvStage::makeScratch() const
-{
-    // Interior window + bias + possible neutral bounds the counts.
-    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
-    return std::make_unique<ConvScratch>(streams_.weights.streamLen(),
-                                         max_m, footprint().outputRows);
-}
-
-void
-AqfpConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                       StageContext &ctx, StageScratch *scratch) const
-{
-    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
-}
-
-void
-AqfpConvStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                       StageContext &, StageScratch *scratch,
-                       std::size_t begin, std::size_t end) const
-{
-    const std::size_t len = streams_.weights.streamLen();
-    assert(begin % 64 == 0 && begin < end && end <= len);
-    // Span streams are accumulated at plane offset 0 of the scratch
-    // counter and driven through the incremental kernel entry point, so
-    // a span costs exactly its share of the full-stream work.
-    const std::size_t w0 = begin / 64;
-    const std::size_t sw = (end - begin + 63) / 64;
-
-    out.reset(footprint().outputRows, len);
-    auto &ws = *static_cast<ConvScratch *>(scratch);
-    sc::ColumnCounts &counts = ws.counts;
-    blocks::FeatureFeedbackUnit &unit = ws.unit;
-    const std::uint64_t *neutral = streams_.neutral.row(0);
-
-    for (int oc = 0; oc < geom_.outC; ++oc) {
-        const std::uint64_t *bias =
-            streams_.biases.row(static_cast<std::size_t>(oc));
-        for (int y = 0; y < geom_.outH; ++y) {
-            for (int x = 0; x < geom_.outW; ++x) {
-                counts.clear();
-                int m = 0;
-                // Pair up window products for the 3:2 carry-save add;
-                // an odd trailing product goes in alone.
-                const std::uint64_t *px = nullptr;
-                const std::uint64_t *pw = nullptr;
-                forEachConvProduct(
-                    geom_, in, streams_.weights, oc, y, x,
-                    [&](const std::uint64_t *xr, const std::uint64_t *wr) {
-                        if (px != nullptr) {
-                            counts.addXnor2(px + w0, pw + w0, xr + w0,
-                                            wr + w0, sw);
-                            px = nullptr;
-                        } else {
-                            px = xr;
-                            pw = wr;
-                        }
-                        ++m;
-                    });
-                if (px != nullptr)
-                    counts.addXnor(px + w0, pw + w0, sw);
-                // Bias enters the sum as one more product stream of fixed
-                // value (its "input" is the constant 1 stream).
-                counts.addWords(bias + w0, sw);
-                ++m;
-
-                // The sorter block needs an odd input count; pad with the
-                // neutral (value 0) stream when even.
-                int eff_m = m;
-                if (m % 2 == 0) {
-                    counts.addWords(neutral + w0, sw);
-                    eff_m = m + 1;
-                }
-
-                const std::size_t out_row =
-                    (static_cast<std::size_t>(oc) * geom_.outH + y) *
-                        geom_.outW +
-                    x;
-                if (begin == 0)
-                    unit.reset(eff_m);
-                else
-                    unit.restore(eff_m, ws.carries[out_row]);
-                counts.drivePrefix(end - begin,
-                                   [&](int c) { return unit.step(c); },
-                                   out.row(out_row) + w0);
-                ws.carries[out_row] = unit.carry();
-            }
-        }
-    }
+    return "AqfpConv " + std::to_string(gather_.g.outC) + "x" +
+           std::to_string(gather_.g.outH) + "x" +
+           std::to_string(gather_.g.outW) + " k" +
+           std::to_string(gather_.g.kernel);
 }
 
 } // namespace aqfpsc::core::stages

@@ -2,6 +2,8 @@
  * @file
  * Conv stage on the AQFP sorter backend: every output pixel/channel is
  * one sorter-based feature-extraction block (Algorithm 1, counter form).
+ * Thin instantiation of the shared linear kernel core — conv is
+ * dense-with-window-gather.
  */
 
 #ifndef AQFPSC_CORE_STAGES_AQFP_CONV_STAGE_H
@@ -13,32 +15,16 @@
 namespace aqfpsc::core::stages {
 
 /** Feature extraction over conv windows via sorter + feedback blocks. */
-class AqfpConvStage final : public ScStage
+class AqfpConvStage final
+    : public LinearScStage<SorterMajorityPolicy, ConvWindowGather>
 {
   public:
     AqfpConvStage(const ConvGeometry &geom, FeatureStreams streams)
-        : geom_(geom), streams_(std::move(streams))
+        : LinearScStage(ConvWindowGather{geom}, std::move(streams), {})
     {
     }
 
     std::string name() const override;
-
-    StageFootprint footprint() const override;
-
-    std::unique_ptr<StageScratch> makeScratch() const override;
-
-    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch) const override;
-
-    bool resumable() const override { return true; }
-
-    void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch,
-                 std::size_t begin, std::size_t end) const override;
-
-  private:
-    ConvGeometry geom_;
-    FeatureStreams streams_;
 };
 
 } // namespace aqfpsc::core::stages

@@ -1,8 +1,5 @@
 #include "aqfp_dense_stage.h"
 
-#include <cassert>
-
-#include "blocks/feedback_unit.h"
 #include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
@@ -14,105 +11,13 @@ const DenseStageRegistration kRegistration{
         return std::make_unique<AqfpDenseStage>(g, std::move(init.streams));
     }};
 
-/** Column counter + feedback unit reused across all output neurons. */
-struct DenseScratch final : StageScratch
-{
-    DenseScratch(std::size_t len, int max_m, std::size_t rows)
-        : counts(len, max_m), unit(1), carries(rows, 0)
-    {
-    }
-
-    sc::ColumnCounts counts;
-    blocks::FeatureFeedbackUnit unit;
-    /** Per-output-neuron feedback count, resumed across spans. */
-    std::vector<int> carries;
-};
-
 } // namespace
 
 std::string
 AqfpDenseStage::name() const
 {
-    return "AqfpDense " + std::to_string(geom_.inFeatures) + "->" +
-           std::to_string(geom_.outFeatures);
-}
-
-StageFootprint
-AqfpDenseStage::footprint() const
-{
-    return {static_cast<std::size_t>(geom_.outFeatures)};
-}
-
-std::unique_ptr<StageScratch>
-AqfpDenseStage::makeScratch() const
-{
-    return std::make_unique<DenseScratch>(streams_.weights.streamLen(),
-                                          geom_.inFeatures + 2,
-                                          footprint().outputRows);
-}
-
-void
-AqfpDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                        StageContext &ctx, StageScratch *scratch) const
-{
-    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
-}
-
-void
-AqfpDenseStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                        StageContext &, StageScratch *scratch,
-                        std::size_t begin, std::size_t end) const
-{
-    assert(static_cast<int>(in.rows()) == geom_.inFeatures);
-    const std::size_t len = streams_.weights.streamLen();
-    assert(begin % 64 == 0 && begin < end && end <= len);
-    const std::size_t w0 = begin / 64;
-    const std::size_t sw = (end - begin + 63) / 64;
-
-    out.reset(static_cast<std::size_t>(geom_.outFeatures), len);
-    auto &ws = *static_cast<DenseScratch *>(scratch);
-    sc::ColumnCounts &counts = ws.counts;
-    blocks::FeatureFeedbackUnit &unit = ws.unit;
-
-    // The input count is the same for every output neuron: hoist the
-    // odd/even padding decision (and the neutral row) out of the loop.
-    const int m_total = geom_.inFeatures + 1; // + bias
-    const bool pad = m_total % 2 == 0;
-    const int eff_m = pad ? m_total + 1 : m_total;
-    const std::uint64_t *neutral = streams_.neutral.row(0);
-
-    for (int o = 0; o < geom_.outFeatures; ++o) {
-        counts.clear();
-        const sc::StreamMatrix &w = streams_.weights;
-        const std::size_t wbase =
-            static_cast<std::size_t>(o) * geom_.inFeatures;
-        int j = 0;
-        for (; j + 1 < geom_.inFeatures; j += 2) {
-            counts.addXnor2(
-                in.row(static_cast<std::size_t>(j)) + w0,
-                w.row(wbase + static_cast<std::size_t>(j)) + w0,
-                in.row(static_cast<std::size_t>(j) + 1) + w0,
-                w.row(wbase + static_cast<std::size_t>(j) + 1) + w0, sw);
-        }
-        if (j < geom_.inFeatures) {
-            counts.addXnor(in.row(static_cast<std::size_t>(j)) + w0,
-                           w.row(wbase + static_cast<std::size_t>(j)) + w0,
-                           sw);
-        }
-        counts.addWords(
-            streams_.biases.row(static_cast<std::size_t>(o)) + w0, sw);
-        if (pad)
-            counts.addWords(neutral + w0, sw);
-
-        if (begin == 0)
-            unit.reset(eff_m);
-        else
-            unit.restore(eff_m, ws.carries[static_cast<std::size_t>(o)]);
-        counts.drivePrefix(end - begin,
-                           [&](int c) { return unit.step(c); },
-                           out.row(static_cast<std::size_t>(o)) + w0);
-        ws.carries[static_cast<std::size_t>(o)] = unit.carry();
-    }
+    return "AqfpDense " + std::to_string(gather_.g.inFeatures) + "->" +
+           std::to_string(gather_.g.outFeatures);
 }
 
 } // namespace aqfpsc::core::stages

@@ -1,7 +1,8 @@
 /**
  * @file
  * Hidden fully-connected stage on the AQFP sorter backend: one
- * sorter-based feature-extraction block per output neuron.
+ * sorter-based feature-extraction block per output neuron.  Thin
+ * instantiation of the shared linear kernel core.
  */
 
 #ifndef AQFPSC_CORE_STAGES_AQFP_DENSE_STAGE_H
@@ -13,32 +14,16 @@
 namespace aqfpsc::core::stages {
 
 /** Feature extraction over a flat input via sorter + feedback blocks. */
-class AqfpDenseStage final : public ScStage
+class AqfpDenseStage final
+    : public LinearScStage<SorterMajorityPolicy, DenseGather>
 {
   public:
     AqfpDenseStage(const DenseGeometry &geom, FeatureStreams streams)
-        : geom_(geom), streams_(std::move(streams))
+        : LinearScStage(DenseGather{geom}, std::move(streams), {})
     {
     }
 
     std::string name() const override;
-
-    StageFootprint footprint() const override;
-
-    std::unique_ptr<StageScratch> makeScratch() const override;
-
-    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch) const override;
-
-    bool resumable() const override { return true; }
-
-    void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch,
-                 std::size_t begin, std::size_t end) const override;
-
-  private:
-    DenseGeometry geom_;
-    FeatureStreams streams_;
 };
 
 } // namespace aqfpsc::core::stages

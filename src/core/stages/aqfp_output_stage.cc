@@ -21,14 +21,6 @@ majWord(std::uint64_t a, std::uint64_t b, std::uint64_t c)
     return (a & b) | (a & c) | (b & c);
 }
 
-/** Per-class ones count of the chain output, resumed across spans. */
-struct OutputScratch final : StageScratch
-{
-    explicit OutputScratch(std::size_t classes) : ones(classes, 0) {}
-
-    std::vector<std::size_t> ones;
-};
-
 } // namespace
 
 std::string
@@ -41,7 +33,7 @@ AqfpOutputStage::name() const
 std::unique_ptr<StageScratch>
 AqfpOutputStage::makeScratch() const
 {
-    return std::make_unique<OutputScratch>(
+    return std::make_unique<OnesScratch<std::size_t>>(
         static_cast<std::size_t>(geom_.outFeatures));
 }
 
@@ -64,9 +56,9 @@ AqfpOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
     const std::size_t w0 = begin / 64;
     const std::size_t w1 = (end + 63) / 64;
 
-    auto &ws = *static_cast<OutputScratch *>(scratch);
+    auto &ws = *static_cast<OnesScratch<std::size_t> *>(scratch);
     if (begin == 0)
-        ws.ones.assign(static_cast<std::size_t>(geom_.outFeatures), 0);
+        ws.rearm();
     ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
     const std::uint64_t *neutral = streams_.neutral.row(0);
 
@@ -100,8 +92,8 @@ AqfpOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
                 acc = majWord(acc, p1, p2);
                 j += 2;
             }
-            if (wi == wpr - 1 && len % 64 != 0)
-                acc &= (1ULL << (len % 64)) - 1;
+            if (wi == wpr - 1)
+                acc &= lastWordMask(len);
             ones += static_cast<std::size_t>(std::popcount(acc));
         }
         ws.ones[static_cast<std::size_t>(o)] = ones;

@@ -1,8 +1,5 @@
 #include "cmos_conv_stage.h"
 
-#include <cassert>
-
-#include "baseline/sc_dcnn.h"
 #include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
@@ -15,138 +12,15 @@ const ConvStageRegistration kRegistration{
             g, std::move(init.streams), init.cfg.approximateApc);
     }};
 
-/** APC column counter + OR-pair overcount model reused across pixels. */
-struct CmosConvScratch final : StageScratch
-{
-    CmosConvScratch(std::size_t len, int max_m, std::size_t rows)
-        : counts(len, max_m), over(len, max_m / 2 + 1),
-          prod((len + 63) / 64), states(rows, 0)
-    {
-    }
-
-    sc::ColumnCounts counts;
-    ApproxPairOvercount over;
-    /** Product buffer of the approximate-APC path (shared between the
-     *  counter and the overcount model: one XNOR pass per product). */
-    std::vector<std::uint64_t> prod;
-    /** Per-output-pixel Btanh counter state, resumed across spans. */
-    std::vector<int> states;
-};
-
 } // namespace
 
 std::string
 CmosConvStage::name() const
 {
-    return "CmosConv " + std::to_string(geom_.outC) + "x" +
-           std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW) +
-           " k" + std::to_string(geom_.kernel);
-}
-
-StageFootprint
-CmosConvStage::footprint() const
-{
-    return {static_cast<std::size_t>(geom_.outC) * geom_.outH *
-            geom_.outW};
-}
-
-std::unique_ptr<StageScratch>
-CmosConvStage::makeScratch() const
-{
-    const int max_m = geom_.inC * geom_.kernel * geom_.kernel + 2;
-    return std::make_unique<CmosConvScratch>(streams_.weights.streamLen(),
-                                             max_m,
-                                             footprint().outputRows);
-}
-
-void
-CmosConvStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                       StageContext &ctx, StageScratch *scratch) const
-{
-    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
-}
-
-void
-CmosConvStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                       StageContext &, StageScratch *scratch,
-                       std::size_t begin, std::size_t end) const
-{
-    const std::size_t len = streams_.weights.streamLen();
-    assert(begin % 64 == 0 && begin < end && end <= len);
-    const std::size_t w0 = begin / 64;
-    const std::size_t sw = (end - begin + 63) / 64;
-
-    out.reset(footprint().outputRows, len);
-    auto &ws = *static_cast<CmosConvScratch *>(scratch);
-    sc::ColumnCounts &counts = ws.counts;
-    ApproxPairOvercount &over = ws.over;
-
-    for (int oc = 0; oc < geom_.outC; ++oc) {
-        const std::uint64_t *bias =
-            streams_.biases.row(static_cast<std::size_t>(oc));
-        for (int y = 0; y < geom_.outH; ++y) {
-            for (int x = 0; x < geom_.outW; ++x) {
-                counts.clear();
-                int m = 0;
-                if (approximateApc_) {
-                    // One XNOR pass per product, shared by the counter
-                    // and the overcount model.
-                    over.reset();
-                    forEachConvProduct(
-                        geom_, in, streams_.weights, oc, y, x,
-                        [&](const std::uint64_t *xr,
-                            const std::uint64_t *wr) {
-                            xnorProduct(ws.prod.data(), xr + w0, wr + w0,
-                                        sw);
-                            counts.addWords(ws.prod.data(), sw);
-                            over.observe(ws.prod, sw);
-                            ++m;
-                        });
-                } else {
-                    // Pair up window products for the 3:2 carry-save
-                    // add; an odd trailing product goes in alone.
-                    const std::uint64_t *px = nullptr;
-                    const std::uint64_t *pw = nullptr;
-                    forEachConvProduct(
-                        geom_, in, streams_.weights, oc, y, x,
-                        [&](const std::uint64_t *xr,
-                            const std::uint64_t *wr) {
-                            if (px != nullptr) {
-                                counts.addXnor2(px + w0, pw + w0, xr + w0,
-                                                wr + w0, sw);
-                                px = nullptr;
-                            } else {
-                                px = xr;
-                                pw = wr;
-                            }
-                            ++m;
-                        });
-                    if (px != nullptr)
-                        counts.addXnor(px + w0, pw + w0, sw);
-                }
-                counts.addWords(bias + w0, sw);
-                ++m;
-
-                const std::size_t out_row =
-                    (static_cast<std::size_t>(oc) * geom_.outH + y) *
-                        geom_.outW +
-                    x;
-                std::uint64_t *dst = out.row(out_row) + w0;
-                // s_max / 2 with s_max = 2m; resumed across spans.
-                int state = begin == 0 ? m : ws.states[out_row];
-                auto step = [&](int c) {
-                    return baseline::ApcFeatureExtraction::btanhStep(
-                        state, c, m, 2 * m);
-                };
-                if (approximateApc_)
-                    counts.driveWithOvercountPrefix(over.counts(), m,
-                                                    end - begin, step, dst);
-                else
-                    counts.drivePrefix(end - begin, step, dst);
-                ws.states[out_row] = state;
-            }
-        }
-    }
+    return "CmosConv " + std::to_string(gather_.g.outC) + "x" +
+           std::to_string(gather_.g.outH) + "x" +
+           std::to_string(gather_.g.outW) + " k" +
+           std::to_string(gather_.g.kernel);
 }
 
 } // namespace aqfpsc::core::stages

@@ -2,7 +2,8 @@
  * @file
  * Conv stage on the CMOS SC-DCNN baseline: APC column counts feed a
  * Btanh activation counter (optionally modelling the first-layer OR-pair
- * approximate counter).
+ * approximate counter).  Thin instantiation of the shared linear kernel
+ * core — conv is dense-with-window-gather.
  */
 
 #ifndef AQFPSC_CORE_STAGES_CMOS_CONV_STAGE_H
@@ -14,35 +15,18 @@
 namespace aqfpsc::core::stages {
 
 /** Feature extraction over conv windows via APC + Btanh. */
-class CmosConvStage final : public ScStage
+class CmosConvStage final
+    : public LinearScStage<ApcBtanhPolicy, ConvWindowGather>
 {
   public:
     CmosConvStage(const ConvGeometry &geom, FeatureStreams streams,
                   bool approximate_apc)
-        : geom_(geom), streams_(std::move(streams)),
-          approximateApc_(approximate_apc)
+        : LinearScStage(ConvWindowGather{geom}, std::move(streams),
+                        ApcBtanhPolicy{approximate_apc})
     {
     }
 
     std::string name() const override;
-
-    StageFootprint footprint() const override;
-
-    std::unique_ptr<StageScratch> makeScratch() const override;
-
-    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch) const override;
-
-    bool resumable() const override { return true; }
-
-    void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch,
-                 std::size_t begin, std::size_t end) const override;
-
-  private:
-    ConvGeometry geom_;
-    FeatureStreams streams_;
-    bool approximateApc_;
 };
 
 } // namespace aqfpsc::core::stages

@@ -1,8 +1,5 @@
 #include "cmos_dense_stage.h"
 
-#include <cassert>
-
-#include "baseline/sc_dcnn.h"
 #include "core/backend_registry.h"
 
 namespace aqfpsc::core::stages {
@@ -15,122 +12,13 @@ const DenseStageRegistration kRegistration{
             g, std::move(init.streams), init.cfg.approximateApc);
     }};
 
-/** APC column counter + OR-pair overcount model reused across neurons. */
-struct CmosDenseScratch final : StageScratch
-{
-    CmosDenseScratch(std::size_t len, int m_total, std::size_t rows)
-        : counts(len, m_total + 1), over(len, m_total / 2 + 1),
-          prod((len + 63) / 64), states(rows, 0)
-    {
-    }
-
-    sc::ColumnCounts counts;
-    ApproxPairOvercount over;
-    /** Product buffer of the approximate-APC path (shared between the
-     *  counter and the overcount model: one XNOR pass per product). */
-    std::vector<std::uint64_t> prod;
-    /** Per-output-neuron Btanh counter state, resumed across spans. */
-    std::vector<int> states;
-};
-
 } // namespace
 
 std::string
 CmosDenseStage::name() const
 {
-    return "CmosDense " + std::to_string(geom_.inFeatures) + "->" +
-           std::to_string(geom_.outFeatures);
-}
-
-StageFootprint
-CmosDenseStage::footprint() const
-{
-    return {static_cast<std::size_t>(geom_.outFeatures)};
-}
-
-std::unique_ptr<StageScratch>
-CmosDenseStage::makeScratch() const
-{
-    return std::make_unique<CmosDenseScratch>(
-        streams_.weights.streamLen(), geom_.inFeatures + 1,
-        footprint().outputRows);
-}
-
-void
-CmosDenseStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                        StageContext &ctx, StageScratch *scratch) const
-{
-    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
-}
-
-void
-CmosDenseStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                        StageContext &, StageScratch *scratch,
-                        std::size_t begin, std::size_t end) const
-{
-    assert(static_cast<int>(in.rows()) == geom_.inFeatures);
-    const std::size_t len = streams_.weights.streamLen();
-    assert(begin % 64 == 0 && begin < end && end <= len);
-    const std::size_t w0 = begin / 64;
-    const std::size_t sw = (end - begin + 63) / 64;
-
-    out.reset(static_cast<std::size_t>(geom_.outFeatures), len);
-    auto &ws = *static_cast<CmosDenseScratch *>(scratch);
-    sc::ColumnCounts &counts = ws.counts;
-    ApproxPairOvercount &over = ws.over;
-    const int m_total = geom_.inFeatures + 1; // + bias
-
-    for (int o = 0; o < geom_.outFeatures; ++o) {
-        counts.clear();
-        const sc::StreamMatrix &wm = streams_.weights;
-        const std::size_t wbase =
-            static_cast<std::size_t>(o) * geom_.inFeatures;
-        if (approximateApc_) {
-            // One XNOR pass per product, shared by the counter and the
-            // overcount model.
-            over.reset();
-            for (int j = 0; j < geom_.inFeatures; ++j) {
-                xnorProduct(ws.prod.data(),
-                            in.row(static_cast<std::size_t>(j)) + w0,
-                            wm.row(wbase + static_cast<std::size_t>(j)) +
-                                w0,
-                            sw);
-                counts.addWords(ws.prod.data(), sw);
-                over.observe(ws.prod, sw);
-            }
-        } else {
-            int j = 0;
-            for (; j + 1 < geom_.inFeatures; j += 2) {
-                counts.addXnor2(
-                    in.row(static_cast<std::size_t>(j)) + w0,
-                    wm.row(wbase + static_cast<std::size_t>(j)) + w0,
-                    in.row(static_cast<std::size_t>(j) + 1) + w0,
-                    wm.row(wbase + static_cast<std::size_t>(j) + 1) + w0,
-                    sw);
-            }
-            if (j < geom_.inFeatures) {
-                counts.addXnor(
-                    in.row(static_cast<std::size_t>(j)) + w0,
-                    wm.row(wbase + static_cast<std::size_t>(j)) + w0, sw);
-            }
-        }
-        counts.addWords(
-            streams_.biases.row(static_cast<std::size_t>(o)) + w0, sw);
-
-        std::uint64_t *dst = out.row(static_cast<std::size_t>(o)) + w0;
-        int state = begin == 0 ? m_total
-                               : ws.states[static_cast<std::size_t>(o)];
-        auto step = [&](int c) {
-            return baseline::ApcFeatureExtraction::btanhStep(
-                state, c, m_total, 2 * m_total);
-        };
-        if (approximateApc_)
-            counts.driveWithOvercountPrefix(over.counts(), m_total,
-                                            end - begin, step, dst);
-        else
-            counts.drivePrefix(end - begin, step, dst);
-        ws.states[static_cast<std::size_t>(o)] = state;
-    }
+    return "CmosDense " + std::to_string(gather_.g.inFeatures) + "->" +
+           std::to_string(gather_.g.outFeatures);
 }
 
 } // namespace aqfpsc::core::stages

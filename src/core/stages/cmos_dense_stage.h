@@ -1,7 +1,8 @@
 /**
  * @file
  * Hidden fully-connected stage on the CMOS SC-DCNN baseline: APC column
- * counts feed a Btanh activation counter.
+ * counts feed a Btanh activation counter.  Thin instantiation of the
+ * shared linear kernel core.
  */
 
 #ifndef AQFPSC_CORE_STAGES_CMOS_DENSE_STAGE_H
@@ -13,35 +14,18 @@
 namespace aqfpsc::core::stages {
 
 /** Feature extraction over a flat input via APC + Btanh. */
-class CmosDenseStage final : public ScStage
+class CmosDenseStage final
+    : public LinearScStage<ApcBtanhPolicy, DenseGather>
 {
   public:
     CmosDenseStage(const DenseGeometry &geom, FeatureStreams streams,
                    bool approximate_apc)
-        : geom_(geom), streams_(std::move(streams)),
-          approximateApc_(approximate_apc)
+        : LinearScStage(DenseGather{geom}, std::move(streams),
+                        ApcBtanhPolicy{approximate_apc})
     {
     }
 
     std::string name() const override;
-
-    StageFootprint footprint() const override;
-
-    std::unique_ptr<StageScratch> makeScratch() const override;
-
-    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch) const override;
-
-    bool resumable() const override { return true; }
-
-    void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *scratch,
-                 std::size_t begin, std::size_t end) const override;
-
-  private:
-    DenseGeometry geom_;
-    FeatureStreams streams_;
-    bool approximateApc_;
 };
 
 } // namespace aqfpsc::core::stages

@@ -14,14 +14,6 @@ const OutputStageRegistration kRegistration{
                                                  std::move(init.streams));
     }};
 
-/** Per-class APC ones count, resumed across spans. */
-struct OutputScratch final : StageScratch
-{
-    explicit OutputScratch(std::size_t classes) : ones(classes, 0) {}
-
-    std::vector<long long> ones;
-};
-
 } // namespace
 
 std::string
@@ -34,7 +26,7 @@ CmosOutputStage::name() const
 std::unique_ptr<StageScratch>
 CmosOutputStage::makeScratch() const
 {
-    return std::make_unique<OutputScratch>(
+    return std::make_unique<OnesScratch<long long>>(
         static_cast<std::size_t>(geom_.outFeatures));
 }
 
@@ -57,9 +49,9 @@ CmosOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
     const std::size_t w0 = begin / 64;
     const std::size_t w1 = (end + 63) / 64;
 
-    auto &ws = *static_cast<OutputScratch *>(scratch);
+    auto &ws = *static_cast<OnesScratch<long long> *>(scratch);
     if (begin == 0)
-        ws.ones.assign(static_cast<std::size_t>(geom_.outFeatures), 0);
+        ws.rearm();
     ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
 
     for (int o = 0; o < geom_.outFeatures; ++o) {
@@ -71,8 +63,8 @@ CmosOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
                 static_cast<std::size_t>(o) * geom_.inFeatures + j);
             for (std::size_t wi = w0; wi < w1; ++wi) {
                 std::uint64_t p = ~(xr[wi] ^ wr[wi]);
-                if (wi == wpr - 1 && len % 64 != 0)
-                    p &= (1ULL << (len % 64)) - 1;
+                if (wi == wpr - 1)
+                    p &= lastWordMask(len);
                 ones += std::popcount(p);
             }
         }

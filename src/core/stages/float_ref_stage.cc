@@ -71,8 +71,9 @@ FloatRefConvStage::name() const
            " k" + std::to_string(geom_.kernel);
 }
 
-sc::StreamMatrix
-FloatRefConvStage::run(const sc::StreamMatrix &, StageContext &ctx) const
+void
+FloatRefConvStage::runInto(const sc::StreamMatrix &, sc::StreamMatrix &out,
+                           StageContext &ctx, StageScratch *) const
 {
     const std::vector<float> x = takeValues(
         ctx, static_cast<std::size_t>(geom_.inC) * geom_.inH * geom_.inW);
@@ -112,7 +113,7 @@ FloatRefConvStage::run(const sc::StreamMatrix &, StageContext &ctx) const
     }
     applyActivation(y, activation_);
     ctx.values = std::move(y);
-    return {};
+    out.reset(0, 0); // value-domain: no streams flow between stages
 }
 
 FloatRefDenseStage::FloatRefDenseStage(const DenseGeometry &geom,
@@ -129,8 +130,9 @@ FloatRefDenseStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
-sc::StreamMatrix
-FloatRefDenseStage::run(const sc::StreamMatrix &, StageContext &ctx) const
+void
+FloatRefDenseStage::runInto(const sc::StreamMatrix &, sc::StreamMatrix &out,
+                            StageContext &ctx, StageScratch *) const
 {
     const std::vector<float> x =
         takeValues(ctx, static_cast<std::size_t>(geom_.inFeatures));
@@ -145,7 +147,7 @@ FloatRefDenseStage::run(const sc::StreamMatrix &, StageContext &ctx) const
     }
     applyActivation(y, activation_);
     ctx.values = std::move(y);
-    return {};
+    out.reset(0, 0); // value-domain: no streams flow between stages
 }
 
 std::string
@@ -155,8 +157,9 @@ FloatRefPoolStage::name() const
            std::to_string(geom_.outH) + "x" + std::to_string(geom_.outW);
 }
 
-sc::StreamMatrix
-FloatRefPoolStage::run(const sc::StreamMatrix &, StageContext &ctx) const
+void
+FloatRefPoolStage::runInto(const sc::StreamMatrix &, sc::StreamMatrix &out,
+                           StageContext &ctx, StageScratch *) const
 {
     const std::vector<float> x = takeValues(
         ctx,
@@ -180,7 +183,7 @@ FloatRefPoolStage::run(const sc::StreamMatrix &, StageContext &ctx) const
         }
     }
     ctx.values = std::move(y);
-    return {};
+    out.reset(0, 0); // value-domain: no streams flow between stages
 }
 
 FloatRefOutputStage::FloatRefOutputStage(const DenseGeometry &geom,
@@ -199,8 +202,9 @@ FloatRefOutputStage::name() const
            std::to_string(geom_.outFeatures);
 }
 
-sc::StreamMatrix
-FloatRefOutputStage::run(const sc::StreamMatrix &, StageContext &ctx) const
+void
+FloatRefOutputStage::runInto(const sc::StreamMatrix &, sc::StreamMatrix &out,
+                             StageContext &ctx, StageScratch *) const
 {
     const std::vector<float> x =
         takeValues(ctx, static_cast<std::size_t>(geom_.inFeatures));
@@ -235,7 +239,6 @@ FloatRefOutputStage::run(const sc::StreamMatrix &, StageContext &ctx) const
         ctx.scores[static_cast<std::size_t>(o)] =
             static_cast<double>(score);
     }
-    return {};
 }
 
 // ---------------------------------------------------------------- registry

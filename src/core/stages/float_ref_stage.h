@@ -37,8 +37,8 @@ class FloatRefConvStage final : public ScStage
     FloatRefConvStage(const ConvGeometry &geom, WeightedStageInit init);
 
     std::string name() const override;
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     ConvGeometry geom_;
@@ -53,8 +53,8 @@ class FloatRefDenseStage final : public ScStage
     FloatRefDenseStage(const DenseGeometry &geom, WeightedStageInit init);
 
     std::string name() const override;
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     DenseGeometry geom_;
@@ -69,8 +69,8 @@ class FloatRefPoolStage final : public ScStage
     explicit FloatRefPoolStage(const PoolGeometry &geom) : geom_(geom) {}
 
     std::string name() const override;
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     PoolGeometry geom_;
@@ -84,8 +84,8 @@ class FloatRefOutputStage final : public ScStage
 
     std::string name() const override;
     bool terminal() const override { return true; }
-    sc::StreamMatrix run(const sc::StreamMatrix &in,
-                         StageContext &ctx) const override;
+    void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+                 StageContext &ctx, StageScratch *scratch) const override;
 
   private:
     DenseGeometry geom_;

@@ -5,56 +5,6 @@
 
 namespace aqfpsc::core {
 
-namespace {
-
-/**
- * Guard against a stage that overrides neither run() nor runInto():
- * the default implementations bridge to each other, so such a stage
- * would otherwise recurse to a stack overflow with no diagnostic.
- * Thread-local because one stage graph executes from many workers.
- */
-thread_local const ScStage *t_bridging = nullptr;
-
-struct BridgeGuard
-{
-    explicit BridgeGuard(const ScStage *stage) : stage_(stage)
-    {
-        if (t_bridging == stage) {
-            throw std::logic_error(
-                "ScStage '" + stage->name() +
-                "' must override run() or runInto()");
-        }
-        t_bridging = stage;
-    }
-
-    ~BridgeGuard() { t_bridging = nullptr; }
-
-    const ScStage *stage_;
-};
-
-} // namespace
-
-void
-ScStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                 StageContext &ctx, StageScratch *) const
-{
-    // Compatibility bridge for stages that only implement run(): the
-    // per-image allocation of the returned matrix is the cost of not
-    // migrating to the workspace API.
-    const BridgeGuard guard(this);
-    out = run(in, ctx);
-}
-
-sc::StreamMatrix
-ScStage::run(const sc::StreamMatrix &in, StageContext &ctx) const
-{
-    const BridgeGuard guard(this);
-    const std::unique_ptr<StageScratch> scratch = makeScratch();
-    sc::StreamMatrix out;
-    runInto(in, out, ctx, scratch.get());
-    return out;
-}
-
 void
 ScStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                  StageContext &ctx, StageScratch *scratch,
@@ -66,6 +16,28 @@ ScStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                                "(resumable() is false)");
     }
     runInto(in, out, ctx, scratch);
+}
+
+void
+ScStage::runCohortSpan(const CohortSlot *slots, std::size_t count,
+                       std::size_t begin, std::size_t end) const
+{
+    // Image-major fallback: correct for every stage (per-slot state is
+    // independent), just without the weight-traversal amortization the
+    // linear kernel cores' overrides provide.  A span covering the whole
+    // input is exactly runInto() — routing it there keeps full-stream
+    // cohorts working on non-resumable stages (value-domain backends
+    // carry empty input matrices, so the engine's [0, streamLen) span
+    // always covers them).
+    for (std::size_t c = 0; c < count; ++c) {
+        if (begin == 0 && end >= slots[c].in->streamLen()) {
+            runInto(*slots[c].in, *slots[c].out, *slots[c].ctx,
+                    slots[c].scratch);
+        } else {
+            runSpan(*slots[c].in, *slots[c].out, *slots[c].ctx,
+                    slots[c].scratch, begin, end);
+        }
+    }
 }
 
 double

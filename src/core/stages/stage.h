@@ -16,7 +16,7 @@
  * pure function of (network, config, image, image index) regardless of
  * thread schedule.
  *
- * Execution has two entry points:
+ * Execution entry points, all per-image state in caller-owned scratch:
  *
  *  - runInto(in, out, ctx, scratch): the allocation-free hot path.  The
  *    stage reshapes @p out (a reusable arena buffer that only ever
@@ -24,11 +24,13 @@
  *    StageScratch it built once via makeScratch().  Steady-state
  *    inference through core::StageWorkspace performs no heap allocation
  *    here.
- *  - run(in, ctx): convenience wrapper that allocates a fresh output and
- *    scratch per call; kept for tests and out-of-tree stages.
- *
- * A concrete stage must override at least one of run()/runInto(); each
- * default implementation forwards to the other.
+ *  - runSpan(...): checkpointed execution of one 64-cycle-aligned block,
+ *    resuming per-image state across blocks (adaptive early exit).
+ *  - runCohortSpan(...): stage-major cohort execution — one stage
+ *    dispatch processes the same span of several images, so weight
+ *    streams are traversed once per cohort instead of once per image.
+ *    The default loops runSpan() per image; the linear kernel cores
+ *    override it with interleaved per-image block processing.
  */
 
 #ifndef AQFPSC_CORE_STAGES_STAGE_H
@@ -104,6 +106,28 @@ struct StageFootprint
     std::size_t outputRows = 0;
 };
 
+/**
+ * Upper bound on the images one cohort may execute together
+ * (ScEngineConfig::cohort, CohortWorkspace capacity).  Keeps the
+ * per-cohort pointer tables of the interleaved kernel cores stack-sized;
+ * larger batches are simply executed as several cohorts.
+ */
+inline constexpr std::size_t kMaxCohortImages = 64;
+
+/**
+ * One image's execution slot within a cohort: the per-image buffers and
+ * state a stage needs to process that image's span.  @c in / @c out
+ * follow the same contract as runInto()/runSpan(); @c scratch must come
+ * from this stage's makeScratch() and belong to this slot alone.
+ */
+struct CohortSlot
+{
+    const sc::StreamMatrix *in = nullptr;
+    sc::StreamMatrix *out = nullptr;
+    StageContext *ctx = nullptr;
+    StageScratch *scratch = nullptr;
+};
+
 /** One node of the compiled SC pipeline. */
 class ScStage
 {
@@ -137,21 +161,9 @@ class ScStage
      *
      * Thread-safe across distinct (out, scratch) pairs.  Terminal stages
      * fill @p ctx .scores and leave @p out untouched.
-     *
-     * Default: forwards to run() (compatibility for stages that predate
-     * the workspace API — they pay one allocation per image).
      */
     virtual void runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
-                         StageContext &ctx, StageScratch *scratch) const;
-
-    /**
-     * Execute the stage on one image's streams into a freshly allocated
-     * matrix.  Default: allocates a scratch + output and forwards to
-     * runInto().  Terminal stages fill @p ctx .scores and return an
-     * empty matrix.
-     */
-    virtual sc::StreamMatrix run(const sc::StreamMatrix &in,
-                                 StageContext &ctx) const;
+                         StageContext &ctx, StageScratch *scratch) const = 0;
 
     /**
      * True when this stage implements runSpan(), i.e. can execute a
@@ -185,6 +197,22 @@ class ScStage
     virtual void runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                          StageContext &ctx, StageScratch *scratch,
                          std::size_t begin, std::size_t end) const;
+
+    /**
+     * Stage-major cohort execution: process cycles [@p begin, @p end) of
+     * @p count images in one stage dispatch.  Each slot follows the
+     * runSpan() contract independently (per-slot resume state, spans in
+     * order and without gaps), and the result per image is bit-identical
+     * to runSpan(*slot.in, *slot.out, *slot.ctx, slot.scratch, begin,
+     * end) — cohort size never changes results, only how often shared
+     * weight streams are traversed.  The full span [0, stream length)
+     * also works on non-resumable stages (it degenerates to runInto()).
+     *
+     * Default: loops runSpan() over the slots.  The linear kernel cores
+     * override it to interleave images per weight row.
+     */
+    virtual void runCohortSpan(const CohortSlot *slots, std::size_t count,
+                               std::size_t begin, std::size_t end) const;
 
     /**
      * Terminal stages: normalized confidence margin of the scores

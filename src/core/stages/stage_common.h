@@ -1,22 +1,42 @@
 /**
  * @file
- * Shared geometry/parameter structs and inner-loop helpers for the
- * concrete ScStage implementations.
+ * Shared geometry/parameter structs and the templated linear kernel
+ * cores of the concrete ScStage implementations.
  *
  * Every weighted stage (Conv/Dense x backend) owns a FeatureStreams
  * bundle: pre-generated weight and bias streams plus the neutral 0101...
- * pad stream.  The helpers here keep the product-gathering loops (XNOR
- * bipolar multiply, conv window walk, SC-DCNN OR-pair overcount model)
- * identical across backends so that the backend files only differ in the
- * accumulation/activation they implement.
+ * pad stream.  The four linear stage TUs (aqfp_conv, aqfp_dense,
+ * cmos_conv, cmos_dense) are thin instantiations of one kernel core,
+ * LinearScStage<Policy, Gather>:
+ *
+ *  - the Gather names each output row's (input row, weight row) product
+ *    pairs — DenseGather walks the flat weight matrix, ConvWindowGather
+ *    expresses conv as dense-with-window-gather in the canonical
+ *    (ic, ky, kx) in-bounds order (part of the deterministic contract:
+ *    the CMOS approximate counter pairs products in visit order);
+ *  - the Policy supplies the accumulation/activation — sorter-majority
+ *    feedback (AQFP) or APC + Btanh (CMOS) — together with its resumable
+ *    per-row scratch state.
+ *
+ * The core has exactly one kernel path, the stage-major cohort span: a
+ * single-image runSpan() is a cohort of one, and a cohort of C images
+ * walks every weight row once while feeding all C images' carry-save
+ * planes through the ColumnCounts multi-scratch entry points.  Results
+ * are bit-identical at every cohort size by construction.
  */
 
 #ifndef AQFPSC_CORE_STAGES_STAGE_COMMON_H
 #define AQFPSC_CORE_STAGES_STAGE_COMMON_H
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "baseline/sc_dcnn.h"
+#include "blocks/feedback_unit.h"
+#include "core/stages/stage.h"
 #include "sc/apc.h"
 #include "sc/stream_matrix.h"
 
@@ -63,41 +83,102 @@ xnorProduct(std::uint64_t *prod, const std::uint64_t *x,
 }
 
 /**
- * Walk one conv window's in-bounds products in the canonical order
- * (input channel, kernel row, kernel column), invoking
- * @p fn(input_row, weight_row) for each.  The order is part of the
- * deterministic contract: the CMOS approximate counter pairs products in
- * visit order, so both backends must share it.
+ * Row gather of a dense (fully-connected) linear stage: output row r
+ * multiplies every input feature j against weight row r*inFeatures + j.
  */
-template <typename Fn>
-inline void
-forEachConvProduct(const ConvGeometry &g, const sc::StreamMatrix &in,
-                   const sc::StreamMatrix &weights, int oc, int y, int x,
-                   Fn &&fn)
+struct DenseGather
 {
-    const int k = g.kernel;
-    const int r = k / 2;
-    for (int ic = 0; ic < g.inC; ++ic) {
-        for (int ky = 0; ky < k; ++ky) {
-            const int sy = y + ky - r;
-            if (sy < 0 || sy >= g.inH)
-                continue;
-            for (int kx = 0; kx < k; ++kx) {
-                const int sx = x + kx - r;
-                if (sx < 0 || sx >= g.inW)
+    DenseGeometry g;
+
+    std::size_t
+    rows() const
+    {
+        return static_cast<std::size_t>(g.outFeatures);
+    }
+
+    /** Bias stream row of output row @p r. */
+    std::size_t biasRow(std::size_t r) const { return r; }
+
+    /** Largest product count any output row gathers. */
+    int maxProducts() const { return g.inFeatures; }
+
+    /** Invoke fn(input_row, weight_row) per product; returns the count. */
+    template <typename Fn>
+    int
+    forEachProduct(std::size_t r, Fn &&fn) const
+    {
+        const std::size_t wbase =
+            r * static_cast<std::size_t>(g.inFeatures);
+        for (int j = 0; j < g.inFeatures; ++j)
+            fn(static_cast<std::size_t>(j),
+               wbase + static_cast<std::size_t>(j));
+        return g.inFeatures;
+    }
+};
+
+/**
+ * Conv expressed as dense-with-window-gather: output row r decomposes to
+ * (oc, y, x) and gathers that window's in-bounds products in the
+ * canonical (input channel, kernel row, kernel column) order.  The order
+ * is part of the deterministic contract: the CMOS approximate counter
+ * pairs products in visit order, so both backends must share it.
+ */
+struct ConvWindowGather
+{
+    ConvGeometry g;
+
+    std::size_t
+    rows() const
+    {
+        return static_cast<std::size_t>(g.outC) * g.outH * g.outW;
+    }
+
+    /** Bias stream row (= output channel) of output row @p r. */
+    std::size_t
+    biasRow(std::size_t r) const
+    {
+        return r / (static_cast<std::size_t>(g.outH) * g.outW);
+    }
+
+    /** Interior window product count (border rows gather fewer). */
+    int maxProducts() const { return g.inC * g.kernel * g.kernel; }
+
+    template <typename Fn>
+    int
+    forEachProduct(std::size_t r, Fn &&fn) const
+    {
+        const std::size_t plane =
+            static_cast<std::size_t>(g.outH) * g.outW;
+        const int oc = static_cast<int>(r / plane);
+        const int rem = static_cast<int>(r % plane);
+        const int y = rem / g.outW;
+        const int x = rem % g.outW;
+        const int k = g.kernel;
+        const int rr = k / 2;
+        int m = 0;
+        for (int ic = 0; ic < g.inC; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+                const int sy = y + ky - rr;
+                if (sy < 0 || sy >= g.inH)
                     continue;
-                fn(in.row((static_cast<std::size_t>(ic) * g.inH + sy) *
-                              g.inW +
-                          sx),
-                   weights.row(
+                for (int kx = 0; kx < k; ++kx) {
+                    const int sx = x + kx - rr;
+                    if (sx < 0 || sx >= g.inW)
+                        continue;
+                    fn((static_cast<std::size_t>(ic) * g.inH + sy) *
+                           g.inW +
+                       sx,
                        ((static_cast<std::size_t>(oc) * g.inC + ic) * k +
                         ky) *
                            k +
-                       kx));
+                       kx);
+                    ++m;
+                }
             }
         }
+        return m;
     }
-}
+};
 
 /**
  * SC-DCNN first-layer OR-pair overcount model.
@@ -191,6 +272,283 @@ setStreamBit(std::uint64_t *dst, std::size_t i)
 {
     dst[i / 64] |= 1ULL << (i % 64);
 }
+
+/** Mask selecting the valid bits of the last word of a @p len-cycle
+ *  stream (all-ones when len is word-aligned). */
+inline std::uint64_t
+lastWordMask(std::size_t len)
+{
+    return len % 64 == 0 ? ~0ULL : (1ULL << (len % 64)) - 1;
+}
+
+/**
+ * Per-class ones accumulators of a terminal (categorization) stage,
+ * resumed across spans — the resumable state both output backends share
+ * (the AQFP majority chain counts chain-output ones, the CMOS APC stage
+ * counts product ones; only the count width differs).
+ */
+template <typename Count>
+struct OnesScratch final : StageScratch
+{
+    explicit OnesScratch(std::size_t classes) : ones(classes, 0) {}
+
+    /** begin-of-image re-arm (runSpan with begin == 0). */
+    void rearm() { ones.assign(ones.size(), 0); }
+
+    std::vector<Count> ones;
+};
+
+/**
+ * Accumulation policy of the AQFP sorter-majority linear stages: exact
+ * column counts drive the sorter + feedback unit (Algorithm 1, counter
+ * form).  The sorter needs an odd input count, so even rows are padded
+ * with the neutral stream; the feedback carry is the per-row resumable
+ * state.
+ */
+class SorterMajorityPolicy
+{
+  public:
+    /** Sorter stages never model the SC-DCNN approximate counter. */
+    static constexpr bool kApproxCapable = false;
+    /** Pad even product counts to odd with the neutral stream. */
+    static constexpr bool kPadToOdd = true;
+
+    struct Scratch final : StageScratch
+    {
+        Scratch(std::size_t len, int max_count, std::size_t rows)
+            : counts(len, max_count), unit(1), carries(rows, 0)
+        {
+        }
+
+        sc::ColumnCounts counts;
+        blocks::FeatureFeedbackUnit unit;
+        /** Per-output-row feedback count, resumed across spans. */
+        std::vector<int> carries;
+    };
+
+    /** Interior window + bias + possible neutral pad bounds the counts. */
+    static int maxCount(int max_products) { return max_products + 2; }
+
+    void
+    drive(Scratch &ws, std::size_t r, int /*m*/, int eff_m,
+          std::size_t begin, std::size_t end, std::uint64_t *dst) const
+    {
+        if (begin == 0)
+            ws.unit.reset(eff_m);
+        else
+            ws.unit.restore(eff_m, ws.carries[r]);
+        ws.counts.drivePrefix(end - begin,
+                              [&](int c) { return ws.unit.step(c); }, dst);
+        ws.carries[r] = ws.unit.carry();
+    }
+};
+
+/**
+ * Accumulation policy of the CMOS SC-DCNN linear stages: (approximate)
+ * APC column counts drive the Btanh activation counter, whose state is
+ * the per-row resumable state.  With @ref approx the OR-pair overcount
+ * model rides along (ApproxPairOvercount), folded into the drive.
+ */
+class ApcBtanhPolicy
+{
+  public:
+    static constexpr bool kApproxCapable = true;
+    static constexpr bool kPadToOdd = false;
+
+    /** Model the SC-DCNN first-layer OR-pair approximate counter. */
+    bool approx = false;
+
+    struct Scratch final : StageScratch
+    {
+        Scratch(std::size_t len, int max_count, std::size_t rows)
+            : counts(len, max_count), over(len, max_count / 2 + 1),
+              prod((len + 63) / 64), states(rows, 0)
+        {
+        }
+
+        sc::ColumnCounts counts;
+        ApproxPairOvercount over;
+        /** Product buffer of the approximate-APC path (shared between
+         *  the counter and the overcount model: one XNOR per product). */
+        std::vector<std::uint64_t> prod;
+        /** Per-output-row Btanh counter state, resumed across spans. */
+        std::vector<int> states;
+    };
+
+    static int maxCount(int max_products) { return max_products + 2; }
+
+    void
+    drive(Scratch &ws, std::size_t r, int m, int /*eff_m*/,
+          std::size_t begin, std::size_t end, std::uint64_t *dst) const
+    {
+        // s_max / 2 with s_max = 2m; resumed across spans.
+        int state = begin == 0 ? m : ws.states[r];
+        auto step = [&](int c) {
+            return baseline::ApcFeatureExtraction::btanhStep(state, c, m,
+                                                             2 * m);
+        };
+        if (approx)
+            ws.counts.driveWithOvercountPrefix(ws.over.counts(), m,
+                                               end - begin, step, dst);
+        else
+            ws.counts.drivePrefix(end - begin, step, dst);
+        ws.states[r] = state;
+    }
+};
+
+/**
+ * The shared linear stage: Gather names the products of each output
+ * row, Policy accumulates and activates them.  There is exactly one
+ * kernel path — the stage-major cohort span — so the per-image
+ * entry points (runInto, runSpan) are cohorts of one and bit-identity
+ * across cohort sizes holds by construction: per-image state (counters,
+ * feedback/Btanh resume values, output rows) is fully per-slot, and the
+ * multi-scratch ColumnCounts entry points perform the same per-image
+ * plane updates as their single-image forms.
+ *
+ * Concrete stages only add name() and a registry entry.
+ */
+template <typename Policy, typename Gather>
+class LinearScStage : public ScStage
+{
+  public:
+    LinearScStage(Gather gather, FeatureStreams streams, Policy policy)
+        : gather_(std::move(gather)), streams_(std::move(streams)),
+          policy_(std::move(policy))
+    {
+    }
+
+    StageFootprint footprint() const override { return {gather_.rows()}; }
+
+    std::unique_ptr<StageScratch>
+    makeScratch() const override
+    {
+        return std::make_unique<typename Policy::Scratch>(
+            streams_.weights.streamLen(),
+            Policy::maxCount(gather_.maxProducts()), gather_.rows());
+    }
+
+    void
+    runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+            StageContext &ctx, StageScratch *scratch) const override
+    {
+        runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+    }
+
+    bool resumable() const override { return true; }
+
+    void
+    runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
+            StageContext &ctx, StageScratch *scratch, std::size_t begin,
+            std::size_t end) const override
+    {
+        const CohortSlot slot{&in, &out, &ctx, scratch};
+        runCohortSpan(&slot, 1, begin, end);
+    }
+
+    void
+    runCohortSpan(const CohortSlot *slots, std::size_t count,
+                  std::size_t begin, std::size_t end) const override
+    {
+        const std::size_t len = streams_.weights.streamLen();
+        assert(count >= 1 && count <= kMaxCohortImages);
+        assert(begin % 64 == 0 && begin < end && end <= len);
+        // Spans accumulate at plane offset 0 of each scratch counter and
+        // drive through the incremental kernel entry points, so a span
+        // costs exactly its share of the full-stream work.
+        const std::size_t w0 = begin / 64;
+        const std::size_t sw = (end - begin + 63) / 64;
+        const std::size_t rows = gather_.rows();
+
+        typename Policy::Scratch *ws[kMaxCohortImages];
+        sc::ColumnCounts *cc[kMaxCohortImages];
+        const sc::StreamMatrix *in[kMaxCohortImages];
+        for (std::size_t c = 0; c < count; ++c) {
+            ws[c] = static_cast<typename Policy::Scratch *>(
+                slots[c].scratch);
+            cc[c] = &ws[c]->counts;
+            in[c] = slots[c].in;
+            slots[c].out->reset(rows, len);
+        }
+        const std::uint64_t *neutral = streams_.neutral.row(0) + w0;
+
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < count; ++c)
+                cc[c]->clear();
+            int m = 0;
+            bool exact = true;
+            if constexpr (Policy::kApproxCapable) {
+                if (policy_.approx) {
+                    exact = false;
+                    // One XNOR per product per image, shared by the
+                    // counter and the overcount model; products observed
+                    // in visit order per image.
+                    for (std::size_t c = 0; c < count; ++c)
+                        ws[c]->over.reset();
+                    m = gather_.forEachProduct(
+                        r, [&](std::size_t xr, std::size_t wr) {
+                            const std::uint64_t *w =
+                                streams_.weights.row(wr) + w0;
+                            for (std::size_t c = 0; c < count; ++c) {
+                                xnorProduct(ws[c]->prod.data(),
+                                            in[c]->row(xr) + w0, w, sw);
+                                cc[c]->addWords(ws[c]->prod.data(), sw);
+                                ws[c]->over.observe(ws[c]->prod, sw);
+                            }
+                        });
+                }
+            }
+            if (exact) {
+                // Pair up products for the 3:2 carry-save add (an odd
+                // trailing product goes in alone); every weight row is
+                // walked once and feeds all images' planes.
+                const std::uint64_t *pw = nullptr;
+                const std::uint64_t *px[kMaxCohortImages];
+                const std::uint64_t *x2[kMaxCohortImages];
+                m = gather_.forEachProduct(
+                    r, [&](std::size_t xr, std::size_t wr) {
+                        const std::uint64_t *w =
+                            streams_.weights.row(wr) + w0;
+                        if (pw != nullptr) {
+                            for (std::size_t c = 0; c < count; ++c)
+                                x2[c] = in[c]->row(xr) + w0;
+                            sc::ColumnCounts::addXnor2Multi(
+                                cc, px, x2, count, pw, w, sw);
+                            pw = nullptr;
+                        } else {
+                            pw = w;
+                            for (std::size_t c = 0; c < count; ++c)
+                                px[c] = in[c]->row(xr) + w0;
+                        }
+                    });
+                if (pw != nullptr)
+                    sc::ColumnCounts::addXnorMulti(cc, px, count, pw, sw);
+            }
+            // Bias enters the sum as one more product stream of fixed
+            // value (its "input" is the constant 1 stream).
+            sc::ColumnCounts::addWordsMulti(
+                cc, count, streams_.biases.row(gather_.biasRow(r)) + w0,
+                sw);
+            ++m;
+            int eff_m = m;
+            if constexpr (Policy::kPadToOdd) {
+                if (m % 2 == 0) {
+                    sc::ColumnCounts::addWordsMulti(cc, count, neutral,
+                                                    sw);
+                    eff_m = m + 1;
+                }
+            }
+            for (std::size_t c = 0; c < count; ++c)
+                policy_.drive(*ws[c], r, m, eff_m, begin, end,
+                              slots[c].out->row(r) + w0);
+        }
+    }
+
+  protected:
+    Gather gather_;
+    FeatureStreams streams_;
+    Policy policy_;
+};
 
 } // namespace aqfpsc::core::stages
 

@@ -1,5 +1,6 @@
 #include "stage_compiler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -65,7 +66,7 @@ throwIncomplete(const std::string &backend, const char *kind)
 
 } // namespace
 
-std::vector<std::unique_ptr<ScStage>>
+ExecutionPlan
 compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
 {
     const std::string backend = cfg.resolvedBackend();
@@ -192,7 +193,19 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
     if (stages.empty() || !stages.back()->terminal())
         throw std::invalid_argument(
             "ScNetworkEngine: network must end in an output Dense layer");
-    return stages;
+
+    // Graph-level buffer plan: stage s writes ping-pong buffer s % 2, so
+    // record each parity's high-water row count — workspaces allocate
+    // their arenas once from these and never grow afterwards.
+    ExecutionPlan plan;
+    plan.streamLen = cfg.streamLen;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        plan.bufferRows[s % 2] = std::max(
+            plan.bufferRows[s % 2], stages[s]->footprint().outputRows);
+        plan.resumable = plan.resumable && stages[s]->resumable();
+    }
+    plan.stages = std::move(stages);
+    return plan;
 }
 
 } // namespace aqfpsc::core::stages

@@ -1,7 +1,8 @@
 /**
  * @file
- * Stage compiler: lowers a trained nn::Network into the executable stage
- * graph of the requested backend.
+ * Stage compiler: lowers a trained nn::Network into an ExecutionPlan —
+ * the executable stage graph of the requested backend plus the
+ * graph-level buffer plan every workspace allocates from.
  *
  * The compiler walks the float network, fuses (Conv2D | Dense) +
  * activation pairs into feature-extraction stages, maps AvgPool2 to
@@ -38,14 +39,43 @@
 namespace aqfpsc::core::stages {
 
 /**
- * Compile @p net into an executable stage graph for @p cfg 's backend.
+ * Compiled stage graph plus the graph-level buffer plan.
+ *
+ * The plan is what workspaces (per-image StageWorkspace, multi-image
+ * CohortWorkspace) size their arenas from: stage s of the graph reads
+ * ping-pong buffer (s % 2) ^ 1 and writes buffer s % 2 (the first stage
+ * reads the input matrix), so @ref bufferRows holds the high-water row
+ * count of each parity — one sized allocation per buffer per cohort
+ * slot, reused across all stages, never reallocated afterwards.
+ */
+struct ExecutionPlan
+{
+    /** Stages in execution order; the last one is terminal. */
+    std::vector<std::unique_ptr<ScStage>> stages;
+
+    /** Ping-pong buffer plan: max output rows written at each parity. */
+    std::size_t bufferRows[2] = {0, 0};
+
+    /** True when every stage supports checkpointed (runSpan) execution. */
+    bool resumable = true;
+
+    /** Stream length the graph was compiled for. */
+    std::size_t streamLen = 0;
+
+    std::size_t stageCount() const { return stages.size(); }
+
+    const ScStage &stage(std::size_t i) const { return *stages[i]; }
+};
+
+/**
+ * Compile @p net into an ExecutionPlan for @p cfg 's backend.
  *
  * @throws std::invalid_argument if the backend is unknown or incomplete,
  *         or the network does not follow the mappable pattern (see the
  *         documented messages above).
  */
-std::vector<std::unique_ptr<ScStage>>
-compileNetwork(const nn::Network &net, const ScEngineConfig &cfg);
+ExecutionPlan compileNetwork(const nn::Network &net,
+                             const ScEngineConfig &cfg);
 
 } // namespace aqfpsc::core::stages
 

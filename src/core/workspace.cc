@@ -3,26 +3,37 @@
 #include <algorithm>
 
 #include "core/sc_engine.h"
+#include "core/stages/stage_compiler.h"
 
 namespace aqfpsc::core {
 
 StageWorkspace::StageWorkspace(const ScNetworkEngine &engine)
     : engine_(engine)
 {
-    const std::size_t len = engine.config().streamLen;
-    // Stage s reads pingPong_[s % 2 ^ 1] and writes pingPong_[s % 2]
-    // (the first stage reads input_), so pre-size each buffer to the
-    // largest output that will ever land in it.
-    std::size_t max_rows[2] = {0, 0};
-    scratch_.reserve(engine.stageCount());
-    for (std::size_t s = 0; s < engine.stageCount(); ++s) {
-        const ScStage &stage = engine.stage(s);
-        scratch_.push_back(stage.makeScratch());
-        max_rows[s % 2] =
-            std::max(max_rows[s % 2], stage.footprint().outputRows);
-    }
+    const stages::ExecutionPlan &plan = engine.plan();
+    scratch_.reserve(plan.stageCount());
+    for (std::size_t s = 0; s < plan.stageCount(); ++s)
+        scratch_.push_back(plan.stage(s).makeScratch());
     for (int i = 0; i < 2; ++i)
-        pingPong_[i].reset(max_rows[i], len);
+        pingPong_[i].reset(plan.bufferRows[i], plan.streamLen);
+}
+
+CohortWorkspace::CohortWorkspace(const ScNetworkEngine &engine,
+                                 std::size_t capacity)
+    : engine_(engine)
+{
+    capacity = std::clamp<std::size_t>(capacity, 1, kMaxCohortImages);
+    const stages::ExecutionPlan &plan = engine.plan();
+    slots_.resize(capacity);
+    for (Slot &slot : slots_) {
+        slot.scratch.reserve(plan.stageCount());
+        for (std::size_t s = 0; s < plan.stageCount(); ++s)
+            slot.scratch.push_back(plan.stage(s).makeScratch());
+        for (int i = 0; i < 2; ++i)
+            slot.pingPong[i].reset(plan.bufferRows[i], plan.streamLen);
+    }
+    views_.resize(capacity);
+    active_.reserve(capacity);
 }
 
 } // namespace aqfpsc::core

@@ -1,33 +1,34 @@
 /**
  * @file
- * Per-thread inference arena: all mutable buffers one worker needs to
+ * Per-thread inference arenas: all mutable buffers a worker needs to
  * push images through a compiled stage graph without allocating.
  *
- * A StageWorkspace is bound to one ScNetworkEngine.  It owns
+ * Both arenas are sized up front from the engine's ExecutionPlan (the
+ * graph-level buffer plan compileNetwork emits): each image slot owns
  *
  *  - the SNG-encoded input stream matrix,
- *  - two ping-pong activation StreamMatrix buffers that stages
- *    runInto() alternately (pre-sized from the stages' declared
- *    footprints, so even the first image allocates nothing for them),
+ *  - two ping-pong activation StreamMatrix buffers (stage s reads what
+ *    stage s-1 wrote and overwrites the other buffer; rows come from the
+ *    plan's per-parity high-water marks, so even the first image
+ *    allocates nothing for them),
  *  - one StageScratch per stage (column counters, feedback units, ...),
- *  - the reusable StageContext.
+ *  - a reusable StageContext.
  *
- * Buffers only ever grow; after the first image every
- * ScNetworkEngine::inferIndexed(image, index, workspace) call is
- * heap-allocation-free through the whole stage pipeline.
+ * StageWorkspace is the single-image arena of the per-image entry
+ * points; CohortWorkspace holds capacity() slots plus the slot-view
+ * table stage-major cohort execution (ScNetworkEngine::inferCohort /
+ * inferAdaptiveCohort) threads through ScStage::runCohortSpan.
  *
- * Thread safety: a workspace is NOT thread-safe — one workspace per
- * worker thread (core::BatchRunner and core::InferenceServer construct
- * exactly that), and at most one inference may run through it at a
- * time.  Distinct workspaces of one engine run concurrently without
- * restriction.
+ * Thread safety: an arena is NOT thread-safe — one arena per worker
+ * thread (core::BatchRunner and core::InferenceServer construct exactly
+ * that), at most one inference/cohort through it at a time.  Distinct
+ * arenas of one engine run concurrently without restriction.
  *
- * Determinism: results never depend on workspace reuse or on which
- * workspace served an image — every row of every buffer (and every
- * per-stage scratch) is fully overwritten or re-armed before it is
- * read, for both full-stream and checkpointed (adaptive) execution.
- * Interleaving adaptive and non-adaptive calls through one workspace is
- * equally clean (tests/test_adaptive.cc).
+ * Determinism: results never depend on arena reuse, on which arena
+ * served an image, or on which slot of a cohort an image occupied —
+ * every row of every buffer (and every per-stage scratch) is fully
+ * overwritten or re-armed before it is read, for full-stream,
+ * checkpointed (adaptive) and cohort execution alike.
  */
 
 #ifndef AQFPSC_CORE_WORKSPACE_H
@@ -43,12 +44,12 @@ namespace aqfpsc::core {
 
 class ScNetworkEngine;
 
-/** Reusable per-worker buffers of one engine's inference loop. */
+/** Reusable per-worker buffers of one engine's single-image loop. */
 class StageWorkspace
 {
   public:
     /** Build scratch for every stage of @p engine and pre-size the
-     *  ping-pong buffers from the declared stage footprints.
+     *  ping-pong buffers from the execution plan.
      *  @param engine Must outlive the workspace. */
     explicit StageWorkspace(const ScNetworkEngine &engine);
 
@@ -66,6 +67,49 @@ class StageWorkspace
     sc::StreamMatrix pingPong_[2];      ///< stage activation buffers
     std::vector<std::unique_ptr<StageScratch>> scratch_; ///< per stage
     StageContext ctx_;                  ///< reused per-image context
+};
+
+/**
+ * Per-worker arena of stage-major cohort execution: capacity() image
+ * slots, each a full single-image arena (input + ping-pong buffers +
+ * per-stage scratch + context), built once from the execution plan.
+ */
+class CohortWorkspace
+{
+  public:
+    /**
+     * @param engine Must outlive the workspace.
+     * @param capacity Image slots, clamped to [1, kMaxCohortImages].
+     */
+    CohortWorkspace(const ScNetworkEngine &engine, std::size_t capacity);
+
+    CohortWorkspace(const CohortWorkspace &) = delete;
+    CohortWorkspace &operator=(const CohortWorkspace &) = delete;
+
+    /** The engine this workspace serves. */
+    const ScNetworkEngine &engine() const { return engine_; }
+
+    /** Largest cohort one inferCohort() call may execute. */
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    friend class ScNetworkEngine;
+
+    /** One image's buffers and state. */
+    struct Slot
+    {
+        sc::StreamMatrix input;
+        sc::StreamMatrix pingPong[2];
+        std::vector<std::unique_ptr<StageScratch>> scratch; ///< per stage
+        StageContext ctx;
+    };
+
+    const ScNetworkEngine &engine_;
+    std::vector<Slot> slots_;
+    /** Per-stage slot views, rebuilt per dispatch (capacity() entries). */
+    std::vector<CohortSlot> views_;
+    /** Active slot indices of an adaptive cohort (in-place compaction). */
+    std::vector<std::size_t> active_;
 };
 
 } // namespace aqfpsc::core

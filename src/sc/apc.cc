@@ -153,6 +153,66 @@ ColumnCounts::addXnor2(const std::uint64_t *x1, const std::uint64_t *w1,
     }
 }
 
+void
+ColumnCounts::addXnorMulti(ColumnCounts *const counters[],
+                           const std::uint64_t *const xs[],
+                           std::size_t images, const std::uint64_t *w,
+                           std::size_t word_count)
+{
+    for (std::size_t c = 0; c < images; ++c) {
+        assert(word_count <= counters[c]->wordCount_);
+        assert(counters[c]->added_ < counters[c]->maxCount_);
+        ++counters[c]->added_;
+    }
+    for (std::size_t wi = 0; wi < word_count; ++wi) {
+        const std::uint64_t ww = w[wi];
+        for (std::size_t c = 0; c < images; ++c)
+            counters[c]->rippleWord(wi, ~(xs[c][wi] ^ ww));
+    }
+}
+
+void
+ColumnCounts::addXnor2Multi(ColumnCounts *const counters[],
+                            const std::uint64_t *const xs1[],
+                            const std::uint64_t *const xs2[],
+                            std::size_t images, const std::uint64_t *w1,
+                            const std::uint64_t *w2, std::size_t word_count)
+{
+    for (std::size_t c = 0; c < images; ++c) {
+        assert(word_count <= counters[c]->wordCount_);
+        assert(counters[c]->added_ + 2 <= counters[c]->maxCount_);
+        counters[c]->added_ += 2;
+    }
+    for (std::size_t wi = 0; wi < word_count; ++wi) {
+        const std::uint64_t ww1 = w1[wi];
+        const std::uint64_t ww2 = w2[wi];
+        for (std::size_t c = 0; c < images; ++c) {
+            const std::uint64_t p1 = ~(xs1[c][wi] ^ ww1);
+            const std::uint64_t p2 = ~(xs2[c][wi] ^ ww2);
+            // 3:2 compress: p1 + p2 = (p1 ^ p2) + 2 * (p1 & p2).
+            counters[c]->rippleWord(wi, p1 ^ p2);
+            counters[c]->rippleWord(wi, p1 & p2, 1);
+        }
+    }
+}
+
+void
+ColumnCounts::addWordsMulti(ColumnCounts *const counters[],
+                            std::size_t images, const std::uint64_t *words,
+                            std::size_t word_count)
+{
+    for (std::size_t c = 0; c < images; ++c) {
+        assert(word_count <= counters[c]->wordCount_);
+        assert(counters[c]->added_ < counters[c]->maxCount_);
+        ++counters[c]->added_;
+    }
+    for (std::size_t wi = 0; wi < word_count; ++wi) {
+        const std::uint64_t ww = words[wi];
+        for (std::size_t c = 0; c < images; ++c)
+            counters[c]->rippleWord(wi, ww);
+    }
+}
+
 int
 ColumnCounts::count(std::size_t i) const
 {

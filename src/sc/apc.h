@@ -122,6 +122,44 @@ class ColumnCounts
                   const std::uint64_t *x2, const std::uint64_t *w2,
                   std::size_t word_count);
 
+    /**
+     * Cohort (multi-scratch) form of addXnor(): fold ONE shared weight
+     * row into @p images distinct counters, each against its own input
+     * row.  The walk is word-major with the weight word held in a
+     * register across the whole cohort, so one pass over a 64-cycle
+     * weight block feeds every image's carry-save planes — this is the
+     * entry point stage-major cohort execution uses to amortize
+     * weight-plane traversal across images.  Per counter the result is
+     * bit-identical to counters[c]->addXnor(xs[c], w, word_count).
+     * All counters must share length and plane geometry.
+     */
+    static void addXnorMulti(ColumnCounts *const counters[],
+                             const std::uint64_t *const xs[],
+                             std::size_t images, const std::uint64_t *w,
+                             std::size_t word_count);
+
+    /**
+     * Cohort form of addXnor2(): two shared weight rows against each
+     * image's pair of input rows, 3:2-compressed per image.  Per counter
+     * bit-identical to addXnor2(xs1[c], w1, xs2[c], w2, word_count).
+     */
+    static void addXnor2Multi(ColumnCounts *const counters[],
+                              const std::uint64_t *const xs1[],
+                              const std::uint64_t *const xs2[],
+                              std::size_t images, const std::uint64_t *w1,
+                              const std::uint64_t *w2,
+                              std::size_t word_count);
+
+    /**
+     * Cohort form of addWords(): add one shared packed row (bias,
+     * neutral pad, pooling window) into every counter.  Per counter
+     * bit-identical to addWords(words, word_count).
+     */
+    static void addWordsMulti(ColumnCounts *const counters[],
+                              std::size_t images,
+                              const std::uint64_t *words,
+                              std::size_t word_count);
+
     /** Extract the count at cycle @p i. */
     int count(std::size_t i) const;
 
@@ -258,6 +296,21 @@ class ColumnCounts
     dirtyPlanes() const
     {
         return std::bit_width(static_cast<unsigned>(added_));
+    }
+
+    /** Ripple one word's carry bits into the planes starting at
+     *  @p from_plane (the carry-save add all add* entry points share). */
+    void
+    rippleWord(std::size_t wi, std::uint64_t carry, int from_plane = 0)
+    {
+        for (int k = from_plane; k < planeCount_ && carry; ++k) {
+            std::uint64_t &plane =
+                planes_[static_cast<std::size_t>(k) * wordCount_ + wi];
+            const std::uint64_t t = plane & carry;
+            plane ^= carry;
+            carry = t;
+        }
+        assert(carry == 0 && "ColumnCounts overflow");
     }
 
     /** 8x8 bit-matrix transpose (Hacker's Delight 7-3), rows = bytes. */

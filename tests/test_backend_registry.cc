@@ -113,13 +113,12 @@ class ConstantOutputStage final : public ScStage
     explicit ConstantOutputStage(int classes) : classes_(classes) {}
     std::string name() const override { return "ConstantOutput"; }
     bool terminal() const override { return true; }
-    sc::StreamMatrix run(const sc::StreamMatrix &,
-                         StageContext &ctx) const override
+    void runInto(const sc::StreamMatrix &, sc::StreamMatrix &,
+                 StageContext &ctx, StageScratch *) const override
     {
         ctx.scores.assign(static_cast<std::size_t>(classes_), 0.0);
         for (int c = 0; c < classes_; ++c)
             ctx.scores[static_cast<std::size_t>(c)] = c == 1 ? 1.0 : 0.0;
-        return {};
     }
 
   private:

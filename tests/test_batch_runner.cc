@@ -130,8 +130,8 @@ TEST(BatchRunner, EngineEvaluateRoutesThroughBatchRunner)
     ScEngineConfig cfg = makeConfig(ScBackend::AqfpSorter);
     cfg.threads = 4;
     const ScNetworkEngine engine(net, cfg);
-    const double acc = engine.evaluate(samples);
-    const ScEvalStats batch = engine.evaluateBatch(samples, -1, 1);
+    const double acc = engine.evaluate(samples, EvalOptions{}).accuracy;
+    const ScEvalStats batch = engine.evaluate(samples, {.threads = 1});
     EXPECT_DOUBLE_EQ(acc, batch.accuracy);
 }
 

@@ -65,7 +65,7 @@ TEST_F(TrainedTinyCnn, AqfpScInferenceTracksFloat)
     cfg.backend = ScBackend::AqfpSorter;
     ScNetworkEngine engine(*net_, cfg);
     const double float_acc = net_->evaluate(*test_);
-    const double sc_acc = engine.evaluate(*test_, 40);
+    const double sc_acc = engine.evaluate(*test_, {.limit = 40}).accuracy;
     EXPECT_GT(sc_acc, float_acc - 0.15);
 }
 
@@ -91,7 +91,7 @@ TEST_F(TrainedTinyCnn, CmosScInferenceRuns)
     cfg.backend = ScBackend::CmosApc;
     ScNetworkEngine engine(cmos_net, cfg);
     const double float_acc = cmos_net.evaluate(*test_);
-    const double sc_acc = engine.evaluate(*test_, 40);
+    const double sc_acc = engine.evaluate(*test_, {.limit = 40}).accuracy;
     EXPECT_GT(float_acc, 0.8);
     EXPECT_GT(sc_acc, float_acc - 0.2);
 }
@@ -116,8 +116,10 @@ TEST_F(TrainedTinyCnn, LongerStreamsDoNotHurt)
     long_cfg.streamLen = 2048;
     ScNetworkEngine short_engine(*net_, short_cfg);
     ScNetworkEngine long_engine(*net_, long_cfg);
-    const double short_acc = short_engine.evaluate(*test_, 30);
-    const double long_acc = long_engine.evaluate(*test_, 30);
+    const double short_acc =
+        short_engine.evaluate(*test_, {.limit = 30}).accuracy;
+    const double long_acc =
+        long_engine.evaluate(*test_, {.limit = 30}).accuracy;
     EXPECT_GE(long_acc, short_acc - 0.1);
 }
 

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cinttypes>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
@@ -424,11 +425,13 @@ dumpConfig(const std::string &backend, std::size_t len, std::uint64_t seed,
         out += buf;
         for (std::size_t s = 0; s < engine.stageCount(); ++s) {
             const core::ScStage &stage = engine.stage(s);
-            if (stage.terminal()) {
-                stage.run(cur, ctx);
+            const std::unique_ptr<core::StageScratch> scratch =
+                stage.makeScratch();
+            sc::StreamMatrix next;
+            stage.runInto(cur, next, ctx, scratch.get());
+            if (stage.terminal())
                 break;
-            }
-            cur = stage.run(cur, ctx);
+            cur = std::move(next);
             std::snprintf(buf, sizeof(buf), "  stage%zu=%016" PRIx64 "\n", s,
                           hashMatrix(cur));
             out += buf;

@@ -4,6 +4,9 @@
  */
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -213,6 +216,120 @@ TEST(ColumnCounts, MaxCapacity)
     for (int j = 0; j < m; ++j)
         counts.add(Bitstream(64, true));
     EXPECT_EQ(counts.count(10), m);
+}
+
+/**
+ * The lazy clear() boundary: clear() re-zeros only the planes the
+ * streams added since the last clear can have dirtied (tracked through
+ * bit_width of the stream count).  Reusing one counter with alternating
+ * long -> short span lengths AND high -> low stream counts is exactly
+ * the cohort/checkpoint hot-loop pattern: a stale plane (or a stale
+ * word beyond a short span) surviving a clear would corrupt the next
+ * use's counts.  Verified against naive counting at every cycle across
+ * several alternations.
+ */
+TEST(ColumnCounts, LazyClearHighWaterAcrossAlternatingReuses)
+{
+    const std::size_t len = 200; // 4 words, non-multiple-of-64 tail
+    const std::size_t words = (len + 63) / 64;
+    Xoshiro256StarStar rng(321);
+    ColumnCounts counts(len, 32);
+
+    // (stream count, words covered by the add): high plane counts with
+    // full-length adds alternate with low plane counts over short spans.
+    const std::pair<int, std::size_t> rounds[] = {
+        {20, words}, {3, 1}, {25, words}, {1, 1}, {31, words}, {2, 2},
+    };
+    for (const auto &[m, span_words] : rounds) {
+        SCOPED_TRACE("m=" + std::to_string(m) +
+                     " span_words=" + std::to_string(span_words));
+        std::vector<std::vector<std::uint64_t>> streams;
+        for (int j = 0; j < m; ++j) {
+            std::vector<std::uint64_t> s(words, 0);
+            for (std::size_t w = 0; w < span_words; ++w)
+                s[w] = rng.nextWord();
+            if (span_words == words && len % 64 != 0)
+                s[words - 1] &= (1ULL << (len % 64)) - 1;
+            streams.push_back(std::move(s));
+            counts.addWords(streams.back().data(), span_words);
+        }
+        EXPECT_EQ(counts.added(), m);
+        // Every cycle — including those beyond the short span, which
+        // must read 0 even though earlier rounds dirtied their words —
+        // matches naive counting of this round alone.
+        for (std::size_t i = 0; i < len; ++i) {
+            int naive = 0;
+            for (const auto &s : streams)
+                naive += static_cast<int>((s[i / 64] >> (i % 64)) & 1ULL);
+            if (i / 64 >= span_words)
+                naive = 0;
+            ASSERT_EQ(counts.count(i), naive) << "cycle " << i;
+        }
+        counts.clear();
+        EXPECT_EQ(counts.added(), 0);
+    }
+    // After the final clear the counter is pristine at every plane.
+    for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(counts.count(i), 0);
+}
+
+/**
+ * The cohort (multi-scratch) kernel entry points perform the same
+ * per-image plane updates as their single-image forms: one shared
+ * weight row against each image's own input rows, bit-identical
+ * counters afterwards.
+ */
+TEST(ColumnCounts, CohortEntryPointsMatchSingleImageForms)
+{
+    const std::size_t len = 130; // ragged tail
+    const std::size_t words = (len + 63) / 64;
+    const std::size_t images = 5;
+    Xoshiro256StarStar rng(99);
+
+    auto randomRow = [&] {
+        std::vector<std::uint64_t> r(words);
+        for (auto &w : r)
+            w = rng.nextWord();
+        return r;
+    };
+    const std::vector<std::uint64_t> w1 = randomRow();
+    const std::vector<std::uint64_t> w2 = randomRow();
+    const std::vector<std::uint64_t> shared = randomRow();
+    std::vector<std::vector<std::uint64_t>> x1s, x2s;
+    for (std::size_t c = 0; c < images; ++c) {
+        x1s.push_back(randomRow());
+        x2s.push_back(randomRow());
+    }
+
+    std::vector<ColumnCounts> multi(images, ColumnCounts(len, 8));
+    std::vector<ColumnCounts> single(images, ColumnCounts(len, 8));
+    ColumnCounts *mp[8];
+    const std::uint64_t *xs1[8];
+    const std::uint64_t *xs2[8];
+    for (std::size_t c = 0; c < images; ++c) {
+        mp[c] = &multi[c];
+        xs1[c] = x1s[c].data();
+        xs2[c] = x2s[c].data();
+    }
+
+    ColumnCounts::addXnor2Multi(mp, xs1, xs2, images, w1.data(), w2.data(),
+                                words);
+    ColumnCounts::addXnorMulti(mp, xs1, images, w1.data(), words);
+    ColumnCounts::addWordsMulti(mp, images, shared.data(), words);
+
+    for (std::size_t c = 0; c < images; ++c) {
+        single[c].addXnor2(x1s[c].data(), w1.data(), x2s[c].data(),
+                           w2.data(), words);
+        single[c].addXnor(x1s[c].data(), w1.data(), words);
+        single[c].addWords(shared.data(), words);
+    }
+
+    for (std::size_t c = 0; c < images; ++c) {
+        EXPECT_EQ(multi[c].added(), single[c].added());
+        for (std::size_t i = 0; i < len; ++i)
+            ASSERT_EQ(multi[c].count(i), single[c].count(i))
+                << "image " << c << " cycle " << i;
+    }
 }
 
 } // namespace

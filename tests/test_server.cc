@@ -250,6 +250,85 @@ TEST(InferenceServer, ConcurrentSubmitShutdownFuzz)
     }
 }
 
+/**
+ * Cohort-aware stats accounting: a worker serves a popped micro-batch
+ * as one stage-major cohort, but every counter must stay per *image* —
+ * completed counts requests (not cohort executions or queue pops),
+ * avgConsumedCycles averages per-request cycles, and avgBatchSize is
+ * images per pop.  Regression test for the accounting, pinned through
+ * invariants that hold for every races-permitting pop schedule.
+ */
+TEST(InferenceServer, CohortAwareStatsAccounting)
+{
+    const auto samples = testImages(10);
+
+    // Non-adaptive: every request consumes exactly the full stream, so
+    // per-image accounting must read streamLen on the nose — a per-pop
+    // (or per-cohort) accounting bug would skew it by the batch size.
+    {
+        const InferenceSession session = makeSession(128);
+        ServerOptions opts;
+        opts.workers = 1;
+        opts.maxBatch = 4;
+        InferenceServer server(session, opts);
+        std::vector<std::future<ServedPrediction>> futures;
+        for (const auto &s : samples)
+            futures.push_back(server.submit(s.image));
+        for (auto &f : futures)
+            f.get();
+        server.shutdown();
+
+        const ServerStats stats = server.stats();
+        EXPECT_EQ(stats.submitted, samples.size());
+        EXPECT_EQ(stats.completed, samples.size()); // images, not pops
+        EXPECT_EQ(stats.failed, 0u);
+        EXPECT_DOUBLE_EQ(stats.avgConsumedCycles, 128.0);
+        ASSERT_GE(stats.batches, 1u);
+        EXPECT_LE(stats.batches, stats.completed);
+        EXPECT_DOUBLE_EQ(stats.avgBatchSize,
+                         static_cast<double>(stats.completed) /
+                             static_cast<double>(stats.batches));
+        EXPECT_GE(stats.avgBatchSize, 1.0);
+        EXPECT_LE(stats.avgBatchSize, 4.0);
+    }
+
+    // Adaptive: deterministic early exit makes per-image consumed
+    // cycles an exact function of the request id, so the served average
+    // must equal the engine-side mean bit-for-bit.
+    {
+        const InferenceSession session = makeSession(512);
+        ServerOptions opts;
+        opts.workers = 2;
+        opts.maxBatch = 4;
+        opts.adaptive = true;
+        opts.policy.checkpointCycles = 128;
+        opts.policy.exitMargin = 0.1;
+        opts.policy.minCycles = 128;
+        InferenceServer server(session, opts);
+        std::vector<std::future<ServedPrediction>> futures;
+        for (const auto &s : samples)
+            futures.push_back(server.submit(s.image));
+        for (auto &f : futures)
+            f.get();
+        server.shutdown();
+
+        std::uint64_t expect_cycles = 0;
+        std::uint64_t expect_exits = 0;
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            const AdaptivePrediction ref = session.engine().inferAdaptive(
+                samples[i].image, i, opts.policy);
+            expect_cycles += ref.consumedCycles;
+            expect_exits += ref.exitedEarly ? 1 : 0;
+        }
+        const ServerStats stats = server.stats();
+        EXPECT_EQ(stats.completed, samples.size());
+        EXPECT_EQ(stats.earlyExits, expect_exits);
+        EXPECT_DOUBLE_EQ(stats.avgConsumedCycles,
+                         static_cast<double>(expect_cycles) /
+                             static_cast<double>(samples.size()));
+    }
+}
+
 /** Destruction without explicit shutdown drains pending requests. */
 TEST(InferenceServer, DestructorDrains)
 {

@@ -207,10 +207,9 @@ TEST(Session, EvaluateStatsAndThreadOverridesAgree)
         session.evaluate(samples, {.threads = 1});
     EXPECT_EQ(forced.accuracy, base.accuracy);
 
-    // Deprecated forwarders ride the same code path.
+    // The engine entry point rides the same code path.
     const ScNetworkEngine &engine = session.engine();
-    EXPECT_EQ(engine.evaluate(samples), base.accuracy);
-    EXPECT_EQ(engine.evaluateBatch(samples, -1, 1).accuracy,
+    EXPECT_EQ(engine.evaluate(samples, EvalOptions{}).accuracy,
               base.accuracy);
 
     const ScEvalStats limited = session.evaluate(samples, {.limit = 3});
