@@ -27,6 +27,7 @@
 #include "blocks/feedback_unit.h"
 #include "core/stages/stage_common.h"
 #include "sc/apc.h"
+#include "sc/simd/simd.h"
 #include "sc/sng.h"
 #include "sc/stream_matrix.h"
 #include "sorting/bitonic.h"
@@ -231,6 +232,111 @@ BM_SngFillWordBatched(benchmark::State &state)
 }
 BENCHMARK(BM_SngFillWordBatched)->Arg(1024);
 
+// ---------------------------------------------------------------------
+// Cohort carry-save ripple: scalar reference table vs the dispatched
+// SIMD kernels, over the exact *Multi call mix stage-major execution
+// issues per output row (paired addXnor2Multi + addWordsMulti bias).
+// tests/test_simd_kernels.cc asserts the paths are bit-identical; the
+// pair here isolates the vector ripple's speedup per cohort size.
+// ---------------------------------------------------------------------
+
+struct CohortInputs
+{
+    CohortInputs(std::size_t images, int m, std::size_t len)
+        : images_(images), m_(m), w(static_cast<std::size_t>(m), len)
+    {
+        sc::Xoshiro256StarStar rng(6);
+        for (int j = 0; j < m; ++j)
+            w.fillBipolar(static_cast<std::size_t>(j), -0.2, 10, rng);
+        for (std::size_t c = 0; c < images; ++c) {
+            xs.emplace_back(static_cast<std::size_t>(m), len);
+            for (int j = 0; j < m; ++j)
+                xs.back().fillBipolar(static_cast<std::size_t>(j),
+                                      0.1, 10, rng);
+            counts.emplace_back(len, m + 2);
+        }
+    }
+
+    /** One output row: clear, paired products, bias-style shared row. */
+    void
+    runRow()
+    {
+        const std::size_t wpr = w.wordsPerRow();
+        sc::ColumnCounts *cc[sc::ColumnCounts::kMaxMultiImages];
+        const std::uint64_t *px[sc::ColumnCounts::kMaxMultiImages];
+        const std::uint64_t *x2[sc::ColumnCounts::kMaxMultiImages];
+        for (std::size_t c = 0; c < images_; ++c) {
+            cc[c] = &counts[c];
+            cc[c]->clear();
+        }
+        int j = 0;
+        for (; j + 1 < m_; j += 2) {
+            for (std::size_t c = 0; c < images_; ++c) {
+                px[c] = xs[c].row(static_cast<std::size_t>(j));
+                x2[c] = xs[c].row(static_cast<std::size_t>(j) + 1);
+            }
+            sc::ColumnCounts::addXnor2Multi(
+                cc, px, x2, images_, w.row(static_cast<std::size_t>(j)),
+                w.row(static_cast<std::size_t>(j) + 1), wpr);
+        }
+        if (j < m_) {
+            for (std::size_t c = 0; c < images_; ++c)
+                px[c] = xs[c].row(static_cast<std::size_t>(j));
+            sc::ColumnCounts::addXnorMulti(
+                cc, px, images_, w.row(static_cast<std::size_t>(j)), wpr);
+        }
+        sc::ColumnCounts::addWordsMulti(cc, images_, w.row(0), wpr);
+    }
+
+    std::size_t images_;
+    int m_;
+    sc::StreamMatrix w;
+    std::vector<sc::StreamMatrix> xs;
+    std::vector<sc::ColumnCounts> counts;
+};
+
+/** RAII level pin for the scalar-vs-dispatched comparison cases. */
+struct BenchLevelGuard
+{
+    explicit BenchLevelGuard(sc::simd::Level level)
+        : prev(sc::simd::activeLevel())
+    {
+        sc::simd::setActiveLevel(level);
+    }
+    ~BenchLevelGuard() { sc::simd::setActiveLevel(prev); }
+    sc::simd::Level prev;
+};
+
+void
+BM_ColumnCountsCohortRippleScalar(benchmark::State &state)
+{
+    const std::size_t images = static_cast<std::size_t>(state.range(0));
+    CohortInputs in(images, 121, 1024);
+    const BenchLevelGuard guard(sc::simd::Level::Scalar);
+    for (auto _ : state) {
+        in.runRow();
+        benchmark::DoNotOptimize(in.counts[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * 121 *
+                            static_cast<long>(images) * 1024);
+}
+BENCHMARK(BM_ColumnCountsCohortRippleScalar)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_ColumnCountsCohortRippleSimd(benchmark::State &state)
+{
+    const std::size_t images = static_cast<std::size_t>(state.range(0));
+    CohortInputs in(images, 121, 1024);
+    const BenchLevelGuard guard(sc::simd::detectedLevel());
+    for (auto _ : state) {
+        in.runRow();
+        benchmark::DoNotOptimize(in.counts[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * 121 *
+                            static_cast<long>(images) * 1024);
+}
+BENCHMARK(BM_ColumnCountsCohortRippleSimd)->Arg(1)->Arg(4)->Arg(8);
+
 void
 BM_FeatureBlockRun(benchmark::State &state)
 {
@@ -356,6 +462,59 @@ writeFusedKernelReport()
                       .set("unfused_sec_per_stream", serial)
                       .set("fused_sec_per_stream", batched)
                       .set("speedup", serial / batched));
+    }
+
+    // Scalar vs dispatched SIMD rows.  Both sides run the same *Multi
+    // entry points; only the dispatch table differs, so the speedup is
+    // purely the vector kernels' (the outputs are bit-identical — see
+    // tests/test_simd_kernels.cc).
+    const sc::simd::Level vec = sc::simd::detectedLevel();
+    const std::string vec_name = sc::simd::levelName(vec);
+    for (const std::size_t images : {std::size_t{1}, std::size_t{4},
+                                     std::size_t{8}}) {
+        CohortInputs in(images, 121, len);
+        double scalar_sec = 0.0;
+        double simd_sec = 0.0;
+        {
+            const BenchLevelGuard guard(sc::simd::Level::Scalar);
+            scalar_sec = secondsPerPass([&] { in.runRow(); }, target);
+        }
+        {
+            const BenchLevelGuard guard(vec);
+            simd_sec = secondsPerPass([&] { in.runRow(); }, target);
+        }
+        rows.push(bench::Json::object()
+                      .set("kernel", "cohort_carry_save_ripple")
+                      .set("cohort", images)
+                      .set("m", 121)
+                      .set("stream_len", len)
+                      .set("scalar_sec_per_row", scalar_sec)
+                      .set("simd_sec_per_row", simd_sec)
+                      .set("speedup", scalar_sec / simd_sec)
+                      .set("simd_level", vec_name));
+    }
+    {
+        sc::Xoshiro256StarStar rng(9);
+        sc::StreamMatrix m(1, len);
+        double scalar_sec = 0.0;
+        double simd_sec = 0.0;
+        {
+            const BenchLevelGuard guard(sc::simd::Level::Scalar);
+            scalar_sec = secondsPerPass(
+                [&] { m.fillBipolar(0, 0.731, 10, rng); }, target);
+        }
+        {
+            const BenchLevelGuard guard(vec);
+            simd_sec = secondsPerPass(
+                [&] { m.fillBipolar(0, 0.731, 10, rng); }, target);
+        }
+        rows.push(bench::Json::object()
+                      .set("kernel", "sng_threshold_fill")
+                      .set("stream_len", len)
+                      .set("scalar_sec_per_stream", scalar_sec)
+                      .set("simd_sec_per_stream", simd_sec)
+                      .set("speedup", scalar_sec / simd_sec)
+                      .set("simd_level", vec_name));
     }
 
     bench::writeBenchReport("micro_kernels", std::move(rows));

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/hardware_report.h"
 #include "core/sc_engine.h"
 
 // Build provenance macros, normally injected by CMake (see
@@ -277,12 +278,19 @@ engineJson(const core::ScEngineConfig &cfg)
 inline Json
 buildInfoJson()
 {
+    // The SIMD fields make committed reports comparable across hosts:
+    // a number recorded under "scalar" dispatch must not be read as a
+    // regression against one recorded under "avx512".
+    const core::HostSimdInfo simd = core::hostSimdInfo();
     return Json::object()
         .set("git_sha", AQFPSC_GIT_SHA)
         .set("compiler", AQFPSC_COMPILER)
         .set("cxx_flags", AQFPSC_CXX_FLAGS)
         .set("hardware_threads",
-             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+             static_cast<std::size_t>(std::thread::hardware_concurrency()))
+        .set("simd_detected", simd.detected)
+        .set("simd_level", simd.active)
+        .set("kernel_variants", simd.variants);
 }
 
 /**

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/backend_registry.h"
+#include "core/hardware_report.h"
 #include "core/model_zoo.h"
 #include "core/server.h"
 #include "core/session.h"
@@ -338,6 +339,9 @@ cmdBackends()
 {
     for (const auto &name : core::BackendRegistry::instance().names())
         std::printf("%s\n", name.c_str());
+    const core::HostSimdInfo simd = core::hostSimdInfo();
+    std::printf("# simd dispatch: active=%s detected=%s\n",
+                simd.active.c_str(), simd.detected.c_str());
     return 0;
 }
 

@@ -9,6 +9,7 @@
 #include "blocks/categorization.h"
 #include "blocks/feature_extraction.h"
 #include "blocks/sng_block.h"
+#include "sc/simd/simd.h"
 #include "sorting/bitonic.h"
 
 namespace aqfpsc::core {
@@ -248,6 +249,16 @@ analyzeNetworkHardware(const nn::Network &net, std::size_t stream_len,
         (static_cast<double>(stream_len) * cmos_tech.pipelineStallFactor);
 
     return hw;
+}
+
+HostSimdInfo
+hostSimdInfo()
+{
+    HostSimdInfo info;
+    info.detected = sc::simd::levelName(sc::simd::detectedLevel());
+    info.active = sc::simd::levelName(sc::simd::activeLevel());
+    info.variants = sc::simd::variantSummary();
+    return info;
 }
 
 } // namespace aqfpsc::core

@@ -75,6 +75,23 @@ analyzeNetworkHardware(const nn::Network &net, std::size_t stream_len,
                        const baseline::CmosTechnology &cmos_tech = {},
                        bool fast = false);
 
+/**
+ * The *simulation host's* SIMD dispatch state (distinct from the
+ * modeled hardware above): which kernel tier the CPU supports, which
+ * one is active (env overrides or setActiveLevel may pin it lower),
+ * and the per-kernel variant summary.  Recorded in bench report stamps
+ * (bench_util.h) and printed by the CLI so committed BENCH_*.json are
+ * comparable across hosts.
+ */
+struct HostSimdInfo
+{
+    std::string detected; ///< highest tier CPU + build support
+    std::string active;   ///< tier the kernel table dispatches to
+    std::string variants; ///< "kernel=tier" summary of the active table
+};
+
+HostSimdInfo hostSimdInfo();
+
 } // namespace aqfpsc::core
 
 #endif // AQFPSC_CORE_HARDWARE_REPORT_H

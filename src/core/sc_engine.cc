@@ -77,18 +77,6 @@ AdaptivePolicy::validate() const
     return errors;
 }
 
-const char *
-scBackendName(ScBackend backend)
-{
-    switch (backend) {
-      case ScBackend::AqfpSorter:
-        return "aqfp-sorter";
-      case ScBackend::CmosApc:
-        return "cmos-apc";
-    }
-    return "aqfp-sorter";
-}
-
 ScNetworkEngine::~ScNetworkEngine() = default;
 
 ScNetworkEngine::ScNetworkEngine(const nn::Network &net,

@@ -47,42 +47,18 @@ namespace stages {
 struct ExecutionPlan;
 } // namespace stages
 
-/**
- * Which hardware's arithmetic the engine emulates.
- *
- * @deprecated Thin shim over the open string-keyed BackendRegistry.  New
- * code selects backends by registry name ("aqfp-sorter", "cmos-apc",
- * "float-ref", ...) via ScEngineConfig::backendName or
- * EngineOptions::backend; the enum only survives so existing call sites
- * keep compiling and cannot name backends registered outside this core.
- * It is retained deliberately (unlike the removed ScStage::run() and
- * evaluate/evaluateBatch forwarders): it is a two-value POD with no
- * maintenance surface, and deleting it would churn every stored
- * ScEngineConfig for no behavioral gain.
- */
-enum class ScBackend
-{
-    AqfpSorter, ///< this paper's sorter/majority blocks
-    CmosApc,    ///< SC-DCNN-style APC + Btanh + MUX pooling
-};
-
-/** Registry name of a legacy ScBackend value. */
-const char *scBackendName(ScBackend backend);
-
 /** Engine configuration. */
 struct ScEngineConfig
 {
     std::size_t streamLen = 1024; ///< stochastic stream length N
     int rngBits = 10;             ///< SNG code width
     std::uint64_t seed = 123;     ///< randomness seed
-    /** @deprecated Used only while backendName is empty. */
-    ScBackend backend = ScBackend::AqfpSorter;
     /**
      * BackendRegistry name ("aqfp-sorter", "cmos-apc", "float-ref", ...).
-     * Empty derives the name from the deprecated enum, so existing
-     * enum-based call sites behave unchanged.
+     * String names have been the only backend selector since the
+     * deprecated ScBackend enum shim was removed.
      */
-    std::string backendName;
+    std::string backendName = "aqfp-sorter";
     /**
      * CmosApc: model the first-layer OR-pair approximate counter.  Off
      * by default: that approximation overcounts by ~M/8 per cycle, which
@@ -106,10 +82,11 @@ struct ScEngineConfig
      */
     int cohort = 1;
 
-    /** The authoritative backend name: backendName, or the enum's. */
+    /** The authoritative backend name (empty falls back to the default
+     *  registry name, so a value-initialized config stays valid). */
     std::string resolvedBackend() const
     {
-        return backendName.empty() ? scBackendName(backend) : backendName;
+        return backendName.empty() ? "aqfp-sorter" : backendName;
     }
 };
 

@@ -83,10 +83,6 @@ EngineOptions::toConfig(const std::string &backendOverride) const
     cfg.cohort = cohort;
     cfg.approximateApc = approximateApc;
     cfg.backendName = backendOverride.empty() ? backend : backendOverride;
-    // Keep the deprecated enum coherent for legacy readers of config().
-    cfg.backend = cfg.backendName == scBackendName(ScBackend::CmosApc)
-                      ? ScBackend::CmosApc
-                      : ScBackend::AqfpSorter;
     return cfg;
 }
 

@@ -451,6 +451,11 @@ class LinearScStage : public ScStage
                   std::size_t begin, std::size_t end) const override
     {
         const std::size_t len = streams_.weights.streamLen();
+        // The multi entry points below route through the sc::simd
+        // dispatch table (stack-allocated plane-span arrays sized by
+        // the kernel-layer cap), so the cohort cap must fit.
+        static_assert(kMaxCohortImages <=
+                      sc::ColumnCounts::kMaxMultiImages);
         assert(count >= 1 && count <= kMaxCohortImages);
         assert(begin % 64 == 0 && begin < end && end <= len);
         // Spans accumulate at plane offset 0 of each scratch counter and

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "simd/simd.h"
+
 namespace aqfpsc::sc {
 
 int
@@ -159,16 +161,17 @@ ColumnCounts::addXnorMulti(ColumnCounts *const counters[],
                            std::size_t images, const std::uint64_t *w,
                            std::size_t word_count)
 {
+    assert(images <= kMaxMultiImages);
+    simd::PlaneSpan spans[kMaxMultiImages];
     for (std::size_t c = 0; c < images; ++c) {
-        assert(word_count <= counters[c]->wordCount_);
-        assert(counters[c]->added_ < counters[c]->maxCount_);
-        ++counters[c]->added_;
+        ColumnCounts &cc = *counters[c];
+        assert(word_count <= cc.wordCount_);
+        assert(cc.added_ < cc.maxCount_);
+        ++cc.added_;
+        spans[c] = simd::PlaneSpan{cc.planes_.data(), cc.wordCount_,
+                                   cc.planeCount_};
     }
-    for (std::size_t wi = 0; wi < word_count; ++wi) {
-        const std::uint64_t ww = w[wi];
-        for (std::size_t c = 0; c < images; ++c)
-            counters[c]->rippleWord(wi, ~(xs[c][wi] ^ ww));
-    }
+    simd::kernels().addXnorMulti(spans, xs, images, w, word_count);
 }
 
 void
@@ -178,22 +181,18 @@ ColumnCounts::addXnor2Multi(ColumnCounts *const counters[],
                             std::size_t images, const std::uint64_t *w1,
                             const std::uint64_t *w2, std::size_t word_count)
 {
+    assert(images <= kMaxMultiImages);
+    simd::PlaneSpan spans[kMaxMultiImages];
     for (std::size_t c = 0; c < images; ++c) {
-        assert(word_count <= counters[c]->wordCount_);
-        assert(counters[c]->added_ + 2 <= counters[c]->maxCount_);
-        counters[c]->added_ += 2;
+        ColumnCounts &cc = *counters[c];
+        assert(word_count <= cc.wordCount_);
+        assert(cc.added_ + 2 <= cc.maxCount_);
+        cc.added_ += 2;
+        spans[c] = simd::PlaneSpan{cc.planes_.data(), cc.wordCount_,
+                                   cc.planeCount_};
     }
-    for (std::size_t wi = 0; wi < word_count; ++wi) {
-        const std::uint64_t ww1 = w1[wi];
-        const std::uint64_t ww2 = w2[wi];
-        for (std::size_t c = 0; c < images; ++c) {
-            const std::uint64_t p1 = ~(xs1[c][wi] ^ ww1);
-            const std::uint64_t p2 = ~(xs2[c][wi] ^ ww2);
-            // 3:2 compress: p1 + p2 = (p1 ^ p2) + 2 * (p1 & p2).
-            counters[c]->rippleWord(wi, p1 ^ p2);
-            counters[c]->rippleWord(wi, p1 & p2, 1);
-        }
-    }
+    simd::kernels().addXnor2Multi(spans, xs1, xs2, images, w1, w2,
+                                  word_count);
 }
 
 void
@@ -201,16 +200,17 @@ ColumnCounts::addWordsMulti(ColumnCounts *const counters[],
                             std::size_t images, const std::uint64_t *words,
                             std::size_t word_count)
 {
+    assert(images <= kMaxMultiImages);
+    simd::PlaneSpan spans[kMaxMultiImages];
     for (std::size_t c = 0; c < images; ++c) {
-        assert(word_count <= counters[c]->wordCount_);
-        assert(counters[c]->added_ < counters[c]->maxCount_);
-        ++counters[c]->added_;
+        ColumnCounts &cc = *counters[c];
+        assert(word_count <= cc.wordCount_);
+        assert(cc.added_ < cc.maxCount_);
+        ++cc.added_;
+        spans[c] = simd::PlaneSpan{cc.planes_.data(), cc.wordCount_,
+                                   cc.planeCount_};
     }
-    for (std::size_t wi = 0; wi < word_count; ++wi) {
-        const std::uint64_t ww = words[wi];
-        for (std::size_t c = 0; c < images; ++c)
-            counters[c]->rippleWord(wi, ww);
-    }
+    simd::kernels().addWordsMulti(spans, images, words, word_count);
 }
 
 int

@@ -122,16 +122,24 @@ class ColumnCounts
                   const std::uint64_t *x2, const std::uint64_t *w2,
                   std::size_t word_count);
 
+    /** Hard cap on the cohort width of the *Multi entry points (core's
+     *  kMaxCohortImages must not exceed this). */
+    static constexpr std::size_t kMaxMultiImages = 64;
+
     /**
      * Cohort (multi-scratch) form of addXnor(): fold ONE shared weight
      * row into @p images distinct counters, each against its own input
-     * row.  The walk is word-major with the weight word held in a
-     * register across the whole cohort, so one pass over a 64-cycle
-     * weight block feeds every image's carry-save planes — this is the
-     * entry point stage-major cohort execution uses to amortize
-     * weight-plane traversal across images.  Per counter the result is
-     * bit-identical to counters[c]->addXnor(xs[c], w, word_count).
-     * All counters must share length and plane geometry.
+     * row.  The walk is word-major with the weight word (or, in the
+     * dispatched SIMD kernels, a 4/8-word weight lane group) held in a
+     * register across the whole cohort, so one pass over a weight block
+     * feeds every image's carry-save planes — this is the entry point
+     * stage-major cohort execution uses to amortize weight-plane
+     * traversal across images.  All *Multi entry points route through
+     * the sc::simd kernel table (see src/sc/simd/simd.h); the planes
+     * hold exact binary counts, so every variant is bit-identical:
+     * per counter the result equals counters[c]->addXnor(xs[c], w,
+     * word_count) exactly.  All counters must share length and plane
+     * geometry; images must be <= kMaxMultiImages.
      */
     static void addXnorMulti(ColumnCounts *const counters[],
                              const std::uint64_t *const xs[],
@@ -296,21 +304,6 @@ class ColumnCounts
     dirtyPlanes() const
     {
         return std::bit_width(static_cast<unsigned>(added_));
-    }
-
-    /** Ripple one word's carry bits into the planes starting at
-     *  @p from_plane (the carry-save add all add* entry points share). */
-    void
-    rippleWord(std::size_t wi, std::uint64_t carry, int from_plane = 0)
-    {
-        for (int k = from_plane; k < planeCount_ && carry; ++k) {
-            std::uint64_t &plane =
-                planes_[static_cast<std::size_t>(k) * wordCount_ + wi];
-            const std::uint64_t t = plane & carry;
-            plane ^= carry;
-            carry = t;
-        }
-        assert(carry == 0 && "ColumnCounts overflow");
     }
 
     /** 8x8 bit-matrix transpose (Hacker's Delight 7-3), rows = bytes. */

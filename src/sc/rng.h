@@ -56,7 +56,11 @@ class RandomSource
      * Fill @p dst with the next @p n words — the exact sequence n
      * nextWord() calls would produce.  Concrete generators override this
      * to batch the state updates (no virtual dispatch per word), which
-     * is what makes word-parallel SNG stream fill fast.
+     * is what makes word-parallel SNG stream fill fast.  Generation
+     * itself stays scalar even under SIMD dispatch — the xoshiro
+     * recurrence is serial — so StreamMatrix::fillBipolar vectorizes
+     * only the downstream threshold compare+pack (sc::simd), which
+     * consumes these words unchanged.
      */
     virtual void
     nextWords(std::uint64_t *dst, std::size_t n)

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Kernel-table resolution: cpuid feature detection, the scalar
+ * reference table, and the process-wide active-table pointer (resolved
+ * once at static init, AQFPSC_FORCE_SCALAR override, swappable from
+ * tests via setActiveLevel()).
+ */
+
+#include "simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "kernels_scalar.h"
+
+namespace aqfpsc::sc::simd {
+
+namespace {
+
+void
+scalarAddXnorMulti(const PlaneSpan spans[], const std::uint64_t *const xs[],
+                   std::size_t images, const std::uint64_t *w,
+                   std::size_t words)
+{
+    detail::addXnorMultiWords(spans, xs, images, w, 0, words);
+}
+
+void
+scalarAddXnor2Multi(const PlaneSpan spans[], const std::uint64_t *const xs1[],
+                    const std::uint64_t *const xs2[], std::size_t images,
+                    const std::uint64_t *w1, const std::uint64_t *w2,
+                    std::size_t words)
+{
+    detail::addXnor2MultiWords(spans, xs1, xs2, images, w1, w2, 0, words);
+}
+
+void
+scalarAddWordsMulti(const PlaneSpan spans[], std::size_t images,
+                    const std::uint64_t *src, std::size_t words)
+{
+    detail::addWordsMultiWords(spans, images, src, 0, words);
+}
+
+std::uint64_t
+scalarThresholdPack(const std::uint64_t *rnd, std::size_t n,
+                    std::uint64_t threshold)
+{
+    return detail::thresholdPackBits(rnd, 0, n, threshold);
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",         scalarAddXnorMulti,  scalarAddXnor2Multi,
+    scalarAddWordsMulti, scalarThresholdPack,
+};
+
+// Constant-initialized, so kernels() is safe from any other TU's static
+// init (a null table reads as scalar until the resolver below runs).
+std::atomic<const KernelTable *> g_table{nullptr};
+std::atomic<Level> g_level{Level::Scalar};
+
+const KernelTable *
+tableFor(Level level)
+{
+    switch (level) {
+    case Level::Avx512:
+        return avx512Kernels();
+    case Level::Avx2:
+        return avx2Kernels();
+    case Level::Scalar:
+        break;
+    }
+    return &kScalarTable;
+}
+
+/** Resolves the table once at static init (env override included). */
+const struct DispatchInit
+{
+    DispatchInit()
+    {
+        setActiveLevel(resolveLevel(detectedLevel(),
+                                    std::getenv("AQFPSC_FORCE_SCALAR")));
+    }
+} g_dispatch_init;
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Avx512:
+        return "avx512";
+    case Level::Avx2:
+        return "avx2";
+    case Level::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+Level
+detectedLevel()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    static const Level detected = [] {
+        if (__builtin_cpu_supports("avx512f") &&
+            __builtin_cpu_supports("avx512bw") &&
+            __builtin_cpu_supports("avx512dq") &&
+            __builtin_cpu_supports("avx512vl") && avx512Kernels() != nullptr)
+            return Level::Avx512;
+        if (__builtin_cpu_supports("avx2") && avx2Kernels() != nullptr)
+            return Level::Avx2;
+        return Level::Scalar;
+    }();
+    return detected;
+#else
+    return Level::Scalar;
+#endif
+}
+
+Level
+resolveLevel(Level detected, const char *force_scalar_env)
+{
+    if (force_scalar_env != nullptr && force_scalar_env[0] != '\0' &&
+        !(force_scalar_env[0] == '0' && force_scalar_env[1] == '\0'))
+        return Level::Scalar;
+    return detected;
+}
+
+const KernelTable &
+kernels()
+{
+    const KernelTable *t = g_table.load(std::memory_order_relaxed);
+    return t != nullptr ? *t : kScalarTable;
+}
+
+Level
+activeLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+bool
+setActiveLevel(Level level)
+{
+    if (static_cast<int>(level) > static_cast<int>(detectedLevel()))
+        return false;
+    const KernelTable *t = tableFor(level);
+    if (t == nullptr)
+        return false;
+    g_table.store(t, std::memory_order_relaxed);
+    g_level.store(level, std::memory_order_relaxed);
+    return true;
+}
+
+std::string
+variantSummary()
+{
+    const char *name = kernels().name;
+    std::string out;
+    for (const char *kernel :
+         {"addXnorMulti", "addXnor2Multi", "addWordsMulti",
+          "thresholdPack"}) {
+        if (!out.empty())
+            out += ' ';
+        out += kernel;
+        out += '=';
+        out += name;
+    }
+    return out;
+}
+
+const KernelTable *
+scalarKernels()
+{
+    return &kScalarTable;
+}
+
+} // namespace aqfpsc::sc::simd

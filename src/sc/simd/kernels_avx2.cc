@@ -1,0 +1,164 @@
+/**
+ * @file
+ * AVX2 kernel table: 4 packed stream words (256 cycles) per lane group.
+ *
+ * Compiled with -mavx2 via a per-file CMake property; when the compiler
+ * lacks the flag (non-x86), the TU degrades to a nullptr stub and
+ * dispatch falls back to scalar.  Bit-identity with the scalar
+ * reference holds because the ripple performs the same AND/XOR plane
+ * updates per word — only 4 words at a time — and the planes hold exact
+ * binary counts.  The vector early-exit (whole lane group's carry zero)
+ * is coarser than the scalar per-word exit but only skips no-op plane
+ * updates, so the stored bits are unchanged.
+ */
+
+#include "kernels_scalar.h"
+#include "simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cassert>
+
+namespace aqfpsc::sc::simd {
+namespace {
+
+inline void
+rippleVec(const PlaneSpan &s, std::size_t wi, __m256i carry, int from_plane)
+{
+    for (int k = from_plane; k < s.planeCount; ++k) {
+        if (_mm256_testz_si256(carry, carry))
+            return;
+        std::uint64_t *p =
+            s.planes + static_cast<std::size_t>(k) * s.stride + wi;
+        const __m256i plane =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        const __m256i t = _mm256_and_si256(plane, carry);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p),
+                            _mm256_xor_si256(plane, carry));
+        carry = t;
+    }
+    assert(_mm256_testz_si256(carry, carry) && "ColumnCounts overflow");
+}
+
+void
+addXnorMulti(const PlaneSpan spans[], const std::uint64_t *const xs[],
+             std::size_t images, const std::uint64_t *w, std::size_t words)
+{
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    std::size_t wi = 0;
+    for (; wi + 4 <= words; wi += 4) {
+        // One shared weight lane group feeds the whole cohort.
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(w + wi));
+        for (std::size_t c = 0; c < images; ++c) {
+            const __m256i xv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(xs[c] + wi));
+            const __m256i prod =
+                _mm256_xor_si256(_mm256_xor_si256(xv, wv), ones);
+            rippleVec(spans[c], wi, prod, 0);
+        }
+    }
+    detail::addXnorMultiWords(spans, xs, images, w, wi, words);
+}
+
+void
+addXnor2Multi(const PlaneSpan spans[], const std::uint64_t *const xs1[],
+              const std::uint64_t *const xs2[], std::size_t images,
+              const std::uint64_t *w1, const std::uint64_t *w2,
+              std::size_t words)
+{
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    std::size_t wi = 0;
+    for (; wi + 4 <= words; wi += 4) {
+        const __m256i wv1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(w1 + wi));
+        const __m256i wv2 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(w2 + wi));
+        for (std::size_t c = 0; c < images; ++c) {
+            const __m256i p1 = _mm256_xor_si256(
+                _mm256_xor_si256(_mm256_loadu_si256(
+                                     reinterpret_cast<const __m256i *>(
+                                         xs1[c] + wi)),
+                                 wv1),
+                ones);
+            const __m256i p2 = _mm256_xor_si256(
+                _mm256_xor_si256(_mm256_loadu_si256(
+                                     reinterpret_cast<const __m256i *>(
+                                         xs2[c] + wi)),
+                                 wv2),
+                ones);
+            // 3:2 compress: p1 + p2 = (p1 ^ p2) + 2 * (p1 & p2).
+            rippleVec(spans[c], wi, _mm256_xor_si256(p1, p2), 0);
+            rippleVec(spans[c], wi, _mm256_and_si256(p1, p2), 1);
+        }
+    }
+    detail::addXnor2MultiWords(spans, xs1, xs2, images, w1, w2, wi, words);
+}
+
+void
+addWordsMulti(const PlaneSpan spans[], std::size_t images,
+              const std::uint64_t *src, std::size_t words)
+{
+    std::size_t wi = 0;
+    for (; wi + 4 <= words; wi += 4) {
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(src + wi));
+        for (std::size_t c = 0; c < images; ++c)
+            rippleVec(spans[c], wi, wv, 0);
+    }
+    detail::addWordsMultiWords(spans, images, src, wi, words);
+}
+
+std::uint64_t
+thresholdPack(const std::uint64_t *rnd, std::size_t n,
+              std::uint64_t threshold)
+{
+    // AVX2 has no unsigned 64-bit compare; flip the sign bit of both
+    // sides so signed greater-than computes the unsigned relation.
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    const __m256i tv = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(threshold)), bias);
+    std::uint64_t word = 0;
+    std::size_t b = 0;
+    for (; b + 4 <= n; b += 4) {
+        const __m256i rv = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(rnd + b)),
+            bias);
+        const __m256i lt = _mm256_cmpgt_epi64(tv, rv);
+        const unsigned mask = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(lt)));
+        word |= static_cast<std::uint64_t>(mask) << b;
+    }
+    return word | detail::thresholdPackBits(rnd, b, n, threshold);
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2", addXnorMulti, addXnor2Multi, addWordsMulti, thresholdPack,
+};
+
+} // namespace
+
+const KernelTable *
+avx2Kernels()
+{
+    return &kAvx2Table;
+}
+
+} // namespace aqfpsc::sc::simd
+
+#else // !defined(__AVX2__)
+
+namespace aqfpsc::sc::simd {
+
+const KernelTable *
+avx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace aqfpsc::sc::simd
+
+#endif // defined(__AVX2__)

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * AVX-512 kernel table: 8 packed stream words (512 cycles) per lane
+ * group.  Same structure and bit-identity argument as kernels_avx2.cc;
+ * the mask registers additionally give the threshold compare its packed
+ * result for free (_mm512_cmplt_epu64_mask yields the 8 stream bits
+ * directly).  Compiled with -mavx512f/bw/dq/vl via a per-file CMake
+ * property; degrades to a nullptr stub without it.
+ */
+
+#include "kernels_scalar.h"
+#include "simd.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cassert>
+
+namespace aqfpsc::sc::simd {
+namespace {
+
+inline void
+rippleVec(const PlaneSpan &s, std::size_t wi, __m512i carry, int from_plane)
+{
+    for (int k = from_plane; k < s.planeCount; ++k) {
+        if (_mm512_test_epi64_mask(carry, carry) == 0)
+            return;
+        std::uint64_t *p =
+            s.planes + static_cast<std::size_t>(k) * s.stride + wi;
+        const __m512i plane = _mm512_loadu_si512(p);
+        const __m512i t = _mm512_and_si512(plane, carry);
+        _mm512_storeu_si512(p, _mm512_xor_si512(plane, carry));
+        carry = t;
+    }
+    assert(_mm512_test_epi64_mask(carry, carry) == 0 &&
+           "ColumnCounts overflow");
+}
+
+void
+addXnorMulti(const PlaneSpan spans[], const std::uint64_t *const xs[],
+             std::size_t images, const std::uint64_t *w, std::size_t words)
+{
+    const __m512i ones = _mm512_set1_epi64(-1);
+    std::size_t wi = 0;
+    for (; wi + 8 <= words; wi += 8) {
+        // One shared weight lane group feeds the whole cohort.
+        const __m512i wv = _mm512_loadu_si512(w + wi);
+        for (std::size_t c = 0; c < images; ++c) {
+            const __m512i xv = _mm512_loadu_si512(xs[c] + wi);
+            const __m512i prod =
+                _mm512_xor_si512(_mm512_xor_si512(xv, wv), ones);
+            rippleVec(spans[c], wi, prod, 0);
+        }
+    }
+    detail::addXnorMultiWords(spans, xs, images, w, wi, words);
+}
+
+void
+addXnor2Multi(const PlaneSpan spans[], const std::uint64_t *const xs1[],
+              const std::uint64_t *const xs2[], std::size_t images,
+              const std::uint64_t *w1, const std::uint64_t *w2,
+              std::size_t words)
+{
+    const __m512i ones = _mm512_set1_epi64(-1);
+    std::size_t wi = 0;
+    for (; wi + 8 <= words; wi += 8) {
+        const __m512i wv1 = _mm512_loadu_si512(w1 + wi);
+        const __m512i wv2 = _mm512_loadu_si512(w2 + wi);
+        for (std::size_t c = 0; c < images; ++c) {
+            const __m512i p1 = _mm512_xor_si512(
+                _mm512_xor_si512(_mm512_loadu_si512(xs1[c] + wi), wv1),
+                ones);
+            const __m512i p2 = _mm512_xor_si512(
+                _mm512_xor_si512(_mm512_loadu_si512(xs2[c] + wi), wv2),
+                ones);
+            // 3:2 compress: p1 + p2 = (p1 ^ p2) + 2 * (p1 & p2).
+            rippleVec(spans[c], wi, _mm512_xor_si512(p1, p2), 0);
+            rippleVec(spans[c], wi, _mm512_and_si512(p1, p2), 1);
+        }
+    }
+    detail::addXnor2MultiWords(spans, xs1, xs2, images, w1, w2, wi, words);
+}
+
+void
+addWordsMulti(const PlaneSpan spans[], std::size_t images,
+              const std::uint64_t *src, std::size_t words)
+{
+    std::size_t wi = 0;
+    for (; wi + 8 <= words; wi += 8) {
+        const __m512i wv = _mm512_loadu_si512(src + wi);
+        for (std::size_t c = 0; c < images; ++c)
+            rippleVec(spans[c], wi, wv, 0);
+    }
+    detail::addWordsMultiWords(spans, images, src, wi, words);
+}
+
+std::uint64_t
+thresholdPack(const std::uint64_t *rnd, std::size_t n,
+              std::uint64_t threshold)
+{
+    const __m512i tv =
+        _mm512_set1_epi64(static_cast<long long>(threshold));
+    std::uint64_t word = 0;
+    std::size_t b = 0;
+    for (; b + 8 <= n; b += 8) {
+        const __m512i rv = _mm512_loadu_si512(rnd + b);
+        const __mmask8 lt = _mm512_cmplt_epu64_mask(rv, tv);
+        word |= static_cast<std::uint64_t>(lt) << b;
+    }
+    return word | detail::thresholdPackBits(rnd, b, n, threshold);
+}
+
+constexpr KernelTable kAvx512Table = {
+    "avx512", addXnorMulti, addXnor2Multi, addWordsMulti, thresholdPack,
+};
+
+} // namespace
+
+const KernelTable *
+avx512Kernels()
+{
+    return &kAvx512Table;
+}
+
+} // namespace aqfpsc::sc::simd
+
+#else // !defined(__AVX512F__)
+
+namespace aqfpsc::sc::simd {
+
+const KernelTable *
+avx512Kernels()
+{
+    return nullptr;
+}
+
+} // namespace aqfpsc::sc::simd
+
+#endif // defined(__AVX512F__)

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the SC kernel hot loops.
+ *
+ * PR 5 rebuilt execution around stage-major cohorts so the carry-save
+ * ripple (ColumnCounts::add*Multi) and the SNG threshold fill
+ * (StreamMatrix::fillBipolar*) could vectorize; this layer supplies the
+ * vector kernels and picks one implementation per process:
+ *
+ *  - kernels() returns a per-kernel function-pointer table resolved
+ *    once at static init from cpuid feature detection (scalar, AVX2 or
+ *    AVX-512), overridable with the AQFPSC_FORCE_SCALAR env var (any
+ *    non-empty value other than "0" forces the scalar table).
+ *  - The AVX TUs are compiled with per-file arch flags (see
+ *    CMakeLists.txt) and degrade to stubs when the compiler lacks the
+ *    flag, so the binary stays portable: no vector instruction executes
+ *    unless the running CPU advertises the feature.
+ *  - Every vector kernel is bit-identical to the scalar reference: the
+ *    carry-save planes hold exact binary counts (independent of
+ *    addition grouping) and the vector ripple performs the same
+ *    AND/XOR plane updates, just 4/8 packed words per lane group; the
+ *    threshold fill performs the same unsigned compare per RNG word.
+ *    tests/test_simd_kernels.cc pins this differentially, and the
+ *    PR 3/PR 5 golden hashes pin it end to end.
+ *
+ * setActiveLevel() exists for tests and benches that need to compare
+ * variants in-process; it swaps an atomic table pointer, so it must not
+ * race with in-flight inference (call it between runs).
+ */
+
+#ifndef AQFPSC_SC_SIMD_SIMD_H
+#define AQFPSC_SC_SIMD_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aqfpsc::sc::simd {
+
+/** Kernel implementation tiers, ordered by preference. */
+enum class Level
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+/** Stable lowercase name ("scalar", "avx2", "avx512") for reports. */
+const char *levelName(Level level);
+
+/**
+ * One image's carry-save planes, decoupled from ColumnCounts internals:
+ * plane k of word wi lives at planes[k * stride + wi].
+ */
+struct PlaneSpan
+{
+    std::uint64_t *planes;
+    std::size_t stride;
+    int planeCount;
+};
+
+/** Fold ~(xs[c] ^ w) into each image's planes over words [0, words). */
+using AddXnorMultiFn = void (*)(const PlaneSpan spans[],
+                                const std::uint64_t *const xs[],
+                                std::size_t images, const std::uint64_t *w,
+                                std::size_t words);
+
+/** 3:2-compressed pair of XNOR products per image (see addXnor2()). */
+using AddXnor2MultiFn = void (*)(const PlaneSpan spans[],
+                                 const std::uint64_t *const xs1[],
+                                 const std::uint64_t *const xs2[],
+                                 std::size_t images, const std::uint64_t *w1,
+                                 const std::uint64_t *w2, std::size_t words);
+
+/** Add one shared packed row into every image's planes. */
+using AddWordsMultiFn = void (*)(const PlaneSpan spans[], std::size_t images,
+                                 const std::uint64_t *src, std::size_t words);
+
+/** Pack (rnd[b] < threshold) for b in [0, n) into one stream word. */
+using ThresholdPackFn = std::uint64_t (*)(const std::uint64_t *rnd,
+                                          std::size_t n,
+                                          std::uint64_t threshold);
+
+/** The per-kernel dispatch table (one per implementation tier). */
+struct KernelTable
+{
+    const char *name; ///< levelName() of the implementing tier.
+    AddXnorMultiFn addXnorMulti;
+    AddXnor2MultiFn addXnor2Multi;
+    AddWordsMultiFn addWordsMulti;
+    ThresholdPackFn thresholdPack;
+};
+
+/** The active table.  Safe during static init (falls back to scalar). */
+const KernelTable &kernels();
+
+/** Highest tier both this build and the running CPU support. */
+Level detectedLevel();
+
+/** Tier of the currently active table. */
+Level activeLevel();
+
+/**
+ * Swap the active table (tests/benches only — not safe concurrently
+ * with running kernels).  Fails (returns false, no change) when the
+ * requested tier exceeds detectedLevel().
+ */
+bool setActiveLevel(Level level);
+
+/** "kernel=tier" summary of the active table for report stamps. */
+std::string variantSummary();
+
+/**
+ * Env-override policy, exposed pure for tests: AQFPSC_FORCE_SCALAR
+ * unset, empty or "0" keeps @p detected; anything else forces scalar.
+ */
+Level resolveLevel(Level detected, const char *force_scalar_env);
+
+/** Per-tier tables; AVX accessors return nullptr when the TU was
+ *  compiled without the arch flag (non-x86 or old compiler). */
+const KernelTable *scalarKernels();
+const KernelTable *avx2Kernels();
+const KernelTable *avx512Kernels();
+
+} // namespace aqfpsc::sc::simd
+
+#endif // AQFPSC_SC_SIMD_SIMD_H

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "simd/simd.h"
 #include "sng.h"
 
 namespace aqfpsc::sc {
@@ -42,18 +43,18 @@ StreamMatrix::fillBipolar(std::size_t r, double value, int bits,
                                     << shift;
     std::uint64_t rnd[64];
     std::uint64_t *dst = row(r);
+    // RNG word generation stays scalar (the xoshiro recurrence is
+    // serial); the compare+pack dispatches to the SIMD kernel table.
+    const simd::KernelTable &kt = simd::kernels();
     for (std::size_t w = 0; w < wpr_; ++w) {
         const std::size_t hi =
             len_ - w * 64 < 64 ? len_ - w * 64 : 64;
         rng.nextWords(rnd, hi);
-        std::uint64_t word = 0;
-        if (all_ones) {
+        std::uint64_t word;
+        if (all_ones)
             word = hi == 64 ? ~0ULL : (1ULL << hi) - 1;
-        } else {
-            for (std::size_t b = 0; b < hi; ++b)
-                word |= static_cast<std::uint64_t>(rnd[b] < threshold)
-                        << b;
-        }
+        else
+            word = kt.thresholdPack(rnd, hi, threshold);
         dst[w] = word;
     }
 }
@@ -78,19 +79,17 @@ StreamMatrix::fillBipolarSpan(std::size_t r, double value, int bits,
                                     << shift;
     std::uint64_t rnd[64];
     std::uint64_t *dst = row(r);
+    const simd::KernelTable &kt = simd::kernels();
     const std::size_t w_end = (end_cycle + 63) / 64;
     for (std::size_t w = begin_cycle / 64; w < w_end; ++w) {
         const std::size_t hi =
             end_cycle - w * 64 < 64 ? end_cycle - w * 64 : 64;
         rng.nextWords(rnd, hi);
-        std::uint64_t word = 0;
-        if (all_ones) {
+        std::uint64_t word;
+        if (all_ones)
             word = hi == 64 ? ~0ULL : (1ULL << hi) - 1;
-        } else {
-            for (std::size_t b = 0; b < hi; ++b)
-                word |= static_cast<std::uint64_t>(rnd[b] < threshold)
-                        << b;
-        }
+        else
+            word = kt.thresholdPack(rnd, hi, threshold);
         dst[w] = word;
     }
 }

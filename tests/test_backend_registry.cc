@@ -40,15 +40,17 @@ TEST(BackendRegistry, BuiltinBackendsAreRegistered)
     EXPECT_TRUE(has("float-ref"));
 }
 
-TEST(BackendRegistry, LegacyEnumMapsToRegistryNames)
+TEST(BackendRegistry, ResolvedBackendDefaultsAndOverrides)
 {
-    EXPECT_STREQ(scBackendName(ScBackend::AqfpSorter), "aqfp-sorter");
-    EXPECT_STREQ(scBackendName(ScBackend::CmosApc), "cmos-apc");
+    // String names are the only selector (the ScBackend enum shim is
+    // gone); a value-initialized config must resolve to the default
+    // registered backend, and an explicit name must win.
     ScEngineConfig cfg;
-    cfg.backend = ScBackend::CmosApc;
-    EXPECT_EQ(cfg.resolvedBackend(), "cmos-apc");
-    cfg.backendName = "float-ref"; // the name wins over the enum
+    EXPECT_EQ(cfg.resolvedBackend(), "aqfp-sorter");
+    cfg.backendName = "float-ref";
     EXPECT_EQ(cfg.resolvedBackend(), "float-ref");
+    cfg.backendName.clear(); // legacy empty spelling stays valid
+    EXPECT_EQ(cfg.resolvedBackend(), "aqfp-sorter");
 }
 
 TEST(BackendRegistry, UnknownBackendListsRegisteredNames)

@@ -32,12 +32,12 @@ expectSamePredictions(const std::vector<ScPrediction> &a,
 }
 
 ScEngineConfig
-makeConfig(ScBackend backend)
+makeConfig(const std::string &backend)
 {
     ScEngineConfig cfg;
     cfg.streamLen = 256;
     cfg.seed = 99;
-    cfg.backend = backend;
+    cfg.backendName = backend;
     return cfg;
 }
 
@@ -48,8 +48,7 @@ TEST(BatchRunner, PredictionsIdenticalAt1And2And8Threads)
     const nn::Network net = buildTinyCnn(21);
     const auto samples = data::generateDigits(12, 5);
 
-    for (const ScBackend backend :
-         {ScBackend::AqfpSorter, ScBackend::CmosApc}) {
+    for (const char *backend : {"aqfp-sorter", "cmos-apc"}) {
         const ScNetworkEngine engine(net, makeConfig(backend));
         const auto p1 = BatchRunner(engine, 1).run(samples);
         const auto p2 = BatchRunner(engine, 2).run(samples);
@@ -63,7 +62,7 @@ TEST(BatchRunner, BatchMatchesInferIndexed)
 {
     const nn::Network net = buildTinyCnn(22);
     const auto samples = data::generateDigits(6, 17);
-    const ScNetworkEngine engine(net, makeConfig(ScBackend::AqfpSorter));
+    const ScNetworkEngine engine(net, makeConfig("aqfp-sorter"));
 
     const auto batch = BatchRunner(engine, 8).run(samples);
     ASSERT_EQ(batch.size(), samples.size());
@@ -80,7 +79,7 @@ TEST(BatchRunner, IndexZeroMatchesPlainInfer)
 {
     const nn::Network net = buildTinyCnn(23);
     const auto samples = data::generateDigits(1, 29);
-    const ScNetworkEngine engine(net, makeConfig(ScBackend::AqfpSorter));
+    const ScNetworkEngine engine(net, makeConfig("aqfp-sorter"));
 
     const ScPrediction a = engine.infer(samples[0].image);
     const ScPrediction b = engine.inferIndexed(samples[0].image, 0);
@@ -93,7 +92,7 @@ TEST(BatchRunner, LimitAndEmptyBatch)
 {
     const nn::Network net = buildTinyCnn(24);
     const auto samples = data::generateDigits(5, 31);
-    const ScNetworkEngine engine(net, makeConfig(ScBackend::AqfpSorter));
+    const ScNetworkEngine engine(net, makeConfig("aqfp-sorter"));
     const BatchRunner runner(engine, 2);
 
     EXPECT_EQ(runner.run(samples, 3).size(), 3u);
@@ -108,7 +107,7 @@ TEST(BatchRunner, EvaluateReportsConsistentStats)
 {
     const nn::Network net = buildTinyCnn(25);
     const auto samples = data::generateDigits(10, 37);
-    const ScNetworkEngine engine(net, makeConfig(ScBackend::AqfpSorter));
+    const ScNetworkEngine engine(net, makeConfig("aqfp-sorter"));
 
     const ScEvalStats s1 = BatchRunner(engine, 1).evaluate(samples);
     const ScEvalStats s8 = BatchRunner(engine, 8).evaluate(samples);
@@ -127,7 +126,7 @@ TEST(BatchRunner, EngineEvaluateRoutesThroughBatchRunner)
     const nn::Network net = buildTinyCnn(26);
     const auto samples = data::generateDigits(8, 41);
 
-    ScEngineConfig cfg = makeConfig(ScBackend::AqfpSorter);
+    ScEngineConfig cfg = makeConfig("aqfp-sorter");
     cfg.threads = 4;
     const ScNetworkEngine engine(net, cfg);
     const double acc = engine.evaluate(samples, EvalOptions{}).accuracy;
@@ -138,7 +137,7 @@ TEST(BatchRunner, EngineEvaluateRoutesThroughBatchRunner)
 TEST(BatchRunner, ThreadCountResolution)
 {
     const nn::Network net = buildTinyCnn(27);
-    const ScNetworkEngine engine(net, makeConfig(ScBackend::AqfpSorter));
+    const ScNetworkEngine engine(net, makeConfig("aqfp-sorter"));
     EXPECT_EQ(BatchRunner(engine, 3).threads(), 3);
     EXPECT_GE(BatchRunner(engine, 0).threads(), 1); // hardware default
     EXPECT_EQ(BatchRunner(engine, -5).threads(),

@@ -62,7 +62,7 @@ TEST_F(TrainedTinyCnn, AqfpScInferenceTracksFloat)
 {
     ScEngineConfig cfg;
     cfg.streamLen = 1024;
-    cfg.backend = ScBackend::AqfpSorter;
+    cfg.backendName = "aqfp-sorter";
     ScNetworkEngine engine(*net_, cfg);
     const double float_acc = net_->evaluate(*test_);
     const double sc_acc = engine.evaluate(*test_, {.limit = 40}).accuracy;
@@ -88,7 +88,7 @@ TEST_F(TrainedTinyCnn, CmosScInferenceRuns)
 
     ScEngineConfig cfg;
     cfg.streamLen = 1024;
-    cfg.backend = ScBackend::CmosApc;
+    cfg.backendName = "cmos-apc";
     ScNetworkEngine engine(cmos_net, cfg);
     const double float_acc = cmos_net.evaluate(*test_);
     const double sc_acc = engine.evaluate(*test_, {.limit = 40}).accuracy;

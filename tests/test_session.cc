@@ -171,10 +171,10 @@ TEST(Session, MatchesDirectEnginePathBitExactly)
 
     EngineOptions opts;
     opts.streamLen = 256;
-    ScEngineConfig legacy;
-    legacy.streamLen = 256;
-    legacy.backend = ScBackend::AqfpSorter; // pre-registry spelling
-    const ScNetworkEngine direct(net, legacy);
+    ScEngineConfig direct_cfg;
+    direct_cfg.streamLen = 256;
+    direct_cfg.backendName = "aqfp-sorter";
+    const ScNetworkEngine direct(net, direct_cfg);
     const InferenceSession session(std::move(net), opts);
 
     const auto via_session = session.predict(samples);

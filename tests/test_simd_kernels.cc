@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Differential tests of the runtime-dispatched SIMD kernels
+ * (src/sc/simd/) against the scalar reference path.
+ *
+ * The dispatch contract is bit-identity: the carry-save planes hold
+ * exact binary counts (independent of addition grouping), so the AVX2/
+ * AVX-512 ripple and threshold-pack kernels must reproduce the scalar
+ * loops exactly on every input.  Coverage:
+ *
+ *  - randomized sweep of the three *Multi entry points across plane
+ *    counts 1-10, cohort sizes {1,2,3,4,7,8}, odd/even stream counts
+ *    and tail lengths (incl. len 100), against both the forced-scalar
+ *    table and the per-image single-stream reference;
+ *  - SNG threshold fill (fillBipolar) forced-scalar vs dispatched
+ *    across values (incl. the all-ones special case), code widths and
+ *    lengths, plus a direct kernel unit sweep over n in [1, 64];
+ *  - dispatch-layer invariants (level ordering, env-override policy);
+ *  - forced-scalar vs forced-vector end-to-end golden score hash on
+ *    all stream backends (the session-level analogue of the PR 3/PR 5
+ *    goldens, here exercised at both dispatch levels in one process).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "core/session.h"
+#include "data/digits.h"
+#include "sc/apc.h"
+#include "sc/rng.h"
+#include "sc/simd/simd.h"
+#include "sc/stream_matrix.h"
+
+namespace aqfpsc {
+namespace {
+
+using sc::simd::Level;
+
+/** RAII: pin the active kernel table, restore on scope exit. */
+class LevelGuard
+{
+  public:
+    explicit LevelGuard(Level level) : prev_(sc::simd::activeLevel())
+    {
+        EXPECT_TRUE(sc::simd::setActiveLevel(level));
+    }
+    ~LevelGuard() { sc::simd::setActiveLevel(prev_); }
+
+  private:
+    Level prev_;
+};
+
+/** One randomized cohort workload: m product streams (paired through
+ *  addXnor2Multi, odd leftover through addXnorMulti) plus one shared
+ *  addWordsMulti row — the exact call mix of stage_common.h. */
+struct CohortWorkload
+{
+    std::size_t images;
+    std::size_t len;
+    std::size_t words;
+    int maxCount;
+    int m; ///< XNOR product streams (m + 1 total adds per counter)
+    std::vector<std::vector<std::uint64_t>> weights; ///< m rows, shared
+    std::vector<std::uint64_t> shared; ///< the addWordsMulti row
+    /** inputs[c][s] = image c's input row for stream s. */
+    std::vector<std::vector<std::vector<std::uint64_t>>> inputs;
+
+    CohortWorkload(std::size_t images_, std::size_t len_, int max_count,
+                   int m_, sc::Xoshiro256StarStar &rng)
+        : images(images_), len(len_), words((len_ + 63) / 64),
+          maxCount(max_count), m(m_)
+    {
+        const auto randomRow = [&] {
+            std::vector<std::uint64_t> row(words);
+            rng.nextWords(row.data(), words);
+            return row;
+        };
+        for (int s = 0; s < m; ++s)
+            weights.push_back(randomRow());
+        shared = randomRow();
+        inputs.resize(images);
+        for (std::size_t c = 0; c < images; ++c)
+            for (int s = 0; s < m; ++s)
+                inputs[c].push_back(randomRow());
+    }
+
+    /** Run the stage_common call mix through the *Multi entry points. */
+    void
+    runMulti(std::vector<sc::ColumnCounts> &cc) const
+    {
+        ASSERT_EQ(cc.size(), images);
+        sc::ColumnCounts *ptrs[sc::ColumnCounts::kMaxMultiImages];
+        const std::uint64_t *px[sc::ColumnCounts::kMaxMultiImages];
+        const std::uint64_t *x2[sc::ColumnCounts::kMaxMultiImages];
+        for (std::size_t c = 0; c < images; ++c)
+            ptrs[c] = &cc[c];
+        int s = 0;
+        for (; s + 1 < m; s += 2) {
+            for (std::size_t c = 0; c < images; ++c) {
+                px[c] = inputs[c][static_cast<std::size_t>(s)].data();
+                x2[c] = inputs[c][static_cast<std::size_t>(s) + 1].data();
+            }
+            sc::ColumnCounts::addXnor2Multi(
+                ptrs, px, x2, images,
+                weights[static_cast<std::size_t>(s)].data(),
+                weights[static_cast<std::size_t>(s) + 1].data(), words);
+        }
+        if (s < m) {
+            for (std::size_t c = 0; c < images; ++c)
+                px[c] = inputs[c][static_cast<std::size_t>(s)].data();
+            sc::ColumnCounts::addXnorMulti(
+                ptrs, px, images,
+                weights[static_cast<std::size_t>(s)].data(), words);
+        }
+        sc::ColumnCounts::addWordsMulti(ptrs, images, shared.data(),
+                                        words);
+    }
+
+    /** Per-image single-stream reference (never dispatched). */
+    void
+    runReference(std::vector<sc::ColumnCounts> &cc) const
+    {
+        ASSERT_EQ(cc.size(), images);
+        for (std::size_t c = 0; c < images; ++c) {
+            for (int s = 0; s < m; ++s)
+                cc[c].addXnor(inputs[c][static_cast<std::size_t>(s)].data(),
+                              weights[static_cast<std::size_t>(s)].data(),
+                              words);
+            cc[c].addWords(shared.data(), words);
+        }
+    }
+};
+
+std::vector<sc::ColumnCounts>
+makeCounters(const CohortWorkload &wl)
+{
+    std::vector<sc::ColumnCounts> cc;
+    cc.reserve(wl.images);
+    for (std::size_t c = 0; c < wl.images; ++c)
+        cc.emplace_back(wl.len, wl.maxCount);
+    return cc;
+}
+
+TEST(SimdKernels, MultiEntryPointsMatchScalarAndReference)
+{
+    const Level vector_level = sc::simd::detectedLevel();
+    sc::Xoshiro256StarStar rng(20260807);
+    const std::size_t lens[] = {64, 100, 192, 513, 1024};
+    const std::size_t cohorts[] = {1, 2, 3, 4, 7, 8};
+    for (int planes = 1; planes <= 10; ++planes) {
+        const int max_count = (1 << planes) - 1;
+        for (std::size_t ci = 0; ci < std::size(cohorts); ++ci) {
+            const std::size_t images = cohorts[ci];
+            const std::size_t len =
+                lens[(static_cast<std::size_t>(planes) + ci) %
+                     std::size(lens)];
+            // Odd/even product counts alternate with the cohort index;
+            // m + 1 adds must stay within max_count.
+            int m = max_count - 1 - static_cast<int>(ci % 2);
+            if (m < 0)
+                m = 0;
+            SCOPED_TRACE("planes=" + std::to_string(planes) +
+                         " images=" + std::to_string(images) +
+                         " len=" + std::to_string(len) +
+                         " m=" + std::to_string(m));
+            const CohortWorkload wl(images, len, max_count, m, rng);
+
+            auto scalar_cc = makeCounters(wl);
+            {
+                LevelGuard guard(Level::Scalar);
+                wl.runMulti(scalar_cc);
+            }
+            auto vector_cc = makeCounters(wl);
+            {
+                LevelGuard guard(vector_level);
+                wl.runMulti(vector_cc);
+            }
+            auto ref_cc = makeCounters(wl);
+            wl.runReference(ref_cc);
+
+            std::vector<int> scalar_counts, vector_counts, ref_counts;
+            for (std::size_t c = 0; c < images; ++c) {
+                SCOPED_TRACE("image=" + std::to_string(c));
+                scalar_cc[c].extract(scalar_counts);
+                vector_cc[c].extract(vector_counts);
+                ref_cc[c].extract(ref_counts);
+                EXPECT_EQ(scalar_counts, ref_counts);
+                EXPECT_EQ(vector_counts, ref_counts);
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, ThresholdPackKernelSweepsAllLengths)
+{
+    sc::Xoshiro256StarStar rng(42);
+    std::uint64_t rnd[64];
+    rng.nextWords(rnd, 64);
+    const std::uint64_t thresholds[] = {
+        0ULL, 1ULL, 0x8000000000000000ULL, 0xFFFFFFFFFFFFFFFFULL,
+        rng.nextWord()};
+    const sc::simd::KernelTable &dispatched = sc::simd::kernels();
+    const sc::simd::KernelTable &scalar = *sc::simd::scalarKernels();
+    for (const std::uint64_t threshold : thresholds) {
+        for (std::size_t n = 1; n <= 64; ++n) {
+            EXPECT_EQ(dispatched.thresholdPack(rnd, n, threshold),
+                      scalar.thresholdPack(rnd, n, threshold))
+                << "n=" << n << " threshold=" << threshold;
+        }
+    }
+}
+
+TEST(SimdKernels, FillBipolarMatchesScalarAcrossValues)
+{
+    const Level vector_level = sc::simd::detectedLevel();
+    const double values[] = {-1.0, -0.731, -0.5, 0.0,
+                             0.25, 0.731,  1.0}; // 1.0 = all-ones path
+    const int bit_widths[] = {1, 8, 10, 20}; // quantizer supports 1..20
+    const std::size_t lens[] = {64, 100, 192, 1000, 1024};
+    for (const std::size_t len : lens) {
+        for (const int bits : bit_widths) {
+            for (const double value : values) {
+                SCOPED_TRACE("len=" + std::to_string(len) +
+                             " bits=" + std::to_string(bits) +
+                             " value=" + std::to_string(value));
+                sc::StreamMatrix scalar_m(1, len), vector_m(1, len);
+                {
+                    LevelGuard guard(Level::Scalar);
+                    sc::Xoshiro256StarStar rng(7777);
+                    scalar_m.fillBipolar(0, value, bits, rng);
+                }
+                {
+                    LevelGuard guard(vector_level);
+                    sc::Xoshiro256StarStar rng(7777);
+                    vector_m.fillBipolar(0, value, bits, rng);
+                }
+                for (std::size_t w = 0; w < scalar_m.wordsPerRow(); ++w)
+                    EXPECT_EQ(scalar_m.row(0)[w], vector_m.row(0)[w])
+                        << "word " << w;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, DispatchInvariants)
+{
+    const Level detected = sc::simd::detectedLevel();
+    const Level before = sc::simd::activeLevel();
+    EXPECT_LE(static_cast<int>(before), static_cast<int>(detected));
+
+    // Every tier up to the detected one is selectable; beyond it fails
+    // without changing the active table.
+    for (const Level level : {Level::Scalar, Level::Avx2, Level::Avx512}) {
+        if (static_cast<int>(level) <= static_cast<int>(detected)) {
+            EXPECT_TRUE(sc::simd::setActiveLevel(level));
+            EXPECT_EQ(sc::simd::activeLevel(), level);
+            EXPECT_STREQ(sc::simd::kernels().name,
+                         sc::simd::levelName(level));
+        } else {
+            const Level held = sc::simd::activeLevel();
+            EXPECT_FALSE(sc::simd::setActiveLevel(level));
+            EXPECT_EQ(sc::simd::activeLevel(), held);
+        }
+    }
+    EXPECT_TRUE(sc::simd::setActiveLevel(before));
+
+    // AQFPSC_FORCE_SCALAR policy: unset/empty/"0" keep the detected
+    // tier, anything else forces scalar.
+    EXPECT_EQ(sc::simd::resolveLevel(detected, nullptr), detected);
+    EXPECT_EQ(sc::simd::resolveLevel(detected, ""), detected);
+    EXPECT_EQ(sc::simd::resolveLevel(detected, "0"), detected);
+    EXPECT_EQ(sc::simd::resolveLevel(detected, "1"), Level::Scalar);
+    EXPECT_EQ(sc::simd::resolveLevel(detected, "yes"), Level::Scalar);
+    EXPECT_EQ(sc::simd::resolveLevel(detected, "00"), Level::Scalar);
+}
+
+/** FNV-1a over the hexfloat rendering of every score (the test_cohort
+ *  golden-hash pattern): any bit drift anywhere changes the hash. */
+std::uint64_t
+scoreHash(const std::vector<core::ScPrediction> &preds)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    char buf[64];
+    for (const core::ScPrediction &p : preds) {
+        for (const double v : p.scores) {
+            std::snprintf(buf, sizeof(buf), "%a;", v);
+            for (const char *c = buf; *c; ++c) {
+                h ^= static_cast<unsigned char>(*c);
+                h *= 0x100000001B3ULL;
+            }
+        }
+    }
+    return h;
+}
+
+TEST(SimdKernels, ForcedScalarAndVectorEndToEndHashesMatch)
+{
+    const Level vector_level = sc::simd::detectedLevel();
+    if (vector_level == Level::Scalar)
+        GTEST_SKIP() << "no vector ISA available on this host/build";
+
+    const auto samples = data::generateDigits(8, 77);
+    struct Case
+    {
+        const char *backend;
+        std::size_t len;
+        bool approx;
+    };
+    // len 576 = 9 words: both full lane groups and a scalar tail word;
+    // len 100 pins the sub-lane-group (pure tail) path end to end.
+    const Case cases[] = {
+        {"aqfp-sorter", 576, false},
+        {"aqfp-sorter", 100, false},
+        {"cmos-apc", 576, false},
+        {"cmos-apc", 576, true}, // OR-pair overcount path
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(std::string(c.backend) + " len=" +
+                     std::to_string(c.len) + " approx=" +
+                     std::to_string(c.approx));
+        core::EngineOptions opts;
+        opts.backend = c.backend;
+        opts.streamLen = c.len;
+        opts.approximateApc = c.approx;
+        core::EvalOptions eval;
+        eval.cohort = 4;
+
+        std::uint64_t scalar_hash, vector_hash;
+        {
+            // Sessions are built inside the guard so stream generation
+            // (weights at compile, inputs at predict) uses the pinned
+            // kernel table too.
+            LevelGuard guard(Level::Scalar);
+            const core::InferenceSession session(core::buildTinyCnn(3),
+                                                 opts);
+            scalar_hash = scoreHash(session.predict(samples, eval));
+        }
+        {
+            LevelGuard guard(vector_level);
+            const core::InferenceSession session(core::buildTinyCnn(3),
+                                                 opts);
+            vector_hash = scoreHash(session.predict(samples, eval));
+        }
+        EXPECT_EQ(scalar_hash, vector_hash);
+    }
+}
+
+} // namespace
+} // namespace aqfpsc

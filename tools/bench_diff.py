@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a fresh throughput bench run against the committed baseline.
+
+Matches rows of two BENCH_throughput_inference.json files by the key
+(backend, model, cohort, stream_len) and prints an images-per-second
+delta table.  Rows present on only one side are listed but never fail
+the run (new configurations are expected as the bench grows).
+
+A row regresses when fresh img/s falls more than --threshold (default
+10%) below the baseline.  The default mode is record-only — regressions
+are printed as warnings and the exit status stays 0, because CI runs on
+noisy shared machines and numbers recorded under a different SIMD
+dispatch level (see the build stamp's "simd_level") are not directly
+comparable.  Pass --fail-on-regress for a hard gate on quiet hardware.
+
+Usage: tools/bench_diff.py BASELINE.json FRESH.json
+           [--threshold PCT] [--fail-on-regress]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """(build stamp, {key: row}) from one BENCH_throughput_inference file."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rows = {}
+    for row in doc.get("results", []):
+        engine = row.get("engine", {})
+        key = (engine.get("backend"), row.get("model"), row.get("cohort"),
+               engine.get("stream_len"))
+        rows[key] = row
+    return doc.get("build", {}), rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly produced JSON")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression warning threshold in %% "
+                             "(default: %(default)s)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any row regresses beyond the "
+                             "threshold (default: record-only)")
+    args = parser.parse_args()
+
+    base_build, base = load_rows(args.baseline)
+    fresh_build, fresh = load_rows(args.fresh)
+
+    base_level = base_build.get("simd_level", "unknown")
+    fresh_level = fresh_build.get("simd_level", "unknown")
+    print(f"baseline: {args.baseline} (git {base_build.get('git_sha', '?')}, "
+          f"simd {base_level})")
+    print(f"fresh:    {args.fresh} (git {fresh_build.get('git_sha', '?')}, "
+          f"simd {fresh_level})")
+    if base_level != fresh_level:
+        print(f"note: SIMD dispatch levels differ ({base_level} vs "
+              f"{fresh_level}); deltas reflect the dispatch change too")
+
+    header = (f"{'backend':<14} {'model':<8} {'cohort':>6} "
+              f"{'base img/s':>12} {'fresh img/s':>12} {'delta':>8}")
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for key in sorted(base, key=lambda k: tuple(str(p) for p in k)):
+        backend, model, cohort, _ = key
+        b = base[key].get("images_per_sec")
+        if key not in fresh:
+            print(f"{backend:<14} {model:<8} {cohort:>6} {b:>12.2f} "
+                  f"{'missing':>12} {'-':>8}")
+            continue
+        f = fresh[key].get("images_per_sec")
+        delta_pct = (f - b) / b * 100.0 if b else 0.0
+        marker = ""
+        if delta_pct < -args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((key, delta_pct))
+        print(f"{backend:<14} {model:<8} {cohort:>6} {b:>12.2f} {f:>12.2f} "
+              f"{delta_pct:>+7.1f}%{marker}")
+    for key in sorted(set(fresh) - set(base),
+                      key=lambda k: tuple(str(p) for p in k)):
+        backend, model, cohort, _ = key
+        f = fresh[key].get("images_per_sec")
+        print(f"{backend:<14} {model:<8} {cohort:>6} {'new':>12} {f:>12.2f} "
+              f"{'-':>8}")
+
+    if regressions:
+        print(f"WARNING: {len(regressions)} row(s) regressed more than "
+              f"{args.threshold:g}% vs the committed baseline")
+        if args.fail_on_regress:
+            return 1
+    else:
+        print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
 """Fail on broken intra-repo links in the repository's markdown files.
 
-Checks every inline markdown link/image ``[text](target)`` whose target
-is not an external URL or a pure in-page anchor:
+Checks every markdown link/image whose target is not an external URL or
+a pure in-page anchor, in both inline ``[text](target)`` and
+reference-style ``[text][label]`` + ``[label]: target`` forms:
 
   * the referenced file (resolved relative to the markdown file, or to
     the repo root for ``/``-prefixed targets) must exist;
   * for ``target#anchor`` forms pointing at a markdown file, the anchor
-    must match a heading of that file (GitHub slug rules, simplified).
+    must match a heading of that file (GitHub slug rules, simplified);
+  * every ``[text][label]`` usage must have a matching definition in the
+    same file.
+
+The walker covers every ``*.md`` outside build/VCS directories — root
+docs like ISSUE.md and CHANGES.md included — and, as a guard against a
+future refactor silently narrowing the walk, verifies that the repo's
+required root documents were actually scanned.
 
 External schemes (http/https/mailto) are not fetched — CI must not
 depend on the network.  Exit status: 0 clean, 1 broken links (each
@@ -21,8 +29,15 @@ import re
 import sys
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [text][label] usage; excludes [text](target) and [label]: definitions.
+REF_USE_RE = re.compile(r"!?\[[^\]]+\]\[([^\]]+)\]")
+# [label]: target definition (must start the line, possibly indented).
+REF_DEF_RE = re.compile(r"^ {0,3}\[([^\]]+)\]:\s+(\S+)")
 EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
 SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
+# Root documents that must be part of every scan; a walker regression
+# that drops any of these is an error, not a silent coverage loss.
+REQUIRED_ROOT_DOCS = ("README.md", "ROADMAP.md", "ISSUE.md", "CHANGES.md")
 
 
 def heading_slugs(md_path):
@@ -53,11 +68,35 @@ def md_files(root):
                 yield os.path.join(dirpath, name)
 
 
+def check_target(root, md, rel_md, lineno, target, errors):
+    """Validate one link target (shared by inline and reference forms)."""
+    if EXTERNAL_RE.match(target) or target.startswith("#"):
+        return
+    path, _, anchor = target.partition("#")
+    if path.startswith("/"):
+        resolved = os.path.join(root, path.lstrip("/"))
+    else:
+        resolved = os.path.join(os.path.dirname(md), path)
+    resolved = os.path.normpath(resolved)
+    if not os.path.exists(resolved):
+        errors.append(f"{rel_md}:{lineno}: broken link "
+                      f"'{target}' ({path} not found)")
+        return
+    if anchor and resolved.endswith(".md"):
+        if anchor.lower() not in heading_slugs(resolved):
+            errors.append(f"{rel_md}:{lineno}: broken anchor "
+                          f"'{target}' (no heading #{anchor})")
+
+
 def check(root):
     errors = []
+    scanned = set()
     for md in sorted(md_files(root)):
         rel_md = os.path.relpath(md, root)
+        scanned.add(rel_md)
         in_fence = False
+        ref_defs = {}
+        ref_uses = []
         with open(md, encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, 1):
                 if line.lstrip().startswith("```"):
@@ -65,25 +104,25 @@ def check(root):
                     continue
                 if in_fence:
                     continue
+                defn = REF_DEF_RE.match(line)
+                if defn:
+                    ref_defs[defn.group(1).lower()] = defn.group(2)
+                    check_target(root, md, rel_md, lineno, defn.group(2),
+                                 errors)
+                    continue
                 for match in LINK_RE.finditer(line):
-                    target = match.group(1)
-                    if EXTERNAL_RE.match(target) or target.startswith("#"):
-                        continue
-                    path, _, anchor = target.partition("#")
-                    if path.startswith("/"):
-                        resolved = os.path.join(root, path.lstrip("/"))
-                    else:
-                        resolved = os.path.join(os.path.dirname(md), path)
-                    resolved = os.path.normpath(resolved)
-                    if not os.path.exists(resolved):
-                        errors.append(f"{rel_md}:{lineno}: broken link "
-                                      f"'{target}' ({path} not found)")
-                        continue
-                    if anchor and resolved.endswith(".md"):
-                        if anchor.lower() not in heading_slugs(resolved):
-                            errors.append(
-                                f"{rel_md}:{lineno}: broken anchor "
-                                f"'{target}' (no heading #{anchor})")
+                    check_target(root, md, rel_md, lineno, match.group(1),
+                                 errors)
+                for match in REF_USE_RE.finditer(line):
+                    ref_uses.append((lineno, match.group(1)))
+        for lineno, label in ref_uses:
+            if label.lower() not in ref_defs:
+                errors.append(f"{rel_md}:{lineno}: undefined link "
+                              f"reference '[{label}]'")
+    for name in REQUIRED_ROOT_DOCS:
+        if name not in scanned and os.path.exists(os.path.join(root, name)):
+            errors.append(f"{name}: exists but was not scanned "
+                          f"(walker coverage regression)")
     return errors
 
 
