@@ -22,7 +22,21 @@
  *   serve  --model-file <file> [--workers W] [--queue-cap Q]
  *          [--max-batch B] [--adaptive ...] [--images N]
  *       Spin up the async micro-batching InferenceServer, push the test
- *       set through it, and report latency percentiles + server stats.
+ *       set through it, and report latency percentiles + server stats
+ *       (queue-depth high-water mark, queue/service latency histograms).
+ *   serve-multi  (--model-file <file> | --model <zoo>)
+ *          [--policy fifo|priority|edf|fair] [--workers W]
+ *          [--max-batch B] [--images N] [--deadline-ms D] [--shed]
+ *          [--tenant SPEC ...]
+ *       Spin up the multi-tenant serving::ServingFrontend and push
+ *       --images requests per tenant through it.  Each --tenant SPEC is
+ *       comma-separated: a name followed by key=value or bare-flag
+ *       tokens — weight=W, priority=P, deadline-ms=D, queue-cap=Q,
+ *       backend=NAME, margin=F, min-cycles=M, adaptive, shed.  With no
+ *       --tenant, two equal-weight tenants "a" and "b" are served.
+ *       --deadline-ms/--shed set defaults any SPEC may override.
+ *       Prints per-tenant completion/reject/shed/deadline counters and
+ *       latency percentiles.
  *   backends   List the BackendRegistry names.
  *   models     List the model_zoo names.
  *
@@ -48,6 +62,7 @@
 #include "core/server.h"
 #include "core/session.h"
 #include "data/digits.h"
+#include "serving/frontend.h"
 
 namespace {
 
@@ -74,6 +89,12 @@ struct Args
     bool progress = true;
     bool adaptive = false; ///< eval/serve: early-exit mode
     core::ServerOptions server; ///< serve: worker/queue/batch knobs
+
+    // serve-multi
+    std::vector<std::string> tenants; ///< --tenant specs, in order
+    std::string policy = "fifo";      ///< scheduler policy name
+    double deadlineMs = 0.0;          ///< default per-tenant budget
+    bool shed = false;                ///< default shed-before-reject
 };
 
 void
@@ -91,6 +112,12 @@ usage()
         "        [--stream-len N] [--threads N] [--rng-bits N] [--seed S]\n"
         "  serve --model-file <file> [--workers W] [--queue-cap Q]\n"
         "        [--max-batch B] [--images N] [--adaptive ...]\n"
+        "  serve-multi (--model-file <file> | --model <zoo>)\n"
+        "        [--policy fifo|priority|edf|fair] [--workers W]\n"
+        "        [--max-batch B] [--images N] [--deadline-ms D] [--shed]\n"
+        "        [--tenant name,weight=W,priority=P,deadline-ms=D,\n"
+        "         queue-cap=Q,backend=NAME,margin=F,min-cycles=M,\n"
+        "         adaptive,shed ...]\n"
         "  backends   list registered backends\n"
         "  models     list model-zoo architectures\n");
 }
@@ -163,6 +190,14 @@ parse(int argc, char **argv, Args &args)
                 static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
         else if (flag == "--max-batch")
             args.server.maxBatch = std::atoi(next());
+        else if (flag == "--tenant")
+            args.tenants.push_back(next());
+        else if (flag == "--policy")
+            args.policy = next();
+        else if (flag == "--deadline-ms")
+            args.deadlineMs = std::atof(next());
+        else if (flag == "--shed")
+            args.shed = true;
         else {
             std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
             return false;
@@ -304,6 +339,220 @@ cmdServe(const Args &args)
                 stats.avgBatchSize, stats.avgConsumedCycles,
                 session.options().streamLen,
                 static_cast<unsigned long long>(stats.earlyExits));
+    std::printf("queue depth high-water %zu/%zu\n",
+                stats.queueDepthHighWater, sopts.queueCapacity);
+    std::printf("queue latency   %s\n",
+                stats.queueHistogram.summary().c_str());
+    std::printf("service latency %s\n",
+                stats.serviceHistogram.summary().c_str());
+    return 0;
+}
+
+/**
+ * Parse one --tenant SPEC (comma-separated: name first, then key=value
+ * or bare-flag tokens) on top of the defaults in @p cfg.
+ * @throws std::invalid_argument on unknown or malformed tokens.
+ */
+serving::TenantConfig
+parseTenantSpec(const std::string &spec, serving::TenantConfig cfg)
+{
+    std::size_t start = 0;
+    bool first = true;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(',', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string token = spec.substr(start, end - start);
+        start = end + 1;
+        if (token.empty())
+            continue;
+        if (first) {
+            cfg.name = token;
+            first = false;
+            continue;
+        }
+        const std::size_t eq = token.find('=');
+        const std::string key = token.substr(0, eq);
+        const std::string val =
+            eq == std::string::npos ? "" : token.substr(eq + 1);
+        if (key == "adaptive")
+            cfg.adaptive = true;
+        else if (key == "shed")
+            cfg.shed.enabled = true;
+        else if (key == "weight")
+            cfg.weight = std::atof(val.c_str());
+        else if (key == "priority")
+            cfg.priority = std::atoi(val.c_str());
+        else if (key == "deadline-ms")
+            cfg.deadlineSeconds = std::atof(val.c_str()) * 1e-3;
+        else if (key == "queue-cap")
+            cfg.queueCapacity = static_cast<std::size_t>(
+                std::strtoull(val.c_str(), nullptr, 10));
+        else if (key == "backend")
+            cfg.backend = val;
+        else if (key == "margin") {
+            cfg.adaptive = true;
+            cfg.policy.exitMargin = std::atof(val.c_str());
+        } else if (key == "min-cycles") {
+            cfg.adaptive = true;
+            cfg.policy.minCycles = static_cast<std::size_t>(
+                std::strtoull(val.c_str(), nullptr, 10));
+        } else {
+            throw std::invalid_argument("--tenant '" + spec +
+                                        "': unknown token '" + token + "'");
+        }
+    }
+    if (cfg.name.empty())
+        throw std::invalid_argument("--tenant '" + spec +
+                                    "' must start with a tenant name");
+    // Shedding rides the adaptive path; keep hand-typed specs terse by
+    // implying it and clamping the floors into the valid range.
+    if (cfg.shed.enabled) {
+        cfg.adaptive = true;
+        cfg.shed.marginFloor =
+            std::min(cfg.shed.marginFloor, cfg.policy.exitMargin);
+        cfg.shed.minCyclesFloor =
+            std::min(cfg.shed.minCyclesFloor, cfg.policy.minCycles);
+    }
+    return cfg;
+}
+
+int
+cmdServeMulti(const Args &args)
+{
+    if (args.modelFile.empty() && args.model.empty()) {
+        std::fprintf(stderr, "error: serve-multi needs --model-file "
+                             "<file> or --model <zoo>\n");
+        return 2;
+    }
+    if (args.images <= 0) {
+        std::fprintf(stderr, "error: serve-multi needs --images >= 1\n");
+        return 2;
+    }
+    const auto policy = serving::parseSchedPolicy(args.policy);
+    if (!policy) {
+        std::fprintf(stderr,
+                     "error: unknown --policy '%s' (fifo, priority, "
+                     "edf, fair)\n",
+                     args.policy.c_str());
+        return 2;
+    }
+
+    serving::FrontendOptions fopts;
+    fopts.workers = args.server.workers;
+    fopts.maxBatch = args.server.maxBatch;
+    fopts.policy = *policy;
+    serving::ServingFrontend frontend(fopts);
+    if (!args.modelFile.empty())
+        frontend.addModelFromFile("m", args.modelFile, args.engine);
+    else
+        frontend.addModelFromZoo("m", args.model, args.engine,
+                                 args.trainSeed);
+
+    // Defaults every SPEC starts from (and may override).
+    serving::TenantConfig base;
+    base.model = "m";
+    base.deadlineSeconds = args.deadlineMs * 1e-3;
+    base.adaptive = args.adaptive;
+    base.policy = args.engine.adaptive;
+    if (args.shed) {
+        base.shed.enabled = true;
+        base.adaptive = true;
+        base.shed.marginFloor =
+            std::min(base.shed.marginFloor, base.policy.exitMargin);
+        base.shed.minCyclesFloor =
+            std::min(base.shed.minCyclesFloor, base.policy.minCycles);
+    }
+    std::vector<std::string> names;
+    if (args.tenants.empty()) {
+        for (const char *name : {"a", "b"}) {
+            serving::TenantConfig cfg = base;
+            cfg.name = name;
+            frontend.addTenant(cfg);
+            names.push_back(name);
+        }
+    } else {
+        for (const std::string &spec : args.tenants) {
+            const serving::TenantConfig cfg = parseTenantSpec(spec, base);
+            frontend.addTenant(cfg);
+            names.push_back(cfg.name);
+        }
+    }
+    frontend.start();
+    std::printf("serving %zu tenant(s) on '%s', policy %s, %d worker(s), "
+                "micro-batch %d, %d request(s)/tenant\n",
+                names.size(),
+                args.modelFile.empty() ? args.model.c_str()
+                                       : args.modelFile.c_str(),
+                serving::schedPolicyName(*policy), frontend.workers(),
+                fopts.maxBatch, args.images);
+
+    // Push --images requests per tenant, interleaved round-robin, via
+    // the non-blocking admission path; full queues count as rejects.
+    const auto test = data::generateDigits(kTestImages, kTestDataSeed);
+    struct Pending
+    {
+        std::size_t tenant;
+        int image;
+        std::future<serving::ServedResult> future;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(names.size() * static_cast<std::size_t>(args.images));
+    for (int i = 0; i < args.images; ++i) {
+        const auto &image =
+            test[static_cast<std::size_t>(i) % test.size()].image;
+        for (std::size_t t = 0; t < names.size(); ++t) {
+            auto f = frontend.trySubmit(names[t], image);
+            if (f)
+                pending.push_back(
+                    {t, i % static_cast<int>(test.size()), std::move(*f)});
+        }
+    }
+
+    std::vector<std::vector<double>> latency_ms(names.size());
+    std::vector<std::size_t> correct(names.size(), 0);
+    for (Pending &p : pending) {
+        const serving::ServedResult r = p.future.get();
+        latency_ms[p.tenant].push_back(
+            (r.queueSeconds + r.serviceSeconds) * 1e3);
+        if (r.prediction.label ==
+            test[static_cast<std::size_t>(p.image)].label)
+            ++correct[p.tenant];
+    }
+    frontend.shutdown();
+
+    for (std::size_t t = 0; t < names.size(); ++t) {
+        const serving::TenantStats stats = frontend.tenantStats(names[t]);
+        auto &lat = latency_ms[t];
+        std::sort(lat.begin(), lat.end());
+        auto pct = [&](double q) {
+            if (lat.empty())
+                return 0.0;
+            return lat[static_cast<std::size_t>(
+                q * static_cast<double>(lat.size() - 1))];
+        };
+        std::printf(
+            "tenant %-10s completed %llu, rejected %llu, shed %llu, "
+            "deadline-missed %llu\n",
+            names[t].c_str(),
+            static_cast<unsigned long long>(stats.completed),
+            static_cast<unsigned long long>(stats.rejected),
+            static_cast<unsigned long long>(stats.shedServed),
+            static_cast<unsigned long long>(stats.deadlineMissed));
+        std::printf(
+            "  accuracy %.4f, p50 %.1f ms, p99 %.1f ms, avg cycles "
+            "%.0f, queue high-water %zu\n",
+            stats.completed == 0
+                ? 0.0
+                : static_cast<double>(correct[t]) /
+                      static_cast<double>(stats.completed),
+            pct(0.50), pct(0.99), stats.avgConsumedCycles,
+            stats.queueDepthHighWater);
+        std::printf("  queue latency   %s\n",
+                    stats.queueHistogram.summary().c_str());
+        std::printf("  service latency %s\n",
+                    stats.serviceHistogram.summary().c_str());
+    }
     return 0;
 }
 
@@ -372,6 +621,8 @@ main(int argc, char **argv)
             return cmdInfer(args);
         if (args.command == "serve")
             return cmdServe(args);
+        if (args.command == "serve-multi")
+            return cmdServeMulti(args);
         if (args.command == "backends")
             return cmdBackends();
         if (args.command == "models")

@@ -93,6 +93,19 @@ InferenceServer::~InferenceServer()
 }
 
 std::future<ServedPrediction>
+InferenceServer::enqueueLocked(nn::Tensor image)
+{
+    Request request;
+    request.image = std::move(image);
+    request.id = nextId_++;
+    request.enqueued = std::chrono::steady_clock::now();
+    std::future<ServedPrediction> future = request.promise.get_future();
+    queue_.push_back(std::move(request));
+    queueDepthHighWater_ = std::max(queueDepthHighWater_, queue_.size());
+    return future;
+}
+
+std::future<ServedPrediction>
 InferenceServer::submit(nn::Tensor image)
 {
     std::future<ServedPrediction> future;
@@ -105,12 +118,21 @@ InferenceServer::submit(nn::Tensor image)
             throw std::runtime_error(
                 "InferenceServer is shut down: request rejected");
         }
-        Request request;
-        request.image = std::move(image);
-        request.id = nextId_++;
-        request.enqueued = std::chrono::steady_clock::now();
-        future = request.promise.get_future();
-        queue_.push_back(std::move(request));
+        future = enqueueLocked(std::move(image));
+    }
+    notEmpty_.notify_one();
+    return future;
+}
+
+std::optional<std::future<ServedPrediction>>
+InferenceServer::trySubmit(nn::Tensor image)
+{
+    std::optional<std::future<ServedPrediction>> future;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ || queue_.size() >= opts_.queueCapacity)
+            return std::nullopt;
+        future = enqueueLocked(std::move(image));
     }
     notEmpty_.notify_one();
     return future;
@@ -167,6 +189,9 @@ InferenceServer::stats() const
                                    : static_cast<double>(completed_ +
                                                          failed_) /
                                          static_cast<double>(batches_);
+    s.queueDepthHighWater = queueDepthHighWater_;
+    s.queueHistogram = queueHistogram_;
+    s.serviceHistogram = serviceHistogram_;
     return s;
 }
 
@@ -281,6 +306,8 @@ InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
                 consumedCycles_ += served.consumedCycles;
                 if (served.exitedEarly)
                     ++earlyExits_;
+                queueHistogram_.record(served.queueSeconds);
+                serviceHistogram_.record(served.serviceSeconds);
             }
             request.promise.set_value(std::move(served));
         } catch (...) {

@@ -42,10 +42,10 @@
  *    with the exception the inference raised.  No future is ever lost or
  *    fulfilled twice (fuzzed under ASan/UBSan in tests/test_server.cc).
  *
- * Thread safety: submit()/submitBatch()/stats()/accepting() may be
- * called from any thread at any time; shutdown() from any thread,
- * idempotently.  The referenced InferenceSession must outlive the
- * server.
+ * Thread safety: submit()/trySubmit()/submitBatch()/stats()/accepting()
+ * may be called from any thread at any time; shutdown() from any
+ * thread, idempotently.  The referenced InferenceSession must outlive
+ * the server.
  */
 
 #ifndef AQFPSC_CORE_SERVER_H
@@ -57,10 +57,12 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/latency_histogram.h"
 #include "core/sc_engine.h"
 #include "core/session.h"
 
@@ -117,6 +119,13 @@ struct ServerStats
     std::uint64_t batches = 0;      ///< worker micro-batch pops
     double avgConsumedCycles = 0.0; ///< mean cycles over completed images
     double avgBatchSize = 0.0;      ///< images per pop: (completed + failed) / batches
+    /** Deepest the pending queue has ever been (admission-control and
+     *  capacity-planning signal; never exceeds queueCapacity). */
+    std::size_t queueDepthHighWater = 0;
+    /** submit -> worker pickup latency of completed requests. */
+    LatencyHistogram queueHistogram;
+    /** worker pickup -> completion latency of completed requests. */
+    LatencyHistogram serviceHistogram;
 };
 
 /**
@@ -148,6 +157,16 @@ class InferenceServer
      * @throws std::runtime_error once shutdown has begun.
      */
     std::future<ServedPrediction> submit(nn::Tensor image);
+
+    /**
+     * Non-throwing, non-blocking admission-control variant of submit():
+     * returns std::nullopt instead of blocking when the queue is at
+     * capacity, and instead of throwing once shutdown has begun.
+     * Callers implementing load shedding (serving::ServingFrontend,
+     * open-loop load generators) use this to count rejects without
+     * paying exception control flow on the overload path.
+     */
+    std::optional<std::future<ServedPrediction>> trySubmit(nn::Tensor image);
 
     /** submit() every image of @p images, in order (their requestIds are
      *  consecutive).  Same blocking/throwing behavior. */
@@ -200,12 +219,19 @@ class InferenceServer
     bool stopping_ = false;
     std::uint64_t nextId_ = 0;
 
+    /** Build one pending Request for @p image and hand back its future;
+     *  must be called with mutex_ held and space available. */
+    std::future<ServedPrediction> enqueueLocked(nn::Tensor image);
+
     // Stats (under mutex_).
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t earlyExits_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t consumedCycles_ = 0;
+    std::size_t queueDepthHighWater_ = 0;
+    LatencyHistogram queueHistogram_;
+    LatencyHistogram serviceHistogram_;
 
     /** Serializes concurrent shutdown() callers around the joins. */
     std::mutex joinMutex_;

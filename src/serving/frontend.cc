@@ -1,0 +1,674 @@
+#include "frontend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/model_zoo.h"
+#include "core/stages/stage.h"
+#include "core/workspace.h"
+
+namespace aqfpsc::serving {
+
+namespace {
+
+constexpr std::size_t kNoTenant = static_cast<std::size_t>(-1);
+
+int
+resolveWorkerCount(int requested)
+{
+    if (requested <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        requested = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    return std::clamp(requested, 1, 256);
+}
+
+void
+throwJoined(const char *what, const std::vector<std::string> &errors)
+{
+    std::string msg = what;
+    msg += ": ";
+    for (std::size_t i = 0; i < errors.size(); ++i)
+        msg += (i ? "; " : "") + errors[i];
+    throw std::invalid_argument(msg);
+}
+
+} // namespace
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::Fifo:
+        return "fifo";
+      case SchedPolicy::Priority:
+        return "priority";
+      case SchedPolicy::Edf:
+        return "edf";
+      case SchedPolicy::WeightedFair:
+        return "fair";
+    }
+    return "fifo";
+}
+
+std::optional<SchedPolicy>
+parseSchedPolicy(const std::string &name)
+{
+    if (name == "fifo")
+        return SchedPolicy::Fifo;
+    if (name == "priority")
+        return SchedPolicy::Priority;
+    if (name == "edf")
+        return SchedPolicy::Edf;
+    if (name == "fair")
+        return SchedPolicy::WeightedFair;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+TenantConfig::validate() const
+{
+    std::vector<std::string> errors;
+    if (name.empty())
+        errors.push_back("tenant name must be non-empty");
+    if (model.empty())
+        errors.push_back("tenant '" + name +
+                         "' must reference a registered model name");
+    if (!(weight > 0.0) || !std::isfinite(weight)) {
+        errors.push_back(
+            "weight " + std::to_string(weight) +
+            " must be a positive finite WeightedFair share");
+    }
+    if (queueCapacity == 0 || queueCapacity > kMaxQueueCapacity) {
+        errors.push_back(
+            "queueCapacity " + std::to_string(queueCapacity) +
+            " out of [1, " + std::to_string(kMaxQueueCapacity) +
+            "]: pending requests own their image tensors, so the bound "
+            "is the admission-control backstop");
+    }
+    if (std::isnan(deadlineSeconds) || deadlineSeconds < 0.0) {
+        errors.push_back("deadlineSeconds must be >= 0 (0 = no budget)");
+    }
+    if (adaptive) {
+        for (const std::string &e : policy.validate())
+            errors.push_back("policy: " + e);
+    }
+    if (shed.enabled) {
+        if (!adaptive) {
+            errors.push_back(
+                "shed.enabled requires adaptive serving: shedding "
+                "tightens the early-exit margin, which only exists on "
+                "the adaptive path");
+        }
+        if (std::isnan(shed.startLoad) || shed.startLoad < 0.0 ||
+            !std::isfinite(shed.fullLoad) ||
+            shed.fullLoad <= shed.startLoad) {
+            errors.push_back(
+                "shed loads must satisfy 0 <= startLoad < fullLoad "
+                "(the margin tightens linearly across that band)");
+        }
+        if (std::isnan(shed.marginFloor) || shed.marginFloor < 0.0 ||
+            shed.marginFloor > policy.exitMargin) {
+            errors.push_back(
+                "shed.marginFloor must lie in [0, policy.exitMargin]: "
+                "shedding only ever tightens the margin");
+        }
+        if (shed.minCyclesFloor > policy.minCycles) {
+            errors.push_back(
+                "shed.minCyclesFloor must not exceed policy.minCycles: "
+                "shedding only ever lowers the exit floor");
+        }
+    }
+    return errors;
+}
+
+std::vector<std::string>
+FrontendOptions::validate() const
+{
+    std::vector<std::string> errors;
+    if (workers < 0 || workers > 256) {
+        errors.push_back(
+            "workers " + std::to_string(workers) +
+            " out of [0, 256]: 0 means one worker per hardware thread");
+    }
+    if (maxBatch < 1 || static_cast<std::size_t>(maxBatch) >
+                            TenantConfig::kMaxQueueCapacity) {
+        errors.push_back(
+            "maxBatch " + std::to_string(maxBatch) +
+            " must be >= 1: it is the number of requests drained from "
+            "one tenant per scheduler pick");
+    }
+    return errors;
+}
+
+ServingFrontend::ServingFrontend(FrontendOptions opts)
+    : opts_(std::move(opts))
+{
+    const std::vector<std::string> errors = opts_.validate();
+    if (!errors.empty())
+        throwJoined("invalid FrontendOptions", errors);
+    workerCount_ = resolveWorkerCount(opts_.workers);
+    cohortCap_ = std::min<std::size_t>(
+        static_cast<std::size_t>(opts_.maxBatch), core::kMaxCohortImages);
+    if (!opts_.startPaused) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        spawnWorkersLocked();
+    }
+}
+
+ServingFrontend::~ServingFrontend()
+{
+    shutdown();
+}
+
+void
+ServingFrontend::addModel(const std::string &name, nn::Network net,
+                          core::EngineOptions opts)
+{
+    auto session = std::make_unique<core::InferenceSession>(
+        std::move(net), std::move(opts));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (sealed_) {
+        throw std::logic_error(
+            "addModel('" + name + "') after start(): register every "
+            "model before serving begins");
+    }
+    if (!models_.emplace(name, std::move(session)).second)
+        throw std::invalid_argument("model '" + name +
+                                    "' is already registered");
+}
+
+void
+ServingFrontend::addModelFromFile(const std::string &name,
+                                  const std::string &path,
+                                  core::EngineOptions opts)
+{
+    addModel(name, nn::Network::loadModel(path), std::move(opts));
+}
+
+void
+ServingFrontend::addModelFromZoo(const std::string &name,
+                                 const std::string &zoo,
+                                 core::EngineOptions opts,
+                                 unsigned buildSeed)
+{
+    addModel(name, core::buildModel(zoo, buildSeed), std::move(opts));
+}
+
+const core::InferenceSession &
+ServingFrontend::model(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = models_.find(name);
+    if (it == models_.end())
+        throw std::invalid_argument("unknown model '" + name + "'");
+    return *it->second;
+}
+
+std::vector<std::string>
+ServingFrontend::modelNames() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(models_.size());
+    for (const auto &[name, session] : models_)
+        names.push_back(name);
+    return names;
+}
+
+void
+ServingFrontend::addTenant(TenantConfig cfg)
+{
+    const std::vector<std::string> errors = cfg.validate();
+    if (!errors.empty())
+        throwJoined(("invalid TenantConfig '" + cfg.name + "'").c_str(),
+                    errors);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (sealed_) {
+        throw std::logic_error(
+            "addTenant('" + cfg.name + "') after start(): register "
+            "every tenant before serving begins");
+    }
+    if (tenantIndex_.count(cfg.name))
+        throw std::invalid_argument("tenant '" + cfg.name +
+                                    "' is already registered");
+    const auto it = models_.find(cfg.model);
+    if (it == models_.end()) {
+        throw std::invalid_argument(
+            "tenant '" + cfg.name + "' references unknown model '" +
+            cfg.model + "'");
+    }
+    // Compile now: serving threads must never pay (or race on) the
+    // first-use engine build, and configuration errors — unknown
+    // backend, adaptive on a non-resumable backend — surface here.
+    const core::ScNetworkEngine &engine = it->second->engine(cfg.backend);
+    if (cfg.adaptive) {
+        std::string why_not;
+        if (!engine.supportsAdaptive(&why_not)) {
+            throw std::invalid_argument(
+                "tenant '" + cfg.name +
+                "': adaptive serving unavailable on backend '" +
+                engine.backendName() + "': stage '" + why_not +
+                "' is not resumable");
+        }
+    }
+    auto tenant = std::make_unique<Tenant>();
+    tenant->cfg = std::move(cfg);
+    tenant->engine = &engine;
+    tenantIndex_.emplace(tenant->cfg.name, tenants_.size());
+    tenants_.push_back(std::move(tenant));
+}
+
+std::vector<std::string>
+ServingFrontend::tenantNames() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(tenants_.size());
+    for (const auto &t : tenants_)
+        names.push_back(t->cfg.name);
+    return names;
+}
+
+void
+ServingFrontend::start()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sealed_ = true;
+    spawnWorkersLocked();
+}
+
+void
+ServingFrontend::spawnWorkersLocked()
+{
+    if (workersRunning_)
+        return;
+    workersRunning_ = true;
+    threads_.reserve(static_cast<std::size_t>(workerCount_));
+    for (int t = 0; t < workerCount_; ++t)
+        threads_.emplace_back(&ServingFrontend::workerLoop, this);
+}
+
+ServingFrontend::Tenant &
+ServingFrontend::tenantOrThrow(const std::string &name)
+{
+    const auto it = tenantIndex_.find(name);
+    if (it == tenantIndex_.end())
+        throw std::invalid_argument("unknown tenant '" + name + "'");
+    return *tenants_[it->second];
+}
+
+const ServingFrontend::Tenant &
+ServingFrontend::tenantOrThrow(const std::string &name) const
+{
+    const auto it = tenantIndex_.find(name);
+    if (it == tenantIndex_.end())
+        throw std::invalid_argument("unknown tenant '" + name + "'");
+    return *tenants_[it->second];
+}
+
+std::future<ServedResult>
+ServingFrontend::enqueueLocked(Tenant &tenant, nn::Tensor image)
+{
+    if (opts_.policy == SchedPolicy::WeightedFair &&
+        tenant.queue.empty()) {
+        // A tenant going busy re-enters at the current virtual time:
+        // idle periods bank no credit, so a returning tenant cannot
+        // monopolize the pool to "catch up".
+        tenant.pass = std::max(tenant.pass, virtualTime_);
+    }
+    Request request;
+    request.image = std::move(image);
+    request.id = nextId_++;
+    request.enqueued = std::chrono::steady_clock::now();
+    request.deadline =
+        tenant.cfg.deadlineSeconds > 0.0
+            ? request.enqueued +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          tenant.cfg.deadlineSeconds))
+            : std::chrono::steady_clock::time_point::max();
+    std::future<ServedResult> future = request.promise.get_future();
+    tenant.queue.push_back(std::move(request));
+    ++tenant.submitted;
+    ++totalQueued_;
+    tenant.queueDepthHighWater =
+        std::max(tenant.queueDepthHighWater, tenant.queue.size());
+    return future;
+}
+
+std::future<ServedResult>
+ServingFrontend::submit(const std::string &tenant, nn::Tensor image)
+{
+    std::future<ServedResult> future;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Tenant &t = tenantOrThrow(tenant);
+        if (stopping_) {
+            throw std::runtime_error(
+                "ServingFrontend is shut down: request rejected");
+        }
+        if (t.queue.size() >= t.cfg.queueCapacity) {
+            ++t.rejected;
+            throw std::runtime_error(
+                "tenant '" + tenant + "' queue is full (" +
+                std::to_string(t.cfg.queueCapacity) +
+                " pending): request rejected");
+        }
+        future = enqueueLocked(t, std::move(image));
+    }
+    notEmpty_.notify_one();
+    return future;
+}
+
+std::optional<std::future<ServedResult>>
+ServingFrontend::trySubmit(const std::string &tenant, nn::Tensor image)
+{
+    std::optional<std::future<ServedResult>> future;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Tenant &t = tenantOrThrow(tenant);
+        if (stopping_)
+            return std::nullopt;
+        if (t.queue.size() >= t.cfg.queueCapacity) {
+            ++t.rejected;
+            return std::nullopt;
+        }
+        future = enqueueLocked(t, std::move(image));
+    }
+    notEmpty_.notify_one();
+    return future;
+}
+
+std::size_t
+ServingFrontend::pickTenantLocked() const
+{
+    std::size_t best = kNoTenant;
+    double bestKey = 0.0;
+    std::uint64_t bestSeq = 0;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        const Tenant &t = *tenants_[i];
+        if (t.queue.empty())
+            continue;
+        const Request &head = t.queue.front();
+        double key = 0.0;
+        switch (opts_.policy) {
+          case SchedPolicy::Fifo:
+            key = 0.0; // arrival order only
+            break;
+          case SchedPolicy::Priority:
+            key = -static_cast<double>(t.cfg.priority);
+            break;
+          case SchedPolicy::Edf:
+            key = head.deadline ==
+                          std::chrono::steady_clock::time_point::max()
+                      ? std::numeric_limits<double>::infinity()
+                      : std::chrono::duration<double>(
+                            head.deadline.time_since_epoch())
+                            .count();
+            break;
+          case SchedPolicy::WeightedFair:
+            key = t.pass;
+            break;
+        }
+        if (best == kNoTenant || key < bestKey ||
+            (key == bestKey && head.id < bestSeq)) {
+            best = i;
+            bestKey = key;
+            bestSeq = head.id;
+        }
+    }
+    return best;
+}
+
+ServingFrontend::Batch
+ServingFrontend::popBatchLocked()
+{
+    Batch batch;
+    const std::size_t idx = pickTenantLocked();
+    if (idx == kNoTenant)
+        return batch;
+    Tenant &t = *tenants_[idx];
+    batch.tenant = &t;
+    batch.adaptive = t.cfg.adaptive;
+    batch.policy = t.cfg.policy;
+
+    // The load signal, sampled at dispatch: queue fill fraction, and —
+    // when the tenant runs a deadline budget — how much of that budget
+    // the head-of-line request has already burned waiting.
+    if (t.cfg.shed.enabled) {
+        const double fill =
+            static_cast<double>(t.queue.size()) /
+            static_cast<double>(t.cfg.queueCapacity);
+        double load = fill;
+        if (t.cfg.deadlineSeconds > 0.0) {
+            const double headWait =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() -
+                    t.queue.front().enqueued)
+                    .count();
+            load = std::max(load, headWait / t.cfg.deadlineSeconds);
+        }
+        const double f = std::clamp(
+            (load - t.cfg.shed.startLoad) /
+                (t.cfg.shed.fullLoad - t.cfg.shed.startLoad),
+            0.0, 1.0);
+        if (f > 0.0) {
+            batch.shed = true;
+            // Clamp: FP interpolation at f = 1 may land one ULP below
+            // the configured floor, which the contract forbids.
+            batch.policy.exitMargin = std::max(
+                t.cfg.shed.marginFloor,
+                batch.policy.exitMargin +
+                    f * (t.cfg.shed.marginFloor - batch.policy.exitMargin));
+            const double floorCycles =
+                static_cast<double>(t.cfg.shed.minCyclesFloor);
+            const double baseCycles =
+                static_cast<double>(batch.policy.minCycles);
+            batch.policy.minCycles = static_cast<std::size_t>(
+                baseCycles + f * (floorCycles - baseCycles) + 0.5);
+        }
+    }
+
+    const std::size_t take = std::min(
+        t.queue.size(), static_cast<std::size_t>(opts_.maxBatch));
+    batch.requests.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.requests.push_back(std::move(t.queue.front()));
+        t.queue.pop_front();
+    }
+    totalQueued_ -= take;
+    if (opts_.policy == SchedPolicy::WeightedFair) {
+        virtualTime_ = std::max(virtualTime_, t.pass);
+        t.pass += static_cast<double>(take) / t.cfg.weight;
+    }
+    return batch;
+}
+
+void
+ServingFrontend::workerLoop()
+{
+    // One cohort arena per (worker, engine), built lazily on the first
+    // batch of each tenant's engine and reused for the worker's
+    // lifetime: steady-state serving allocates nothing in the stage
+    // pipeline, and a front end with many tenants on one model shares
+    // one arena per worker.
+    std::map<const core::ScNetworkEngine *,
+             std::unique_ptr<core::CohortWorkspace>>
+        workspaces;
+
+    for (;;) {
+        Batch batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock,
+                           [&] { return stopping_ || totalQueued_ > 0; });
+            if (totalQueued_ == 0)
+                return; // stopping, every queue drained
+            batch = popBatchLocked();
+        }
+        if (batch.requests.empty())
+            continue;
+        auto &workspace = workspaces[batch.tenant->engine];
+        if (!workspace) {
+            workspace = std::make_unique<core::CohortWorkspace>(
+                *batch.tenant->engine, cohortCap_);
+        }
+        serveBatchWith(batch, *workspace);
+    }
+}
+
+void
+ServingFrontend::serveBatchWith(Batch &batch,
+                                core::CohortWorkspace &workspace)
+{
+    Tenant &tenant = *batch.tenant;
+    const core::ScNetworkEngine &engine = *tenant.engine;
+    const auto picked = std::chrono::steady_clock::now();
+
+    for (std::size_t off = 0; off < batch.requests.size();
+         off += cohortCap_) {
+        const std::size_t count =
+            std::min(cohortCap_, batch.requests.size() - off);
+        const nn::Tensor *images[core::kMaxCohortImages];
+        std::size_t ids[core::kMaxCohortImages];
+        for (std::size_t j = 0; j < count; ++j) {
+            images[j] = &batch.requests[off + j].image;
+            ids[j] = batch.requests[off + j].id;
+        }
+
+        core::ScPrediction preds[core::kMaxCohortImages];
+        core::AdaptivePrediction apreds[core::kMaxCohortImages];
+        bool cohortOk = true;
+        try {
+            if (batch.adaptive)
+                engine.inferAdaptiveCohort(images, ids, count, workspace,
+                                           batch.policy, apreds);
+            else
+                engine.inferCohort(images, ids, count, workspace, preds);
+        } catch (...) {
+            cohortOk = false;
+        }
+        const auto done = std::chrono::steady_clock::now();
+        const double serviceSeconds =
+            std::chrono::duration<double>(done - picked).count();
+
+        for (std::size_t j = 0; j < count; ++j) {
+            Request &request = batch.requests[off + j];
+            ServedResult served;
+            served.requestId = request.id;
+            served.adaptive = batch.adaptive;
+            served.effectivePolicy = batch.policy;
+            served.shed = batch.shed;
+            served.deadlineSeconds = tenant.cfg.deadlineSeconds;
+            served.queueSeconds =
+                std::chrono::duration<double>(picked - request.enqueued)
+                    .count();
+            // Execution is cohort-granular: the measured service time
+            // is shared by every request of the cohort.
+            served.serviceSeconds = serviceSeconds;
+            served.deadlineMissed = done > request.deadline;
+            try {
+                if (!cohortOk) {
+                    // Isolate the failure: re-run this request as a
+                    // cohort of one (bit-identical result), so one bad
+                    // request cannot fail its cohort-mates.
+                    if (batch.adaptive)
+                        engine.inferAdaptiveCohort(&images[j], &ids[j], 1,
+                                                   workspace, batch.policy,
+                                                   &apreds[j]);
+                    else
+                        engine.inferCohort(&images[j], &ids[j], 1,
+                                           workspace, &preds[j]);
+                }
+                if (batch.adaptive) {
+                    served.prediction = std::move(apreds[j].prediction);
+                    served.consumedCycles = apreds[j].consumedCycles;
+                    served.exitedEarly = apreds[j].exitedEarly;
+                } else {
+                    served.prediction = std::move(preds[j]);
+                    served.consumedCycles = engine.config().streamLen;
+                }
+                // Count before fulfilling: a caller returning from
+                // future.get() must already see itself in stats().
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    served.completionSeq = nextCompletionSeq_++;
+                    ++tenant.completed;
+                    tenant.consumedCycles += served.consumedCycles;
+                    if (served.exitedEarly)
+                        ++tenant.earlyExits;
+                    if (served.shed)
+                        ++tenant.shedServed;
+                    if (served.deadlineMissed)
+                        ++tenant.deadlineMissed;
+                    tenant.queueHist.record(served.queueSeconds);
+                    tenant.serviceHist.record(served.serviceSeconds);
+                }
+                request.promise.set_value(std::move(served));
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    served.completionSeq = nextCompletionSeq_++;
+                    ++tenant.failed;
+                }
+                request.promise.set_exception(std::current_exception());
+            }
+        }
+    }
+}
+
+void
+ServingFrontend::shutdown()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // A never-started (startPaused) front end may hold accepted
+        // requests; spin the pool up so the drain contract holds.
+        spawnWorkersLocked();
+    }
+    notEmpty_.notify_all();
+    const std::lock_guard<std::mutex> join_lock(joinMutex_);
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+bool
+ServingFrontend::accepting() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return !stopping_;
+}
+
+TenantStats
+ServingFrontend::tenantStats(const std::string &tenant) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Tenant &t = tenantOrThrow(tenant);
+    TenantStats s;
+    s.submitted = t.submitted;
+    s.rejected = t.rejected;
+    s.completed = t.completed;
+    s.failed = t.failed;
+    s.earlyExits = t.earlyExits;
+    s.shedServed = t.shedServed;
+    s.deadlineMissed = t.deadlineMissed;
+    s.avgConsumedCycles =
+        t.completed == 0 ? 0.0
+                         : static_cast<double>(t.consumedCycles) /
+                               static_cast<double>(t.completed);
+    s.queueDepth = t.queue.size();
+    s.queueDepthHighWater = t.queueDepthHighWater;
+    s.queueHistogram = t.queueHist;
+    s.serviceHistogram = t.serviceHist;
+    return s;
+}
+
+} // namespace aqfpsc::serving

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * ServingFrontend: the multi-tenant, multi-model serving front end.
+ *
+ * core::InferenceServer turns ONE session backend into an async
+ * service; this subsystem is the production-shaped layer above it: many
+ * named models (lazy per-backend engine compile through their
+ * InferenceSessions), many tenants with per-tenant bounded queues and
+ * admission control, a pluggable scheduler over one shared worker pool,
+ * and graceful overload degradation — under load the front end sheds
+ * *cycles* (slightly lower SC precision via a tightened early-exit
+ * margin) before it sheds *requests*:
+ *
+ *   serving::ServingFrontend fe({.workers = 2, .policy =
+ *                                serving::SchedPolicy::WeightedFair});
+ *   fe.addModelFromFile("m", "model.bin", engineOpts);
+ *   serving::TenantConfig gold;
+ *   gold.name = "gold"; gold.model = "m"; gold.weight = 3.0;
+ *   gold.deadlineSeconds = 0.2;
+ *   fe.addTenant(gold);
+ *   ... more tenants ...
+ *   fe.start();
+ *   auto f = fe.trySubmit("gold", image);   // nullopt = admission reject
+ *   if (f) serving::ServedResult r = f->get();
+ *
+ * Scheduling (SchedPolicy, one shared worker pool):
+ *
+ *  - **Fifo**: global arrival order across all tenants (a greedy tenant
+ *    owns the pool; the baseline the bench compares against).
+ *  - **Priority**: strict tenant priority, ties in arrival order.
+ *    Starvation of low-priority tenants is *possible by design*; use
+ *    WeightedFair when that is unacceptable.
+ *  - **Edf**: earliest absolute deadline first (enqueue time + the
+ *    tenant's deadlineSeconds; tenants without a deadline sort last).
+ *  - **WeightedFair**: stride scheduling over tenant weights — each
+ *    tenant's virtual pass advances by servedImages/weight, the
+ *    smallest pass is picked next, and a tenant going busy re-enters at
+ *    the current virtual time (no banked credit).  A greedy tenant
+ *    cannot starve a low-rate one: the low-rate tenant's head request
+ *    is picked after at most one in-flight batch per competing tenant
+ *    (asserted by tests/test_serving.cc).
+ *
+ * A worker pick drains up to maxBatch requests from ONE tenant and
+ * serves them as a stage-major execution cohort on that tenant's
+ * engine (same amortization as core::InferenceServer).
+ *
+ * Shed-before-reject (ShedConfig): each pick computes the tenant's load
+ * signal — max(queue depth / queueCapacity, head-of-line wait /
+ * deadline) — and linearly tightens the adaptive policy's exitMargin
+ * from the configured base down to marginFloor (and minCycles down to
+ * minCyclesFloor) as the load crosses [startLoad, fullLoad].  Lower
+ * margin = earlier exits = fewer cycles per request = more throughput
+ * at slightly lower precision, so the queue drains before admission
+ * control ever has to reject.  The *effective* policy applied to a
+ * batch is recorded in every ServedResult, preserving the determinism
+ * contract below.
+ *
+ * Determinism: every served prediction is the pure function
+ * (model, backend, requestId, effective policy) — bit-identical to
+ * engine.inferIndexed(image, requestId) (non-adaptive tenants) or
+ * engine.inferAdaptive(image, requestId, result.effectivePolicy)
+ * (adaptive tenants), independent of worker count, scheduling policy,
+ * batching and arrival interleaving.  requestIds are assigned in global
+ * submission order across all tenants.
+ *
+ * Lifecycle: addModel variants + addTenant, then start(), then
+ * submit/trySubmit.  start() seals registration (addModel/addTenant
+ * afterwards throw std::logic_error); workers themselves spawn in the
+ * constructor unless startPaused, and registration while they run is
+ * safe — they only observe tenants under the same lock.  shutdown() (also
+ * run by the destructor) stops admission, drains every accepted
+ * request and joins the workers — every obtained future is eventually
+ * satisfied, even when shutdown() is called on a front end that was
+ * never start()ed (the drain pool is spun up on demand).  Fuzzed under
+ * ASan/UBSan in tests/test_serving.cc.
+ *
+ * Thread safety: submit/trySubmit/stats/tenantStats/accepting from any
+ * thread at any time once start() returned; shutdown() from any
+ * thread, idempotently.
+ */
+
+#ifndef AQFPSC_SERVING_FRONTEND_H
+#define AQFPSC_SERVING_FRONTEND_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/latency_histogram.h"
+#include "core/sc_engine.h"
+#include "core/session.h"
+
+namespace aqfpsc::serving {
+
+/** Scheduler policy of the shared worker pool (see the file comment). */
+enum class SchedPolicy
+{
+    Fifo,         ///< global arrival order
+    Priority,     ///< strict tenant priority (may starve)
+    Edf,          ///< earliest absolute deadline first
+    WeightedFair, ///< stride scheduling over tenant weights
+};
+
+/** Canonical CLI/JSON name of @p policy ("fifo", "priority", "edf",
+ *  "fair"). */
+const char *schedPolicyName(SchedPolicy policy);
+
+/** Parse a policy name; std::nullopt for unknown names. */
+std::optional<SchedPolicy> parseSchedPolicy(const std::string &name);
+
+/**
+ * Per-tenant overload-degradation bounds: how far the front end may
+ * tighten the tenant's adaptive early-exit policy before rejecting
+ * requests (see the file comment's shed-before-reject contract).
+ * Requires the tenant to serve adaptively (TenantConfig::adaptive).
+ */
+struct ShedConfig
+{
+    bool enabled = false;
+    /** Load (0..1) where shedding starts; below it the base policy is
+     *  served untouched. */
+    double startLoad = 0.5;
+    /** Load where the policy reaches the floor; loads beyond clamp. */
+    double fullLoad = 0.95;
+    /** exitMargin at full shed (must not exceed the base margin). */
+    double marginFloor = 0.02;
+    /** minCycles at full shed (must not exceed the base minCycles). */
+    std::size_t minCyclesFloor = 64;
+};
+
+/** Configuration of one tenant (validated by ServingFrontend). */
+struct TenantConfig
+{
+    std::string name;    ///< unique tenant id (stats/submission key)
+    std::string model;   ///< registered model name to serve
+    std::string backend; ///< registry name; empty = the model's default
+    int priority = 0;    ///< SchedPolicy::Priority: higher = first
+    double weight = 1.0; ///< SchedPolicy::WeightedFair share (> 0)
+    std::size_t queueCapacity = 64; ///< pending bound (admission control)
+    /** Per-request latency budget (submit -> completion) in seconds;
+     *  0 = none.  Drives Edf ordering, the deadline-miss counter and
+     *  the slack half of the shed load signal. */
+    double deadlineSeconds = 0.0;
+    /** Serve adaptively (early exit) under @ref policy. */
+    bool adaptive = false;
+    core::AdaptivePolicy policy; ///< base policy when adaptive
+    ShedConfig shed;             ///< overload degradation bounds
+
+    /** Hard bound on queueCapacity (pending requests own their image
+     *  tensors), matching core::ServerOptions::kMaxQueueCapacity. */
+    static constexpr std::size_t kMaxQueueCapacity = std::size_t{1} << 20;
+
+    /** All configuration errors, each actionable; empty means valid. */
+    std::vector<std::string> validate() const;
+};
+
+/** Configuration of the front end itself. */
+struct FrontendOptions
+{
+    int workers = 1; ///< shared pool size (0 = one per hw thread)
+    /** Max requests drained from one tenant per pick; also the
+     *  execution cohort size (clamped to kMaxCohortImages). */
+    int maxBatch = 8;
+    SchedPolicy policy = SchedPolicy::Fifo;
+    /** Do not spawn workers in the constructor; serving begins at
+     *  start().  Lets tests enqueue a known backlog first, making
+     *  scheduling-order assertions deterministic. */
+    bool startPaused = false;
+
+    /** All configuration errors, each actionable; empty means valid. */
+    std::vector<std::string> validate() const;
+};
+
+/** One served request: the prediction plus serving metadata. */
+struct ServedResult
+{
+    core::ScPrediction prediction;
+    std::uint64_t requestId = 0; ///< global submission order = inference index
+    std::size_t consumedCycles = 0; ///< stream cycles executed
+    bool exitedEarly = false;       ///< adaptive early exit taken
+    bool adaptive = false;          ///< served through the adaptive path
+    /** The policy actually applied to this request's batch (equals the
+     *  tenant's base policy when no shedding occurred).  Meaningless
+     *  when !adaptive. */
+    core::AdaptivePolicy effectivePolicy;
+    bool shed = false; ///< effectivePolicy was tightened below the base
+    double queueSeconds = 0.0;   ///< submit -> worker pickup
+    double serviceSeconds = 0.0; ///< worker pickup -> cohort done
+    /** Deadline budget applied (the tenant's; 0 = none). */
+    double deadlineSeconds = 0.0;
+    bool deadlineMissed = false; ///< completed after the budget elapsed
+    /** Global completion sequence number (0 = first request the front
+     *  end completed).  Scheduling-order tests assert on this instead
+     *  of wall time. */
+    std::uint64_t completionSeq = 0;
+};
+
+/** Per-tenant counters since construction (racy-read consistent). */
+struct TenantStats
+{
+    std::uint64_t submitted = 0;      ///< accepted into the queue
+    std::uint64_t rejected = 0;       ///< admission-control rejects
+    std::uint64_t completed = 0;      ///< futures satisfied with a value
+    std::uint64_t failed = 0;         ///< futures satisfied with an exception
+    std::uint64_t earlyExits = 0;     ///< completed with exitedEarly
+    std::uint64_t shedServed = 0;     ///< completed under a tightened policy
+    std::uint64_t deadlineMissed = 0; ///< completed past the budget
+    double avgConsumedCycles = 0.0;   ///< mean cycles over completed
+    std::size_t queueDepth = 0;       ///< pending right now
+    std::size_t queueDepthHighWater = 0;
+    core::LatencyHistogram queueHistogram;   ///< submit -> pickup
+    core::LatencyHistogram serviceHistogram; ///< pickup -> done
+};
+
+/**
+ * Multi-tenant, QoS-aware serving front end over named
+ * InferenceSessions (see the file comment for the full contract).
+ */
+class ServingFrontend
+{
+  public:
+    /** Validate @p opts; workers spawn here unless startPaused. */
+    explicit ServingFrontend(FrontendOptions opts = {});
+
+    /** shutdown(), then destroy. */
+    ~ServingFrontend();
+
+    ServingFrontend(const ServingFrontend &) = delete;
+    ServingFrontend &operator=(const ServingFrontend &) = delete;
+
+    /**
+     * Register @p net under @p name (engines compile lazily per
+     * backend, exactly like a standalone InferenceSession).
+     * @throws std::invalid_argument on duplicate names or bad options,
+     *         std::logic_error after start().
+     */
+    void addModel(const std::string &name, nn::Network net,
+                  core::EngineOptions opts = {});
+
+    /** addModel() a saveModel artifact. */
+    void addModelFromFile(const std::string &name, const std::string &path,
+                          core::EngineOptions opts = {});
+
+    /** addModel() a freshly built zoo architecture. */
+    void addModelFromZoo(const std::string &name, const std::string &zoo,
+                         core::EngineOptions opts = {},
+                         unsigned buildSeed = 1);
+
+    /** The registered model's session.  @throws std::invalid_argument
+     *  for unknown names. */
+    const core::InferenceSession &model(const std::string &name) const;
+
+    /** Registered model names (sorted). */
+    std::vector<std::string> modelNames() const;
+
+    /**
+     * Register a tenant; its engine compiles here (configuration
+     * errors surface now, not inside a future).
+     * @throws std::invalid_argument on invalid configs, duplicate or
+     *         unknown names, adaptive serving on a non-resumable
+     *         backend; std::logic_error after start().
+     */
+    void addTenant(TenantConfig cfg);
+
+    /** Registered tenant names, in registration order. */
+    std::vector<std::string> tenantNames() const;
+
+    /** Spawn the worker pool (idempotent).  No-op when the front end
+     *  was constructed without startPaused (already running). */
+    void start();
+
+    /**
+     * Enqueue one image for @p tenant (copied into the request).
+     * @throws std::invalid_argument for unknown tenants,
+     *         std::runtime_error when the tenant queue is full or
+     *         shutdown has begun (admission control never blocks —
+     *         callers on the overload path should use trySubmit()).
+     */
+    std::future<ServedResult> submit(const std::string &tenant,
+                                     nn::Tensor image);
+
+    /** Non-throwing admission control: std::nullopt when the tenant
+     *  queue is full or shutdown has begun.  @throws
+     *  std::invalid_argument for unknown tenants (a caller bug). */
+    std::optional<std::future<ServedResult>>
+    trySubmit(const std::string &tenant, nn::Tensor image);
+
+    /**
+     * Stop admission, serve every accepted request, join the workers.
+     * Idempotent; safe from any thread.  After return, every future is
+     * ready.
+     */
+    void shutdown();
+
+    /** True until shutdown() begins. */
+    bool accepting() const;
+
+    /** The worker count configured to run. */
+    int workers() const { return workerCount_; }
+
+    /** Front-end options (validated). */
+    const FrontendOptions &options() const { return opts_; }
+
+    /** Counter snapshot of @p tenant.  @throws std::invalid_argument
+     *  for unknown names. */
+    TenantStats tenantStats(const std::string &tenant) const;
+
+  private:
+    struct Request
+    {
+        nn::Tensor image;
+        std::promise<ServedResult> promise;
+        std::uint64_t id = 0;
+        std::chrono::steady_clock::time_point enqueued;
+        std::chrono::steady_clock::time_point deadline; ///< max() = none
+    };
+
+    struct Tenant
+    {
+        TenantConfig cfg;
+        const core::ScNetworkEngine *engine = nullptr;
+        std::deque<Request> queue;
+        double pass = 0.0; ///< WeightedFair virtual finish time
+
+        // Stats (under the front end's mutex_).
+        std::uint64_t submitted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t earlyExits = 0;
+        std::uint64_t shedServed = 0;
+        std::uint64_t deadlineMissed = 0;
+        std::uint64_t consumedCycles = 0;
+        std::size_t queueDepthHighWater = 0;
+        core::LatencyHistogram queueHist;
+        core::LatencyHistogram serviceHist;
+    };
+
+    /** One popped batch: requests + the effective policy to serve them
+     *  under. */
+    struct Batch
+    {
+        Tenant *tenant = nullptr;
+        std::vector<Request> requests;
+        core::AdaptivePolicy policy;
+        bool adaptive = false;
+        bool shed = false;
+    };
+
+    Tenant &tenantOrThrow(const std::string &name);
+    const Tenant &tenantOrThrow(const std::string &name) const;
+
+    /** Enqueue into @p tenant; caller holds mutex_ and checked space. */
+    std::future<ServedResult> enqueueLocked(Tenant &tenant,
+                                            nn::Tensor image);
+
+    /** Scheduler: index of the tenant to drain next, per opts_.policy;
+     *  npos when every queue is empty.  Caller holds mutex_. */
+    std::size_t pickTenantLocked() const;
+
+    /** Pop up to maxBatch requests from the picked tenant and compute
+     *  the effective (possibly shed) policy; caller holds mutex_. */
+    Batch popBatchLocked();
+
+    void spawnWorkersLocked();
+    void workerLoop();
+
+    /** Serve one popped batch as stage-major cohorts through
+     *  @p workspace (the worker's arena for this batch's engine). */
+    void serveBatchWith(Batch &batch, core::CohortWorkspace &workspace);
+
+    FrontendOptions opts_;
+    int workerCount_ = 0;
+    std::size_t cohortCap_ = 1;
+
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::map<std::string, std::unique_ptr<core::InferenceSession>> models_;
+    std::vector<std::unique_ptr<Tenant>> tenants_; ///< registration order
+    std::map<std::string, std::size_t> tenantIndex_;
+    bool workersRunning_ = false;
+    bool sealed_ = false; ///< start() called: registration is closed
+    bool stopping_ = false;
+    std::uint64_t nextId_ = 0;
+    std::uint64_t nextCompletionSeq_ = 0;
+    std::size_t totalQueued_ = 0;
+    double virtualTime_ = 0.0; ///< WeightedFair global virtual time
+
+    /** Serializes concurrent shutdown() callers around the joins. */
+    std::mutex joinMutex_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace aqfpsc::serving
+
+#endif // AQFPSC_SERVING_FRONTEND_H

@@ -165,6 +165,77 @@ TEST(InferenceServer, BackpressureWithTinyQueue)
     EXPECT_EQ(server.stats().completed, samples.size());
 }
 
+/**
+ * trySubmit is the non-throwing admission-control path: it rejects with
+ * std::nullopt (never blocks, never throws) when the queue is at
+ * capacity or the server is shut down, and every future it does hand
+ * out is served losslessly.
+ */
+TEST(InferenceServer, TrySubmitRejectsInsteadOfBlocking)
+{
+    const auto samples = testImages(8);
+    const InferenceSession session = makeSession(64);
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 2;
+    auto server = std::make_unique<InferenceServer>(session, opts);
+
+    // Overdrive an open loop: with a queue of 2 and one worker, some of
+    // these must be rejected — and a reject must return immediately as
+    // nullopt rather than block like submit().
+    std::vector<std::future<ServedPrediction>> futures;
+    std::size_t rejected = 0;
+    for (int lap = 0; lap < 8; ++lap) {
+        for (const auto &s : samples) {
+            auto f = server->trySubmit(s.image);
+            if (f)
+                futures.push_back(std::move(*f));
+            else
+                ++rejected;
+        }
+    }
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().prediction.scores.size(), 10u);
+    const ServerStats stats = server->stats();
+    EXPECT_EQ(stats.submitted, futures.size());
+    EXPECT_EQ(stats.completed, futures.size());
+
+    server->shutdown();
+    EXPECT_FALSE(server->trySubmit(samples[0].image).has_value());
+}
+
+/**
+ * ServerStats observability: the queue-depth high-water mark tracks the
+ * deepest backlog ever reached (bounded by queueCapacity), and the
+ * queue/service latency histograms account one entry per completed
+ * request.
+ */
+TEST(InferenceServer, StatsHighWaterAndLatencyHistograms)
+{
+    const auto samples = testImages(6);
+    const InferenceSession session = makeSession(64);
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 4;
+    InferenceServer server(session, opts);
+    std::vector<std::future<ServedPrediction>> futures;
+    for (const auto &s : samples)
+        futures.push_back(server.submit(s.image));
+    for (auto &f : futures) {
+        const ServedPrediction served = f.get();
+        EXPECT_GE(served.queueSeconds, 0.0);
+        EXPECT_GT(served.serviceSeconds, 0.0);
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_GE(stats.queueDepthHighWater, 1u);
+    EXPECT_LE(stats.queueDepthHighWater, opts.queueCapacity);
+    EXPECT_EQ(stats.queueHistogram.total(), samples.size());
+    EXPECT_EQ(stats.serviceHistogram.total(), samples.size());
+    // The summary renders something human-shaped, not empty.
+    EXPECT_NE(stats.serviceHistogram.summary().find("p99"),
+              std::string::npos);
+}
+
 TEST(InferenceServer, SubmitAfterShutdownThrows)
 {
     const auto samples = testImages(1);

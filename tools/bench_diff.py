@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Compare a fresh throughput bench run against the committed baseline.
+"""Compare a fresh bench run against the committed baseline.
 
-Matches rows of two BENCH_throughput_inference.json files by the key
-(backend, model, cohort, stream_len) and prints an images-per-second
-delta table.  Rows present on only one side are listed but never fail
-the run (new configurations are expected as the bench grows).
+Understands two report shapes, detected from the JSON itself:
 
-A row regresses when fresh img/s falls more than --threshold (default
-10%) below the baseline.  The default mode is record-only — regressions
-are printed as warnings and the exit status stays 0, because CI runs on
-noisy shared machines and numbers recorded under a different SIMD
-dispatch level (see the build stamp's "simd_level") are not directly
-comparable.  Pass --fail-on-regress for a hard gate on quiet hardware.
+- Throughput reports (BENCH_throughput_inference.json): rows keyed
+  (backend, model, cohort, stream_len), metric images_per_sec, HIGHER
+  is better.
+- Serving tail-latency reports (BENCH_serving_tail.json): rows keyed
+  (policy, arrival, tenant), metric latency_ms_p99, LOWER is better —
+  a row regresses when the fresh p99 rises more than the threshold.
+
+Rows present on only one side are listed but never fail the run (new
+configurations are expected as the benches grow).
+
+A row regresses when the fresh metric moves more than --threshold
+(default 10%) in the bad direction.  The default mode is record-only —
+regressions are printed as warnings and the exit status stays 0,
+because CI runs on noisy shared machines and numbers recorded under a
+different SIMD dispatch level (see the build stamp's "simd_level") are
+not directly comparable.  Pass --fail-on-regress for a hard gate on
+quiet hardware.
 
 Usage: tools/bench_diff.py BASELINE.json FRESH.json
            [--threshold PCT] [--fail-on-regress]
@@ -22,17 +30,72 @@ import json
 import sys
 
 
-def load_rows(path):
-    """(build stamp, {key: row}) from one BENCH_throughput_inference file."""
-    with open(path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+def throughput_rows(results):
+    """{(backend, model, cohort, stream_len): images_per_sec} from a
+    throughput report's results list."""
     rows = {}
-    for row in doc.get("results", []):
+    for row in results or []:
         engine = row.get("engine", {})
         key = (engine.get("backend"), row.get("model"), row.get("cohort"),
                engine.get("stream_len"))
-        rows[key] = row
-    return doc.get("build", {}), rows
+        rows[key] = row.get("images_per_sec")
+    return rows
+
+
+def latency_rows(results):
+    """{(policy, arrival, tenant): latency_ms_p99} from a serving
+    tail-latency report's results object."""
+    rows = {}
+    for run in results.get("runs", []):
+        for tenant in run.get("tenants", []):
+            key = (run.get("policy"), run.get("arrival"),
+                   tenant.get("tenant"))
+            rows[key] = tenant.get("latency_ms_p99")
+    return rows
+
+
+def extract_rows(doc):
+    """(kind, metric label, lower_is_better, {key: value}) from one
+    loaded BENCH_*.json document; kind detection is structural, so the
+    tool needs no per-bench flag."""
+    results = doc.get("results")
+    if isinstance(results, dict) and "runs" in results:
+        return "latency", "p99 ms", True, latency_rows(results)
+    return "throughput", "img/s", False, throughput_rows(results)
+
+
+def compare(base, fresh, threshold, lower_is_better):
+    """Match {key: value} maps and classify every row.
+
+    Returns a list of dicts sorted by key: {key, base, fresh,
+    delta_pct, status} where status is "ok", "regression" (delta beyond
+    threshold in the bad direction), "missing" (baseline-only) or
+    "new" (fresh-only).
+    """
+    entries = []
+    for key in sorted(base, key=lambda k: tuple(str(p) for p in k)):
+        b = base[key]
+        if key not in fresh:
+            entries.append({"key": key, "base": b, "fresh": None,
+                            "delta_pct": None, "status": "missing"})
+            continue
+        f = fresh[key]
+        delta_pct = (f - b) / b * 100.0 if b else 0.0
+        bad = delta_pct > threshold if lower_is_better \
+            else delta_pct < -threshold
+        entries.append({"key": key, "base": b, "fresh": f,
+                        "delta_pct": delta_pct,
+                        "status": "regression" if bad else "ok"})
+    for key in sorted(set(fresh) - set(base),
+                      key=lambda k: tuple(str(p) for p in k)):
+        entries.append({"key": key, "base": None, "fresh": fresh[key],
+                        "delta_pct": None, "status": "new"})
+    return entries
+
+
+def load_doc(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
 
 
 def main():
@@ -47,9 +110,18 @@ def main():
                              "threshold (default: record-only)")
     args = parser.parse_args()
 
-    base_build, base = load_rows(args.baseline)
-    fresh_build, fresh = load_rows(args.fresh)
+    base_doc = load_doc(args.baseline)
+    fresh_doc = load_doc(args.fresh)
+    base_kind, metric, lower_is_better, base = extract_rows(base_doc)
+    fresh_kind, _, _, fresh = extract_rows(fresh_doc)
+    if base_kind != fresh_kind:
+        print(f"error: report kinds differ ({base_kind} vs {fresh_kind}); "
+              f"comparing {args.baseline} against {args.fresh} is "
+              f"meaningless")
+        return 2
 
+    base_build = base_doc.get("build", {})
+    fresh_build = fresh_doc.get("build", {})
     base_level = base_build.get("simd_level", "unknown")
     fresh_level = fresh_build.get("simd_level", "unknown")
     print(f"baseline: {args.baseline} (git {base_build.get('git_sha', '?')}, "
@@ -59,34 +131,30 @@ def main():
     if base_level != fresh_level:
         print(f"note: SIMD dispatch levels differ ({base_level} vs "
               f"{fresh_level}); deltas reflect the dispatch change too")
+    direction = "lower is better" if lower_is_better else "higher is better"
+    print(f"{base_kind} rows, metric {metric} ({direction})")
 
-    header = (f"{'backend':<14} {'model':<8} {'cohort':>6} "
-              f"{'base img/s':>12} {'fresh img/s':>12} {'delta':>8}")
+    header = (f"{'row':<42} {'base':>12} {'fresh':>12} {'delta':>8}")
     print(header)
     print("-" * len(header))
 
     regressions = []
-    for key in sorted(base, key=lambda k: tuple(str(p) for p in k)):
-        backend, model, cohort, _ = key
-        b = base[key].get("images_per_sec")
-        if key not in fresh:
-            print(f"{backend:<14} {model:<8} {cohort:>6} {b:>12.2f} "
-                  f"{'missing':>12} {'-':>8}")
+    for entry in compare(base, fresh, args.threshold, lower_is_better):
+        label = " ".join(str(p) for p in entry["key"])
+        if entry["status"] == "missing":
+            print(f"{label:<42} {entry['base']:>12.2f} {'missing':>12} "
+                  f"{'-':>8}")
             continue
-        f = fresh[key].get("images_per_sec")
-        delta_pct = (f - b) / b * 100.0 if b else 0.0
+        if entry["status"] == "new":
+            print(f"{label:<42} {'new':>12} {entry['fresh']:>12.2f} "
+                  f"{'-':>8}")
+            continue
         marker = ""
-        if delta_pct < -args.threshold:
+        if entry["status"] == "regression":
             marker = "  <-- REGRESSION"
-            regressions.append((key, delta_pct))
-        print(f"{backend:<14} {model:<8} {cohort:>6} {b:>12.2f} {f:>12.2f} "
-              f"{delta_pct:>+7.1f}%{marker}")
-    for key in sorted(set(fresh) - set(base),
-                      key=lambda k: tuple(str(p) for p in k)):
-        backend, model, cohort, _ = key
-        f = fresh[key].get("images_per_sec")
-        print(f"{backend:<14} {model:<8} {cohort:>6} {'new':>12} {f:>12.2f} "
-              f"{'-':>8}")
+            regressions.append(entry)
+        print(f"{label:<42} {entry['base']:>12.2f} {entry['fresh']:>12.2f} "
+              f"{entry['delta_pct']:>+7.1f}%{marker}")
 
     if regressions:
         print(f"WARNING: {len(regressions)} row(s) regressed more than "

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench_diff row-matching and classification logic.
+
+Run directly (python3 tools/test_bench_diff.py) or through ctest (the
+CMake target registers it when a Python3 interpreter is found).
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff  # noqa: E402
+
+
+def throughput_doc(rows):
+    """A minimal BENCH_throughput_inference-shaped document."""
+    return {"results": [
+        {"engine": {"backend": b, "stream_len": n}, "model": m,
+         "cohort": c, "images_per_sec": v}
+        for (b, m, c, n), v in rows.items()]}
+
+
+def latency_doc(runs):
+    """A minimal BENCH_serving_tail-shaped document."""
+    return {"results": {"runs": [
+        {"policy": p, "arrival": a,
+         "tenants": [{"tenant": t, "latency_ms_p99": v}
+                     for t, v in tenants.items()]}
+        for (p, a), tenants in runs.items()]}}
+
+
+class ExtractRowsTest(unittest.TestCase):
+    def test_throughput_shape_detected(self):
+        doc = throughput_doc({("aqfp-sorter", "tiny", 8, 1024): 25.0})
+        kind, metric, lower, rows = bench_diff.extract_rows(doc)
+        self.assertEqual(kind, "throughput")
+        self.assertFalse(lower)
+        self.assertEqual(rows[("aqfp-sorter", "tiny", 8, 1024)], 25.0)
+
+    def test_latency_shape_detected(self):
+        doc = latency_doc({("fifo", "poisson"): {"gold": 120.0,
+                                                 "bulk": 340.0}})
+        kind, metric, lower, rows = bench_diff.extract_rows(doc)
+        self.assertEqual(kind, "latency")
+        self.assertTrue(lower)
+        self.assertEqual(rows[("fifo", "poisson", "gold")], 120.0)
+        self.assertEqual(rows[("fifo", "poisson", "bulk")], 340.0)
+
+    def test_empty_results_is_throughput_with_no_rows(self):
+        kind, _, _, rows = bench_diff.extract_rows({"results": []})
+        self.assertEqual(kind, "throughput")
+        self.assertEqual(rows, {})
+
+
+class CompareTest(unittest.TestCase):
+    def test_throughput_regression_is_a_drop(self):
+        base = {("a",): 100.0, ("b",): 100.0}
+        fresh = {("a",): 85.0, ("b",): 95.0}
+        entries = bench_diff.compare(base, fresh, threshold=10.0,
+                                     lower_is_better=False)
+        by_key = {e["key"]: e for e in entries}
+        self.assertEqual(by_key[("a",)]["status"], "regression")
+        self.assertEqual(by_key[("b",)]["status"], "ok")
+
+    def test_latency_regression_is_a_rise(self):
+        base = {("fifo", "poisson", "gold"): 100.0,
+                ("edf", "poisson", "gold"): 100.0}
+        fresh = {("fifo", "poisson", "gold"): 115.0,
+                 ("edf", "poisson", "gold"): 85.0}
+        entries = bench_diff.compare(base, fresh, threshold=10.0,
+                                     lower_is_better=True)
+        by_key = {e["key"]: e for e in entries}
+        # p99 rising 15% regresses; p99 *dropping* 15% never does.
+        self.assertEqual(by_key[("fifo", "poisson", "gold")]["status"],
+                         "regression")
+        self.assertEqual(by_key[("edf", "poisson", "gold")]["status"],
+                         "ok")
+
+    def test_threshold_is_exclusive(self):
+        entries = bench_diff.compare({("a",): 100.0}, {("a",): 110.0},
+                                     threshold=10.0, lower_is_better=True)
+        self.assertEqual(entries[0]["status"], "ok")
+        self.assertAlmostEqual(entries[0]["delta_pct"], 10.0)
+
+    def test_missing_and_new_rows_never_regress(self):
+        base = {("gone",): 50.0}
+        fresh = {("added",): 75.0}
+        entries = bench_diff.compare(base, fresh, threshold=10.0,
+                                     lower_is_better=False)
+        by_key = {e["key"]: e for e in entries}
+        self.assertEqual(by_key[("gone",)]["status"], "missing")
+        self.assertIsNone(by_key[("gone",)]["fresh"])
+        self.assertEqual(by_key[("added",)]["status"], "new")
+        self.assertIsNone(by_key[("added",)]["base"])
+
+    def test_zero_baseline_does_not_divide(self):
+        entries = bench_diff.compare({("z",): 0.0}, {("z",): 5.0},
+                                     threshold=10.0,
+                                     lower_is_better=False)
+        self.assertEqual(entries[0]["delta_pct"], 0.0)
+        self.assertEqual(entries[0]["status"], "ok")
+
+    def test_rows_sorted_by_key(self):
+        base = {("b",): 1.0, ("a",): 1.0}
+        entries = bench_diff.compare(base, base, threshold=10.0,
+                                     lower_is_better=False)
+        self.assertEqual([e["key"] for e in entries], [("a",), ("b",)])
+
+
+if __name__ == "__main__":
+    unittest.main()
