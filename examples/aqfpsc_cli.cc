@@ -90,6 +90,10 @@ struct Args
     bool adaptive = false; ///< eval/serve: early-exit mode
     core::ServerOptions server; ///< serve: worker/queue/batch knobs
 
+    // serve / serve-multi robustness knobs
+    double timeoutMs = 0.0; ///< hard per-request budget (0 = none)
+    int retries = 0;        ///< transient-failure retry budget
+
     // serve-multi
     std::vector<std::string> tenants; ///< --tenant specs, in order
     std::string policy = "fifo";      ///< scheduler policy name
@@ -111,13 +115,15 @@ usage()
         "  infer --model-file <file> [--backend NAME] [--index I]\n"
         "        [--stream-len N] [--threads N] [--rng-bits N] [--seed S]\n"
         "  serve --model-file <file> [--workers W] [--queue-cap Q]\n"
-        "        [--max-batch B] [--images N] [--adaptive ...]\n"
+        "        [--max-batch B] [--images N] [--timeout-ms T]\n"
+        "        [--adaptive ...]\n"
         "  serve-multi (--model-file <file> | --model <zoo>)\n"
         "        [--policy fifo|priority|edf|fair] [--workers W]\n"
         "        [--max-batch B] [--images N] [--deadline-ms D] [--shed]\n"
+        "        [--timeout-ms T] [--retries R]\n"
         "        [--tenant name,weight=W,priority=P,deadline-ms=D,\n"
         "         queue-cap=Q,backend=NAME,margin=F,min-cycles=M,\n"
-        "         adaptive,shed ...]\n"
+        "         timeout-ms=T,retries=R,adaptive,shed ...]\n"
         "  backends   list registered backends\n"
         "  models     list model-zoo architectures\n");
 }
@@ -190,6 +196,10 @@ parse(int argc, char **argv, Args &args)
                 static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
         else if (flag == "--max-batch")
             args.server.maxBatch = std::atoi(next());
+        else if (flag == "--timeout-ms")
+            args.timeoutMs = std::atof(next());
+        else if (flag == "--retries")
+            args.retries = std::atoi(next());
         else if (flag == "--tenant")
             args.tenants.push_back(next());
         else if (flag == "--policy")
@@ -296,6 +306,7 @@ cmdServe(const Args &args)
     core::ServerOptions sopts = args.server;
     sopts.adaptive = args.adaptive;
     sopts.policy = args.engine.adaptive;
+    sopts.timeoutSeconds = args.timeoutMs * 1e-3;
     core::InferenceServer server(session, sopts);
     std::printf("serving %s on %s: %d worker(s), queue %zu, "
                 "micro-batch %d%s\n",
@@ -314,16 +325,29 @@ cmdServe(const Args &args)
     std::vector<double> latency_ms;
     latency_ms.reserve(futures.size());
     std::size_t correct = 0;
+    std::size_t served = 0;
     for (int i = 0; i < n; ++i) {
-        const core::ServedPrediction r = futures[static_cast<std::size_t>(i)].get();
-        latency_ms.push_back((r.queueSeconds + r.serviceSeconds) * 1e3);
-        if (r.prediction.label == test[static_cast<std::size_t>(i)].label)
-            ++correct;
+        try {
+            const core::ServedPrediction r =
+                futures[static_cast<std::size_t>(i)].get();
+            latency_ms.push_back((r.queueSeconds + r.serviceSeconds) * 1e3);
+            if (r.prediction.label ==
+                test[static_cast<std::size_t>(i)].label)
+                ++correct;
+            ++served;
+        } catch (const core::StatusError &e) {
+            // Counted in stats below; a timed-out request is expected
+            // operation under --timeout-ms, not a CLI failure.
+            std::fprintf(stderr, "request %d failed: %s\n", i,
+                         e.what());
+        }
     }
     server.shutdown();
 
     std::sort(latency_ms.begin(), latency_ms.end());
     auto pct = [&](double q) {
+        if (latency_ms.empty())
+            return 0.0;
         const std::size_t i = static_cast<std::size_t>(
             q * static_cast<double>(latency_ms.size() - 1));
         return latency_ms[i];
@@ -332,8 +356,16 @@ cmdServe(const Args &args)
     std::printf("served %llu requests: accuracy %.4f, p50 %.1f ms, "
                 "p90 %.1f ms, p99 %.1f ms\n",
                 static_cast<unsigned long long>(stats.completed),
-                static_cast<double>(correct) / static_cast<double>(n),
+                served == 0 ? 0.0
+                            : static_cast<double>(correct) /
+                                  static_cast<double>(served),
                 pct(0.50), pct(0.90), pct(0.99));
+    char budget[32];
+    std::snprintf(budget, sizeof budget, "%g ms", args.timeoutMs);
+    std::printf("failed %llu (timed out %llu), timeout budget %s\n",
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.timedOut),
+                args.timeoutMs > 0.0 ? budget : "none");
     std::printf("avg micro-batch %.2f, avg consumed cycles %.0f/%zu, "
                 "early exits %llu\n",
                 stats.avgBatchSize, stats.avgConsumedCycles,
@@ -390,6 +422,10 @@ parseTenantSpec(const std::string &spec, serving::TenantConfig cfg)
                 std::strtoull(val.c_str(), nullptr, 10));
         else if (key == "backend")
             cfg.backend = val;
+        else if (key == "timeout-ms")
+            cfg.timeoutSeconds = std::atof(val.c_str()) * 1e-3;
+        else if (key == "retries")
+            cfg.maxRetries = std::atoi(val.c_str());
         else if (key == "margin") {
             cfg.adaptive = true;
             cfg.policy.exitMargin = std::atof(val.c_str());
@@ -453,6 +489,8 @@ cmdServeMulti(const Args &args)
     serving::TenantConfig base;
     base.model = "m";
     base.deadlineSeconds = args.deadlineMs * 1e-3;
+    base.timeoutSeconds = args.timeoutMs * 1e-3;
+    base.maxRetries = args.retries;
     base.adaptive = args.adaptive;
     base.policy = args.engine.adaptive;
     if (args.shed) {
@@ -511,14 +549,24 @@ cmdServeMulti(const Args &args)
 
     std::vector<std::vector<double>> latency_ms(names.size());
     std::vector<std::size_t> correct(names.size(), 0);
+    std::vector<std::size_t> got(names.size(), 0);
     for (Pending &p : pending) {
-        const serving::ServedResult r = p.future.get();
-        latency_ms[p.tenant].push_back(
-            (r.queueSeconds + r.serviceSeconds) * 1e3);
-        if (r.prediction.label ==
-            test[static_cast<std::size_t>(p.image)].label)
-            ++correct[p.tenant];
+        try {
+            const serving::ServedResult r = p.future.get();
+            latency_ms[p.tenant].push_back(
+                (r.queueSeconds + r.serviceSeconds) * 1e3);
+            if (r.prediction.label ==
+                test[static_cast<std::size_t>(p.image)].label)
+                ++correct[p.tenant];
+            ++got[p.tenant];
+        } catch (const core::StatusError &) {
+            // Timeouts/quarantines under load are expected operation;
+            // the per-tenant counters below report them.
+        }
     }
+    // Snapshot before shutdown: workersAlive reflects the serving pool,
+    // not the (correctly) empty post-join pool.
+    const serving::HealthSnapshot health = frontend.health();
     frontend.shutdown();
 
     for (std::size_t t = 0; t < names.size(); ++t) {
@@ -540,12 +588,18 @@ cmdServeMulti(const Args &args)
             static_cast<unsigned long long>(stats.shedServed),
             static_cast<unsigned long long>(stats.deadlineMissed));
         std::printf(
+            "  failed %llu (timed out %llu, quarantined %llu), "
+            "retried %llu\n",
+            static_cast<unsigned long long>(stats.failed),
+            static_cast<unsigned long long>(stats.timedOut),
+            static_cast<unsigned long long>(stats.quarantined),
+            static_cast<unsigned long long>(stats.retried));
+        std::printf(
             "  accuracy %.4f, p50 %.1f ms, p99 %.1f ms, avg cycles "
             "%.0f, queue high-water %zu\n",
-            stats.completed == 0
-                ? 0.0
-                : static_cast<double>(correct[t]) /
-                      static_cast<double>(stats.completed),
+            got[t] == 0 ? 0.0
+                        : static_cast<double>(correct[t]) /
+                              static_cast<double>(got[t]),
             pct(0.50), pct(0.99), stats.avgConsumedCycles,
             stats.queueDepthHighWater);
         std::printf("  queue latency   %s\n",
@@ -553,6 +607,12 @@ cmdServeMulti(const Args &args)
         std::printf("  service latency %s\n",
                     stats.serviceHistogram.summary().c_str());
     }
+    std::printf("pool health: %d/%d worker(s) alive, respawns %llu, "
+                "watchdog kicks %llu over %llu tick(s)\n",
+                health.workersAlive, health.workersConfigured,
+                static_cast<unsigned long long>(health.respawns),
+                static_cast<unsigned long long>(health.watchdogKicks),
+                static_cast<unsigned long long>(health.watchdogTicks));
     return 0;
 }
 

@@ -1,0 +1,160 @@
+#include "core/fault_injection.h"
+
+#include <string>
+#include <thread>
+
+namespace aqfpsc::core {
+
+namespace {
+
+/// splitmix64 finalizer: the same stateless mixer the bitstream RNG
+/// family uses; good enough to turn (seed, site, key) into an unbiased
+/// uniform 64-bit value.
+std::uint64_t mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::atomic<FaultPlan *> g_plan{nullptr};
+
+} // namespace
+
+const char *faultSiteName(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::WorkerException:
+        return "worker-exception";
+    case FaultSite::WorkerHang:
+        return "worker-hang";
+    case FaultSite::WorkerSlowdown:
+        return "worker-slowdown";
+    case FaultSite::WorkerCrash:
+        return "worker-crash";
+    case FaultSite::EngineCompile:
+        return "engine-compile";
+    case FaultSite::ModelLoadCorrupt:
+        return "model-load-corrupt";
+    case FaultSite::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+FaultPlan &FaultPlan::arm(FaultSite site, double probability,
+                          std::chrono::milliseconds delay,
+                          std::uint64_t maxFires)
+{
+    SiteState &state = sites_[static_cast<int>(site)];
+    state.probability = probability;
+    state.delay = delay;
+    state.maxFires = maxFires;
+    return *this;
+}
+
+bool FaultPlan::decides(FaultSite site, std::uint64_t key) const
+{
+    const SiteState &state = sites_[static_cast<int>(site)];
+    if (state.probability <= 0.0)
+        return false;
+    if (state.probability >= 1.0)
+        return true;
+    const std::uint64_t h =
+        mix64(seed_ ^ mix64((static_cast<std::uint64_t>(site) + 1) * 0x9E3779B97F4A7C15ull ^ key));
+    // Map the top 53 bits to [0, 1) — exact in double.
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < state.probability;
+}
+
+bool FaultPlan::tryFire(FaultSite site, std::uint64_t key)
+{
+    if (!decides(site, key))
+        return false;
+    SiteState &state = sites_[static_cast<int>(site)];
+    if (state.maxFires > 0) {
+        // CAS loop so fired() counts actual fires: a capped-out attempt
+        // must not advance the counter past maxFires.
+        std::uint64_t n = state.fired.load();
+        while (n < state.maxFires) {
+            if (state.fired.compare_exchange_weak(n, n + 1))
+                return true;
+        }
+        return false;
+    }
+    state.fired.fetch_add(1);
+    return true;
+}
+
+std::chrono::milliseconds FaultPlan::delay(FaultSite site) const
+{
+    return sites_[static_cast<int>(site)].delay;
+}
+
+std::uint64_t FaultPlan::fired(FaultSite site) const
+{
+    return sites_[static_cast<int>(site)].fired.load();
+}
+
+namespace fault {
+
+void install(FaultPlan *plan) { g_plan.store(plan, std::memory_order_release); }
+
+FaultPlan *activePlan() { return g_plan.load(std::memory_order_acquire); }
+
+bool shouldFire(FaultSite site, std::uint64_t key)
+{
+    FaultPlan *plan = activePlan();
+    return plan != nullptr && plan->tryFire(site, key);
+}
+
+void injectThrow(FaultSite site, std::uint64_t key)
+{
+    if (!shouldFire(site, key))
+        return;
+    const std::string what = std::string("injected fault at site '") +
+                             faultSiteName(site) + "' (key " +
+                             std::to_string(key) + ")";
+    switch (site) {
+    case FaultSite::WorkerCrash:
+        throw StatusError(StatusCode::WorkerCrashed, what);
+    case FaultSite::EngineCompile:
+        throw StatusError(StatusCode::EngineCompileFailed, what);
+    default:
+        throw StatusError(StatusCode::ExecutionFailed, what);
+    }
+}
+
+void injectDelay(FaultSite site, std::uint64_t key, const RunControl *control)
+{
+    FaultPlan *plan = activePlan();
+    if (plan == nullptr || !plan->tryFire(site, key))
+        return;
+    const auto total = plan->delay(site);
+    const auto started = std::chrono::steady_clock::now();
+    const auto slice = std::chrono::milliseconds{1};
+    while (std::chrono::steady_clock::now() - started < total) {
+        if (control != nullptr) {
+            // Deliberately no poll(): a hung worker must look frozen to
+            // the watchdog's beat-based stall detector.
+            if (control->cancelRequested())
+                throw StatusError(
+                    StatusCode::ExecutionFailed,
+                    std::string("injected ") + faultSiteName(site) +
+                        " aborted by cancellation (key " + std::to_string(key) +
+                        ")");
+            if (control->expired())
+                throw StatusError(
+                    StatusCode::Timeout,
+                    std::string("request deadline elapsed inside injected ") +
+                        faultSiteName(site) + " (key " + std::to_string(key) +
+                        ")");
+        }
+        std::this_thread::sleep_for(slice);
+    }
+}
+
+} // namespace fault
+
+} // namespace aqfpsc::core

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection for chaos testing.
+ *
+ * The serving stack's recovery paths (retry, quarantine, watchdog
+ * respawn, checksum rejection) are worthless untested, and real faults
+ * are too rare and too irreproducible to test against.  This framework
+ * lets a test *arm* faults at well-known sites in the production code —
+ * worker exceptions, artificial hangs and slowdowns, worker crashes,
+ * engine-compile failures, model-load corruption — and have them fire
+ * deterministically:
+ *
+ *  - Every fire decision is a pure hash of (plan seed, site, call key),
+ *    so a given seed reproduces the same fault pattern regardless of
+ *    thread interleaving, and two runs of a chaos round disagree only
+ *    in timing, never in which request got which fault.
+ *  - When no plan is installed (production), every hook is a single
+ *    relaxed atomic load of a null pointer — zero allocations, no
+ *    locks, no branches taken.
+ *  - ScopedFaultPlan installs a plan for a test scope and guarantees
+ *    removal on exit, so a throwing test cannot leak armed faults into
+ *    the next one.
+ *
+ * Sites are *cooperative*: the production code calls
+ * fault::injectThrow / fault::injectDelay / fault::shouldFire at the
+ * site, and those calls are no-ops unless a plan armed that site.  An
+ * injected hang sleeps in small slices watching RunControl::
+ * cancelRequested() (without beating), which is exactly what makes it
+ * kickable by the ServingFrontend watchdog.
+ */
+
+#ifndef AQFPSC_CORE_FAULT_INJECTION_H
+#define AQFPSC_CORE_FAULT_INJECTION_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace aqfpsc::core {
+
+/** Injectable failure sites in the serving stack. */
+enum class FaultSite : int
+{
+    WorkerException = 0, ///< serve path throws (transient ExecutionFailed)
+    WorkerHang,          ///< serve path blocks until cancelled/deadline
+    WorkerSlowdown,      ///< serve path sleeps, then continues normally
+    WorkerCrash,         ///< worker thread dies (batch requeued, respawn)
+    EngineCompile,       ///< ScNetworkEngine construction fails
+    ModelLoadCorrupt,    ///< loadModel flips a payload byte pre-verify
+    kCount,
+};
+
+/** Stable lower-kebab name of @p site (e.g. "worker-hang"). */
+const char *faultSiteName(FaultSite site);
+
+/**
+ * An armed set of fault sites with per-site probability, delay, and an
+ * optional cap on how many times the site may fire.  Decisions are
+ * deterministic in (seed, site, key); the fired() counters are the only
+ * mutable state and are safe to read/advance from any thread.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+    /**
+     * Arm @p site: each distinct @p key passed to the site's hook fires
+     * with @p probability (deterministically — same seed/site/key, same
+     * answer).  @p delay is how long hang/slowdown sites stall.
+     * @p maxFires > 0 caps total fires of the site (0 = unlimited).
+     * Returns *this for chaining.
+     */
+    FaultPlan &arm(FaultSite site, double probability,
+                   std::chrono::milliseconds delay = std::chrono::milliseconds{0},
+                   std::uint64_t maxFires = 0);
+
+    /** Pure decision: would (seed, site, key) fire?  Ignores maxFires
+     *  and does not count. */
+    bool decides(FaultSite site, std::uint64_t key) const;
+
+    /** Decision + maxFires gate + fired() accounting.  This is what the
+     *  production hooks call. */
+    bool tryFire(FaultSite site, std::uint64_t key);
+
+    /** Armed stall duration of @p site. */
+    std::chrono::milliseconds delay(FaultSite site) const;
+
+    /** How many times @p site has fired so far. */
+    std::uint64_t fired(FaultSite site) const;
+
+  private:
+    struct SiteState
+    {
+        double probability = 0.0;
+        std::chrono::milliseconds delay{0};
+        std::uint64_t maxFires = 0;
+        std::atomic<std::uint64_t> fired{0};
+    };
+
+    std::uint64_t seed_ = 0;
+    std::array<SiteState, static_cast<int>(FaultSite::kCount)> sites_;
+};
+
+namespace fault {
+
+/** Install @p plan globally (nullptr disarms).  Prefer ScopedFaultPlan. */
+void install(FaultPlan *plan);
+
+/** The installed plan, or nullptr when injection is disabled. */
+FaultPlan *activePlan();
+
+/**
+ * Decision hook: true when an installed plan fires @p site for @p key.
+ * The disabled-path cost is one atomic null check.
+ */
+bool shouldFire(FaultSite site, std::uint64_t key);
+
+/** Throw a transient/terminal StatusError if @p site fires for @p key
+ *  (ExecutionFailed for WorkerException, WorkerCrashed for WorkerCrash,
+ *  EngineCompileFailed for EngineCompile). */
+void injectThrow(FaultSite site, std::uint64_t key);
+
+/**
+ * Stall if @p site fires for @p key: sleep the plan's armed delay in
+ * ~1 ms slices.  Each slice checks @p control (when given) WITHOUT
+ * beating — so the watchdog's stall detector sees a frozen worker — and
+ * aborts with StatusError{Timeout} once the deadline passes or
+ * StatusError{ExecutionFailed} once the run is cancelled (transient, so
+ * a kicked hang is retried).
+ */
+void injectDelay(FaultSite site, std::uint64_t key,
+                 const RunControl *control = nullptr);
+
+} // namespace fault
+
+/** RAII install/uninstall of a FaultPlan for one test scope. */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(FaultPlan &plan) { fault::install(&plan); }
+    ~ScopedFaultPlan() { fault::install(nullptr); }
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace aqfpsc::core
+
+#endif // AQFPSC_CORE_FAULT_INJECTION_H

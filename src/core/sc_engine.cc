@@ -7,6 +7,7 @@
 
 #include "core/backend_registry.h"
 #include "core/batch_runner.h"
+#include "core/fault_injection.h"
 #include "core/stages/stage.h"
 #include "core/stages/stage_compiler.h"
 #include "core/workspace.h"
@@ -87,6 +88,9 @@ ScNetworkEngine::ScNetworkEngine(const nn::Network &net,
       plan_(std::make_unique<stages::ExecutionPlan>(
           stages::compileNetwork(net, cfg)))
 {
+    // Chaos-test hook: lets tests exercise the "engine failed to
+    // compile" error path without crafting an uncompilable network.
+    fault::injectThrow(FaultSite::EngineCompile, cfg.seed);
 }
 
 std::size_t
@@ -240,12 +244,33 @@ requireAdaptive(const ScNetworkEngine &engine, const AdaptivePolicy &policy)
     }
 }
 
+/**
+ * The cooperative-cancellation point: called once per checkpoint block.
+ * poll() beats (liveness for the watchdog) and reports whether the run
+ * must abort; the throw unwinds out of the engine, leaving the
+ * workspace reusable after the next arm.
+ */
+void
+pollControl(const RunControl *control, std::size_t cycle)
+{
+    if (control == nullptr)
+        return;
+    const StatusCode code = control->poll();
+    if (code == StatusCode::Ok)
+        return;
+    const char *why = code == StatusCode::Cancelled
+                          ? "run cancelled at checkpoint (cycle "
+                          : "request deadline elapsed at checkpoint (cycle ";
+    throw StatusError(code, why + std::to_string(cycle) + ")");
+}
+
 } // namespace
 
 AdaptivePrediction
 ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
                                StageWorkspace &ws,
-                               const AdaptivePolicy &policy) const
+                               const AdaptivePolicy &policy,
+                               const RunControl *control) const
 {
     assert(&ws.engine_ == this &&
            "workspace belongs to a different engine");
@@ -273,6 +298,7 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
     const ScStage *terminalStage = nullptr;
     std::size_t begin = 0;
     for (;;) {
+        pollControl(control, begin);
         const std::size_t end = std::min(begin + block, len);
         if (encodeInputStreams_ && !policy.deterministic) {
             // Lazy SNG: this block's input cycles from an own substream
@@ -332,7 +358,8 @@ ScNetworkEngine::inferAdaptiveCohort(const nn::Tensor *const images[],
                                      const std::size_t indices[],
                                      std::size_t count, CohortWorkspace &ws,
                                      const AdaptivePolicy &policy,
-                                     AdaptivePrediction out[]) const
+                                     AdaptivePrediction out[],
+                                     const RunControl *control) const
 {
     assert(&ws.engine_ == this &&
            "workspace belongs to a different engine");
@@ -369,6 +396,7 @@ ScNetworkEngine::inferAdaptiveCohort(const nn::Tensor *const images[],
     const std::size_t block = std::min(policy.checkpointCycles, len);
     std::size_t begin = 0;
     while (!ws.active_.empty()) {
+        pollControl(control, begin);
         const std::size_t end = std::min(begin + block, len);
         if (encodeInputStreams_ && !policy.deterministic) {
             for (const std::size_t c : ws.active_) {

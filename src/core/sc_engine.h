@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "nn/network.h"
 
 namespace aqfpsc::core {
@@ -259,13 +260,21 @@ class ScNetworkEngine
      * number of cycles — and to the full inferIndexed() result whenever
      * the image does not exit early.  Thread-safe across distinct
      * workspaces.
+     *
+     * When @p control is non-null it is polled between checkpoint
+     * blocks (the serving stack's cooperative-cancellation point:
+     * block granularity, not stream granularity) and the run aborts
+     * with StatusError{Cancelled|Timeout} when it fires.  Polling
+     * never perturbs the results of runs that complete.
      * @throws std::invalid_argument on invalid policies or if any stage
      *         is not resumable (see supportsAdaptive()).
+     * @throws StatusError when @p control reports cancellation/expiry.
      */
     AdaptivePrediction inferAdaptive(const nn::Tensor &image,
                                      std::size_t index,
                                      StageWorkspace &workspace,
-                                     const AdaptivePolicy &policy) const;
+                                     const AdaptivePolicy &policy,
+                                     const RunControl *control = nullptr) const;
 
     /** Transient-workspace convenience overload of inferAdaptive(). */
     AdaptivePrediction inferAdaptive(const nn::Tensor &image,
@@ -292,14 +301,18 @@ class ScNetworkEngine
      * policy's threshold are retired, compacting the cohort in place, so
      * the remaining images keep the stage-major amortization.  Each
      * result is bit-identical to inferAdaptive(*images[c], indices[c],
-     * policy) for deterministic policies.
+     * policy) for deterministic policies.  @p control is polled once
+     * per checkpoint block for the whole cohort, exactly like
+     * inferAdaptive(); on abort no entry of @p out is valid.
      * @throws std::invalid_argument like inferAdaptive().
+     * @throws StatusError when @p control reports cancellation/expiry.
      */
     void inferAdaptiveCohort(const nn::Tensor *const images[],
                              const std::size_t indices[], std::size_t count,
                              CohortWorkspace &workspace,
                              const AdaptivePolicy &policy,
-                             AdaptivePrediction out[]) const;
+                             AdaptivePrediction out[],
+                             const RunControl *control = nullptr) const;
 
     /**
      * THE batched evaluation entry point: fans the batch across a

@@ -1,9 +1,12 @@
 #include "server.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "core/fault_injection.h"
 #include "core/workspace.h"
 
 namespace aqfpsc::core {
@@ -51,8 +54,30 @@ ServerOptions::validate() const
         for (const std::string &e : policy.validate())
             errors.push_back("policy: " + e);
     }
+    if (!(timeoutSeconds >= 0.0) || !std::isfinite(timeoutSeconds)) {
+        errors.push_back(
+            "timeoutSeconds " + std::to_string(timeoutSeconds) +
+            " must be a finite value >= 0 (0 disables the per-request "
+            "deadline)");
+    }
     return errors;
 }
+
+namespace {
+
+/** Deadline of a request enqueued now under @p timeout_seconds. */
+std::chrono::steady_clock::time_point
+expiryFor(std::chrono::steady_clock::time_point enqueued,
+          double timeout_seconds)
+{
+    if (timeout_seconds <= 0.0)
+        return RunControl::kNoDeadline;
+    return enqueued + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(timeout_seconds));
+}
+
+} // namespace
 
 InferenceServer::InferenceServer(const InferenceSession &session,
                                  ServerOptions opts)
@@ -81,6 +106,19 @@ InferenceServer::InferenceServer(const InferenceSession &session,
                 "' is not resumable");
         }
     }
+    // A timed non-adaptive request is cancellable only if the backend
+    // can run in checkpoint blocks; the exitMargin=infinity policy
+    // never exits early, so routing through the adaptive path keeps
+    // results bit-identical to inferCohort (pinned in test_adaptive).
+    if (!opts_.adaptive && opts_.timeoutSeconds > 0.0 &&
+        engine_->supportsAdaptive()) {
+        routeCancellable_ = true;
+        fullLengthPolicy_.checkpointCycles = 256;
+        fullLengthPolicy_.exitMargin =
+            std::numeric_limits<double>::infinity();
+        fullLengthPolicy_.minCycles = 0;
+        fullLengthPolicy_.deterministic = true;
+    }
     workerCount_ = resolveWorkerCount(opts_.workers);
     threads_.reserve(static_cast<std::size_t>(workerCount_));
     for (int t = 0; t < workerCount_; ++t)
@@ -99,6 +137,7 @@ InferenceServer::enqueueLocked(nn::Tensor image)
     request.image = std::move(image);
     request.id = nextId_++;
     request.enqueued = std::chrono::steady_clock::now();
+    request.expiry = expiryFor(request.enqueued, opts_.timeoutSeconds);
     std::future<ServedPrediction> future = request.promise.get_future();
     queue_.push_back(std::move(request));
     queueDepthHighWater_ = std::max(queueDepthHighWater_, queue_.size());
@@ -115,7 +154,8 @@ InferenceServer::submit(nn::Tensor image)
             return stopping_ || queue_.size() < opts_.queueCapacity;
         });
         if (stopping_) {
-            throw std::runtime_error(
+            throw StatusError(
+                StatusCode::Shutdown,
                 "InferenceServer is shut down: request rejected");
         }
         future = enqueueLocked(std::move(image));
@@ -179,6 +219,7 @@ InferenceServer::stats() const
     s.submitted = nextId_;
     s.completed = completed_;
     s.failed = failed_;
+    s.timedOut = timedOut_;
     s.earlyExits = earlyExits_;
     s.batches = batches_;
     s.avgConsumedCycles =
@@ -242,22 +283,60 @@ InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
                              std::size_t count, CohortWorkspace &workspace)
 {
     const auto picked = std::chrono::steady_clock::now();
+
+    // Requests already past their deadline fail at pickup — their
+    // budget is gone, so spending engine cycles on them only delays the
+    // live ones behind them.
     const nn::Tensor *images[kMaxCohortImages];
     std::size_t ids[kMaxCohortImages];
+    std::size_t slot[kMaxCohortImages];
+    std::size_t live = 0;
+    auto deadline = RunControl::kNoDeadline;
     for (std::size_t j = 0; j < count; ++j) {
-        images[j] = &batch[off + j].image;
-        ids[j] = batch[off + j].id;
+        Request &request = batch[off + j];
+        if (picked > request.expiry) {
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                ++failed_;
+                ++timedOut_;
+            }
+            request.promise.set_exception(
+                std::make_exception_ptr(StatusError(
+                    StatusCode::Timeout,
+                    "request " + std::to_string(request.id) +
+                        " expired in the queue before a worker "
+                        "picked it up")));
+            continue;
+        }
+        images[live] = &request.image;
+        ids[live] = request.id;
+        slot[live] = off + j;
+        deadline = std::min(deadline, request.expiry);
+        ++live;
     }
+    if (live == 0)
+        return;
+
+    // The cohort runs under the earliest deadline of its members: a
+    // mid-run expiry aborts at the next checkpoint block and the
+    // per-request isolation pass below sorts out who actually expired.
+    RunControl control;
+    control.rearm(deadline);
+    const bool adaptiveRun = opts_.adaptive || routeCancellable_;
+    const AdaptivePolicy &runPolicy =
+        opts_.adaptive ? opts_.policy : fullLengthPolicy_;
 
     ScPrediction preds[kMaxCohortImages];
     AdaptivePrediction apreds[kMaxCohortImages];
     bool cohortOk = true;
     try {
-        if (opts_.adaptive)
-            engine_->inferAdaptiveCohort(images, ids, count, workspace,
-                                         opts_.policy, apreds);
+        fault::injectDelay(FaultSite::WorkerSlowdown, ids[0], &control);
+        fault::injectThrow(FaultSite::WorkerException, ids[0]);
+        if (adaptiveRun)
+            engine_->inferAdaptiveCohort(images, ids, live, workspace,
+                                         runPolicy, apreds, &control);
         else
-            engine_->inferCohort(images, ids, count, workspace, preds);
+            engine_->inferCohort(images, ids, live, workspace, preds);
     } catch (...) {
         cohortOk = false;
     }
@@ -266,8 +345,8 @@ InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
                                       picked)
             .count();
 
-    for (std::size_t j = 0; j < count; ++j) {
-        Request &request = batch[off + j];
+    for (std::size_t j = 0; j < live; ++j) {
+        Request &request = batch[slot[j]];
         ServedPrediction served;
         served.requestId = request.id;
         served.queueSeconds =
@@ -279,12 +358,20 @@ InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
         try {
             if (!cohortOk) {
                 // Isolate the failure: re-run this request as a cohort
-                // of one (bit-identical result), so one bad request
-                // cannot fail its cohort-mates.
-                if (opts_.adaptive)
+                // of one (bit-identical result) under its own deadline,
+                // so one bad or expired request cannot fail its
+                // cohort-mates.
+                if (std::chrono::steady_clock::now() > request.expiry)
+                    throw StatusError(
+                        StatusCode::Timeout,
+                        "request " + std::to_string(request.id) +
+                            " deadline elapsed during service");
+                RunControl solo;
+                solo.rearm(request.expiry);
+                if (adaptiveRun)
                     engine_->inferAdaptiveCohort(&images[j], &ids[j], 1,
-                                                 workspace, opts_.policy,
-                                                 &apreds[j]);
+                                                 workspace, runPolicy,
+                                                 &apreds[j], &solo);
                 else
                     engine_->inferCohort(&images[j], &ids[j], 1,
                                          workspace, &preds[j]);
@@ -293,6 +380,11 @@ InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
                 served.prediction = std::move(apreds[j].prediction);
                 served.consumedCycles = apreds[j].consumedCycles;
                 served.exitedEarly = apreds[j].exitedEarly;
+            } else if (adaptiveRun) {
+                // Cancellable full-length route: bit-identical to
+                // inferCohort, and reported as non-adaptive serving.
+                served.prediction = std::move(apreds[j].prediction);
+                served.consumedCycles = engine_->config().streamLen;
             } else {
                 served.prediction = std::move(preds[j]);
                 served.consumedCycles = engine_->config().streamLen;
@@ -311,11 +403,16 @@ InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
             }
             request.promise.set_value(std::move(served));
         } catch (...) {
+            // Futures carry the taxonomy, never a raw exception.
+            const Status status = Status::fromCurrentException();
             {
                 const std::lock_guard<std::mutex> lock(mutex_);
                 ++failed_;
+                if (status.code == StatusCode::Timeout)
+                    ++timedOut_;
             }
-            request.promise.set_exception(std::current_exception());
+            request.promise.set_exception(
+                std::make_exception_ptr(StatusError(status)));
         }
     }
 }

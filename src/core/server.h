@@ -36,11 +36,26 @@
  *    batching and arrival interleaving — and equals
  *    engine.inferIndexed(image, requestId) / inferAdaptive(...) exactly.
  *  - **Lossless shutdown.**  shutdown() (also run by the destructor)
- *    stops new submissions (they throw std::runtime_error), drains every
- *    already-accepted request, and joins the workers: every future
+ *    stops new submissions (they throw StatusError{Shutdown}), drains
+ *    every already-accepted request, and joins the workers: every future
  *    obtained from submit() is eventually satisfied — with a value, or
  *    with the exception the inference raised.  No future is ever lost or
  *    fulfilled twice (fuzzed under ASan/UBSan in tests/test_server.cc).
+ *  - **Structured failures.**  A future never carries a raw foreign
+ *    exception: every failure is a core::StatusError whose status().code
+ *    says what happened (Timeout, ExecutionFailed, Shutdown, ...), so
+ *    callers branch on the taxonomy instead of parsing what() strings.
+ *  - **Per-request timeouts.**  With ServerOptions::timeoutSeconds > 0
+ *    each request carries a hard deadline from submission.  Requests
+ *    already expired at worker pickup fail immediately with
+ *    StatusError{Timeout}; requests that expire mid-run are cancelled
+ *    cooperatively at the next adaptive checkpoint block (non-adaptive
+ *    serving is routed through the exitMargin=infinity adaptive path,
+ *    which is bit-identical to full-length inference, whenever the
+ *    backend supports checkpointed execution — so a timed-out request
+ *    frees its worker instead of wedging it for the rest of the
+ *    stream).  On backends without resumable stages the deadline is
+ *    enforced at pickup only.
  *
  * Thread safety: submit()/trySubmit()/submitBatch()/stats()/accepting()
  * may be called from any thread at any time; shutdown() from any
@@ -81,6 +96,11 @@ struct ServerOptions
     bool adaptive = false;
     AdaptivePolicy policy;           ///< early-exit policy when adaptive
     std::string backend;             ///< registry name; empty = session default
+    /** Hard per-request budget measured from submission; 0 disables.
+     *  Expired requests fail with StatusError{Timeout} — at worker
+     *  pickup, or mid-run at the next checkpoint block on resumable
+     *  backends (see the file comment). */
+    double timeoutSeconds = 0.0;
 
     /** Hard bound on queueCapacity (memory: pending requests own their
      *  image tensors). */
@@ -115,6 +135,7 @@ struct ServerStats
     std::uint64_t submitted = 0;    ///< requests accepted into the queue
     std::uint64_t completed = 0;    ///< futures satisfied with a value
     std::uint64_t failed = 0;       ///< futures satisfied with an exception
+    std::uint64_t timedOut = 0;     ///< subset of failed: deadline expiry
     std::uint64_t earlyExits = 0;   ///< completed with exitedEarly
     std::uint64_t batches = 0;      ///< worker micro-batch pops
     double avgConsumedCycles = 0.0; ///< mean cycles over completed images
@@ -154,7 +175,8 @@ class InferenceServer
     /**
      * Enqueue one image (copied into the request) and return the future
      * of its prediction.  Blocks while the queue is at capacity.
-     * @throws std::runtime_error once shutdown has begun.
+     * @throws StatusError{Shutdown} (a std::runtime_error) once
+     *         shutdown has begun.
      */
     std::future<ServedPrediction> submit(nn::Tensor image);
 
@@ -199,6 +221,9 @@ class InferenceServer
         std::promise<ServedPrediction> promise;
         std::uint64_t id = 0;
         std::chrono::steady_clock::time_point enqueued;
+        /** Hard deadline (RunControl::kNoDeadline when untimed). */
+        std::chrono::steady_clock::time_point expiry =
+            RunControl::kNoDeadline;
     };
 
     void workerLoop();
@@ -211,6 +236,11 @@ class InferenceServer
     ServerOptions opts_;
     const ScNetworkEngine *engine_ = nullptr; ///< compiled once, up front
     int workerCount_ = 0;
+    /** Non-adaptive serving with a timeout goes through the
+     *  exitMargin=infinity adaptive path (bit-identical to full-length
+     *  inference) so the deadline can cancel at block granularity. */
+    bool routeCancellable_ = false;
+    AdaptivePolicy fullLengthPolicy_;
 
     mutable std::mutex mutex_;
     std::condition_variable notEmpty_; ///< workers wait: work or stop
@@ -226,6 +256,7 @@ class InferenceServer
     // Stats (under mutex_).
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
+    std::uint64_t timedOut_ = 0;
     std::uint64_t earlyExits_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t consumedCycles_ = 0;

@@ -1,0 +1,76 @@
+#include "core/status.h"
+
+namespace aqfpsc::core {
+
+const char *statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return "OK";
+    case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+    case StatusCode::Timeout:
+        return "TIMEOUT";
+    case StatusCode::Cancelled:
+        return "CANCELLED";
+    case StatusCode::Overloaded:
+        return "OVERLOADED";
+    case StatusCode::Shutdown:
+        return "SHUTDOWN";
+    case StatusCode::WorkerCrashed:
+        return "WORKER_CRASHED";
+    case StatusCode::ExecutionFailed:
+        return "EXECUTION_FAILED";
+    case StatusCode::Quarantined:
+        return "QUARANTINED";
+    case StatusCode::ModelTruncated:
+        return "MODEL_TRUNCATED";
+    case StatusCode::ModelCorrupted:
+        return "MODEL_CORRUPTED";
+    case StatusCode::EngineCompileFailed:
+        return "ENGINE_COMPILE_FAILED";
+    case StatusCode::IoError:
+        return "IO_ERROR";
+    case StatusCode::Internal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+bool statusCodeTransient(StatusCode code)
+{
+    return code == StatusCode::WorkerCrashed ||
+           code == StatusCode::ExecutionFailed;
+}
+
+std::string Status::toString() const
+{
+    std::string text = statusCodeName(code);
+    if (!message.empty()) {
+        text += ": ";
+        text += message;
+    }
+    return text;
+}
+
+Status Status::fromCurrentException()
+{
+    try {
+        throw;
+    } catch (const StatusError &err) {
+        return err.status();
+    } catch (const std::invalid_argument &err) {
+        return Status{StatusCode::InvalidArgument, err.what()};
+    } catch (const std::exception &err) {
+        return Status{StatusCode::ExecutionFailed, err.what()};
+    } catch (...) {
+        return Status{StatusCode::Internal, "unknown exception type"};
+    }
+}
+
+std::exception_ptr StatusError::wrapCurrentException()
+{
+    return std::make_exception_ptr(StatusError(Status::fromCurrentException()));
+}
+
+} // namespace aqfpsc::core

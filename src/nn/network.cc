@@ -4,11 +4,14 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <numeric>
 #include <random>
 #include <stdexcept>
 
+#include "core/fault_injection.h"
+#include "core/status.h"
 #include "sc/sng.h"
 
 namespace aqfpsc::nn {
@@ -180,56 +183,138 @@ Network::loadWeights(const std::string &path)
 
 namespace {
 
+using core::StatusCode;
+using core::StatusError;
+
 constexpr char kModelMagic[8] = {'A', 'Q', 'F', 'P', 'S', 'C', 'M', '2'};
+/// Terminal footer magic: its presence at the very end of the file is
+/// what proves the write completed.  A file that stops before it is a
+/// partial write (truncation), not bit rot.
+constexpr char kModelFooterMagic[8] = {'A', 'Q', 'F', 'P', 'S', 'C', 'K',
+                                       '1'};
+/// Footer layout: FNV-1a-64 checksum of everything before the footer,
+/// then the footer magic.
+constexpr std::size_t kModelFooterBytes = 8 + sizeof(kModelFooterMagic);
 
-template <typename T>
-void
-writePod(std::ofstream &out, const T &v)
+/** FNV-1a 64-bit over a byte range; dependency-free and fast enough
+ *  for MB-scale artifacts (integrity, not cryptography). */
+std::uint64_t
+fnv1a64(const char *data, std::size_t size)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001B3ull;
+    }
+    return h;
 }
 
-template <typename T>
-T
-readPod(std::ifstream &in, const char *what)
+std::string
+hex64(std::uint64_t v)
 {
-    T v{};
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!in)
-        throw std::runtime_error(std::string("loadModel: truncated file "
-                                             "while reading ") +
-                                 what);
-    return v;
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return s;
 }
+
+/** Append-only in-memory serializer the artifact is built into before
+ *  it touches the file system. */
+struct ByteSink
+{
+    std::string bytes;
+
+    template <typename T> void pod(const T &v)
+    {
+        bytes.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+    void raw(const void *data, std::size_t size)
+    {
+        bytes.append(static_cast<const char *>(data), size);
+    }
+};
+
+/** Bounds-checked cursor over the verified payload bytes. */
+struct ByteSource
+{
+    const std::string &bytes;
+    std::size_t pos;
+    std::size_t end;
+    const std::string &path;
+
+    template <typename T> T pod(const char *what)
+    {
+        T v{};
+        if (end - pos < sizeof(T))
+            throw StatusError(StatusCode::ModelTruncated,
+                              "loadModel: '" + path +
+                                  "' truncated file while reading " + what);
+        std::memcpy(&v, bytes.data() + pos, sizeof(T));
+        pos += sizeof(T);
+        return v;
+    }
+    void raw(void *out, std::size_t size, const char *what)
+    {
+        if (end - pos < size)
+            throw StatusError(StatusCode::ModelTruncated,
+                              "loadModel: '" + path +
+                                  "' truncated file while reading " +
+                                  std::string(what));
+        std::memcpy(out, bytes.data() + pos, size);
+        pos += size;
+    }
+};
 
 } // namespace
 
 bool
 Network::saveModel(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        return false;
-    out.write(kModelMagic, sizeof(kModelMagic));
-    writePod(out, static_cast<std::uint32_t>(kModelFormatVersion));
-    writePod(out, static_cast<std::int32_t>(quantBits_));
-    writePod(out, static_cast<std::uint32_t>(layers_.size()));
+    ByteSink sink;
+    sink.raw(kModelMagic, sizeof(kModelMagic));
+    sink.pod(static_cast<std::uint32_t>(kModelFormatVersion));
+    sink.pod(static_cast<std::int32_t>(quantBits_));
+    sink.pod(static_cast<std::uint32_t>(layers_.size()));
     for (const auto &l : layers_) {
         const LayerSpec spec = l->spec();
-        writePod(out, static_cast<std::uint8_t>(spec.kind));
-        writePod(out, static_cast<std::int32_t>(spec.p0));
-        writePod(out, static_cast<std::int32_t>(spec.p1));
-        writePod(out, static_cast<std::int32_t>(spec.p2));
+        sink.pod(static_cast<std::uint8_t>(spec.kind));
+        sink.pod(static_cast<std::int32_t>(spec.p0));
+        sink.pod(static_cast<std::int32_t>(spec.p1));
+        sink.pod(static_cast<std::int32_t>(spec.p2));
     }
     for (const auto &l : layers_) {
         for (std::vector<float> *p : const_cast<Layer &>(*l).params()) {
             const std::uint64_t n = p->size();
-            writePod(out, n);
-            out.write(reinterpret_cast<const char *>(p->data()),
-                      static_cast<std::streamsize>(n * sizeof(float)));
+            sink.pod(n);
+            sink.raw(p->data(), p->size() * sizeof(float));
         }
     }
-    return static_cast<bool>(out);
+    sink.pod(fnv1a64(sink.bytes.data(), sink.bytes.size()));
+    sink.raw(kModelFooterMagic, sizeof(kModelFooterMagic));
+
+    // Atomic publish: a crash mid-write can orphan the temp file but
+    // never leave a partial artifact under the final name.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(sink.bytes.data(),
+                  static_cast<std::streamsize>(sink.bytes.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 Network
@@ -237,53 +322,94 @@ Network::loadModel(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        throw std::runtime_error("loadModel: cannot open '" + path + "'");
-    char magic[8];
-    in.read(magic, sizeof(magic));
-    if (!in || std::string(magic, 8) != std::string(kModelMagic, 8))
-        throw std::runtime_error(
+        throw StatusError(StatusCode::IoError,
+                          "loadModel: cannot open '" + path + "'");
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    // Leading magic first: "this is not even one of our files" beats
+    // any structural diagnosis.
+    if (bytes.size() < sizeof(kModelMagic) ||
+        std::memcmp(bytes.data(), kModelMagic, sizeof(kModelMagic)) != 0)
+        throw StatusError(
+            StatusCode::ModelCorrupted,
             "loadModel: '" + path +
-            "' is not an AQFPSC model file (expected magic AQFPSCM2; "
-            "weights-only AQFPSCW1 files need loadWeights on a network "
-            "built in code)");
-    const auto version = readPod<std::uint32_t>(in, "version");
+                "' is not an AQFPSC model file (expected magic AQFPSCM2; "
+                "weights-only AQFPSCW1 files need loadWeights on a network "
+                "built in code)");
+
+    // Chaos-test hook: flip one payload byte before verification, to
+    // prove the checksum actually catches silent corruption.
+    if (core::fault::shouldFire(core::FaultSite::ModelLoadCorrupt,
+                                bytes.size()))
+        bytes[bytes.size() / 2] ^= 0x01;
+
+    ByteSource src{bytes, sizeof(kModelMagic), bytes.size(), path};
+    const auto version = src.pod<std::uint32_t>("version");
     if (version != static_cast<std::uint32_t>(kModelFormatVersion))
-        throw std::runtime_error(
-            "loadModel: '" + path + "' has format version " +
-            std::to_string(version) + "; this build reads version " +
-            std::to_string(kModelFormatVersion));
+        throw StatusError(StatusCode::InvalidArgument,
+                          "loadModel: '" + path + "' has format version " +
+                              std::to_string(version) +
+                              "; this build reads version " +
+                              std::to_string(kModelFormatVersion));
+
+    // Integrity footer.  No terminal footer magic -> the write never
+    // finished (truncation).  Footer present but checksum mismatch ->
+    // the bytes changed after the write (corruption).
+    if (bytes.size() < sizeof(kModelMagic) + sizeof(std::uint32_t) +
+                           kModelFooterBytes ||
+        std::memcmp(bytes.data() + bytes.size() - sizeof(kModelFooterMagic),
+                    kModelFooterMagic, sizeof(kModelFooterMagic)) != 0)
+        throw StatusError(StatusCode::ModelTruncated,
+                          "loadModel: '" + path +
+                              "' truncated: the file ends without its "
+                              "integrity footer, so the write never "
+                              "completed (partial copy or crash mid-save)");
+    const std::size_t payload_end = bytes.size() - kModelFooterBytes;
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + payload_end, sizeof(stored));
+    const std::uint64_t actual = fnv1a64(bytes.data(), payload_end);
+    if (stored != actual)
+        throw StatusError(StatusCode::ModelCorrupted,
+                          "loadModel: '" + path +
+                              "' is corrupt: payload checksum " +
+                              hex64(actual) + " does not match recorded " +
+                              hex64(stored) +
+                              " (bit rot or an in-place edit; re-copy or "
+                              "re-save the artifact)");
+    src.end = payload_end;
+
     Network net;
-    net.quantBits_ = readPod<std::int32_t>(in, "quantBits");
-    const auto n_layers = readPod<std::uint32_t>(in, "layer count");
+    net.quantBits_ = src.pod<std::int32_t>("quantBits");
+    const auto n_layers = src.pod<std::uint32_t>("layer count");
     for (std::uint32_t i = 0; i < n_layers; ++i) {
         LayerSpec spec;
         spec.kind =
-            static_cast<LayerSpec::Kind>(readPod<std::uint8_t>(in, "kind"));
-        spec.p0 = readPod<std::int32_t>(in, "layer param");
-        spec.p1 = readPod<std::int32_t>(in, "layer param");
-        spec.p2 = readPod<std::int32_t>(in, "layer param");
+            static_cast<LayerSpec::Kind>(src.pod<std::uint8_t>("kind"));
+        spec.p0 = src.pod<std::int32_t>("layer param");
+        spec.p1 = src.pod<std::int32_t>("layer param");
+        spec.p2 = src.pod<std::int32_t>("layer param");
         try {
             net.add(makeLayer(spec));
         } catch (const std::invalid_argument &e) {
-            throw std::runtime_error("loadModel: '" + path + "' layer " +
-                                     std::to_string(i) + ": " + e.what());
+            throw StatusError(StatusCode::ModelCorrupted,
+                              "loadModel: '" + path + "' layer " +
+                                  std::to_string(i) + ": " + e.what());
         }
     }
     for (auto &l : net.layers_) {
         for (std::vector<float> *p : l->params()) {
-            const auto n = readPod<std::uint64_t>(in, "parameter count");
+            const auto n = src.pod<std::uint64_t>("parameter count");
             if (n != p->size())
-                throw std::runtime_error(
+                throw StatusError(
+                    StatusCode::ModelCorrupted,
                     "loadModel: '" + path + "' parameter block of " +
-                    l->name() + " holds " + std::to_string(n) +
-                    " floats, architecture expects " +
-                    std::to_string(p->size()));
-            in.read(reinterpret_cast<char *>(p->data()),
-                    static_cast<std::streamsize>(n * sizeof(float)));
-            if (!in)
-                throw std::runtime_error(
-                    "loadModel: truncated file while reading " +
-                    l->name() + " parameters");
+                        l->name() + " holds " + std::to_string(n) +
+                        " floats, architecture expects " +
+                        std::to_string(p->size()));
+            src.raw(p->data(), p->size() * sizeof(float),
+                    "layer parameters");
         }
     }
     return net;

@@ -77,17 +77,31 @@ class Network
      * full artifact carrying architecture (layer specs), quantization
      * state and all parameters, so a trained model is saved once and
      * served anywhere without rebuilding the architecture in code.
+     * Version 3 appends an integrity footer (FNV-1a-64 checksum of the
+     * payload plus a terminal footer magic) so loadModel can tell a
+     * partially written file from a bit-flipped one.
      */
-    static constexpr int kModelFormatVersion = 2;
+    static constexpr int kModelFormatVersion = 3;
 
-    /** Serialize architecture + quantization state + parameters.
-     *  @return success. */
+    /**
+     * Serialize architecture + quantization state + parameters,
+     * atomically: the artifact is built in memory (with its checksum
+     * footer), written to "<path>.tmp" and renamed over @p path, so a
+     * crash mid-save can never leave a half-written file under the
+     * final name — readers see the old artifact or the new one.
+     * @return success (the temp file is removed on failure).
+     */
     bool saveModel(const std::string &path) const;
 
     /**
-     * Reconstruct a network from a saveModel file.
-     * @throws std::runtime_error with an actionable message on missing
-     *         files, bad magic/version, or truncated/corrupt payloads.
+     * Reconstruct a network from a saveModel file after verifying its
+     * integrity footer.
+     * @throws core::StatusError (a std::runtime_error) with an
+     *         actionable message; the status code distinguishes
+     *         IoError (missing/unreadable), ModelTruncated (footer
+     *         missing: partial write), ModelCorrupted (bad magic or
+     *         checksum mismatch: bit rot) and InvalidArgument
+     *         (version/architecture mismatch).
      */
     static Network loadModel(const std::string &path);
 

@@ -6,15 +6,48 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/fault_injection.h"
 #include "core/model_zoo.h"
 #include "core/stages/stage.h"
 #include "core/workspace.h"
 
 namespace aqfpsc::serving {
 
+using core::FaultSite;
+using core::Status;
+using core::StatusCode;
+using core::StatusError;
+
 namespace {
 
 constexpr std::size_t kNoTenant = static_cast<std::size_t>(-1);
+
+/** Half-life of a tenant's decaying failure-pressure signal. */
+constexpr double kFailLoadHalfLifeSeconds = 0.5;
+/** Failure pressure added per failure/timeout/retry event: four recent
+ *  failures saturate the shed load signal. */
+constexpr double kFailLoadPerEvent = 0.25;
+
+std::chrono::steady_clock::time_point
+addSeconds(std::chrono::steady_clock::time_point base, double seconds)
+{
+    return base + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+}
+
+/** Fail @p request's future, swallowing the (impossible in practice)
+ *  double-fulfillment error so a disposal can never kill a worker. */
+void
+fulfillException(std::promise<ServedResult> &promise, const Status &status)
+{
+    try {
+        promise.set_exception(
+            std::make_exception_ptr(StatusError(status)));
+    } catch (const std::future_error &) {
+        // Already satisfied: nothing left to deliver.
+    }
+}
 
 int
 resolveWorkerCount(int requested)
@@ -92,6 +125,22 @@ TenantConfig::validate() const
     if (std::isnan(deadlineSeconds) || deadlineSeconds < 0.0) {
         errors.push_back("deadlineSeconds must be >= 0 (0 = no budget)");
     }
+    if (!std::isfinite(timeoutSeconds) || timeoutSeconds < 0.0) {
+        errors.push_back(
+            "timeoutSeconds must be a finite value >= 0 (0 = no hard "
+            "per-request timeout)");
+    }
+    if (maxRetries < 0 || maxRetries > 16) {
+        errors.push_back(
+            "maxRetries " + std::to_string(maxRetries) +
+            " out of [0, 16]: each retry re-serves the full request, so "
+            "the budget must stay small");
+    }
+    if (!std::isfinite(retryBackoffSeconds) || retryBackoffSeconds < 0.0) {
+        errors.push_back(
+            "retryBackoffSeconds must be a finite value >= 0 (attempt k "
+            "waits retryBackoffSeconds * 2^(k-1))");
+    }
     if (adaptive) {
         for (const std::string &e : policy.validate())
             errors.push_back("policy: " + e);
@@ -140,6 +189,14 @@ FrontendOptions::validate() const
             "maxBatch " + std::to_string(maxBatch) +
             " must be >= 1: it is the number of requests drained from "
             "one tenant per scheduler pick");
+    }
+    if (!std::isfinite(watchdogSeconds) || watchdogSeconds <= 0.0) {
+        errors.push_back(
+            "watchdogSeconds must be a positive finite supervision tick");
+    }
+    if (!std::isfinite(stallSeconds) || stallSeconds <= 0.0) {
+        errors.push_back(
+            "stallSeconds must be a positive finite stall threshold");
     }
     return errors;
 }
@@ -258,6 +315,18 @@ ServingFrontend::addTenant(TenantConfig cfg)
     auto tenant = std::make_unique<Tenant>();
     tenant->cfg = std::move(cfg);
     tenant->engine = &engine;
+    if (!tenant->cfg.adaptive && engine.supportsAdaptive()) {
+        // Route full-length serving through the adaptive path under an
+        // exitMargin=infinity policy — bit-identical to inferCohort —
+        // so timeouts and watchdog kicks can cancel the run at
+        // checkpoint-block granularity instead of at batch boundaries.
+        tenant->cancellable = true;
+        tenant->fullLengthPolicy.checkpointCycles = 256;
+        tenant->fullLengthPolicy.exitMargin =
+            std::numeric_limits<double>::infinity();
+        tenant->fullLengthPolicy.minCycles = 0;
+        tenant->fullLengthPolicy.deterministic = true;
+    }
     tenantIndex_.emplace(tenant->cfg.name, tenants_.size());
     tenants_.push_back(std::move(tenant));
 }
@@ -287,9 +356,38 @@ ServingFrontend::spawnWorkersLocked()
     if (workersRunning_)
         return;
     workersRunning_ = true;
-    threads_.reserve(static_cast<std::size_t>(workerCount_));
-    for (int t = 0; t < workerCount_; ++t)
-        threads_.emplace_back(&ServingFrontend::workerLoop, this);
+    const auto now = std::chrono::steady_clock::now();
+    slots_.reserve(static_cast<std::size_t>(workerCount_));
+    for (int t = 0; t < workerCount_; ++t) {
+        auto slot = std::make_unique<WorkerSlot>();
+        slot->alive.store(true);
+        slot->lastProgress = now;
+        slot->thread =
+            std::thread(&ServingFrontend::workerLoop, this, slot.get());
+        slots_.push_back(std::move(slot));
+    }
+    watchdogThread_ = std::thread(&ServingFrontend::watchdogLoop, this);
+}
+
+double
+ServingFrontend::Tenant::failureLoadLocked(
+    std::chrono::steady_clock::time_point now) const
+{
+    if (failLoad <= 0.0)
+        return 0.0;
+    const double dt =
+        std::chrono::duration<double>(now - failLoadAt).count();
+    if (dt <= 0.0)
+        return failLoad;
+    return failLoad * std::exp2(-dt / kFailLoadHalfLifeSeconds);
+}
+
+void
+ServingFrontend::Tenant::noteFailureLocked(
+    std::chrono::steady_clock::time_point now)
+{
+    failLoad = failureLoadLocked(now) + kFailLoadPerEvent;
+    failLoadAt = now;
 }
 
 ServingFrontend::Tenant &
@@ -326,12 +424,12 @@ ServingFrontend::enqueueLocked(Tenant &tenant, nn::Tensor image)
     request.enqueued = std::chrono::steady_clock::now();
     request.deadline =
         tenant.cfg.deadlineSeconds > 0.0
-            ? request.enqueued +
-                  std::chrono::duration_cast<
-                      std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(
-                          tenant.cfg.deadlineSeconds))
+            ? addSeconds(request.enqueued, tenant.cfg.deadlineSeconds)
             : std::chrono::steady_clock::time_point::max();
+    request.expiry =
+        tenant.cfg.timeoutSeconds > 0.0
+            ? addSeconds(request.enqueued, tenant.cfg.timeoutSeconds)
+            : core::RunControl::kNoDeadline;
     std::future<ServedResult> future = request.promise.get_future();
     tenant.queue.push_back(std::move(request));
     ++tenant.submitted;
@@ -349,15 +447,17 @@ ServingFrontend::submit(const std::string &tenant, nn::Tensor image)
         const std::lock_guard<std::mutex> lock(mutex_);
         Tenant &t = tenantOrThrow(tenant);
         if (stopping_) {
-            throw std::runtime_error(
+            throw StatusError(
+                StatusCode::Shutdown,
                 "ServingFrontend is shut down: request rejected");
         }
         if (t.queue.size() >= t.cfg.queueCapacity) {
             ++t.rejected;
-            throw std::runtime_error(
+            throw StatusError(
+                StatusCode::Overloaded,
                 "tenant '" + tenant + "' queue is full (" +
-                std::to_string(t.cfg.queueCapacity) +
-                " pending): request rejected");
+                    std::to_string(t.cfg.queueCapacity) +
+                    " pending): request rejected");
         }
         future = enqueueLocked(t, std::move(image));
     }
@@ -384,8 +484,25 @@ ServingFrontend::trySubmit(const std::string &tenant, nn::Tensor image)
     return future;
 }
 
+bool
+ServingFrontend::hasEligibleWorkLocked(
+    std::chrono::steady_clock::time_point now) const
+{
+    for (const auto &t : tenants_) {
+        if (t->queue.empty())
+            continue;
+        const Request &head = t->queue.front();
+        // Eligible: schedulable now, or already expired (a worker must
+        // pick it up just to fail its future promptly).
+        if (now > head.expiry || head.notBefore <= now)
+            return true;
+    }
+    return false;
+}
+
 std::size_t
-ServingFrontend::pickTenantLocked() const
+ServingFrontend::pickTenantLocked(
+    std::chrono::steady_clock::time_point now) const
 {
     std::size_t best = kNoTenant;
     double bestKey = 0.0;
@@ -395,6 +512,8 @@ ServingFrontend::pickTenantLocked() const
         if (t.queue.empty())
             continue;
         const Request &head = t.queue.front();
+        if (!(now > head.expiry || head.notBefore <= now))
+            continue; // head waiting out a retry backoff
         double key = 0.0;
         switch (opts_.policy) {
           case SchedPolicy::Fifo:
@@ -426,20 +545,24 @@ ServingFrontend::pickTenantLocked() const
 }
 
 ServingFrontend::Batch
-ServingFrontend::popBatchLocked()
+ServingFrontend::popBatchLocked(std::chrono::steady_clock::time_point now)
 {
     Batch batch;
-    const std::size_t idx = pickTenantLocked();
+    const std::size_t idx = pickTenantLocked(now);
     if (idx == kNoTenant)
         return batch;
     Tenant &t = *tenants_[idx];
     batch.tenant = &t;
     batch.adaptive = t.cfg.adaptive;
-    batch.policy = t.cfg.policy;
+    batch.cancellable = t.cancellable;
+    batch.policy = t.cfg.adaptive ? t.cfg.policy : t.fullLengthPolicy;
+    batch.seq = nextBatchSeq_++;
 
-    // The load signal, sampled at dispatch: queue fill fraction, and —
-    // when the tenant runs a deadline budget — how much of that budget
-    // the head-of-line request has already burned waiting.
+    // The load signal, sampled at dispatch: queue fill fraction; when
+    // the tenant runs a deadline budget, how much of that budget the
+    // head-of-line request has already burned waiting; and the decaying
+    // failure pressure (failures/timeouts/retries degrade precision
+    // early instead of piling retried work onto a struggling pool).
     if (t.cfg.shed.enabled) {
         const double fill =
             static_cast<double>(t.queue.size()) /
@@ -447,12 +570,12 @@ ServingFrontend::popBatchLocked()
         double load = fill;
         if (t.cfg.deadlineSeconds > 0.0) {
             const double headWait =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() -
-                    t.queue.front().enqueued)
+                std::chrono::duration<double>(now -
+                                              t.queue.front().enqueued)
                     .count();
             load = std::max(load, headWait / t.cfg.deadlineSeconds);
         }
+        load = std::max(load, std::min(1.0, t.failureLoadLocked(now)));
         const double f = std::clamp(
             (load - t.cfg.shed.startLoad) /
                 (t.cfg.shed.fullLoad - t.cfg.shed.startLoad),
@@ -474,23 +597,38 @@ ServingFrontend::popBatchLocked()
         }
     }
 
-    const std::size_t take = std::min(
-        t.queue.size(), static_cast<std::size_t>(opts_.maxBatch));
-    batch.requests.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-        batch.requests.push_back(std::move(t.queue.front()));
+    // Drain up to maxBatch live requests.  Already-expired requests
+    // siphon into batch.expired (failed before any engine work) without
+    // consuming batch budget; a head waiting out its retry backoff
+    // blocks the tenant's drain (keeps the id-order invariant).
+    while (batch.requests.size() <
+               static_cast<std::size_t>(opts_.maxBatch) &&
+           !t.queue.empty()) {
+        Request &head = t.queue.front();
+        if (now > head.expiry) {
+            batch.expired.push_back(std::move(head));
+            t.queue.pop_front();
+            --totalQueued_;
+            continue;
+        }
+        if (head.notBefore > now)
+            break;
+        batch.requests.push_back(std::move(head));
         t.queue.pop_front();
+        --totalQueued_;
     }
-    totalQueued_ -= take;
-    if (opts_.policy == SchedPolicy::WeightedFair) {
+    inFlight_ += batch.requests.size() + batch.expired.size();
+    if (opts_.policy == SchedPolicy::WeightedFair &&
+        !batch.requests.empty()) {
         virtualTime_ = std::max(virtualTime_, t.pass);
-        t.pass += static_cast<double>(take) / t.cfg.weight;
+        t.pass += static_cast<double>(batch.requests.size()) /
+                  t.cfg.weight;
     }
     return batch;
 }
 
 void
-ServingFrontend::workerLoop()
+ServingFrontend::workerLoop(WorkerSlot *slot)
 {
     // One cohort arena per (worker, engine), built lazily on the first
     // batch of each tenant's engine and reused for the worker's
@@ -505,29 +643,123 @@ ServingFrontend::workerLoop()
         Batch batch;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            notEmpty_.wait(lock,
-                           [&] { return stopping_ || totalQueued_ > 0; });
-            if (totalQueued_ == 0)
-                return; // stopping, every queue drained
-            batch = popBatchLocked();
+            for (;;) {
+                if (stopping_ && totalQueued_ == 0) {
+                    // Every queue drained.  In-flight work of other
+                    // workers may still requeue a retry; the watchdog
+                    // respawns a worker for it if so.
+                    slot->alive.store(false);
+                    drained_.notify_all();
+                    return;
+                }
+                const auto now = std::chrono::steady_clock::now();
+                if (totalQueued_ > 0 && hasEligibleWorkLocked(now))
+                    break;
+                if (totalQueued_ > 0) {
+                    // Only backoff-delayed heads: poll for the nearest
+                    // notBefore instead of sleeping until a submit.
+                    notEmpty_.wait_for(lock, std::chrono::milliseconds(1));
+                } else {
+                    notEmpty_.wait(lock);
+                }
+            }
+            batch = popBatchLocked(std::chrono::steady_clock::now());
         }
+        failExpired(batch);
         if (batch.requests.empty())
             continue;
-        auto &workspace = workspaces[batch.tenant->engine];
-        if (!workspace) {
-            workspace = std::make_unique<core::CohortWorkspace>(
-                *batch.tenant->engine, cohortCap_);
+        slot->busy.store(true);
+        bool crashed = false;
+        try {
+            auto &workspace = workspaces[batch.tenant->engine];
+            if (!workspace) {
+                workspace = std::make_unique<core::CohortWorkspace>(
+                    *batch.tenant->engine, cohortCap_);
+            }
+            core::fault::injectThrow(FaultSite::WorkerCrash, batch.seq);
+            serveBatchWith(batch, *workspace, slot);
+        } catch (...) {
+            // serveBatchWith disposes per-request failures itself, so
+            // anything escaping it is a crash-class event: dispose what
+            // the batch still owes, then let this thread die (the
+            // watchdog joins and respawns it).
+            recoverBatch(batch);
+            crashed = true;
         }
-        serveBatchWith(batch, *workspace);
+        slot->busy.store(false);
+        if (crashed) {
+            slot->alive.store(false);
+            return;
+        }
+    }
+}
+
+void
+ServingFrontend::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!watchdogStop_) {
+        watchdogCv_.wait_for(
+            lock, std::chrono::duration<double>(opts_.watchdogSeconds));
+        if (watchdogStop_)
+            break;
+        const auto now = std::chrono::steady_clock::now();
+        ++watchdogTicks_;
+        for (const auto &slotPtr : slots_) {
+            WorkerSlot &slot = *slotPtr;
+            if (!slot.alive.load()) {
+                // Dead workers only unlock-and-return after clearing
+                // alive, so this join cannot deadlock on mutex_.
+                if (slot.thread.joinable())
+                    slot.thread.join();
+                if (!stopping_ || totalQueued_ > 0) {
+                    slot.control.rearm(core::RunControl::kNoDeadline);
+                    slot.lastBeats = slot.control.beats();
+                    slot.lastProgress = now;
+                    slot.busy.store(false);
+                    slot.alive.store(true);
+                    slot.thread = std::thread(&ServingFrontend::workerLoop,
+                                              this, &slot);
+                    ++respawns_;
+                }
+                continue;
+            }
+            if (!slot.busy.load()) {
+                slot.lastBeats = slot.control.beats();
+                slot.lastProgress = now;
+                continue;
+            }
+            const std::uint64_t beats = slot.control.beats();
+            if (beats != slot.lastBeats) {
+                slot.lastBeats = beats;
+                slot.lastProgress = now;
+                continue;
+            }
+            if (std::chrono::duration<double>(now - slot.lastProgress)
+                    .count() >= opts_.stallSeconds) {
+                // Busy with frozen beats for a full stall window: kick.
+                // The run aborts at its next checkpoint (or, for an
+                // injected hang, at its next 1 ms slice) and the batch
+                // falls back to per-request isolation.
+                slot.control.requestCancel();
+                ++watchdogKicks_;
+                slot.lastProgress = now;
+            }
+        }
     }
 }
 
 void
 ServingFrontend::serveBatchWith(Batch &batch,
-                                core::CohortWorkspace &workspace)
+                                core::CohortWorkspace &workspace,
+                                WorkerSlot *slot)
 {
     Tenant &tenant = *batch.tenant;
     const core::ScNetworkEngine &engine = *tenant.engine;
+    // Adaptive tenants run their own policy; cancellable non-adaptive
+    // tenants run the exitMargin=infinity policy through the same path
+    // (bit-identical to inferCohort) so the RunControl can stop them.
+    const bool adaptiveRun = batch.adaptive || batch.cancellable;
     const auto picked = std::chrono::steady_clock::now();
 
     for (std::size_t off = 0; off < batch.requests.size();
@@ -536,18 +768,35 @@ ServingFrontend::serveBatchWith(Batch &batch,
             std::min(cohortCap_, batch.requests.size() - off);
         const nn::Tensor *images[core::kMaxCohortImages];
         std::size_t ids[core::kMaxCohortImages];
+        auto chunkExpiry = core::RunControl::kNoDeadline;
         for (std::size_t j = 0; j < count; ++j) {
-            images[j] = &batch.requests[off + j].image;
-            ids[j] = batch.requests[off + j].id;
+            const Request &request = batch.requests[off + j];
+            images[j] = &request.image;
+            ids[j] = request.id;
+            chunkExpiry = std::min(chunkExpiry, request.expiry);
         }
+        // Fault keying: the chunk key folds the head request's attempt
+        // number in, so a retried request draws a fresh decision (the
+        // transient fault pattern, not the request, is what repeats).
+        const std::uint64_t chunkKey =
+            static_cast<std::uint64_t>(ids[0]) ^
+            (static_cast<std::uint64_t>(batch.requests[off].attempt)
+             << 40);
 
         core::ScPrediction preds[core::kMaxCohortImages];
         core::AdaptivePrediction apreds[core::kMaxCohortImages];
         bool cohortOk = true;
         try {
-            if (batch.adaptive)
+            slot->control.rearm(chunkExpiry);
+            core::fault::injectDelay(FaultSite::WorkerHang, chunkKey,
+                                     &slot->control);
+            core::fault::injectDelay(FaultSite::WorkerSlowdown, chunkKey,
+                                     &slot->control);
+            core::fault::injectThrow(FaultSite::WorkerException, chunkKey);
+            if (adaptiveRun)
                 engine.inferAdaptiveCohort(images, ids, count, workspace,
-                                           batch.policy, apreds);
+                                           batch.policy, apreds,
+                                           &slot->control);
             else
                 engine.inferCohort(images, ids, count, workspace, preds);
         } catch (...) {
@@ -565,6 +814,7 @@ ServingFrontend::serveBatchWith(Batch &batch,
             served.effectivePolicy = batch.policy;
             served.shed = batch.shed;
             served.deadlineSeconds = tenant.cfg.deadlineSeconds;
+            served.attempts = request.attempt + 1;
             served.queueSeconds =
                 std::chrono::duration<double>(picked - request.enqueued)
                     .count();
@@ -572,54 +822,180 @@ ServingFrontend::serveBatchWith(Batch &batch,
             // is shared by every request of the cohort.
             served.serviceSeconds = serviceSeconds;
             served.deadlineMissed = done > request.deadline;
-            try {
-                if (!cohortOk) {
-                    // Isolate the failure: re-run this request as a
-                    // cohort of one (bit-identical result), so one bad
-                    // request cannot fail its cohort-mates.
-                    if (batch.adaptive)
+            if (!cohortOk) {
+                // Isolate the failure: re-run this request as a cohort
+                // of one (bit-identical result: the requestId is the
+                // seed), so one bad request cannot fail its
+                // cohort-mates.  Its own failure is disposed through
+                // the retry/quarantine policy.
+                try {
+                    if (std::chrono::steady_clock::now() > request.expiry)
+                        throw StatusError(
+                            StatusCode::Timeout,
+                            "request " + std::to_string(request.id) +
+                                " deadline elapsed during service");
+                    slot->control.rearm(request.expiry);
+                    core::fault::injectThrow(
+                        FaultSite::WorkerException,
+                        static_cast<std::uint64_t>(request.id) ^
+                            0x517CC1B727220A95ull ^
+                            (static_cast<std::uint64_t>(request.attempt)
+                             << 40));
+                    if (adaptiveRun)
                         engine.inferAdaptiveCohort(&images[j], &ids[j], 1,
                                                    workspace, batch.policy,
-                                                   &apreds[j]);
+                                                   &apreds[j],
+                                                   &slot->control);
                     else
                         engine.inferCohort(&images[j], &ids[j], 1,
                                            workspace, &preds[j]);
+                } catch (...) {
+                    disposeFailure(tenant, std::move(request),
+                                   Status::fromCurrentException());
+                    batch.firstPending = off + j + 1;
+                    continue;
                 }
-                if (batch.adaptive) {
-                    served.prediction = std::move(apreds[j].prediction);
-                    served.consumedCycles = apreds[j].consumedCycles;
-                    served.exitedEarly = apreds[j].exitedEarly;
-                } else {
-                    served.prediction = std::move(preds[j]);
-                    served.consumedCycles = engine.config().streamLen;
-                }
-                // Count before fulfilling: a caller returning from
-                // future.get() must already see itself in stats().
-                {
-                    const std::lock_guard<std::mutex> lock(mutex_);
-                    served.completionSeq = nextCompletionSeq_++;
-                    ++tenant.completed;
-                    tenant.consumedCycles += served.consumedCycles;
-                    if (served.exitedEarly)
-                        ++tenant.earlyExits;
-                    if (served.shed)
-                        ++tenant.shedServed;
-                    if (served.deadlineMissed)
-                        ++tenant.deadlineMissed;
-                    tenant.queueHist.record(served.queueSeconds);
-                    tenant.serviceHist.record(served.serviceSeconds);
-                }
-                request.promise.set_value(std::move(served));
-            } catch (...) {
-                {
-                    const std::lock_guard<std::mutex> lock(mutex_);
-                    served.completionSeq = nextCompletionSeq_++;
-                    ++tenant.failed;
-                }
-                request.promise.set_exception(std::current_exception());
             }
+            if (batch.adaptive) {
+                served.prediction = std::move(apreds[j].prediction);
+                served.consumedCycles = apreds[j].consumedCycles;
+                served.exitedEarly = apreds[j].exitedEarly;
+            } else if (adaptiveRun) {
+                served.prediction = std::move(apreds[j].prediction);
+                served.consumedCycles = engine.config().streamLen;
+            } else {
+                served.prediction = std::move(preds[j]);
+                served.consumedCycles = engine.config().streamLen;
+            }
+            // Count before fulfilling: a caller returning from
+            // future.get() must already see itself in stats().
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                served.completionSeq = nextCompletionSeq_++;
+                ++tenant.completed;
+                tenant.consumedCycles += served.consumedCycles;
+                if (served.exitedEarly)
+                    ++tenant.earlyExits;
+                if (served.shed)
+                    ++tenant.shedServed;
+                if (served.deadlineMissed)
+                    ++tenant.deadlineMissed;
+                tenant.queueHist.record(served.queueSeconds);
+                tenant.serviceHist.record(served.serviceSeconds);
+                --inFlight_;
+                if (totalQueued_ == 0 && inFlight_ == 0)
+                    drained_.notify_all();
+            }
+            try {
+                request.promise.set_value(std::move(served));
+            } catch (const std::future_error &) {
+                // Already satisfied: nothing left to deliver.
+            }
+            batch.firstPending = off + j + 1;
         }
     }
+}
+
+void
+ServingFrontend::failExpired(Batch &batch)
+{
+    if (batch.expired.empty())
+        return;
+    Tenant &tenant = *batch.tenant;
+    const auto now = std::chrono::steady_clock::now();
+    for (Request &request : batch.expired) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++nextCompletionSeq_;
+            ++tenant.failed;
+            ++tenant.timedOut;
+            tenant.noteFailureLocked(now);
+            --inFlight_;
+            if (totalQueued_ == 0 && inFlight_ == 0)
+                drained_.notify_all();
+        }
+        fulfillException(
+            request.promise,
+            Status{StatusCode::Timeout,
+                   "request " + std::to_string(request.id) +
+                       " expired in the queue before a worker picked "
+                       "it up"});
+    }
+    batch.expired.clear();
+}
+
+void
+ServingFrontend::disposeFailure(Tenant &tenant, Request &&request,
+                                const core::Status &status)
+{
+    const auto now = std::chrono::steady_clock::now();
+    if (status.transient() && request.attempt < tenant.cfg.maxRetries) {
+        bool notify = false;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++request.attempt;
+            request.notBefore = addSeconds(
+                now, tenant.cfg.retryBackoffSeconds *
+                         std::exp2(static_cast<double>(request.attempt -
+                                                       1)));
+            // Requeue in id order (the tenant-queue invariant): the
+            // retried request re-enters ahead of younger requests, not
+            // at the tail, so retries cannot starve behind fresh load.
+            const auto pos = std::upper_bound(
+                tenant.queue.begin(), tenant.queue.end(), request.id,
+                [](std::uint64_t id, const Request &r) {
+                    return id < r.id;
+                });
+            tenant.queue.insert(pos, std::move(request));
+            ++totalQueued_;
+            --inFlight_;
+            ++tenant.retried;
+            tenant.noteFailureLocked(now);
+            notify = true;
+        }
+        if (notify)
+            notEmpty_.notify_one();
+        return;
+    }
+    Status terminal = status;
+    if (status.transient()) {
+        terminal = Status{
+            StatusCode::Quarantined,
+            "request " + std::to_string(request.id) +
+                " quarantined after " +
+                std::to_string(request.attempt + 1) +
+                " failed attempts; last failure: " + status.toString()};
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++nextCompletionSeq_;
+        ++tenant.failed;
+        if (terminal.code == StatusCode::Timeout)
+            ++tenant.timedOut;
+        if (terminal.code == StatusCode::Quarantined)
+            ++tenant.quarantined;
+        tenant.noteFailureLocked(now);
+        --inFlight_;
+        if (totalQueued_ == 0 && inFlight_ == 0)
+            drained_.notify_all();
+    }
+    fulfillException(request.promise, terminal);
+}
+
+void
+ServingFrontend::recoverBatch(Batch &batch)
+{
+    // failExpired already ran (before anything could throw), so the
+    // batch only owes its not-yet-disposed live requests.
+    for (std::size_t i = batch.firstPending; i < batch.requests.size();
+         ++i) {
+        Request &request = batch.requests[i];
+        const Status status{StatusCode::WorkerCrashed,
+                            "worker thread died while serving request " +
+                                std::to_string(request.id) + "'s batch"};
+        disposeFailure(*batch.tenant, std::move(request), status);
+    }
+    batch.firstPending = batch.requests.size();
 }
 
 void
@@ -634,9 +1010,25 @@ ServingFrontend::shutdown()
     }
     notEmpty_.notify_all();
     const std::lock_guard<std::mutex> join_lock(joinMutex_);
-    for (std::thread &t : threads_) {
-        if (t.joinable())
-            t.join();
+    {
+        // Drain: queued AND in-flight both zero.  In-flight failures
+        // may requeue (retry), so neither alone proves completion.
+        // Poll under the watchdog in case a drain notify is lost to a
+        // respawn race.
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (totalQueued_ > 0 || inFlight_ > 0)
+            drained_.wait_for(lock, std::chrono::milliseconds(10));
+        watchdogStop_ = true;
+    }
+    watchdogCv_.notify_all();
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
+    // The watchdog is gone: no more respawns.  Wake every idle worker
+    // (stopping_ + empty queues = exit) and join the pool.
+    notEmpty_.notify_all();
+    for (const auto &slot : slots_) {
+        if (slot->thread.joinable())
+            slot->thread.join();
     }
 }
 
@@ -657,6 +1049,9 @@ ServingFrontend::tenantStats(const std::string &tenant) const
     s.rejected = t.rejected;
     s.completed = t.completed;
     s.failed = t.failed;
+    s.timedOut = t.timedOut;
+    s.retried = t.retried;
+    s.quarantined = t.quarantined;
     s.earlyExits = t.earlyExits;
     s.shedServed = t.shedServed;
     s.deadlineMissed = t.deadlineMissed;
@@ -669,6 +1064,30 @@ ServingFrontend::tenantStats(const std::string &tenant) const
     s.queueHistogram = t.queueHist;
     s.serviceHistogram = t.serviceHist;
     return s;
+}
+
+HealthSnapshot
+ServingFrontend::health() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    HealthSnapshot h;
+    h.workersConfigured = workerCount_;
+    for (const auto &slot : slots_) {
+        if (slot->alive.load())
+            ++h.workersAlive;
+        if (slot->busy.load())
+            ++h.workersBusy;
+    }
+    h.respawns = respawns_;
+    h.watchdogKicks = watchdogKicks_;
+    h.watchdogTicks = watchdogTicks_;
+    for (const auto &t : tenants_) {
+        h.failed += t->failed;
+        h.timedOut += t->timedOut;
+        h.retried += t->retried;
+        h.quarantined += t->quarantined;
+    }
+    return h;
 }
 
 } // namespace aqfpsc::serving

@@ -60,8 +60,45 @@
  * engine.inferIndexed(image, requestId) (non-adaptive tenants) or
  * engine.inferAdaptive(image, requestId, result.effectivePolicy)
  * (adaptive tenants), independent of worker count, scheduling policy,
- * batching and arrival interleaving.  requestIds are assigned in global
- * submission order across all tenants.
+ * batching, arrival interleaving, retries and injected faults.
+ * requestIds are assigned in global submission order across all
+ * tenants.
+ *
+ * Failure model (PR 8; see docs/ARCHITECTURE.md "Failure model & fault
+ * injection"):
+ *
+ *  - **Structured failures.**  A future never carries a raw foreign
+ *    exception: every failure is a core::StatusError whose
+ *    status().code says what happened (Timeout, Quarantined,
+ *    WorkerCrashed, ...).
+ *  - **Per-request timeouts + cooperative cancellation.**  With
+ *    TenantConfig::timeoutSeconds > 0 each request carries a hard
+ *    deadline; expiry fails it with StatusError{Timeout} at pickup or
+ *    mid-run at the next adaptive checkpoint block (non-adaptive
+ *    tenants on resumable backends are served through the
+ *    exitMargin=infinity adaptive path — bit-identical to full-length
+ *    inference — so their runs are cancellable too).  A cancelled
+ *    request frees its worker; it never wedges the pool.
+ *  - **Bounded retry with backoff.**  Transient failures (a worker
+ *    crash, a throwing serve path) requeue the request at the front of
+ *    its tenant queue with an exponentially growing notBefore backoff,
+ *    up to TenantConfig::maxRetries extra attempts; exhaustion fails
+ *    the future with StatusError{Quarantined}, isolating poison
+ *    requests instead of letting them eat the pool.
+ *  - **Worker supervision.**  A watchdog thread samples each worker's
+ *    RunControl beat counter every FrontendOptions::watchdogSeconds:
+ *    a busy worker whose beats freeze for stallSeconds is *kicked*
+ *    (its run is cancelled at the next checkpoint, the batch falls
+ *    back to per-request isolation), and a dead worker thread is
+ *    joined and respawned so the pool heals itself.  health() reports
+ *    the HealthSnapshot: workers alive, respawns, kicks, and the
+ *    failure/timeout/retry/quarantine totals.
+ *  - **Health folds into shedding.**  Each tenant keeps an
+ *    exponentially decaying failure load (~0.5 s half-life, +0.25 per
+ *    failure/timeout/retry); the shed load signal is the max of queue
+ *    fill, head-of-line wait and that failure load, so a tenant whose
+ *    requests are failing degrades precision early instead of piling
+ *    up retries at full cost.
  *
  * Lifecycle: addModel variants + addTenant, then start(), then
  * submit/trySubmit.  start() seals registration (addModel/addTenant
@@ -82,6 +119,7 @@
 #ifndef AQFPSC_SERVING_FRONTEND_H
 #define AQFPSC_SERVING_FRONTEND_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -98,6 +136,7 @@
 #include "core/latency_histogram.h"
 #include "core/sc_engine.h"
 #include "core/session.h"
+#include "core/status.h"
 
 namespace aqfpsc::serving {
 
@@ -154,6 +193,18 @@ struct TenantConfig
     bool adaptive = false;
     core::AdaptivePolicy policy; ///< base policy when adaptive
     ShedConfig shed;             ///< overload degradation bounds
+    /** Hard per-request budget measured from submission; 0 disables.
+     *  Expired requests fail with StatusError{Timeout} — at pickup, or
+     *  mid-run at the next checkpoint block (see the file comment's
+     *  failure model). */
+    double timeoutSeconds = 0.0;
+    /** Extra serve attempts granted to transient failures (worker
+     *  crash / throwing serve path) before the request is failed with
+     *  StatusError{Quarantined}.  0 = fail on first transient error. */
+    int maxRetries = 0;
+    /** Base retry backoff; attempt k re-enters the queue after
+     *  retryBackoffSeconds * 2^(k-1). */
+    double retryBackoffSeconds = 0.002;
 
     /** Hard bound on queueCapacity (pending requests own their image
      *  tensors), matching core::ServerOptions::kMaxQueueCapacity. */
@@ -175,6 +226,13 @@ struct FrontendOptions
      *  start().  Lets tests enqueue a known backlog first, making
      *  scheduling-order assertions deterministic. */
     bool startPaused = false;
+    /** Supervision tick: how often the watchdog samples worker
+     *  liveness, respawns dead workers and kicks stalled ones. */
+    double watchdogSeconds = 0.05;
+    /** A busy worker whose RunControl beats freeze this long is
+     *  considered wedged and kicked (its run cancelled cooperatively at
+     *  the next checkpoint block). */
+    double stallSeconds = 1.0;
 
     /** All configuration errors, each actionable; empty means valid. */
     std::vector<std::string> validate() const;
@@ -202,6 +260,9 @@ struct ServedResult
      *  end completed).  Scheduling-order tests assert on this instead
      *  of wall time. */
     std::uint64_t completionSeq = 0;
+    /** Serve attempts this request took (1 = no retries).  Retries
+     *  never change the prediction: the requestId is the seed. */
+    int attempts = 1;
 };
 
 /** Per-tenant counters since construction (racy-read consistent). */
@@ -211,6 +272,9 @@ struct TenantStats
     std::uint64_t rejected = 0;       ///< admission-control rejects
     std::uint64_t completed = 0;      ///< futures satisfied with a value
     std::uint64_t failed = 0;         ///< futures satisfied with an exception
+    std::uint64_t timedOut = 0;       ///< subset of failed: deadline expiry
+    std::uint64_t retried = 0;        ///< transient-failure requeues
+    std::uint64_t quarantined = 0;    ///< subset of failed: retries exhausted
     std::uint64_t earlyExits = 0;     ///< completed with exitedEarly
     std::uint64_t shedServed = 0;     ///< completed under a tightened policy
     std::uint64_t deadlineMissed = 0; ///< completed past the budget
@@ -219,6 +283,28 @@ struct TenantStats
     std::size_t queueDepthHighWater = 0;
     core::LatencyHistogram queueHistogram;   ///< submit -> pickup
     core::LatencyHistogram serviceHistogram; ///< pickup -> done
+};
+
+/**
+ * Supervision snapshot: the state of the worker pool plus failure
+ * totals summed across tenants (racy-read consistent).  The watchdog
+ * keeps workersAlive at workersConfigured by respawning dead workers;
+ * a persistent gap means respawns are losing a crash race and is the
+ * first thing to alert on.
+ */
+struct HealthSnapshot
+{
+    int workersConfigured = 0;       ///< pool size the front end runs
+    int workersAlive = 0;            ///< worker threads currently live
+    int workersBusy = 0;             ///< workers serving a batch right now
+    std::uint64_t respawns = 0;      ///< dead workers joined + replaced
+    std::uint64_t watchdogKicks = 0; ///< wedged runs cancelled
+    std::uint64_t watchdogTicks = 0; ///< supervision passes completed
+    // Failure totals summed over tenants (same meaning as TenantStats).
+    std::uint64_t failed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t quarantined = 0;
 };
 
 /**
@@ -314,28 +400,47 @@ class ServingFrontend
      *  for unknown names. */
     TenantStats tenantStats(const std::string &tenant) const;
 
+    /** Supervision snapshot (see HealthSnapshot). */
+    HealthSnapshot health() const;
+
   private:
     struct Request
     {
         nn::Tensor image;
         std::promise<ServedResult> promise;
         std::uint64_t id = 0;
+        int attempt = 0; ///< completed serve attempts so far
         std::chrono::steady_clock::time_point enqueued;
         std::chrono::steady_clock::time_point deadline; ///< max() = none
+        /** Hard timeout (max() = none); past it the request fails. */
+        std::chrono::steady_clock::time_point expiry =
+            core::RunControl::kNoDeadline;
+        /** Retry backoff: not schedulable before this instant. */
+        std::chrono::steady_clock::time_point notBefore =
+            std::chrono::steady_clock::time_point::min();
     };
 
     struct Tenant
     {
         TenantConfig cfg;
         const core::ScNetworkEngine *engine = nullptr;
-        std::deque<Request> queue;
+        std::deque<Request> queue; ///< invariant: ascending request id
         double pass = 0.0; ///< WeightedFair virtual finish time
+        /** Non-adaptive tenants on resumable backends run through the
+         *  adaptive path under this exitMargin=infinity policy
+         *  (bit-identical to full-length inference) so their runs are
+         *  cancellable at checkpoint granularity. */
+        bool cancellable = false;
+        core::AdaptivePolicy fullLengthPolicy;
 
         // Stats (under the front end's mutex_).
         std::uint64_t submitted = 0;
         std::uint64_t rejected = 0;
         std::uint64_t completed = 0;
         std::uint64_t failed = 0;
+        std::uint64_t timedOut = 0;
+        std::uint64_t retried = 0;
+        std::uint64_t quarantined = 0;
         std::uint64_t earlyExits = 0;
         std::uint64_t shedServed = 0;
         std::uint64_t deadlineMissed = 0;
@@ -343,6 +448,31 @@ class ServingFrontend
         std::size_t queueDepthHighWater = 0;
         core::LatencyHistogram queueHist;
         core::LatencyHistogram serviceHist;
+
+        /** Exponentially decaying failure pressure (under mutex_):
+         *  folded into the shed load signal so health composes with
+         *  overload degradation. */
+        double failLoad = 0.0;
+        std::chrono::steady_clock::time_point failLoadAt{};
+
+        double failureLoadLocked(
+            std::chrono::steady_clock::time_point now) const;
+        void noteFailureLocked(std::chrono::steady_clock::time_point now);
+    };
+
+    /**
+     * One supervised worker: its thread plus the shared state the
+     * watchdog reads.  alive/busy are atomics (written by the worker
+     * off-lock); lastBeats/lastProgress are watchdog-private.
+     */
+    struct WorkerSlot
+    {
+        std::thread thread;
+        std::atomic<bool> alive{false};
+        std::atomic<bool> busy{false};
+        core::RunControl control;
+        std::uint64_t lastBeats = 0;
+        std::chrono::steady_clock::time_point lastProgress{};
     };
 
     /** One popped batch: requests + the effective policy to serve them
@@ -351,9 +481,17 @@ class ServingFrontend
     {
         Tenant *tenant = nullptr;
         std::vector<Request> requests;
+        /** Popped requests already past their hard deadline: failed
+         *  with StatusError{Timeout} before any engine work. */
+        std::vector<Request> expired;
         core::AdaptivePolicy policy;
         bool adaptive = false;
+        bool cancellable = false;
         bool shed = false;
+        /** Requests[0, firstPending) are fulfilled/disposed; the crash
+         *  recovery path requeues the rest. */
+        std::size_t firstPending = 0;
+        std::uint64_t seq = 0; ///< global pop sequence (fault keying)
     };
 
     Tenant &tenantOrThrow(const std::string &name);
@@ -363,20 +501,43 @@ class ServingFrontend
     std::future<ServedResult> enqueueLocked(Tenant &tenant,
                                             nn::Tensor image);
 
-    /** Scheduler: index of the tenant to drain next, per opts_.policy;
-     *  npos when every queue is empty.  Caller holds mutex_. */
-    std::size_t pickTenantLocked() const;
+    /** True when some tenant's head request is schedulable now (or
+     *  already expired and needs failing).  Caller holds mutex_. */
+    bool hasEligibleWorkLocked(
+        std::chrono::steady_clock::time_point now) const;
 
-    /** Pop up to maxBatch requests from the picked tenant and compute
-     *  the effective (possibly shed) policy; caller holds mutex_. */
-    Batch popBatchLocked();
+    /** Scheduler: index of the tenant to drain next, per opts_.policy;
+     *  npos when no tenant has an eligible head.  Caller holds mutex_. */
+    std::size_t pickTenantLocked(
+        std::chrono::steady_clock::time_point now) const;
+
+    /** Pop up to maxBatch eligible requests from the picked tenant and
+     *  compute the effective (possibly shed) policy; caller holds
+     *  mutex_. */
+    Batch popBatchLocked(std::chrono::steady_clock::time_point now);
 
     void spawnWorkersLocked();
-    void workerLoop();
+    void workerLoop(WorkerSlot *slot);
+    void watchdogLoop();
 
     /** Serve one popped batch as stage-major cohorts through
-     *  @p workspace (the worker's arena for this batch's engine). */
-    void serveBatchWith(Batch &batch, core::CohortWorkspace &workspace);
+     *  @p workspace (the worker's arena for this batch's engine),
+     *  under @p slot's RunControl. */
+    void serveBatchWith(Batch &batch, core::CohortWorkspace &workspace,
+                        WorkerSlot *slot);
+
+    /** Fail batch.expired with StatusError{Timeout}. */
+    void failExpired(Batch &batch);
+
+    /** Retry-or-fail disposition of one failed request: transient
+     *  status with attempts left -> ordered requeue with backoff;
+     *  otherwise the future fails (Quarantined when retries ran out). */
+    void disposeFailure(Tenant &tenant, Request &&request,
+                        const core::Status &status);
+
+    /** Crash recovery: dispose every not-yet-disposed request of
+     *  @p batch as a WorkerCrashed transient failure. */
+    void recoverBatch(Batch &batch);
 
     FrontendOptions opts_;
     int workerCount_ = 0;
@@ -384,20 +545,33 @@ class ServingFrontend
 
     mutable std::mutex mutex_;
     std::condition_variable notEmpty_;
+    std::condition_variable drained_;  ///< shutdown waits for inflight 0
+    std::condition_variable watchdogCv_;
     std::map<std::string, std::unique_ptr<core::InferenceSession>> models_;
     std::vector<std::unique_ptr<Tenant>> tenants_; ///< registration order
     std::map<std::string, std::size_t> tenantIndex_;
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::thread watchdogThread_;
     bool workersRunning_ = false;
     bool sealed_ = false; ///< start() called: registration is closed
     bool stopping_ = false;
+    bool watchdogStop_ = false;
     std::uint64_t nextId_ = 0;
     std::uint64_t nextCompletionSeq_ = 0;
+    std::uint64_t nextBatchSeq_ = 0;
     std::size_t totalQueued_ = 0;
+    /** Requests popped but not yet fulfilled/requeued/failed; the
+     *  shutdown drain waits for totalQueued_ == 0 && inFlight_ == 0. */
+    std::size_t inFlight_ = 0;
     double virtualTime_ = 0.0; ///< WeightedFair global virtual time
+
+    // Supervision counters (under mutex_).
+    std::uint64_t respawns_ = 0;
+    std::uint64_t watchdogKicks_ = 0;
+    std::uint64_t watchdogTicks_ = 0;
 
     /** Serializes concurrent shutdown() callers around the joins. */
     std::mutex joinMutex_;
-    std::vector<std::thread> threads_;
 };
 
 } // namespace aqfpsc::serving

@@ -14,8 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fault_injection.h"
 #include "core/model_zoo.h"
 #include "core/session.h"
+#include "core/status.h"
 #include "data/digits.h"
 #include "nn/layers.h"
 #include "nn/network.h"
@@ -126,6 +128,111 @@ TEST(ModelIo, LoadModelRejectsMissingAndCorruptFiles)
     } catch (const std::runtime_error &e) {
         EXPECT_TRUE(contains(e.what(), "truncated")) << e.what();
     }
+}
+
+TEST(ModelIo, FailureTaxonomyDistinguishesTruncationFromCorruption)
+{
+    TempFile good("taxonomy.model");
+    nn::Network net = core::buildTinyCnn(2);
+    ASSERT_TRUE(net.saveModel(good.path()));
+    std::string bytes;
+    {
+        std::ifstream in(good.path(), std::ios::binary);
+        bytes.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    }
+
+    // Missing file: IoError, not a parse failure.
+    try {
+        nn::Network::loadModel("/tmp/aqfpsc_does_not_exist.model");
+        FAIL() << "expected StatusError";
+    } catch (const core::StatusError &e) {
+        EXPECT_EQ(e.status().code, core::StatusCode::IoError);
+    }
+
+    // Wrong leading magic: a different format, i.e. corruption-class.
+    TempFile bad_magic("taxonomy_magic.model");
+    {
+        std::ofstream out(bad_magic.path(), std::ios::binary);
+        out << "NOTAMODL and then some bytes";
+    }
+    try {
+        nn::Network::loadModel(bad_magic.path());
+        FAIL() << "expected StatusError";
+    } catch (const core::StatusError &e) {
+        EXPECT_EQ(e.status().code, core::StatusCode::ModelCorrupted);
+    }
+
+    // A cut-off write loses the integrity footer: ModelTruncated, so
+    // the operator knows to re-copy instead of suspecting bit rot.
+    TempFile truncated("taxonomy_trunc.model");
+    {
+        std::ofstream out(truncated.path(), std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 7));
+    }
+    try {
+        nn::Network::loadModel(truncated.path());
+        FAIL() << "expected StatusError";
+    } catch (const core::StatusError &e) {
+        EXPECT_EQ(e.status().code, core::StatusCode::ModelTruncated);
+        EXPECT_TRUE(contains(e.what(), "truncated")) << e.what();
+    }
+
+    // A flipped payload bit keeps the footer but fails the checksum:
+    // ModelCorrupted, with both checksums in the message.
+    TempFile flipped("taxonomy_flip.model");
+    {
+        std::string mutated = bytes;
+        mutated[mutated.size() / 3] ^= 0x10;
+        std::ofstream out(flipped.path(), std::ios::binary);
+        out.write(mutated.data(),
+                  static_cast<std::streamsize>(mutated.size()));
+    }
+    try {
+        nn::Network::loadModel(flipped.path());
+        FAIL() << "expected StatusError";
+    } catch (const core::StatusError &e) {
+        EXPECT_EQ(e.status().code, core::StatusCode::ModelCorrupted);
+        EXPECT_TRUE(contains(e.what(), "checksum")) << e.what();
+    }
+}
+
+TEST(ModelIo, InjectedLoadCorruptionIsCaughtByTheChecksum)
+{
+    TempFile file("injected.model");
+    nn::Network net = core::buildTinyCnn(2);
+    ASSERT_TRUE(net.saveModel(file.path()));
+    // The artifact on disk is pristine; the fault site flips one
+    // payload byte after the read, exactly like memory corruption
+    // between read and parse.  The checksum must catch it.
+    core::FaultPlan plan(3);
+    plan.arm(core::FaultSite::ModelLoadCorrupt, 1.0);
+    core::ScopedFaultPlan scope(plan);
+    try {
+        nn::Network::loadModel(file.path());
+        FAIL() << "expected StatusError";
+    } catch (const core::StatusError &e) {
+        EXPECT_EQ(e.status().code, core::StatusCode::ModelCorrupted);
+    }
+}
+
+TEST(ModelIo, SaveIsAtomicAndFailsCleanlyOnUnwritablePaths)
+{
+    nn::Network net = core::buildTinyCnn(2);
+    // Unwritable directory: saveModel reports failure instead of
+    // throwing, and leaves no temp file behind.
+    EXPECT_FALSE(net.saveModel("/nonexistent_dir/model.bin"));
+    std::ifstream tmp("/nonexistent_dir/model.bin.tmp");
+    EXPECT_FALSE(tmp.good());
+
+    // A successful save leaves exactly the artifact, not the temp.
+    TempFile file("atomic.model");
+    ASSERT_TRUE(net.saveModel(file.path()));
+    std::ifstream final_file(file.path(), std::ios::binary);
+    EXPECT_TRUE(final_file.good());
+    std::ifstream temp_file(file.path() + ".tmp");
+    EXPECT_FALSE(temp_file.good());
 }
 
 TEST(ModelIo, WeightsOnlyFilesAreRejectedWithGuidance)
