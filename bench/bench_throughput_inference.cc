@@ -30,9 +30,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+#include <set>
+
 #include "bench_util.h"
 #include "core/model_zoo.h"
+#include "core/plan_cache.h"
 #include "core/session.h"
+#include "core/stages/stage.h"
+#include "core/stages/stage_compiler.h"
 #include "data/digits.h"
 
 namespace {
@@ -116,6 +122,75 @@ main(int argc, char **argv)
                     .set("accuracy", stats.accuracy));
         }
     }
+
+    // --- Plan & weight reuse -------------------------------------------
+    // A serving fleet holds several resident instances of the same
+    // model.  With the plan cache off every instance compiles and keeps
+    // its own parameter streams; with it on they intern one copy.  The
+    // resident-bytes rows (unique StageShared bytes actually held) and
+    // the fleet warm-up time are recorded per mode so bench_diff can
+    // track the memory win across PRs.
+    constexpr int kInstances = 4;
+    const bool cache_default = core::PlanCache::instance().enabled();
+    bench::banner("Plan & weight reuse (" + std::to_string(kInstances) +
+                  " resident instances of " + model + ")");
+    bench::header({"backend", "cache", "resident KiB", "sum KiB",
+                   "warmup ms"});
+    for (const char *backend : {"aqfp-sorter", "cmos-apc"}) {
+        for (const bool cache_on : {false, true}) {
+            core::PlanCache::instance().clear();
+            core::PlanCache::instance().setEnabled(cache_on);
+
+            core::EngineOptions opts;
+            opts.backend = backend;
+            opts.streamLen = static_cast<std::size_t>(stream_len);
+            opts.threads = threads;
+
+            bench::WallTimer warmup;
+            std::vector<std::unique_ptr<core::InferenceSession>> fleet;
+            for (int i = 0; i < kInstances; ++i) {
+                fleet.push_back(std::make_unique<core::InferenceSession>(
+                    core::buildModel(model, 3), opts));
+                (void)fleet.back()->engine();
+            }
+            const double warmup_seconds = warmup.seconds();
+
+            // Resident = bytes of distinct StageShared objects alive
+            // across the fleet; sum = what the fleet would hold if no
+            // instance shared anything (the cache-off resident value).
+            std::set<const core::stages::StageShared *> distinct;
+            std::size_t sum_bytes = 0;
+            for (const auto &session : fleet) {
+                const auto &plan = session->engine().plan();
+                for (std::size_t s = 0; s < plan.stageCount(); ++s) {
+                    if (const auto *shared = plan.stage(s).sharedState()) {
+                        distinct.insert(shared);
+                        sum_bytes += shared->bytes;
+                    }
+                }
+            }
+            std::size_t resident_bytes = 0;
+            for (const auto *shared : distinct)
+                resident_bytes += shared->bytes;
+
+            bench::row({backend, cache_on ? "on" : "off",
+                        bench::cell(resident_bytes / 1024.0, 1),
+                        bench::cell(sum_bytes / 1024.0, 1),
+                        bench::cell(warmup_seconds * 1000.0, 1)});
+            results.push(
+                bench::Json::object()
+                    .set("section", "plan_cache")
+                    .set("engine", bench::engineJson(opts.toConfig(backend)))
+                    .set("model", model)
+                    .set("instances", kInstances)
+                    .set("cache", cache_on ? "on" : "off")
+                    .set("resident_bytes", resident_bytes)
+                    .set("sum_stream_bytes", sum_bytes)
+                    .set("warmup_seconds", warmup_seconds));
+        }
+    }
+    core::PlanCache::instance().setEnabled(cache_default);
+    core::PlanCache::instance().clear();
 
     return bench::writeBenchReport("throughput_inference",
                                    std::move(results))

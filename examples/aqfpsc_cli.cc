@@ -216,6 +216,20 @@ parse(int argc, char **argv, Args &args)
     return true;
 }
 
+/** One-line plan-cache summary (serve / serve-multi footers). */
+void
+printPlanCacheLine(const core::PlanCacheStats &pc)
+{
+    std::printf("plan cache: %llu hit(s), %llu miss(es), %llu "
+                "eviction(s); resident %zu plan(s), %zu stage state(s), "
+                "%.1f KiB shared\n",
+                static_cast<unsigned long long>(pc.hits),
+                static_cast<unsigned long long>(pc.misses),
+                static_cast<unsigned long long>(pc.evictions),
+                pc.residentPlans, pc.residentStages,
+                static_cast<double>(pc.residentBytes) / 1024.0);
+}
+
 int
 cmdTrain(const Args &args)
 {
@@ -377,6 +391,7 @@ cmdServe(const Args &args)
                 stats.queueHistogram.summary().c_str());
     std::printf("service latency %s\n",
                 stats.serviceHistogram.summary().c_str());
+    printPlanCacheLine(core::InferenceSession::planCacheStats());
     return 0;
 }
 
@@ -613,6 +628,7 @@ cmdServeMulti(const Args &args)
                 static_cast<unsigned long long>(health.respawns),
                 static_cast<unsigned long long>(health.watchdogKicks),
                 static_cast<unsigned long long>(health.watchdogTicks));
+    printPlanCacheLine(health.planCache);
     return 0;
 }
 

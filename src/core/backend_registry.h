@@ -46,9 +46,12 @@ enum class FusedActivation
 /** Everything a weighted-stage factory may consume. */
 struct WeightedStageInit
 {
-    /** Pre-generated parameter streams (empty when the backend's traits
-     *  set wantsParamStreams = false). */
-    stages::FeatureStreams streams;
+    /** Interned immutable compile product holding the pre-generated
+     *  parameter streams — possibly shared with other engines through
+     *  core::PlanCache (null when the backend's traits set
+     *  wantsParamStreams = false).  Stream-domain stages keep the
+     *  shared_ptr; value-domain stages ignore it. */
+    std::shared_ptr<const stages::StageShared> shared;
     /** Float parameters the streams were generated from.  Only valid
      *  during the factory call — value-domain stages must copy. */
     const std::vector<float> &weights;
@@ -152,7 +155,7 @@ class BackendRegistry
  *       "aqfp-sorter",
  *       [](const ConvGeometry &g, core::WeightedStageInit init) {
  *           return std::make_unique<AqfpConvStage>(g,
- *                                                  std::move(init.streams));
+ *                                                  std::move(init.shared));
  *       }};
  *   } // namespace
  */

@@ -85,8 +85,7 @@ ScNetworkEngine::ScNetworkEngine(const nn::Network &net,
     : cfg_(cfg), backendName_(cfg.resolvedBackend()),
       encodeInputStreams_(
           BackendRegistry::instance().traits(backendName_).wantsInputStreams),
-      plan_(std::make_unique<stages::ExecutionPlan>(
-          stages::compileNetwork(net, cfg)))
+      plan_(stages::compileNetwork(net, cfg))
 {
     // Chaos-test hook: lets tests exercise the "engine failed to
     // compile" error path without crafting an uncompilable network.

@@ -351,14 +351,17 @@ class ScNetworkEngine
     /** Compiled stage @p i, in execution order. */
     const ScStage &stage(std::size_t i) const;
 
-    /** The compiled execution plan (stage graph + buffer plan). */
+    /** The compiled execution plan (stage graph + buffer plan).  Plans
+     *  are interned through core::PlanCache, so engines compiled from
+     *  identical (network, options) specs share one plan object —
+     *  &engine.plan() compares equal across them. */
     const stages::ExecutionPlan &plan() const { return *plan_; }
 
   private:
     ScEngineConfig cfg_;
     std::string backendName_;
     bool encodeInputStreams_ = true; ///< from the backend's traits
-    std::unique_ptr<stages::ExecutionPlan> plan_;
+    std::shared_ptr<const stages::ExecutionPlan> plan_;
 };
 
 } // namespace aqfpsc::core

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "core/plan_cache.h"
 #include "core/sc_engine.h"
 #include "nn/network.h"
 
@@ -175,6 +176,15 @@ class InferenceSession
 
     /** Backends compiled so far (sorted). */
     std::vector<std::string> compiledBackends() const;
+
+    /**
+     * Counters of the process-wide core::PlanCache every session's
+     * engine compiles route through (a convenience forward of
+     * PlanCache::instance().stats(): the cache is shared by all
+     * sessions, not per-session).  Serving health endpoints surface
+     * these to show cross-tenant plan/weight sharing.
+     */
+    static PlanCacheStats planCacheStats();
 
     /** Persist the model as a versioned artifact.  @return success. */
     bool save(const std::string &path) const

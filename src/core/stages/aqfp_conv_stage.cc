@@ -8,7 +8,7 @@ namespace {
 
 const ConvStageRegistration kRegistration{
     "aqfp-sorter", [](const ConvGeometry &g, WeightedStageInit init) {
-        return std::make_unique<AqfpConvStage>(g, std::move(init.streams));
+        return std::make_unique<AqfpConvStage>(g, std::move(init.shared));
     }};
 
 } // namespace

@@ -19,8 +19,9 @@ class AqfpConvStage final
     : public LinearScStage<SorterMajorityPolicy, ConvWindowGather>
 {
   public:
-    AqfpConvStage(const ConvGeometry &geom, FeatureStreams streams)
-        : LinearScStage(ConvWindowGather{geom}, std::move(streams), {})
+    AqfpConvStage(const ConvGeometry &geom,
+                  std::shared_ptr<const StageShared> shared)
+        : LinearScStage(ConvWindowGather{geom}, std::move(shared), {})
     {
     }
 

@@ -8,7 +8,7 @@ namespace {
 
 const DenseStageRegistration kRegistration{
     "aqfp-sorter", [](const DenseGeometry &g, WeightedStageInit init) {
-        return std::make_unique<AqfpDenseStage>(g, std::move(init.streams));
+        return std::make_unique<AqfpDenseStage>(g, std::move(init.shared));
     }};
 
 } // namespace

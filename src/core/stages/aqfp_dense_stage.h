@@ -18,8 +18,9 @@ class AqfpDenseStage final
     : public LinearScStage<SorterMajorityPolicy, DenseGather>
 {
   public:
-    AqfpDenseStage(const DenseGeometry &geom, FeatureStreams streams)
-        : LinearScStage(DenseGather{geom}, std::move(streams), {})
+    AqfpDenseStage(const DenseGeometry &geom,
+                   std::shared_ptr<const StageShared> shared)
+        : LinearScStage(DenseGather{geom}, std::move(shared), {})
     {
     }
 

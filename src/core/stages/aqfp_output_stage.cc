@@ -12,7 +12,7 @@ namespace {
 const OutputStageRegistration kRegistration{
     "aqfp-sorter", [](const DenseGeometry &g, WeightedStageInit init) {
         return std::make_unique<AqfpOutputStage>(g,
-                                                 std::move(init.streams));
+                                                 std::move(init.shared));
     }};
 
 std::uint64_t
@@ -41,7 +41,7 @@ void
 AqfpOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                          StageContext &ctx, StageScratch *scratch) const
 {
-    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+    runSpan(in, out, ctx, scratch, 0, streams().weights.streamLen());
 }
 
 void
@@ -50,7 +50,7 @@ AqfpOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
                          std::size_t begin, std::size_t end) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
-    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t len = streams().weights.streamLen();
     assert(begin % 64 == 0 && begin < end && end <= len);
     const std::size_t wpr = in.wordsPerRow();
     const std::size_t w0 = begin / 64;
@@ -60,7 +60,7 @@ AqfpOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
     if (begin == 0)
         ws.rearm();
     ctx.scores.assign(static_cast<std::size_t>(geom_.outFeatures), 0.0);
-    const std::uint64_t *neutral = streams_.neutral.row(0);
+    const std::uint64_t *neutral = streams().neutral.row(0);
 
     for (int o = 0; o < geom_.outFeatures; ++o) {
         // Majority chain folded word-parallel over the product streams
@@ -69,8 +69,8 @@ AqfpOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
         // row are loop-invariant per output class.
         const int k_total = geom_.inFeatures + 1;
         const std::uint64_t *bias =
-            streams_.biases.row(static_cast<std::size_t>(o));
-        const std::uint64_t *wbase = streams_.weights.row(
+            streams().biases.row(static_cast<std::size_t>(o));
+        const std::uint64_t *wbase = streams().weights.row(
             static_cast<std::size_t>(o) * geom_.inFeatures);
         std::size_t ones = ws.ones[static_cast<std::size_t>(o)];
         for (std::size_t wi = w0; wi < w1; ++wi) {

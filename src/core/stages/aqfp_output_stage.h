@@ -8,6 +8,8 @@
 #ifndef AQFPSC_CORE_STAGES_AQFP_OUTPUT_STAGE_H
 #define AQFPSC_CORE_STAGES_AQFP_OUTPUT_STAGE_H
 
+#include <cassert>
+
 #include "stage.h"
 #include "stage_common.h"
 
@@ -17,9 +19,16 @@ namespace aqfpsc::core::stages {
 class AqfpOutputStage final : public ScStage
 {
   public:
-    AqfpOutputStage(const DenseGeometry &geom, FeatureStreams streams)
-        : geom_(geom), streams_(std::move(streams))
+    AqfpOutputStage(const DenseGeometry &geom,
+                    std::shared_ptr<const StageShared> shared)
+        : geom_(geom), shared_(std::move(shared))
     {
+        assert(shared_ != nullptr);
+    }
+
+    const StageShared *sharedState() const override
+    {
+        return shared_.get();
     }
 
     std::string name() const override;
@@ -38,8 +47,11 @@ class AqfpOutputStage final : public ScStage
                  std::size_t begin, std::size_t end) const override;
 
   private:
+    /** The interned read-only compile product (possibly shared). */
+    const FeatureStreams &streams() const { return shared_->streams; }
+
     DenseGeometry geom_;
-    FeatureStreams streams_;
+    std::shared_ptr<const StageShared> shared_;
 };
 
 } // namespace aqfpsc::core::stages

@@ -9,7 +9,7 @@ namespace {
 const ConvStageRegistration kRegistration{
     "cmos-apc", [](const ConvGeometry &g, WeightedStageInit init) {
         return std::make_unique<CmosConvStage>(
-            g, std::move(init.streams), init.cfg.approximateApc);
+            g, std::move(init.shared), init.cfg.approximateApc);
     }};
 
 } // namespace

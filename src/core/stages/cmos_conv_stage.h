@@ -19,9 +19,10 @@ class CmosConvStage final
     : public LinearScStage<ApcBtanhPolicy, ConvWindowGather>
 {
   public:
-    CmosConvStage(const ConvGeometry &geom, FeatureStreams streams,
+    CmosConvStage(const ConvGeometry &geom,
+                  std::shared_ptr<const StageShared> shared,
                   bool approximate_apc)
-        : LinearScStage(ConvWindowGather{geom}, std::move(streams),
+        : LinearScStage(ConvWindowGather{geom}, std::move(shared),
                         ApcBtanhPolicy{approximate_apc})
     {
     }

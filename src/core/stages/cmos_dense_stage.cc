@@ -9,7 +9,7 @@ namespace {
 const DenseStageRegistration kRegistration{
     "cmos-apc", [](const DenseGeometry &g, WeightedStageInit init) {
         return std::make_unique<CmosDenseStage>(
-            g, std::move(init.streams), init.cfg.approximateApc);
+            g, std::move(init.shared), init.cfg.approximateApc);
     }};
 
 } // namespace

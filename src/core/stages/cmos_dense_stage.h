@@ -18,9 +18,10 @@ class CmosDenseStage final
     : public LinearScStage<ApcBtanhPolicy, DenseGather>
 {
   public:
-    CmosDenseStage(const DenseGeometry &geom, FeatureStreams streams,
+    CmosDenseStage(const DenseGeometry &geom,
+                   std::shared_ptr<const StageShared> shared,
                    bool approximate_apc)
-        : LinearScStage(DenseGather{geom}, std::move(streams),
+        : LinearScStage(DenseGather{geom}, std::move(shared),
                         ApcBtanhPolicy{approximate_apc})
     {
     }

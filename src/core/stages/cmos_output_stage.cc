@@ -11,7 +11,7 @@ namespace {
 const OutputStageRegistration kRegistration{
     "cmos-apc", [](const DenseGeometry &g, WeightedStageInit init) {
         return std::make_unique<CmosOutputStage>(g,
-                                                 std::move(init.streams));
+                                                 std::move(init.shared));
     }};
 
 } // namespace
@@ -34,7 +34,7 @@ void
 CmosOutputStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                          StageContext &ctx, StageScratch *scratch) const
 {
-    runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+    runSpan(in, out, ctx, scratch, 0, streams().weights.streamLen());
 }
 
 void
@@ -43,7 +43,7 @@ CmosOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
                          std::size_t begin, std::size_t end) const
 {
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
-    const std::size_t len = streams_.weights.streamLen();
+    const std::size_t len = streams().weights.streamLen();
     assert(begin % 64 == 0 && begin < end && end <= len);
     const std::size_t wpr = in.wordsPerRow();
     const std::size_t w0 = begin / 64;
@@ -59,7 +59,7 @@ CmosOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
         long long ones = ws.ones[static_cast<std::size_t>(o)];
         for (int j = 0; j < geom_.inFeatures; ++j) {
             const std::uint64_t *xr = in.row(static_cast<std::size_t>(j));
-            const std::uint64_t *wr = streams_.weights.row(
+            const std::uint64_t *wr = streams().weights.row(
                 static_cast<std::size_t>(o) * geom_.inFeatures + j);
             for (std::size_t wi = w0; wi < w1; ++wi) {
                 std::uint64_t p = ~(xr[wi] ^ wr[wi]);
@@ -72,7 +72,7 @@ CmosOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
         // per-span word popcounts sum to countOnes() at end == len.
         {
             const std::uint64_t *br =
-                streams_.biases.row(static_cast<std::size_t>(o));
+                streams().biases.row(static_cast<std::size_t>(o));
             for (std::size_t wi = w0; wi < w1; ++wi)
                 ones += std::popcount(br[wi]);
         }

@@ -7,6 +7,8 @@
 #ifndef AQFPSC_CORE_STAGES_CMOS_OUTPUT_STAGE_H
 #define AQFPSC_CORE_STAGES_CMOS_OUTPUT_STAGE_H
 
+#include <cassert>
+
 #include "stage.h"
 #include "stage_common.h"
 
@@ -16,9 +18,16 @@ namespace aqfpsc::core::stages {
 class CmosOutputStage final : public ScStage
 {
   public:
-    CmosOutputStage(const DenseGeometry &geom, FeatureStreams streams)
-        : geom_(geom), streams_(std::move(streams))
+    CmosOutputStage(const DenseGeometry &geom,
+                    std::shared_ptr<const StageShared> shared)
+        : geom_(geom), shared_(std::move(shared))
     {
+        assert(shared_ != nullptr);
+    }
+
+    const StageShared *sharedState() const override
+    {
+        return shared_.get();
     }
 
     std::string name() const override;
@@ -40,8 +49,11 @@ class CmosOutputStage final : public ScStage
                        std::size_t cycles) const override;
 
   private:
+    /** The interned read-only compile product (possibly shared). */
+    const FeatureStreams &streams() const { return shared_->streams; }
+
     DenseGeometry geom_;
-    FeatureStreams streams_;
+    std::shared_ptr<const StageShared> shared_;
 };
 
 } // namespace aqfpsc::core::stages

@@ -49,6 +49,10 @@ class Tensor;
 
 namespace aqfpsc::core {
 
+namespace stages {
+struct StageShared;
+} // namespace stages
+
 /** Gap between the largest and second-largest score (0 if fewer than
  *  two) — the raw confidence quantity every ScStage::scoreMargin
  *  normalizes into [0, 1]. */
@@ -142,6 +146,19 @@ class ScStage
 
     /** Declared output/scratch footprint (defaults to "no streams"). */
     virtual StageFootprint footprint() const { return {}; }
+
+    /**
+     * The interned immutable compile product this stage references, or
+     * nullptr for stages without one (pooling, value-domain reference).
+     * Identical specs compiled through the core::PlanCache return stages
+     * whose sharedState() pointers compare equal — the observable handle
+     * of cross-engine weight-state sharing, used by cache statistics and
+     * the differential tests.
+     */
+    virtual const stages::StageShared *sharedState() const
+    {
+        return nullptr;
+    }
 
     /**
      * Build this stage's reusable scratch state (may be null for stages

@@ -28,6 +28,7 @@
 #ifndef AQFPSC_CORE_STAGES_STAGE_COMMON_H
 #define AQFPSC_CORE_STAGES_STAGE_COMMON_H
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -71,6 +72,42 @@ struct FeatureStreams
     sc::StreamMatrix weights; ///< rows follow the float layer's layout
     sc::StreamMatrix biases;  ///< one row per output neuron/channel
     sc::StreamMatrix neutral; ///< single neutral row for odd padding
+};
+
+/** Total packed payload bytes of a FeatureStreams bundle. */
+inline std::size_t
+featureStreamBytes(const FeatureStreams &fs)
+{
+    auto bytes = [](const sc::StreamMatrix &m) {
+        return m.rows() * m.wordsPerRow() * sizeof(std::uint64_t);
+    };
+    return bytes(fs.weights) + bytes(fs.biases) + bytes(fs.neutral);
+}
+
+/**
+ * Immutable per-stage compile product, shared across engines.
+ *
+ * Everything a weighted stage derives once at compile time and only ever
+ * reads afterwards lives here: the parameter bit-streams (weight
+ * bit-plane layout, bias rows, neutral pad row).  The plan cache interns
+ * StageShared objects by spec so identical layers across engines,
+ * sessions, and serving tenants reference one copy; mutable run state
+ * stays in StageScratch / StageWorkspace, which remain strictly
+ * per-engine-invocation.
+ *
+ * rngStateAfter records the compiler RNG state immediately after the
+ * streams were generated.  On a cache hit the compiler restores it so
+ * the layers downstream of the hit see exactly the word sequence a cold
+ * compile would have produced — the mechanism behind the cached ==
+ * cold-compiled bit-identity guarantee.
+ */
+struct StageShared
+{
+    FeatureStreams streams;
+    /** Compiler RNG state right after generating @ref streams. */
+    std::array<std::uint64_t, 4> rngStateAfter{};
+    /** Resident payload size (packed stream words), for cache stats. */
+    std::size_t bytes = 0;
 };
 
 /** Bipolar SC multiply: XNOR the packed words of two streams. */
@@ -412,19 +449,26 @@ template <typename Policy, typename Gather>
 class LinearScStage : public ScStage
 {
   public:
-    LinearScStage(Gather gather, FeatureStreams streams, Policy policy)
-        : gather_(std::move(gather)), streams_(std::move(streams)),
+    LinearScStage(Gather gather, std::shared_ptr<const StageShared> shared,
+                  Policy policy)
+        : gather_(std::move(gather)), shared_(std::move(shared)),
           policy_(std::move(policy))
     {
+        assert(shared_ != nullptr);
     }
 
     StageFootprint footprint() const override { return {gather_.rows()}; }
+
+    const StageShared *sharedState() const override
+    {
+        return shared_.get();
+    }
 
     std::unique_ptr<StageScratch>
     makeScratch() const override
     {
         return std::make_unique<typename Policy::Scratch>(
-            streams_.weights.streamLen(),
+            streams().weights.streamLen(),
             Policy::maxCount(gather_.maxProducts()), gather_.rows());
     }
 
@@ -432,7 +476,7 @@ class LinearScStage : public ScStage
     runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
             StageContext &ctx, StageScratch *scratch) const override
     {
-        runSpan(in, out, ctx, scratch, 0, streams_.weights.streamLen());
+        runSpan(in, out, ctx, scratch, 0, streams().weights.streamLen());
     }
 
     bool resumable() const override { return true; }
@@ -450,7 +494,7 @@ class LinearScStage : public ScStage
     runCohortSpan(const CohortSlot *slots, std::size_t count,
                   std::size_t begin, std::size_t end) const override
     {
-        const std::size_t len = streams_.weights.streamLen();
+        const std::size_t len = streams().weights.streamLen();
         // The multi entry points below route through the sc::simd
         // dispatch table (stack-allocated plane-span arrays sized by
         // the kernel-layer cap), so the cohort cap must fit.
@@ -475,7 +519,7 @@ class LinearScStage : public ScStage
             in[c] = slots[c].in;
             slots[c].out->reset(rows, len);
         }
-        const std::uint64_t *neutral = streams_.neutral.row(0) + w0;
+        const std::uint64_t *neutral = streams().neutral.row(0) + w0;
 
         for (std::size_t r = 0; r < rows; ++r) {
             for (std::size_t c = 0; c < count; ++c)
@@ -493,7 +537,7 @@ class LinearScStage : public ScStage
                     m = gather_.forEachProduct(
                         r, [&](std::size_t xr, std::size_t wr) {
                             const std::uint64_t *w =
-                                streams_.weights.row(wr) + w0;
+                                streams().weights.row(wr) + w0;
                             for (std::size_t c = 0; c < count; ++c) {
                                 xnorProduct(ws[c]->prod.data(),
                                             in[c]->row(xr) + w0, w, sw);
@@ -513,7 +557,7 @@ class LinearScStage : public ScStage
                 m = gather_.forEachProduct(
                     r, [&](std::size_t xr, std::size_t wr) {
                         const std::uint64_t *w =
-                            streams_.weights.row(wr) + w0;
+                            streams().weights.row(wr) + w0;
                         if (pw != nullptr) {
                             for (std::size_t c = 0; c < count; ++c)
                                 x2[c] = in[c]->row(xr) + w0;
@@ -532,7 +576,7 @@ class LinearScStage : public ScStage
             // Bias enters the sum as one more product stream of fixed
             // value (its "input" is the constant 1 stream).
             sc::ColumnCounts::addWordsMulti(
-                cc, count, streams_.biases.row(gather_.biasRow(r)) + w0,
+                cc, count, streams().biases.row(gather_.biasRow(r)) + w0,
                 sw);
             ++m;
             int eff_m = m;
@@ -550,8 +594,11 @@ class LinearScStage : public ScStage
     }
 
   protected:
+    /** The interned read-only compile product (possibly shared). */
+    const FeatureStreams &streams() const { return shared_->streams; }
+
     Gather gather_;
-    FeatureStreams streams_;
+    std::shared_ptr<const StageShared> shared_;
     Policy policy_;
 };
 

@@ -1,10 +1,12 @@
 #include "stage_compiler.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 
 #include "core/backend_registry.h"
+#include "core/plan_cache.h"
 #include "sc/rng.h"
 
 namespace aqfpsc::core::stages {
@@ -33,18 +35,13 @@ activationKind(const nn::Layer &l)
  * Generate the parameter streams of one weighted stage.  The shared
  * @p rng is consumed in (weights, biases) order, matching the layer walk
  * so that stream contents are a function of the engine seed alone.
- * Backends whose traits opt out of parameter streams get an empty
- * bundle (the whole graph is one backend, so the skipped draws cannot
- * desynchronize anything).
  */
 FeatureStreams
 makeStreams(const std::vector<float> &weights,
             const std::vector<float> &biases, const ScEngineConfig &cfg,
-            sc::RandomSource &rng, bool wanted)
+            sc::RandomSource &rng)
 {
     FeatureStreams s;
-    if (!wanted)
-        return s;
     const std::size_t len = cfg.streamLen;
     s.weights = sc::StreamMatrix(weights.size(), len);
     for (std::size_t i = 0; i < weights.size(); ++i)
@@ -57,6 +54,90 @@ makeStreams(const std::vector<float> &weights,
     return s;
 }
 
+/**
+ * Produce (or intern) one weighted stage's immutable compile product.
+ * Backends whose traits opt out of parameter streams get nullptr (the
+ * whole graph is one backend, so the skipped draws cannot desynchronize
+ * anything).
+ *
+ * The spec keys on the RNG state before generation; on a cache hit the
+ * build never runs and the compiler RNG is fast-forwarded to the
+ * recorded post-generation state instead, so every downstream layer
+ * consumes the identical word sequence a cold compile would produce.
+ */
+std::shared_ptr<const StageShared>
+internStageState(StageKind kind, const std::array<int, 7> &dims,
+                 FusedActivation act, bool majority_chain,
+                 const std::string &backend, const ScEngineConfig &cfg,
+                 sc::Xoshiro256StarStar &rng,
+                 const std::vector<float> &weights,
+                 const std::vector<float> &biases, bool wanted)
+{
+    if (!wanted)
+        return nullptr;
+    StageSpec spec;
+    spec.backend = backend;
+    spec.kind = kind;
+    spec.dims = dims;
+    spec.activation = static_cast<int>(act);
+    spec.majorityChain = majority_chain;
+    spec.approximateApc = cfg.approximateApc;
+    spec.streamLen = cfg.streamLen;
+    spec.rngBits = cfg.rngBits;
+    spec.rngState = rng.state();
+    spec.weights = weights;
+    spec.biases = biases;
+    auto shared = PlanCache::instance().internStage(spec, [&] {
+        auto s = std::make_shared<StageShared>();
+        s->streams = makeStreams(weights, biases, cfg, rng);
+        s->rngStateAfter = rng.state();
+        s->bytes = featureStreamBytes(s->streams);
+        return s;
+    });
+    rng.setState(shared->rngStateAfter);
+    return shared;
+}
+
+/** Canonical PlanSpec of (net, cfg): architecture string from the layer
+ *  specs + quantization grid, parameters flattened in layer order. */
+PlanSpec
+makePlanSpec(const nn::Network &net, const ScEngineConfig &cfg,
+             const std::string &backend)
+{
+    PlanSpec p;
+    p.backend = backend;
+    p.streamLen = cfg.streamLen;
+    p.rngBits = cfg.rngBits;
+    p.seed = cfg.seed;
+    p.approximateApc = cfg.approximateApc;
+    auto append = [&p](const std::vector<float> &v) {
+        p.params.insert(p.params.end(), v.begin(), v.end());
+    };
+    std::string arch = "q" + std::to_string(net.quantBits());
+    for (std::size_t li = 0; li < net.layerCount(); ++li) {
+        const nn::Layer &l = net.layer(li);
+        const nn::LayerSpec s = l.spec();
+        arch += '|';
+        arch += std::to_string(static_cast<int>(s.kind));
+        arch += ':';
+        arch += std::to_string(s.p0) + ',' + std::to_string(s.p1) + ',' +
+                std::to_string(s.p2);
+        if (const auto *chain =
+                dynamic_cast<const nn::MajorityChainDense *>(&l)) {
+            append(chain->weights());
+            append(chain->biases());
+        } else if (const auto *conv = dynamic_cast<const nn::Conv2D *>(&l)) {
+            append(conv->weights());
+            append(conv->biases());
+        } else if (const auto *fc = dynamic_cast<const nn::Dense *>(&l)) {
+            append(fc->weights());
+            append(fc->biases());
+        }
+    }
+    p.architecture = std::move(arch);
+    return p;
+}
+
 [[noreturn]] void
 throwIncomplete(const std::string &backend, const char *kind)
 {
@@ -66,8 +147,18 @@ throwIncomplete(const std::string &backend, const char *kind)
 
 } // namespace
 
-ExecutionPlan
+std::shared_ptr<const ExecutionPlan>
 compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
+{
+    return PlanCache::instance().internPlan(
+        makePlanSpec(net, cfg, cfg.resolvedBackend()), [&] {
+            return std::make_shared<const ExecutionPlan>(
+                compileNetworkUncached(net, cfg));
+        });
+}
+
+ExecutionPlan
+compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
 {
     const std::string backend = cfg.resolvedBackend();
     // entry() throws the documented unknown-backend message.
@@ -110,8 +201,13 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
                 throwIncomplete(backend, "conv");
             stages.push_back(factories.conv(
                 g, WeightedStageInit{
-                       makeStreams(conv->weights(), conv->biases(), cfg,
-                                   rng, want_streams),
+                       internStageState(
+                           StageKind::Conv,
+                           {g.inC, g.inH, g.inW, g.outC, g.outH, g.outW,
+                            g.kernel},
+                           activationKind(net.layer(li + 1)), false,
+                           backend, cfg, rng, conv->weights(),
+                           conv->biases(), want_streams),
                        conv->weights(), conv->biases(),
                        activationKind(net.layer(li + 1)), false, cfg}));
             in_c = conv->outChannels();
@@ -147,8 +243,12 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
                 throwIncomplete(backend, "output");
             stages.push_back(factories.output(
                 g, WeightedStageInit{
-                       makeStreams(chain->weights(), chain->biases(), cfg,
-                                   rng, want_streams),
+                       internStageState(
+                           StageKind::Output,
+                           {g.inFeatures, g.outFeatures, 0, 0, 0, 0, 0},
+                           FusedActivation::None, true, backend, cfg,
+                           rng, chain->weights(), chain->biases(),
+                           want_streams),
                        chain->weights(), chain->biases(),
                        FusedActivation::None, true, cfg}));
             continue;
@@ -160,15 +260,20 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
             DenseGeometry g;
             g.inFeatures = fc->inFeatures();
             g.outFeatures = fc->outFeatures();
-            FeatureStreams s = makeStreams(fc->weights(), fc->biases(),
-                                           cfg, rng, want_streams);
+            const FusedActivation act =
+                has_act ? activationKind(net.layer(li + 1))
+                        : FusedActivation::None;
+            auto shared = internStageState(
+                has_act ? StageKind::Dense : StageKind::Output,
+                {g.inFeatures, g.outFeatures, 0, 0, 0, 0, 0}, act, false,
+                backend, cfg, rng, fc->weights(), fc->biases(),
+                want_streams);
             if (has_act) {
                 if (!factories.dense)
                     throwIncomplete(backend, "dense");
                 stages.push_back(factories.dense(
-                    g, WeightedStageInit{
-                           std::move(s), fc->weights(), fc->biases(),
-                           activationKind(net.layer(li + 1)), false, cfg}));
+                    g, WeightedStageInit{std::move(shared), fc->weights(),
+                                         fc->biases(), act, false, cfg}));
                 ++li;
             } else {
                 if (li + 1 != n_layers)
@@ -178,7 +283,7 @@ compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
                 if (!factories.output)
                     throwIncomplete(backend, "output");
                 stages.push_back(factories.output(
-                    g, WeightedStageInit{std::move(s), fc->weights(),
+                    g, WeightedStageInit{std::move(shared), fc->weights(),
                                          fc->biases(),
                                          FusedActivation::None, false,
                                          cfg}));

@@ -70,12 +70,30 @@ struct ExecutionPlan
 /**
  * Compile @p net into an ExecutionPlan for @p cfg 's backend.
  *
+ * Compilation is routed through core::PlanCache: an identical
+ * (backend, options, architecture, parameters) spec compiled earlier —
+ * and still alive in some engine — is returned directly, and on a plan
+ * miss each weighted stage's immutable state is still interned
+ * stage-by-stage, so engines of different models share the state of
+ * layers they have in common.  Cached and cold compiles are
+ * bit-identical (see plan_cache.h for the RNG fast-forward argument);
+ * set AQFPSC_DISABLE_PLAN_CACHE=1 to always compile cold.
+ *
  * @throws std::invalid_argument if the backend is unknown or incomplete,
  *         or the network does not follow the mappable pattern (see the
  *         documented messages above).
  */
-ExecutionPlan compileNetwork(const nn::Network &net,
-                             const ScEngineConfig &cfg);
+std::shared_ptr<const ExecutionPlan>
+compileNetwork(const nn::Network &net, const ScEngineConfig &cfg);
+
+/**
+ * The cold compile path: always rebuilds the plan, never consults the
+ * plan-level cache (stage-level interning still applies when the cache
+ * is enabled).  compileNetwork() runs this on a plan miss; the
+ * differential tests call it directly to pin cached == cold.
+ */
+ExecutionPlan compileNetworkUncached(const nn::Network &net,
+                                     const ScEngineConfig &cfg);
 
 } // namespace aqfpsc::core::stages
 

@@ -18,6 +18,7 @@
 #ifndef AQFPSC_SC_RNG_H
 #define AQFPSC_SC_RNG_H
 
+#include <array>
 #include <cstdint>
 
 namespace aqfpsc::sc {
@@ -93,6 +94,29 @@ class Xoshiro256StarStar : public RandomSource
 
     /** Jump function: advance by 2^128 steps (for independent substreams). */
     void jump();
+
+    /**
+     * Snapshot of the 256-bit internal state.  Together with setState()
+     * this lets a caller checkpoint the generator and later resume the
+     * exact word sequence — the plan cache uses it to skip regeneration
+     * of interned parameter streams while keeping every downstream
+     * consumer on the same sequence it would see after a cold compile.
+     */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    /** Restore a state previously captured with state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        s_[0] = s[0];
+        s_[1] = s[1];
+        s_[2] = s[2];
+        s_[3] = s[3];
+    }
 
   private:
     std::uint64_t s_[4];

@@ -1087,6 +1087,7 @@ ServingFrontend::health() const
         h.retried += t->retried;
         h.quarantined += t->quarantined;
     }
+    h.planCache = core::PlanCache::instance().stats();
     return h;
 }
 

@@ -305,6 +305,10 @@ struct HealthSnapshot
     std::uint64_t timedOut = 0;
     std::uint64_t retried = 0;
     std::uint64_t quarantined = 0;
+    /** Process-wide core::PlanCache counters: how much compiled-plan and
+     *  weight-stream state the resident models share (identical
+     *  (model, backend) pairs compile once and reference one plan). */
+    core::PlanCacheStats planCache;
 };
 
 /**

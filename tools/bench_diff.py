@@ -5,7 +5,10 @@ Understands two report shapes, detected from the JSON itself:
 
 - Throughput reports (BENCH_throughput_inference.json): rows keyed
   (backend, model, cohort, stream_len), metric images_per_sec, HIGHER
-  is better.
+  is better.  The same report carries a second section of plan-cache
+  rows (marked "section": "plan_cache") keyed (backend, model,
+  instances, cache) with metric resident_bytes, LOWER is better —
+  those diff independently of the throughput rows.
 - Serving tail-latency reports (BENCH_serving_tail.json): rows keyed
   (policy, arrival, tenant), metric latency_ms_p99, LOWER is better —
   a row regresses when the fresh p99 rises more than the threshold.
@@ -32,13 +35,33 @@ import sys
 
 def throughput_rows(results):
     """{(backend, model, cohort, stream_len): images_per_sec} from a
-    throughput report's results list."""
+    throughput report's results list.  Rows without an images_per_sec
+    metric (e.g. the plan-cache section sharing the list) are skipped,
+    not recorded as None."""
     rows = {}
     for row in results or []:
+        if row.get("images_per_sec") is None:
+            continue
         engine = row.get("engine", {})
         key = (engine.get("backend"), row.get("model"), row.get("cohort"),
                engine.get("stream_len"))
         rows[key] = row.get("images_per_sec")
+    return rows
+
+
+def plan_bytes_rows(results):
+    """{(backend, model, instances, cache): resident_bytes} from the
+    plan-cache rows of a throughput report's results list."""
+    rows = {}
+    for row in results or []:
+        if row.get("section") != "plan_cache":
+            continue
+        if row.get("resident_bytes") is None:
+            continue
+        engine = row.get("engine", {})
+        key = (engine.get("backend"), row.get("model"),
+               row.get("instances"), row.get("cache"))
+        rows[key] = row.get("resident_bytes")
     return rows
 
 
@@ -55,13 +78,16 @@ def latency_rows(results):
 
 
 def extract_rows(doc):
-    """(kind, metric label, lower_is_better, {key: value}) from one
-    loaded BENCH_*.json document; kind detection is structural, so the
-    tool needs no per-bench flag."""
+    """(kind, sections) from one loaded BENCH_*.json document, where
+    sections is a list of (metric label, lower_is_better, {key: value})
+    diffed independently of each other; kind detection is structural,
+    so the tool needs no per-bench flag."""
     results = doc.get("results")
     if isinstance(results, dict) and "runs" in results:
-        return "latency", "p99 ms", True, latency_rows(results)
-    return "throughput", "img/s", False, throughput_rows(results)
+        return "latency", [("p99 ms", True, latency_rows(results))]
+    return "throughput", [("img/s", False, throughput_rows(results)),
+                          ("resident bytes", True,
+                           plan_bytes_rows(results))]
 
 
 def compare(base, fresh, threshold, lower_is_better):
@@ -112,8 +138,8 @@ def main():
 
     base_doc = load_doc(args.baseline)
     fresh_doc = load_doc(args.fresh)
-    base_kind, metric, lower_is_better, base = extract_rows(base_doc)
-    fresh_kind, _, _, fresh = extract_rows(fresh_doc)
+    base_kind, base_sections = extract_rows(base_doc)
+    fresh_kind, fresh_sections = extract_rows(fresh_doc)
     if base_kind != fresh_kind:
         print(f"error: report kinds differ ({base_kind} vs {fresh_kind}); "
               f"comparing {args.baseline} against {args.fresh} is "
@@ -131,30 +157,37 @@ def main():
     if base_level != fresh_level:
         print(f"note: SIMD dispatch levels differ ({base_level} vs "
               f"{fresh_level}); deltas reflect the dispatch change too")
-    direction = "lower is better" if lower_is_better else "higher is better"
-    print(f"{base_kind} rows, metric {metric} ({direction})")
-
-    header = (f"{'row':<42} {'base':>12} {'fresh':>12} {'delta':>8}")
-    print(header)
-    print("-" * len(header))
 
     regressions = []
-    for entry in compare(base, fresh, args.threshold, lower_is_better):
-        label = " ".join(str(p) for p in entry["key"])
-        if entry["status"] == "missing":
-            print(f"{label:<42} {entry['base']:>12.2f} {'missing':>12} "
-                  f"{'-':>8}")
-            continue
-        if entry["status"] == "new":
-            print(f"{label:<42} {'new':>12} {entry['fresh']:>12.2f} "
-                  f"{'-':>8}")
-            continue
-        marker = ""
-        if entry["status"] == "regression":
-            marker = "  <-- REGRESSION"
-            regressions.append(entry)
-        print(f"{label:<42} {entry['base']:>12.2f} {entry['fresh']:>12.2f} "
-              f"{entry['delta_pct']:>+7.1f}%{marker}")
+    for (metric, lower_is_better, base), (_, _, fresh) in zip(
+            base_sections, fresh_sections):
+        if not base and not fresh:
+            continue  # section absent from both reports (older bench)
+        direction = ("lower is better" if lower_is_better
+                     else "higher is better")
+        print(f"{base_kind} rows, metric {metric} ({direction})")
+
+        header = (f"{'row':<42} {'base':>12} {'fresh':>12} {'delta':>8}")
+        print(header)
+        print("-" * len(header))
+
+        for entry in compare(base, fresh, args.threshold, lower_is_better):
+            label = " ".join(str(p) for p in entry["key"])
+            if entry["status"] == "missing":
+                print(f"{label:<42} {entry['base']:>12.2f} {'missing':>12} "
+                      f"{'-':>8}")
+                continue
+            if entry["status"] == "new":
+                print(f"{label:<42} {'new':>12} {entry['fresh']:>12.2f} "
+                      f"{'-':>8}")
+                continue
+            marker = ""
+            if entry["status"] == "regression":
+                marker = "  <-- REGRESSION"
+                regressions.append(entry)
+            print(f"{label:<42} {entry['base']:>12.2f} "
+                  f"{entry['fresh']:>12.2f} "
+                  f"{entry['delta_pct']:>+7.1f}%{marker}")
 
     if regressions:
         print(f"WARNING: {len(regressions)} row(s) regressed more than "

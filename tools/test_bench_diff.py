@@ -14,12 +14,21 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_diff  # noqa: E402
 
 
-def throughput_doc(rows):
-    """A minimal BENCH_throughput_inference-shaped document."""
-    return {"results": [
+def throughput_doc(rows, plan_rows=None):
+    """A minimal BENCH_throughput_inference-shaped document; plan_rows
+    maps (backend, model, instances, cache) to resident_bytes and lands
+    in the same results list, as the bench emits it."""
+    results = [
         {"engine": {"backend": b, "stream_len": n}, "model": m,
          "cohort": c, "images_per_sec": v}
-        for (b, m, c, n), v in rows.items()]}
+        for (b, m, c, n), v in rows.items()]
+    for (b, m, i, cache), v in (plan_rows or {}).items():
+        results.append({"section": "plan_cache",
+                        "engine": {"backend": b, "stream_len": 1024},
+                        "model": m, "instances": i, "cache": cache,
+                        "resident_bytes": v,
+                        "warmup_seconds": 0.1})
+    return {"results": results}
 
 
 def latency_doc(runs):
@@ -34,24 +43,63 @@ def latency_doc(runs):
 class ExtractRowsTest(unittest.TestCase):
     def test_throughput_shape_detected(self):
         doc = throughput_doc({("aqfp-sorter", "tiny", 8, 1024): 25.0})
-        kind, metric, lower, rows = bench_diff.extract_rows(doc)
+        kind, sections = bench_diff.extract_rows(doc)
         self.assertEqual(kind, "throughput")
+        metric, lower, rows = sections[0]
+        self.assertEqual(metric, "img/s")
         self.assertFalse(lower)
         self.assertEqual(rows[("aqfp-sorter", "tiny", 8, 1024)], 25.0)
 
     def test_latency_shape_detected(self):
         doc = latency_doc({("fifo", "poisson"): {"gold": 120.0,
                                                  "bulk": 340.0}})
-        kind, metric, lower, rows = bench_diff.extract_rows(doc)
+        kind, sections = bench_diff.extract_rows(doc)
         self.assertEqual(kind, "latency")
+        self.assertEqual(len(sections), 1)
+        metric, lower, rows = sections[0]
         self.assertTrue(lower)
         self.assertEqual(rows[("fifo", "poisson", "gold")], 120.0)
         self.assertEqual(rows[("fifo", "poisson", "bulk")], 340.0)
 
     def test_empty_results_is_throughput_with_no_rows(self):
-        kind, _, _, rows = bench_diff.extract_rows({"results": []})
+        kind, sections = bench_diff.extract_rows({"results": []})
         self.assertEqual(kind, "throughput")
-        self.assertEqual(rows, {})
+        for _, _, rows in sections:
+            self.assertEqual(rows, {})
+
+    def test_plan_cache_rows_form_their_own_section(self):
+        doc = throughput_doc(
+            {("aqfp-sorter", "tiny", 8, 1024): 25.0},
+            plan_rows={("aqfp-sorter", "tiny", 4, "on"): 4096,
+                       ("aqfp-sorter", "tiny", 4, "off"): 16384})
+        kind, sections = bench_diff.extract_rows(doc)
+        self.assertEqual(kind, "throughput")
+        _, _, tput = sections[0]
+        metric, lower, plan = sections[1]
+        self.assertEqual(metric, "resident bytes")
+        self.assertTrue(lower, "resident bytes: lower is better")
+        # Plan-cache rows never leak into the throughput section (they
+        # carry no images_per_sec) and vice versa.
+        self.assertEqual(list(tput), [("aqfp-sorter", "tiny", 8, 1024)])
+        self.assertEqual(plan[("aqfp-sorter", "tiny", 4, "on")], 4096)
+        self.assertEqual(plan[("aqfp-sorter", "tiny", 4, "off")], 16384)
+
+    def test_bytes_growth_classified_as_regression(self):
+        base = bench_diff.plan_bytes_rows(
+            throughput_doc({}, plan_rows={
+                ("aqfp-sorter", "tiny", 4, "on"): 4096})["results"])
+        fresh = bench_diff.plan_bytes_rows(
+            throughput_doc({}, plan_rows={
+                ("aqfp-sorter", "tiny", 4, "on"): 8192})["results"])
+        entries = bench_diff.compare(base, fresh, threshold=10.0,
+                                     lower_is_better=True)
+        self.assertEqual(entries[0]["status"], "regression")
+
+    def test_plan_rows_without_bytes_are_skipped(self):
+        results = [{"section": "plan_cache",
+                    "engine": {"backend": "aqfp-sorter"},
+                    "model": "tiny", "instances": 4, "cache": "on"}]
+        self.assertEqual(bench_diff.plan_bytes_rows(results), {})
 
 
 class CompareTest(unittest.TestCase):
