@@ -262,10 +262,17 @@ class Json
 inline Json
 engineJson(const core::ScEngineConfig &cfg)
 {
-    return Json::object()
-        .set("backend", cfg.resolvedBackend())
-        .set("stream_len", cfg.streamLen)
-        .set("threads", cfg.threads);
+    Json j = Json::object()
+                 .set("backend", cfg.resolvedBackend())
+                 .set("stream_len", cfg.streamLen)
+                 .set("threads", cfg.threads);
+    if (!cfg.stageStreamLens.empty()) {
+        Json lens = Json::array();
+        for (const std::size_t len : cfg.stageStreamLens)
+            lens.push(len);
+        j.set("stage_stream_lens", std::move(lens));
+    }
+    return j;
 }
 
 /**

@@ -9,14 +9,25 @@
  *       task, quantize to the SNG grid and save a versioned model
  *       artifact (architecture + quantization state + weights).
  *   eval   --model-file <file> [--backend NAME] [--stream-len N]
- *          [--threads N] [--cohort C] [--rng-bits N] [--images N]
- *          [--seed S] [--adaptive [--checkpoint C] [--margin F]
+ *          [--stage-lens N,N,...] [--threads N] [--cohort C]
+ *          [--rng-bits N] [--images N] [--seed S]
+ *          [--adaptive [--checkpoint C] [--margin F]
  *           [--min-cycles M] [--nondet]]
  *       Load an artifact and evaluate it on any registered backend;
  *       --cohort batches C images through each stage together
- *       (stage-major execution, bit-identical results) and --adaptive
- *       adds confidence-based early exit and reports the mean consumed
+ *       (stage-major execution, bit-identical results), --stage-lens
+ *       sets a per-stage stream-length vector (word-aligned,
+ *       non-increasing; see `tune`), and --adaptive adds
+ *       confidence-based early exit and reports the mean consumed
  *       stream cycles.
+ *   tune   (--model-file <file> | --model <zoo>) [--backend NAME]
+ *          [--stream-len N] [--images N] [--max-drop PT]
+ *          [--min-stage-len N] [--passes P]
+ *       Run core::PrecisionTuner's coordinate-descent search for the
+ *       fastest per-stage stream-length vector within --max-drop
+ *       percentage points of the uniform baseline's calibration
+ *       accuracy, and print the vector as a ready-to-paste
+ *       --stage-lens value.
  *   infer  --model-file <file> [--backend NAME] [--index I] [...]
  *       Load an artifact and print one image's per-class scores.
  *   serve  --model-file <file> [--workers W] [--queue-cap Q]
@@ -59,6 +70,7 @@
 #include "core/backend_registry.h"
 #include "core/hardware_report.h"
 #include "core/model_zoo.h"
+#include "core/precision_tuner.h"
 #include "core/server.h"
 #include "core/session.h"
 #include "data/digits.h"
@@ -87,6 +99,11 @@ struct Args
     int images = 40; ///< eval limit / serve request count
     int index = 0;   ///< infer image index
     bool progress = true;
+
+    // tune
+    double maxDropPt = 0.5;      ///< accuracy budget, percentage points
+    std::size_t minStageLen = 64; ///< shortest per-stage length tried
+    int passes = 8;               ///< coordinate-descent pass cap
     bool adaptive = false; ///< eval/serve: early-exit mode
     core::ServerOptions server; ///< serve: worker/queue/batch knobs
 
@@ -109,9 +126,13 @@ usage()
         "  train --model <zoo> --out <file> [--epochs N] [--samples N]\n"
         "        [--lr F] [--quant-bits B] [--seed S]\n"
         "  eval  --model-file <file> [--backend NAME] [--stream-len N]\n"
-        "        [--threads N] [--cohort C] [--rng-bits N] [--images N]\n"
-        "        [--seed S] [--adaptive [--checkpoint C] [--margin F]\n"
+        "        [--stage-lens N,N,...] [--threads N] [--cohort C]\n"
+        "        [--rng-bits N] [--images N] [--seed S]\n"
+        "        [--adaptive [--checkpoint C] [--margin F]\n"
         "         [--min-cycles M] [--nondet]]\n"
+        "  tune  (--model-file <file> | --model <zoo>) [--backend NAME]\n"
+        "        [--stream-len N] [--images N] [--max-drop PT]\n"
+        "        [--min-stage-len N] [--passes P] [--threads N] [--quiet]\n"
         "  infer --model-file <file> [--backend NAME] [--index I]\n"
         "        [--stream-len N] [--threads N] [--rng-bits N] [--seed S]\n"
         "  serve --model-file <file> [--workers W] [--queue-cap Q]\n"
@@ -153,6 +174,37 @@ parse(int argc, char **argv, Args &args)
         else if (flag == "--stream-len")
             args.engine.streamLen =
                 static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+        else if (flag == "--stage-lens") {
+            args.engine.stageStreamLens.clear();
+            const std::string spec = next();
+            std::size_t start = 0;
+            while (start <= spec.size()) {
+                std::size_t comma = spec.find(',', start);
+                if (comma == std::string::npos)
+                    comma = spec.size();
+                const std::string tok = spec.substr(start, comma - start);
+                start = comma + 1;
+                if (!tok.empty())
+                    args.engine.stageStreamLens.push_back(
+                        static_cast<std::size_t>(
+                            std::strtoull(tok.c_str(), nullptr, 10)));
+            }
+            if (args.engine.stageStreamLens.empty()) {
+                std::fprintf(stderr,
+                             "error: --stage-lens needs a comma-separated "
+                             "list of lengths, e.g. 1024,512,256\n");
+                return false;
+            }
+            // The first stage runs the full plan; keep the scalar in sync
+            // so banners/reports quoting streamLen match the vector.
+            args.engine.streamLen = args.engine.stageStreamLens.front();
+        } else if (flag == "--max-drop")
+            args.maxDropPt = std::atof(next());
+        else if (flag == "--min-stage-len")
+            args.minStageLen =
+                static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+        else if (flag == "--passes")
+            args.passes = std::atoi(next());
         else if (flag == "--threads")
             args.engine.threads = std::atoi(next());
         else if (flag == "--cohort")
@@ -216,6 +268,19 @@ parse(int argc, char **argv, Args &args)
     return true;
 }
 
+/** Render a length vector as a --stage-lens value ("1024,512,256"). */
+std::string
+lensSpec(const std::vector<std::size_t> &lens)
+{
+    std::string s;
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+        if (i > 0)
+            s += ',';
+        s += std::to_string(lens[i]);
+    }
+    return s;
+}
+
 /** One-line plan-cache summary (serve / serve-multi footers). */
 void
 printPlanCacheLine(const core::PlanCacheStats &pc)
@@ -277,6 +342,9 @@ cmdEval(const Args &args)
                 session.options().backend.c_str(),
                 session.options().streamLen, session.options().threads,
                 session.options().cohort);
+    if (!session.options().stageStreamLens.empty())
+        std::printf("stage lens: %s\n",
+                    lensSpec(session.options().stageStreamLens).c_str());
     const auto test = data::generateDigits(kTestImages, kTestDataSeed);
     core::EvalOptions opts;
     opts.limit = args.images;
@@ -301,6 +369,48 @@ cmdEval(const Args &args)
     const core::ScEvalStats stats = session.evaluate(test, opts);
     std::printf("accuracy %.4f over %zu images (%.2f img/s)\n",
                 stats.accuracy, stats.images, stats.imagesPerSec);
+    return 0;
+}
+
+int
+cmdTune(const Args &args)
+{
+    if (args.modelFile.empty() && args.model.empty()) {
+        std::fprintf(stderr, "error: tune needs --model-file <file> or "
+                             "--model <zoo>\n");
+        return 2;
+    }
+    const core::InferenceSession session =
+        args.modelFile.empty()
+            ? core::InferenceSession::fromZoo(args.model, args.engine,
+                                              args.trainSeed)
+            : core::InferenceSession::fromFile(args.modelFile, args.engine);
+    std::printf("model: %s\n", session.network().describe().c_str());
+    std::printf("backend %s, N=%zu, budget %.2fpt, min stage len %zu, "
+                "max %d pass(es)\n",
+                session.options().backend.c_str(),
+                session.options().streamLen, args.maxDropPt,
+                args.minStageLen, args.passes);
+    const auto calibration = data::generateDigits(kTestImages, kTestDataSeed);
+    core::TuneOptions topts;
+    topts.maxAccuracyDrop = args.maxDropPt / 100.0;
+    topts.minStageLen = args.minStageLen;
+    topts.maxPasses = args.passes;
+    topts.limit = args.images;
+    topts.verbose = args.progress;
+    const core::TuneResult r = session.tune(calibration, topts);
+    std::printf("baseline: %s  accuracy %.4f  %.2f img/s\n",
+                lensSpec(r.baselineStageStreamLens).c_str(),
+                r.baselineAccuracy, r.baselineImagesPerSec);
+    std::printf("tuned:    %s  accuracy %.4f  %.2f img/s\n",
+                lensSpec(r.stageStreamLens).c_str(), r.tunedAccuracy,
+                r.tunedImagesPerSec);
+    std::printf("speedup %.2fx, accuracy delta %+.2fpt, %zu candidate "
+                "evaluation(s) over %d pass(es)\n",
+                r.speedup, (r.tunedAccuracy - r.baselineAccuracy) * 100.0,
+                r.evaluations, r.passes);
+    std::printf("apply with: --stage-lens %s\n",
+                lensSpec(r.stageStreamLens).c_str());
     return 0;
 }
 
@@ -693,6 +803,8 @@ main(int argc, char **argv)
             return cmdTrain(args);
         if (args.command == "eval")
             return cmdEval(args);
+        if (args.command == "tune")
+            return cmdTune(args);
         if (args.command == "infer")
             return cmdInfer(args);
         if (args.command == "serve")

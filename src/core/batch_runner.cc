@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/stages/stage_compiler.h"
 #include "core/workspace.h"
 
 namespace aqfpsc::core {
@@ -208,7 +209,7 @@ BatchRunner::evaluateAdaptive(const std::vector<nn::Sample> &samples,
                     result.stats.accuracy, result.stats.images,
                     result.stats.imagesPerSec, threads_,
                     result.avgConsumedCycles,
-                    engine_.config().streamLen, result.earlyExits);
+                    engine_.plan().fullRunCycles(), result.earlyExits);
         std::fflush(stdout);
     }
     return result;

@@ -83,6 +83,10 @@ PlanCache::PlanSpecHash::operator()(const PlanSpec &s) const
     std::size_t h = kFnvBasis;
     h = hashString(s.backend, h);
     h = fnv1a(&s.streamLen, sizeof s.streamLen, h);
+    const std::uint64_t nLens = s.stageStreamLens.size();
+    h = fnv1a(&nLens, sizeof nLens, h);
+    h = fnv1a(s.stageStreamLens.data(),
+              s.stageStreamLens.size() * sizeof(std::uint64_t), h);
     h = fnv1a(&s.rngBits, sizeof s.rngBits, h);
     h = fnv1a(&s.seed, sizeof s.seed, h);
     const std::uint8_t flags = s.approximateApc ? 1 : 0;

@@ -105,6 +105,10 @@ struct PlanSpec
 {
     std::string backend;
     std::uint64_t streamLen = 0;
+    /** Resolved per-stage stream lengths (scalar configs are
+     *  canonicalized to a uniform vector before keying, so the scalar
+     *  and explicit-uniform spellings intern to one entry). */
+    std::vector<std::uint64_t> stageStreamLens;
     int rngBits = 0;
     std::uint64_t seed = 0;
     bool approximateApc = false;

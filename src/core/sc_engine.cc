@@ -47,12 +47,15 @@ armContext(StageContext &ctx, std::uint64_t engine_seed, std::size_t index,
     ctx.deterministicSpans = deterministic_spans;
 }
 
-/** Per-image input SNGs; a fresh substream keeps images independent. */
+/** Per-image input SNGs; a fresh substream keeps images independent.
+ *  @p len is the plan's input length (stageStreamLens[0]) — with mixed
+ *  per-stage lengths the encoding runs at the first stage's length. */
 void
 fillInputStreams(sc::StreamMatrix &input, const nn::Tensor &image,
-                 const ScEngineConfig &cfg, std::uint64_t image_seed)
+                 const ScEngineConfig &cfg, std::size_t len,
+                 std::uint64_t image_seed)
 {
-    input.reset(image.size(), cfg.streamLen);
+    input.reset(image.size(), len);
     sc::Xoshiro256StarStar rng(image_seed ^ 0xABCDEF12345ULL);
     for (std::size_t i = 0; i < image.size(); ++i)
         input.fillBipolar(i, image[i], cfg.rngBits, rng);
@@ -124,7 +127,6 @@ ScNetworkEngine::inferIndexed(const nn::Tensor &image, std::size_t index,
 {
     assert(&ws.engine_ == this &&
            "workspace belongs to a different engine");
-    const std::size_t len = cfg_.streamLen;
 
     StageContext &ctx = ws.ctx_;
     armContext(ctx, cfg_.seed, index, image, true);
@@ -133,7 +135,8 @@ ScNetworkEngine::inferIndexed(const nn::Tensor &image, std::size_t index,
     // image through the context instead and get an empty matrix — no
     // per-image work on the fast accuracy-debugging path.
     if (encodeInputStreams_)
-        fillInputStreams(ws.input_, image, cfg_, ctx.imageSeed);
+        fillInputStreams(ws.input_, image, cfg_, plan_->streamLen,
+                         ctx.imageSeed);
     else
         ws.input_.reset(0, 0);
 
@@ -168,14 +171,13 @@ ScNetworkEngine::inferCohort(const nn::Tensor *const images[],
     assert(count <= ws.capacity());
     if (count == 0)
         return;
-    const std::size_t len = cfg_.streamLen;
 
     for (std::size_t c = 0; c < count; ++c) {
         CohortWorkspace::Slot &slot = ws.slots_[c];
         armContext(slot.ctx, cfg_.seed, indices[c], *images[c], true);
         if (encodeInputStreams_)
             fillInputStreams(slot.input, *images[c], cfg_,
-                             slot.ctx.imageSeed);
+                             plan_->streamLen, slot.ctx.imageSeed);
         else
             slot.input.reset(0, 0);
     }
@@ -194,7 +196,8 @@ ScNetworkEngine::inferCohort(const nn::Tensor *const images[],
                            &slot.pingPong[flip], &slot.ctx,
                            slot.scratch[s].get()};
         }
-        stage.runCohortSpan(ws.views_.data(), count, 0, len);
+        stage.runCohortSpan(ws.views_.data(), count, 0,
+                            plan_->stageStreamLens[s]);
         if (stage.terminal())
             break;
         flip ^= 1;
@@ -275,7 +278,8 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
            "workspace belongs to a different engine");
     requireAdaptive(*this, policy);
 
-    const std::size_t len = cfg_.streamLen;
+    const std::size_t len = plan_->streamLen;
+    const std::vector<std::size_t> &lens = plan_->stageStreamLens;
     StageContext &ctx = ws.ctx_;
     armContext(ctx, cfg_.seed, index, image, policy.deterministic);
 
@@ -284,7 +288,7 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
             // Full-length up-front SNG fill: the exact draws of the
             // non-adaptive path, so any exit point is a bit-exact
             // prefix.
-            fillInputStreams(ws.input_, image, cfg_, ctx.imageSeed);
+            fillInputStreams(ws.input_, image, cfg_, len, ctx.imageSeed);
         } else {
             ws.input_.reset(image.size(), len);
         }
@@ -317,8 +321,14 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
         for (std::size_t s = 0; s < plan_->stageCount(); ++s) {
             const ScStage &stage = plan_->stage(s);
             sc::StreamMatrix &out = ws.pingPong_[flip];
-            stage.runSpan(*cur, out, ctx, ws.scratch_[s].get(), begin,
-                          end);
+            // Per-stage clamp: a stage whose own (non-increasing) length
+            // is already exhausted is skipped — its completed output
+            // persists in the ping-pong buffer within this image, and
+            // every downstream stage (shorter still) skips with it.
+            const std::size_t sEnd = std::min(end, lens[s]);
+            if (begin < sEnd)
+                stage.runSpan(*cur, out, ctx, ws.scratch_[s].get(), begin,
+                              sEnd);
             if (stage.terminal()) {
                 terminalStage = &stage;
                 break;
@@ -332,7 +342,8 @@ ScNetworkEngine::inferAdaptive(const nn::Tensor &image, std::size_t index,
         if (end >= len)
             break;
         if (end >= policy.minCycles && terminalStage != nullptr &&
-            terminalStage->scoreMargin(ctx, end) >= policy.exitMargin) {
+            terminalStage->scoreMargin(ctx, std::min(end, lens.back())) >=
+                policy.exitMargin) {
             result.exitedEarly = true;
             break;
         }
@@ -366,7 +377,8 @@ ScNetworkEngine::inferAdaptiveCohort(const nn::Tensor *const images[],
     requireAdaptive(*this, policy);
     if (count == 0)
         return;
-    const std::size_t len = cfg_.streamLen;
+    const std::size_t len = plan_->streamLen;
+    const std::vector<std::size_t> &lens = plan_->stageStreamLens;
 
     ws.active_.clear();
     for (std::size_t c = 0; c < count; ++c) {
@@ -375,7 +387,7 @@ ScNetworkEngine::inferAdaptiveCohort(const nn::Tensor *const images[],
                    policy.deterministic);
         if (encodeInputStreams_) {
             if (policy.deterministic)
-                fillInputStreams(slot.input, *images[c], cfg_,
+                fillInputStreams(slot.input, *images[c], cfg_, len,
                                  slot.ctx.imageSeed);
             else
                 slot.input.reset(images[c]->size(), len);
@@ -414,15 +426,21 @@ ScNetworkEngine::inferAdaptiveCohort(const nn::Tensor *const images[],
         int flip = 0;
         for (std::size_t s = 0; s < plan_->stageCount(); ++s) {
             const ScStage &stage = plan_->stage(s);
-            for (std::size_t k = 0; k < ws.active_.size(); ++k) {
-                CohortWorkspace::Slot &slot = ws.slots_[ws.active_[k]];
-                ws.views_[k] = CohortSlot{
-                    s == 0 ? &slot.input : &slot.pingPong[flip ^ 1],
-                    &slot.pingPong[flip], &slot.ctx,
-                    slot.scratch[s].get()};
+            // Per-stage clamp, as in inferAdaptive(): exhausted stages
+            // (and everything downstream — lengths are non-increasing)
+            // are skipped; completed outputs persist per slot.
+            const std::size_t sEnd = std::min(end, lens[s]);
+            if (begin < sEnd) {
+                for (std::size_t k = 0; k < ws.active_.size(); ++k) {
+                    CohortWorkspace::Slot &slot = ws.slots_[ws.active_[k]];
+                    ws.views_[k] = CohortSlot{
+                        s == 0 ? &slot.input : &slot.pingPong[flip ^ 1],
+                        &slot.pingPong[flip], &slot.ctx,
+                        slot.scratch[s].get()};
+                }
+                stage.runCohortSpan(ws.views_.data(), ws.active_.size(),
+                                    begin, sEnd);
             }
-            stage.runCohortSpan(ws.views_.data(), ws.active_.size(), begin,
-                                end);
             if (stage.terminal()) {
                 terminalStage = &stage;
                 break;
@@ -439,7 +457,8 @@ ScNetworkEngine::inferAdaptiveCohort(const nn::Tensor *const images[],
             bool retire = end >= len;
             if (!retire && end >= policy.minCycles &&
                 terminalStage != nullptr &&
-                terminalStage->scoreMargin(ws.slots_[c].ctx, end) >=
+                terminalStage->scoreMargin(ws.slots_[c].ctx,
+                                           std::min(end, lens.back())) >=
                     policy.exitMargin) {
                 retire = true;
                 r.exitedEarly = true;

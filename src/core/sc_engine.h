@@ -82,6 +82,22 @@ struct ScEngineConfig
      * are untouched); clamped to [1, kMaxCohortImages of stage.h].
      */
     int cohort = 1;
+    /**
+     * Per-stage stream lengths (mixed stream-length precision).  Empty
+     * (the default) means "uniform at streamLen" — the compiler resolves
+     * it to a uniform vector, and that path is bit-identical to the
+     * scalar config it replaces.  A non-empty vector must have one entry
+     * per compiled stage (in execution order), every entry a positive
+     * multiple of 64 (word-aligned spans), and must be non-increasing
+     * along the graph: each stage consumes the prefix of a longer
+     * upstream stream, so an upstream stage may never be shorter than
+     * its consumer.  Stage s generates its weight/bias streams at —
+     * and executes exactly — stageStreamLens[s] cycles; when set,
+     * streamLen is ignored for stage lengths (the input encoding runs at
+     * stageStreamLens[0]).  See core::PrecisionTuner for the search that
+     * produces these vectors.
+     */
+    std::vector<std::size_t> stageStreamLens;
 
     /** The authoritative backend name (empty falls back to the default
      *  registry name, so a value-initialized config stays valid). */

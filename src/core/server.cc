@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/fault_injection.h"
+#include "core/stages/stage_compiler.h"
 #include "core/workspace.h"
 
 namespace aqfpsc::core {
@@ -384,10 +385,10 @@ InferenceServer::serveCohort(std::vector<Request> &batch, std::size_t off,
                 // Cancellable full-length route: bit-identical to
                 // inferCohort, and reported as non-adaptive serving.
                 served.prediction = std::move(apreds[j].prediction);
-                served.consumedCycles = engine_->config().streamLen;
+                served.consumedCycles = engine_->plan().fullRunCycles();
             } else {
                 served.prediction = std::move(preds[j]);
-                served.consumedCycles = engine_->config().streamLen;
+                served.consumedCycles = engine_->plan().fullRunCycles();
             }
             // Count before fulfilling: a caller returning from
             // future.get() must already see itself in stats().  All

@@ -52,6 +52,33 @@ EngineOptions::validate() const
             "tables on the stack, so cohorts are bounded; larger batches "
             "simply run as several cohorts");
     }
+    for (std::size_t s = 0; s < stageStreamLens.size(); ++s) {
+        const std::size_t len = stageStreamLens[s];
+        if (len == 0 || len % 64 != 0) {
+            errors.push_back(
+                "stageStreamLens[" + std::to_string(s) + "] = " +
+                std::to_string(len) +
+                " must be a positive multiple of 64: checkpointed spans "
+                "and the packed-stream kernels work in 64-bit words");
+            continue;
+        }
+        if (len > kMaxStreamLen) {
+            errors.push_back(
+                "stageStreamLens[" + std::to_string(s) + "] = " +
+                std::to_string(len) + " exceeds the maximum stream "
+                "length " + std::to_string(kMaxStreamLen) +
+                ": per-layer stream matrices exhaust memory beyond it");
+        }
+        if (s > 0 && len > stageStreamLens[s - 1]) {
+            errors.push_back(
+                "stageStreamLens must be non-increasing in execution "
+                "order (a stage consumes the prefix of longer upstream "
+                "streams, so no stage may outlive its producer); entry " +
+                std::to_string(s) + " = " + std::to_string(len) +
+                " exceeds entry " + std::to_string(s - 1) + " = " +
+                std::to_string(stageStreamLens[s - 1]));
+        }
+    }
     for (const std::string &e : adaptive.validate())
         errors.push_back("adaptive: " + e);
     return errors;
@@ -77,6 +104,7 @@ EngineOptions::toConfig(const std::string &backendOverride) const
 {
     ScEngineConfig cfg;
     cfg.streamLen = streamLen;
+    cfg.stageStreamLens = stageStreamLens;
     cfg.rngBits = rngBits;
     cfg.seed = seed;
     cfg.threads = threads;

@@ -50,6 +50,9 @@
 
 namespace aqfpsc::core {
 
+struct TuneOptions;
+struct TuneResult;
+
 /**
  * Validated session/engine configuration, keyed by backend registry
  * name.  The one source of truth for worker threads: engines compile
@@ -60,6 +63,15 @@ struct EngineOptions
 {
     std::string backend = "aqfp-sorter"; ///< BackendRegistry name
     std::size_t streamLen = 1024;        ///< stochastic stream length N
+    /** Per-stage stream lengths (mixed stream-length precision).  Empty
+     *  = uniform at streamLen (bit-identical to the scalar config).
+     *  Non-empty vectors must be word-aligned (multiples of 64) and
+     *  non-increasing in execution order — stages consume the prefix of
+     *  longer upstream streams — with one entry per compiled stage (the
+     *  stage-count check happens at compile time, when the network is
+     *  known).  Produced by core::PrecisionTuner / InferenceSession::
+     *  tune(), or set by hand (CLI --stage-lens). */
+    std::vector<std::size_t> stageStreamLens;
     int rngBits = 10;                    ///< SNG code width
     std::uint64_t seed = 123;            ///< randomness seed
     int threads = 1;                     ///< workers (0 = one per hw thread)
@@ -176,6 +188,21 @@ class InferenceSession
 
     /** Backends compiled so far (sorted). */
     std::vector<std::string> compiledBackends() const;
+
+    /**
+     * Search a per-stage stream-length vector that maximizes throughput
+     * within @p opts 's accuracy budget on @p calibration, starting from
+     * this session's options (see core::PrecisionTuner for the
+     * coordinate-descent algorithm).  The session itself is not
+     * modified — apply the result by constructing a new session (or
+     * engine) with EngineOptions::stageStreamLens = result vector.
+     * Thread-safe like the evaluation entry points.
+     * @throws std::invalid_argument on empty calibration sets or
+     *         non-resumable backends being asked for adaptive scoring.
+     */
+    TuneResult tune(const std::vector<nn::Sample> &calibration,
+                    const TuneOptions &opts,
+                    const std::string &backend = {}) const;
 
     /**
      * Counters of the process-wide core::PlanCache every session's

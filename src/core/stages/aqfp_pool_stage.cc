@@ -55,7 +55,7 @@ void
 AqfpPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                        StageContext &ctx, StageScratch *scratch) const
 {
-    runSpan(in, out, ctx, scratch, 0, in.streamLen());
+    runSpan(in, out, ctx, scratch, 0, streamLen_);
 }
 
 void
@@ -63,10 +63,10 @@ AqfpPoolStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                        StageContext &, StageScratch *scratch,
                        std::size_t begin, std::size_t end) const
 {
-    const std::size_t len = in.streamLen();
-    // The scratch counter was sized from the engine config; the input
-    // must match it (the only stage where the two could diverge).
-    assert(len == streamLen_);
+    // The stage runs at its own compiled length and consumes only the
+    // prefix of a (possibly longer) upstream stream.
+    const std::size_t len = streamLen_;
+    assert(in.streamLen() >= len);
     assert(begin % 64 == 0 && begin < end && end <= len);
     const std::size_t w0 = begin / 64;
     const std::size_t sw = (end - begin + 63) / 64;

@@ -45,7 +45,10 @@ CmosOutputStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &,
     assert(static_cast<int>(in.rows()) == geom_.inFeatures);
     const std::size_t len = streams().weights.streamLen();
     assert(begin % 64 == 0 && begin < end && end <= len);
-    const std::size_t wpr = in.wordsPerRow();
+    assert(in.streamLen() >= len); // prefix consumption: input may be longer
+    // Tail-mask trigger from the stage's own streams — the input may
+    // carry a longer upstream stream whose extra words we never read.
+    const std::size_t wpr = streams().weights.wordsPerRow();
     const std::size_t w0 = begin / 64;
     const std::size_t w1 = (end + 63) / 64;
 

@@ -9,8 +9,8 @@ namespace aqfpsc::core::stages {
 
 namespace {
 const PoolStageRegistration kRegistration{
-    "cmos-apc", [](const PoolGeometry &g, const ScEngineConfig &) {
-        return std::make_unique<CmosPoolStage>(g);
+    "cmos-apc", [](const PoolGeometry &g, const ScEngineConfig &cfg) {
+        return std::make_unique<CmosPoolStage>(g, cfg.streamLen);
     }};
 
 /**
@@ -57,7 +57,7 @@ void
 CmosPoolStage::runInto(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                        StageContext &ctx, StageScratch *scratch) const
 {
-    runSpan(in, out, ctx, scratch, 0, in.streamLen());
+    runSpan(in, out, ctx, scratch, 0, streamLen_);
 }
 
 void
@@ -65,7 +65,10 @@ CmosPoolStage::runSpan(const sc::StreamMatrix &in, sc::StreamMatrix &out,
                        StageContext &ctx, StageScratch *scratch,
                        std::size_t begin, std::size_t end) const
 {
-    const std::size_t len = in.streamLen();
+    // The stage runs at its own compiled length; a longer upstream
+    // stream only contributes its prefix to the MUX selects.
+    const std::size_t len = streamLen_;
+    assert(in.streamLen() >= len);
     assert(begin % 64 == 0 && begin < end && end <= len);
 
     out.reset(footprint().outputRows, len);

@@ -16,7 +16,12 @@ namespace aqfpsc::core::stages {
 class CmosPoolStage final : public ScStage
 {
   public:
-    explicit CmosPoolStage(const PoolGeometry &geom) : geom_(geom) {}
+    /** @param stream_len The stage's compiled stream length (the MUX
+     *  output length; inputs may carry longer upstream streams). */
+    CmosPoolStage(const PoolGeometry &geom, std::size_t stream_len)
+        : geom_(geom), streamLen_(stream_len)
+    {
+    }
 
     std::string name() const override;
 
@@ -35,6 +40,7 @@ class CmosPoolStage final : public ScStage
 
   private:
     PoolGeometry geom_;
+    std::size_t streamLen_;
 };
 
 } // namespace aqfpsc::core::stages

@@ -517,6 +517,9 @@ class LinearScStage : public ScStage
                 slots[c].scratch);
             cc[c] = &ws[c]->counts;
             in[c] = slots[c].in;
+            // Prefix consumption: the input may carry a longer upstream
+            // stream; this stage reads only its own len cycles of it.
+            assert(in[c]->streamLen() >= len);
             slots[c].out->reset(rows, len);
         }
         const std::uint64_t *neutral = streams().neutral.row(0) + w0;

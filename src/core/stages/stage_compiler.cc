@@ -99,14 +99,19 @@ internStageState(StageKind kind, const std::array<int, 7> &dims,
 }
 
 /** Canonical PlanSpec of (net, cfg): architecture string from the layer
- *  specs + quantization grid, parameters flattened in layer order. */
+ *  specs + quantization grid, parameters flattened in layer order.  The
+ *  RESOLVED per-stage length vector is always stored (scalar configs
+ *  resolve to a uniform vector first), so a scalar streamLen and the
+ *  equivalent explicit uniform vector share one cache entry. */
 PlanSpec
 makePlanSpec(const nn::Network &net, const ScEngineConfig &cfg,
-             const std::string &backend)
+             const std::string &backend,
+             const std::vector<std::size_t> &lens)
 {
     PlanSpec p;
     p.backend = backend;
-    p.streamLen = cfg.streamLen;
+    p.streamLen = lens.empty() ? cfg.streamLen : lens.front();
+    p.stageStreamLens.assign(lens.begin(), lens.end());
     p.rngBits = cfg.rngBits;
     p.seed = cfg.seed;
     p.approximateApc = cfg.approximateApc;
@@ -145,13 +150,89 @@ throwIncomplete(const std::string &backend, const char *kind)
                                 "' registers no " + kind + " stage");
 }
 
+/**
+ * Count the stages the compiler will emit for @p net — the same walk as
+ * compileNetworkUncached (conv/dense fuse their following activation),
+ * minus the stage construction.  Mapping errors are left for the real
+ * compile to diagnose; this only needs the count for length resolution.
+ */
+std::size_t
+countStages(const nn::Network &net)
+{
+    std::size_t count = 0;
+    const std::size_t n_layers = net.layerCount();
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const nn::Layer &l = net.layer(li);
+        if (dynamic_cast<const nn::Conv2D *>(&l) != nullptr) {
+            ++count;
+            if (li + 1 < n_layers && isScActivation(net.layer(li + 1)))
+                ++li; // the activation fuses into the conv stage
+            continue;
+        }
+        if (dynamic_cast<const nn::AvgPool2 *>(&l) != nullptr) {
+            ++count;
+            continue;
+        }
+        if (dynamic_cast<const nn::MajorityChainDense *>(&l) != nullptr) {
+            ++count;
+            continue;
+        }
+        if (dynamic_cast<const nn::Dense *>(&l) != nullptr) {
+            ++count;
+            if (li + 1 < n_layers && isScActivation(net.layer(li + 1)))
+                ++li; // fused hidden Dense + activation
+            continue;
+        }
+        // Unmappable layers contribute no stage; compileNetworkUncached
+        // throws the documented message when it reaches them.
+    }
+    return count;
+}
+
 } // namespace
+
+std::vector<std::size_t>
+resolveStageLens(const nn::Network &net, const ScEngineConfig &cfg)
+{
+    const std::size_t n_stages = countStages(net);
+    if (cfg.stageStreamLens.empty())
+        return std::vector<std::size_t>(n_stages, cfg.streamLen);
+
+    const std::vector<std::size_t> &lens = cfg.stageStreamLens;
+    if (lens.size() != n_stages) {
+        throw std::invalid_argument(
+            "stageStreamLens has " + std::to_string(lens.size()) +
+            " entries but the network compiles to " +
+            std::to_string(n_stages) +
+            " stages; provide one length per stage in execution order");
+    }
+    for (std::size_t s = 0; s < lens.size(); ++s) {
+        if (lens[s] == 0 || lens[s] % 64 != 0) {
+            throw std::invalid_argument(
+                "stageStreamLens[" + std::to_string(s) + "] = " +
+                std::to_string(lens[s]) +
+                " must be a positive multiple of 64 (word-aligned spans)");
+        }
+        if (s > 0 && lens[s] > lens[s - 1]) {
+            throw std::invalid_argument(
+                "stageStreamLens must be non-increasing along the graph "
+                "(stages consume the prefix of longer upstream streams); "
+                "entry " +
+                std::to_string(s) + " = " + std::to_string(lens[s]) +
+                " exceeds entry " + std::to_string(s - 1) + " = " +
+                std::to_string(lens[s - 1]));
+        }
+    }
+    return lens;
+}
 
 std::shared_ptr<const ExecutionPlan>
 compileNetwork(const nn::Network &net, const ScEngineConfig &cfg)
 {
     return PlanCache::instance().internPlan(
-        makePlanSpec(net, cfg, cfg.resolvedBackend()), [&] {
+        makePlanSpec(net, cfg, cfg.resolvedBackend(),
+                     resolveStageLens(net, cfg)),
+        [&] {
             return std::make_shared<const ExecutionPlan>(
                 compileNetworkUncached(net, cfg));
         });
@@ -166,7 +247,20 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
         BackendRegistry::instance().entry(backend);
     const bool want_streams = factories.traits.wantsParamStreams;
 
+    const std::vector<std::size_t> lens = resolveStageLens(net, cfg);
+
     std::vector<std::unique_ptr<ScStage>> stages;
+
+    // Per-stage config: identical to cfg except streamLen carries the
+    // stage's own resolved length (factories and stream generation read
+    // only streamLen, so a scalar-era stage builds unchanged from it).
+    const auto stageCfg = [&]() {
+        ScEngineConfig c = cfg;
+        c.streamLen = lens[stages.size()];
+        c.stageStreamLens.clear();
+        return c;
+    };
+
     sc::Xoshiro256StarStar rng(cfg.seed);
 
     // Walk the float network and fuse (Conv|Dense) + activation pairs.
@@ -199,6 +293,7 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
             g.kernel = conv->kernel();
             if (!factories.conv)
                 throwIncomplete(backend, "conv");
+            const ScEngineConfig scfg = stageCfg();
             stages.push_back(factories.conv(
                 g, WeightedStageInit{
                        internStageState(
@@ -206,10 +301,10 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
                            {g.inC, g.inH, g.inW, g.outC, g.outH, g.outW,
                             g.kernel},
                            activationKind(net.layer(li + 1)), false,
-                           backend, cfg, rng, conv->weights(),
+                           backend, scfg, rng, conv->weights(),
                            conv->biases(), want_streams),
                        conv->weights(), conv->biases(),
-                       activationKind(net.layer(li + 1)), false, cfg}));
+                       activationKind(net.layer(li + 1)), false, scfg}));
             in_c = conv->outChannels();
             ++li; // consume the activation
             continue;
@@ -225,7 +320,7 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
             g.outW = in_w / 2;
             if (!factories.pool)
                 throwIncomplete(backend, "pool");
-            stages.push_back(factories.pool(g, cfg));
+            stages.push_back(factories.pool(g, stageCfg()));
             in_h /= 2;
             in_w /= 2;
             continue;
@@ -241,16 +336,17 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
             g.outFeatures = chain->outFeatures();
             if (!factories.output)
                 throwIncomplete(backend, "output");
+            const ScEngineConfig scfg = stageCfg();
             stages.push_back(factories.output(
                 g, WeightedStageInit{
                        internStageState(
                            StageKind::Output,
                            {g.inFeatures, g.outFeatures, 0, 0, 0, 0, 0},
-                           FusedActivation::None, true, backend, cfg,
+                           FusedActivation::None, true, backend, scfg,
                            rng, chain->weights(), chain->biases(),
                            want_streams),
                        chain->weights(), chain->biases(),
-                       FusedActivation::None, true, cfg}));
+                       FusedActivation::None, true, scfg}));
             continue;
         }
 
@@ -263,17 +359,18 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
             const FusedActivation act =
                 has_act ? activationKind(net.layer(li + 1))
                         : FusedActivation::None;
+            const ScEngineConfig scfg = stageCfg();
             auto shared = internStageState(
                 has_act ? StageKind::Dense : StageKind::Output,
                 {g.inFeatures, g.outFeatures, 0, 0, 0, 0, 0}, act, false,
-                backend, cfg, rng, fc->weights(), fc->biases(),
+                backend, scfg, rng, fc->weights(), fc->biases(),
                 want_streams);
             if (has_act) {
                 if (!factories.dense)
                     throwIncomplete(backend, "dense");
                 stages.push_back(factories.dense(
                     g, WeightedStageInit{std::move(shared), fc->weights(),
-                                         fc->biases(), act, false, cfg}));
+                                         fc->biases(), act, false, scfg}));
                 ++li;
             } else {
                 if (li + 1 != n_layers)
@@ -286,7 +383,7 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
                     g, WeightedStageInit{std::move(shared), fc->weights(),
                                          fc->biases(),
                                          FusedActivation::None, false,
-                                         cfg}));
+                                         scfg}));
             }
             continue;
         }
@@ -300,13 +397,16 @@ compileNetworkUncached(const nn::Network &net, const ScEngineConfig &cfg)
             "ScNetworkEngine: network must end in an output Dense layer");
 
     // Graph-level buffer plan: stage s writes ping-pong buffer s % 2, so
-    // record each parity's high-water row count — workspaces allocate
-    // their arenas once from these and never grow afterwards.
+    // record each parity's high-water row count and stream length —
+    // workspaces allocate their arenas once from these and never grow
+    // afterwards.
     ExecutionPlan plan;
-    plan.streamLen = cfg.streamLen;
+    plan.streamLen = lens.front();
+    plan.stageStreamLens = lens;
     for (std::size_t s = 0; s < stages.size(); ++s) {
         plan.bufferRows[s % 2] = std::max(
             plan.bufferRows[s % 2], stages[s]->footprint().outputRows);
+        plan.bufferLen[s % 2] = std::max(plan.bufferLen[s % 2], lens[s]);
         plan.resumable = plan.resumable && stages[s]->resumable();
     }
     plan.stages = std::move(stages);

@@ -56,16 +56,63 @@ struct ExecutionPlan
     /** Ping-pong buffer plan: max output rows written at each parity. */
     std::size_t bufferRows[2] = {0, 0};
 
+    /** Ping-pong buffer plan: max stream length written at each parity
+     *  (uniform plans: streamLen at both).  Workspaces pre-size each
+     *  buffer from (bufferRows, bufferLen) of its parity. */
+    std::size_t bufferLen[2] = {0, 0};
+
     /** True when every stage supports checkpointed (runSpan) execution. */
     bool resumable = true;
 
-    /** Stream length the graph was compiled for. */
+    /**
+     * Full-run cycle count: the longest stage stream length, i.e. the
+     * stream length of the first stage (lengths are validated
+     * non-increasing along the graph).  Uniform plans: the scalar
+     * streamLen the graph was compiled for.
+     */
     std::size_t streamLen = 0;
+
+    /**
+     * Resolved per-stage stream lengths, one entry per stage in
+     * execution order (a scalar config resolves to a uniform vector).
+     * Non-increasing; stage s generates its parameter streams at — and
+     * executes exactly — stageStreamLens[s] cycles, consuming the
+     * prefix of its (equal or longer) input streams.
+     */
+    std::vector<std::size_t> stageStreamLens;
 
     std::size_t stageCount() const { return stages.size(); }
 
     const ScStage &stage(std::size_t i) const { return *stages[i]; }
+
+    /** Cycles a complete (non-early-exit) run executes — what
+     *  consumedCycles accounting reports for full-length inference. */
+    std::size_t fullRunCycles() const { return streamLen; }
+
+    /** The terminal stage's stream length (the shortest; the score
+     *  denominator of a full run). */
+    std::size_t terminalCycles() const
+    {
+        return stageStreamLens.empty() ? streamLen
+                                       : stageStreamLens.back();
+    }
 };
+
+/**
+ * Resolve @p cfg 's per-stage stream lengths against @p net: counts the
+ * stages the compiler will emit and returns one length per stage.  An
+ * empty ScEngineConfig::stageStreamLens yields a uniform vector at
+ * cfg.streamLen (bit-identical to the scalar path); a non-empty vector
+ * is validated — size must equal the stage count, every entry a
+ * positive multiple of 64 within the engine bounds, and the sequence
+ * non-increasing in execution order (prefix consumption: a stage may
+ * never outlive its upstream producer).
+ *
+ * @throws std::invalid_argument with an actionable message on any
+ *         violation.
+ */
+std::vector<std::size_t> resolveStageLens(const nn::Network &net,
+                                          const ScEngineConfig &cfg);
 
 /**
  * Compile @p net into an ExecutionPlan for @p cfg 's backend.

@@ -15,7 +15,7 @@ StageWorkspace::StageWorkspace(const ScNetworkEngine &engine)
     for (std::size_t s = 0; s < plan.stageCount(); ++s)
         scratch_.push_back(plan.stage(s).makeScratch());
     for (int i = 0; i < 2; ++i)
-        pingPong_[i].reset(plan.bufferRows[i], plan.streamLen);
+        pingPong_[i].reset(plan.bufferRows[i], plan.bufferLen[i]);
 }
 
 CohortWorkspace::CohortWorkspace(const ScNetworkEngine &engine,
@@ -30,7 +30,7 @@ CohortWorkspace::CohortWorkspace(const ScNetworkEngine &engine,
         for (std::size_t s = 0; s < plan.stageCount(); ++s)
             slot.scratch.push_back(plan.stage(s).makeScratch());
         for (int i = 0; i < 2; ++i)
-            slot.pingPong[i].reset(plan.bufferRows[i], plan.streamLen);
+            slot.pingPong[i].reset(plan.bufferRows[i], plan.bufferLen[i]);
     }
     views_.resize(capacity);
     active_.reserve(capacity);

@@ -9,6 +9,7 @@
 #include "core/fault_injection.h"
 #include "core/model_zoo.h"
 #include "core/stages/stage.h"
+#include "core/stages/stage_compiler.h"
 #include "core/workspace.h"
 
 namespace aqfpsc::serving {
@@ -862,10 +863,10 @@ ServingFrontend::serveBatchWith(Batch &batch,
                 served.exitedEarly = apreds[j].exitedEarly;
             } else if (adaptiveRun) {
                 served.prediction = std::move(apreds[j].prediction);
-                served.consumedCycles = engine.config().streamLen;
+                served.consumedCycles = engine.plan().fullRunCycles();
             } else {
                 served.prediction = std::move(preds[j]);
-                served.consumedCycles = engine.config().streamLen;
+                served.consumedCycles = engine.plan().fullRunCycles();
             }
             // Count before fulfilling: a caller returning from
             // future.get() must already see itself in stats().

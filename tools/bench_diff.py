@@ -12,6 +12,13 @@ Understands two report shapes, detected from the JSON itself:
 - Serving tail-latency reports (BENCH_serving_tail.json): rows keyed
   (policy, arrival, tenant), metric latency_ms_p99, LOWER is better —
   a row regresses when the fresh p99 rises more than the threshold.
+- Mixed-precision frontier reports (BENCH_mixed_precision.json): rows
+  marked "section": "frontier", keyed (backend, model, stage_lens — the
+  comma-joined per-stage length vector).  Each row diffs twice: its
+  images_per_sec like any throughput metric (HIGHER is better, percent
+  threshold) and its accuracy_pt on an ABSOLUTE scale — a drop of more
+  than 0.5 percentage points warns regardless of --threshold, because
+  accuracy is the quantity the tuner's budget guarantees.
 
 Rows present on only one side are listed but never fail the run (new
 configurations are expected as the benches grow).
@@ -40,6 +47,8 @@ def throughput_rows(results):
     not recorded as None."""
     rows = {}
     for row in results or []:
+        if row.get("section") == "frontier":
+            continue  # frontier rows diff in their own sections
         if row.get("images_per_sec") is None:
             continue
         engine = row.get("engine", {})
@@ -65,6 +74,23 @@ def plan_bytes_rows(results):
     return rows
 
 
+def frontier_rows(results, metric):
+    """{(backend, model, stage_lens): metric} from the frontier rows of
+    a mixed-precision report's results list; metric is "images_per_sec"
+    or "accuracy_pt"."""
+    rows = {}
+    for row in results or []:
+        if row.get("section") != "frontier":
+            continue
+        if row.get(metric) is None:
+            continue
+        engine = row.get("engine", {})
+        key = (engine.get("backend"), row.get("model"),
+               row.get("stage_lens"))
+        rows[key] = row.get(metric)
+    return rows
+
+
 def latency_rows(results):
     """{(policy, arrival, tenant): latency_ms_p99} from a serving
     tail-latency report's results object."""
@@ -77,26 +103,40 @@ def latency_rows(results):
     return rows
 
 
+#: Absolute accuracy budget mirrored from the tuner's default
+#: TuneOptions::maxAccuracyDrop (0.005 fraction = 0.5 points).
+ACCURACY_DROP_PT = 0.5
+
+
 def extract_rows(doc):
     """(kind, sections) from one loaded BENCH_*.json document, where
-    sections is a list of (metric label, lower_is_better, {key: value})
-    diffed independently of each other; kind detection is structural,
-    so the tool needs no per-bench flag."""
+    sections is a list of (metric label, lower_is_better, {key: value},
+    abs_threshold) diffed independently of each other; kind detection is
+    structural, so the tool needs no per-bench flag.  abs_threshold is
+    None for percent-threshold metrics; a number makes the section warn
+    on absolute drops beyond it (frontier accuracy points)."""
     results = doc.get("results")
     if isinstance(results, dict) and "runs" in results:
-        return "latency", [("p99 ms", True, latency_rows(results))]
-    return "throughput", [("img/s", False, throughput_rows(results)),
-                          ("resident bytes", True,
-                           plan_bytes_rows(results))]
+        return "latency", [("p99 ms", True, latency_rows(results), None)]
+    return "throughput", [
+        ("img/s", False, throughput_rows(results), None),
+        ("resident bytes", True, plan_bytes_rows(results), None),
+        ("frontier img/s", False,
+         frontier_rows(results, "images_per_sec"), None),
+        ("frontier accuracy pt", False,
+         frontier_rows(results, "accuracy_pt"), ACCURACY_DROP_PT)]
 
 
-def compare(base, fresh, threshold, lower_is_better):
+def compare(base, fresh, threshold, lower_is_better, abs_threshold=None):
     """Match {key: value} maps and classify every row.
 
     Returns a list of dicts sorted by key: {key, base, fresh,
     delta_pct, status} where status is "ok", "regression" (delta beyond
     threshold in the bad direction), "missing" (baseline-only) or
-    "new" (fresh-only).
+    "new" (fresh-only).  With abs_threshold set, a row regresses when
+    the raw metric moves more than that many units in the bad
+    direction (the percent threshold is ignored) — used for
+    accuracy-point sections where relative thresholds are meaningless.
     """
     entries = []
     for key in sorted(base, key=lambda k: tuple(str(p) for p in k)):
@@ -107,10 +147,14 @@ def compare(base, fresh, threshold, lower_is_better):
             continue
         f = fresh[key]
         delta_pct = (f - b) / b * 100.0 if b else 0.0
-        bad = delta_pct > threshold if lower_is_better \
-            else delta_pct < -threshold
+        if abs_threshold is not None:
+            bad = (f - b) > abs_threshold if lower_is_better \
+                else (b - f) > abs_threshold
+        else:
+            bad = delta_pct > threshold if lower_is_better \
+                else delta_pct < -threshold
         entries.append({"key": key, "base": b, "fresh": f,
-                        "delta_pct": delta_pct,
+                        "delta_pct": delta_pct, "delta_abs": f - b,
                         "status": "regression" if bad else "ok"})
     for key in sorted(set(fresh) - set(base),
                       key=lambda k: tuple(str(p) for p in k)):
@@ -159,19 +203,22 @@ def main():
               f"{fresh_level}); deltas reflect the dispatch change too")
 
     regressions = []
-    for (metric, lower_is_better, base), (_, _, fresh) in zip(
-            base_sections, fresh_sections):
+    for (metric, lower_is_better, base, abs_threshold), \
+            (_, _, fresh, _) in zip(base_sections, fresh_sections):
         if not base and not fresh:
             continue  # section absent from both reports (older bench)
         direction = ("lower is better" if lower_is_better
                      else "higher is better")
-        print(f"{base_kind} rows, metric {metric} ({direction})")
+        gate = (f"absolute threshold {abs_threshold:g}"
+                if abs_threshold is not None else "percent threshold")
+        print(f"{base_kind} rows, metric {metric} ({direction}, {gate})")
 
         header = (f"{'row':<42} {'base':>12} {'fresh':>12} {'delta':>8}")
         print(header)
         print("-" * len(header))
 
-        for entry in compare(base, fresh, args.threshold, lower_is_better):
+        for entry in compare(base, fresh, args.threshold, lower_is_better,
+                             abs_threshold):
             label = " ".join(str(p) for p in entry["key"])
             if entry["status"] == "missing":
                 print(f"{label:<42} {entry['base']:>12.2f} {'missing':>12} "
@@ -185,13 +232,18 @@ def main():
             if entry["status"] == "regression":
                 marker = "  <-- REGRESSION"
                 regressions.append(entry)
+            # Absolute-gated sections show the delta in the metric's own
+            # units — a relative percent next to an absolute gate reads
+            # as the wrong quantity.
+            delta = (f"{entry['delta_abs']:>+8.2f}"
+                     if abs_threshold is not None
+                     else f"{entry['delta_pct']:>+7.1f}%")
             print(f"{label:<42} {entry['base']:>12.2f} "
-                  f"{entry['fresh']:>12.2f} "
-                  f"{entry['delta_pct']:>+7.1f}%{marker}")
+                  f"{entry['fresh']:>12.2f} {delta}{marker}")
 
     if regressions:
-        print(f"WARNING: {len(regressions)} row(s) regressed more than "
-              f"{args.threshold:g}% vs the committed baseline")
+        print(f"WARNING: {len(regressions)} row(s) regressed beyond their "
+              f"section's gate vs the committed baseline")
         if args.fail_on_regress:
             return 1
     else:

@@ -31,6 +31,17 @@ def throughput_doc(rows, plan_rows=None):
     return {"results": results}
 
 
+def frontier_doc(rows):
+    """A minimal BENCH_mixed_precision-shaped document; rows maps
+    (backend, model, stage_lens) to (images_per_sec, accuracy_pt)."""
+    return {"results": [
+        {"section": "frontier",
+         "engine": {"backend": b, "stream_len": 1024},
+         "model": m, "stage_lens": lens,
+         "images_per_sec": ips, "accuracy_pt": acc}
+        for (b, m, lens), (ips, acc) in rows.items()]}
+
+
 def latency_doc(runs):
     """A minimal BENCH_serving_tail-shaped document."""
     return {"results": {"runs": [
@@ -45,9 +56,10 @@ class ExtractRowsTest(unittest.TestCase):
         doc = throughput_doc({("aqfp-sorter", "tiny", 8, 1024): 25.0})
         kind, sections = bench_diff.extract_rows(doc)
         self.assertEqual(kind, "throughput")
-        metric, lower, rows = sections[0]
+        metric, lower, rows, abs_threshold = sections[0]
         self.assertEqual(metric, "img/s")
         self.assertFalse(lower)
+        self.assertIsNone(abs_threshold)
         self.assertEqual(rows[("aqfp-sorter", "tiny", 8, 1024)], 25.0)
 
     def test_latency_shape_detected(self):
@@ -56,7 +68,7 @@ class ExtractRowsTest(unittest.TestCase):
         kind, sections = bench_diff.extract_rows(doc)
         self.assertEqual(kind, "latency")
         self.assertEqual(len(sections), 1)
-        metric, lower, rows = sections[0]
+        metric, lower, rows, _ = sections[0]
         self.assertTrue(lower)
         self.assertEqual(rows[("fifo", "poisson", "gold")], 120.0)
         self.assertEqual(rows[("fifo", "poisson", "bulk")], 340.0)
@@ -64,7 +76,7 @@ class ExtractRowsTest(unittest.TestCase):
     def test_empty_results_is_throughput_with_no_rows(self):
         kind, sections = bench_diff.extract_rows({"results": []})
         self.assertEqual(kind, "throughput")
-        for _, _, rows in sections:
+        for _, _, rows, _ in sections:
             self.assertEqual(rows, {})
 
     def test_plan_cache_rows_form_their_own_section(self):
@@ -74,8 +86,8 @@ class ExtractRowsTest(unittest.TestCase):
                        ("aqfp-sorter", "tiny", 4, "off"): 16384})
         kind, sections = bench_diff.extract_rows(doc)
         self.assertEqual(kind, "throughput")
-        _, _, tput = sections[0]
-        metric, lower, plan = sections[1]
+        _, _, tput, _ = sections[0]
+        metric, lower, plan, _ = sections[1]
         self.assertEqual(metric, "resident bytes")
         self.assertTrue(lower, "resident bytes: lower is better")
         # Plan-cache rows never leak into the throughput section (they
@@ -100,6 +112,52 @@ class ExtractRowsTest(unittest.TestCase):
                     "engine": {"backend": "aqfp-sorter"},
                     "model": "tiny", "instances": 4, "cache": "on"}]
         self.assertEqual(bench_diff.plan_bytes_rows(results), {})
+
+    def test_frontier_rows_form_their_own_sections(self):
+        doc = frontier_doc(
+            {("aqfp-sorter", "tiny", "1024,1024,1024"): (20.0, 85.0),
+             ("aqfp-sorter", "tiny", "512,256,256"): (31.0, 84.7)})
+        kind, sections = bench_diff.extract_rows(doc)
+        self.assertEqual(kind, "throughput")
+        # Frontier rows never leak into the plain throughput section
+        # (their key shape has no cohort) and vice versa.
+        self.assertEqual(sections[0][2], {})
+        metric, lower, speed, abs_threshold = sections[2]
+        self.assertEqual(metric, "frontier img/s")
+        self.assertFalse(lower)
+        self.assertIsNone(abs_threshold)
+        self.assertEqual(
+            speed[("aqfp-sorter", "tiny", "512,256,256")], 31.0)
+        metric, lower, acc, abs_threshold = sections[3]
+        self.assertEqual(metric, "frontier accuracy pt")
+        self.assertFalse(lower, "accuracy: higher is better")
+        self.assertEqual(abs_threshold, bench_diff.ACCURACY_DROP_PT)
+        self.assertEqual(
+            acc[("aqfp-sorter", "tiny", "1024,1024,1024")], 85.0)
+
+    def test_frontier_accuracy_gates_on_absolute_points(self):
+        base = {("aqfp-sorter", "tiny", "512,256,256"): 85.0}
+        ok = bench_diff.compare(
+            base, {("aqfp-sorter", "tiny", "512,256,256"): 84.6},
+            threshold=10.0, lower_is_better=False,
+            abs_threshold=bench_diff.ACCURACY_DROP_PT)
+        self.assertEqual(ok[0]["status"], "ok",
+                         "0.4pt drop stays inside the 0.5pt budget even "
+                         "though it is < 1% relative")
+        bad = bench_diff.compare(
+            base, {("aqfp-sorter", "tiny", "512,256,256"): 84.4},
+            threshold=10.0, lower_is_better=False,
+            abs_threshold=bench_diff.ACCURACY_DROP_PT)
+        self.assertEqual(bad[0]["status"], "regression",
+                         "0.6pt drop breaks the budget even though it is "
+                         "far below the 10% relative threshold")
+
+    def test_frontier_speed_regression_is_relative(self):
+        base = {("cmos-apc", "tiny", "512,256,256"): 100.0}
+        entries = bench_diff.compare(
+            base, {("cmos-apc", "tiny", "512,256,256"): 85.0},
+            threshold=10.0, lower_is_better=False)
+        self.assertEqual(entries[0]["status"], "regression")
 
 
 class CompareTest(unittest.TestCase):
